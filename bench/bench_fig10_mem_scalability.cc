@@ -1,0 +1,49 @@
+// Figure 10: memory usage for Q10 as the Book dataset is duplicated 1–6
+// times.
+//
+// Expected shape (paper, section 5.5): the streaming engines' memory is
+// constant as the data grows (TwigM ≈ 1 MB in the paper); the non-streaming
+// DomEval grows faster than the data size (DOM + memo tables).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "data/datasets.h"
+
+namespace twigm::bench {
+namespace {
+
+int Main() {
+  const data::QuerySpec* q10 = nullptr;
+  for (const data::QuerySpec& q : data::BookQueries()) {
+    if (q.name == "Q10") q10 = &q;
+  }
+  std::printf("Figure 10: memory usage for Q10 (%s) as Book data grows\n\n",
+              q10->text.c_str());
+  std::printf("%-7s %10s %12s %12s %12s\n", "copies", "doc size", "TwigM",
+              "NaiveEnum", "DomEval");
+  for (int copies = 1; copies <= 6; ++copies) {
+    const std::string& doc = BookDatasetCopies(copies);
+    std::printf("%-7d %10s", copies, HumanBytes(doc.size()).c_str());
+    for (System system :
+         {System::kTwigM, System::kNaiveEnum, System::kDomEval}) {
+      const RunResult result = RunSystem(system, q10->text, doc);
+      if (result.status.ok()) {
+        std::printf(" %12s", HumanBytes(result.state_bytes).c_str());
+      } else if (result.status.code() == StatusCode::kNotSupported) {
+        std::printf(" %12s", "n/s");
+      } else {
+        std::printf(" %12s", "abort");
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(streaming rows stay flat; DomEval grows with the data)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace twigm::bench
+
+int main() { return twigm::bench::Main(); }

@@ -1,0 +1,42 @@
+// Figure 5: features of the experimental datasets (size, number of element
+// nodes, attributes, depth, recursion). Prints the table the paper reports;
+// absolute sizes are scaled by TWIGM_BENCH_SCALE (see bench_util.h).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "data/datasets.h"
+
+namespace twigm::bench {
+namespace {
+
+void Report(const char* name, const std::string& doc) {
+  Result<data::DatasetFeatures> features = data::ComputeFeatures(doc);
+  if (!features.ok()) {
+    std::printf("%-10s ERROR: %s\n", name, features.status().ToString().c_str());
+    return;
+  }
+  const data::DatasetFeatures& f = features.value();
+  std::printf("%-10s %12s %12s %12s %6d  %s\n", name,
+              HumanBytes(f.bytes).c_str(), WithThousands(f.elements).c_str(),
+              WithThousands(f.attributes).c_str(), f.max_depth,
+              f.recursive ? "yes" : "no");
+}
+
+int Main() {
+  std::printf("Figure 5: dataset features (scale %.2f; paper sizes: "
+              "Book 9 MB, Benchmark 34 MB, Protein 75 MB)\n\n",
+              BenchScale());
+  std::printf("%-10s %12s %12s %12s %6s  %s\n", "dataset", "size", "elements",
+              "attrs", "depth", "recursive");
+  Report("Book", BookDataset());
+  Report("Benchmark", AuctionDataset());
+  Report("Protein", ProteinDataset());
+  return 0;
+}
+
+}  // namespace
+}  // namespace twigm::bench
+
+int main() { return twigm::bench::Main(); }

@@ -1,0 +1,99 @@
+// Figure 7 (a,b,c): query execution time for all systems on the Book,
+// Benchmark (auction) and Protein datasets, over the Figure 6 query sets.
+//
+// Each google-benchmark entry is one (dataset, query, system) cell of the
+// figure; unsupported combinations are skipped with an explanatory message,
+// mirroring the paper's missing bars ("Systems that are not shown in the
+// legend do not support this query"). A Figure 6 query listing is printed
+// at startup.
+//
+// Expected shape (paper, section 5.2): LazyDFA (XMLTK) fastest on the
+// linear queries Q1–Q4; TwigM fastest elsewhere and stable everywhere;
+// NaiveEnum (XSQ) and DomEval (Galax) degrade — dramatically so on the
+// recursive Book data where candidates have multiple pattern matches.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "data/datasets.h"
+
+namespace twigm::bench {
+namespace {
+
+struct DatasetRef {
+  const char* name;
+  const std::string& (*get)();
+  const std::vector<data::QuerySpec>& (*queries)();
+};
+
+const DatasetRef kDatasets[] = {
+    {"Book", &BookDataset, &data::BookQueries},
+    {"Benchmark", &AuctionDataset, &data::AuctionQueries},
+    {"Protein", &ProteinDataset, &data::ProteinQueries},
+};
+
+constexpr System kSystems[] = {System::kTwigM, System::kLazyDfa,
+                               System::kNaiveEnum, System::kDomEval};
+
+void RunCell(benchmark::State& state, const DatasetRef& dataset,
+             const data::QuerySpec& query, System system) {
+  const std::string& doc = dataset.get();
+  for (auto _ : state) {
+    const RunResult result = RunSystem(system, query.text, doc);
+    if (!result.status.ok()) {
+      state.SkipWithError(result.status.ToString().c_str());
+      return;
+    }
+    state.counters["results"] =
+        benchmark::Counter(static_cast<double>(result.results));
+    state.counters["state_KB"] = benchmark::Counter(
+        static_cast<double>(result.state_bytes) / 1024.0);
+  }
+  state.counters["MB/s"] = benchmark::Counter(
+      static_cast<double>(doc.size()) / 1048576.0,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void RegisterAll() {
+  for (const DatasetRef& dataset : kDatasets) {
+    for (const data::QuerySpec& query : dataset.queries()) {
+      for (System system : kSystems) {
+        const std::string name = std::string("Fig7/") + dataset.name + "/" +
+                                 query.name + "/" + SystemName(system);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [&dataset, &query, system](benchmark::State& state) {
+              RunCell(state, dataset, query, system);
+            })
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+}
+
+void PrintFigure6() {
+  std::printf("Figure 6: query sets\n");
+  for (const DatasetRef& dataset : kDatasets) {
+    for (const data::QuerySpec& query : dataset.queries()) {
+      std::printf("  %-10s %-5s %-18s %s\n", dataset.name,
+                  query.name.c_str(), query.language.c_str(),
+                  query.text.c_str());
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace twigm::bench
+
+int main(int argc, char** argv) {
+  twigm::bench::PrintFigure6();
+  twigm::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

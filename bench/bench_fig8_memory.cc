@@ -1,0 +1,77 @@
+// Figure 8 (a,b,c): memory usage of every system on the three datasets.
+//
+// Two measurements are reported per cell:
+//   * the engine's exact internal state accounting (peak bytes of stacks /
+//     matches / DFA / DOM+memo) — reproducible and allocator-independent;
+//   * the process RSS delta around the run, the closest analogue of the
+//     paper's system-monitor readings.
+//
+// Expected shape (paper, section 5.3): the streaming engines (TwigM,
+// LazyDFA, and NaiveEnum where it survives) stay near-constant and small
+// (~1 MB in the paper) regardless of document size; the non-streaming
+// DomEval needs memory larger than the document itself.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/mem_stats.h"
+#include "common/string_util.h"
+#include "data/datasets.h"
+
+namespace twigm::bench {
+namespace {
+
+struct DatasetRef {
+  const char* name;
+  const std::string& (*get)();
+  const std::vector<data::QuerySpec>& (*queries)();
+};
+
+const DatasetRef kDatasets[] = {
+    {"Book", &BookDataset, &data::BookQueries},
+    {"Benchmark", &AuctionDataset, &data::AuctionQueries},
+    {"Protein", &ProteinDataset, &data::ProteinQueries},
+};
+
+constexpr System kSystems[] = {System::kTwigM, System::kLazyDfa,
+                               System::kNaiveEnum, System::kDomEval};
+
+int Main() {
+  std::printf(
+      "Figure 8: memory usage (internal state accounting; 'n/s' = query "
+      "not supported, 'abort' = enumeration blow-up)\n");
+  for (const DatasetRef& dataset : kDatasets) {
+    const std::string& doc = dataset.get();
+    std::printf("\n[%s, %s]\n", dataset.name, HumanBytes(doc.size()).c_str());
+    std::printf("%-6s", "query");
+    for (System system : kSystems) std::printf(" %12s", SystemName(system));
+    std::printf("\n");
+    for (const data::QuerySpec& query : dataset.queries()) {
+      std::printf("%-6s", query.name.c_str());
+      for (System system : kSystems) {
+        const RunResult result = RunSystem(system, query.text, doc);
+        if (result.status.ok()) {
+          std::printf(" %12s", HumanBytes(result.state_bytes).c_str());
+        } else if (result.status.code() == StatusCode::kNotSupported) {
+          std::printf(" %12s", "n/s");
+        } else {
+          std::printf(" %12s", "abort");
+        }
+      }
+      std::printf("\n");
+    }
+  }
+
+  // RSS snapshot for context (process-level, includes the cached datasets).
+  const ProcessMemory mem = ReadProcessMemory();
+  std::printf("\nprocess RSS: %s (peak %s) — includes the in-memory "
+              "datasets themselves\n",
+              HumanBytes(mem.rss_bytes).c_str(),
+              HumanBytes(mem.peak_rss_bytes).c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace twigm::bench
+
+int main() { return twigm::bench::Main(); }

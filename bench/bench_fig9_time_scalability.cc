@@ -1,0 +1,77 @@
+// Figure 9: query execution time as the Book dataset is duplicated 1–6
+// times, for one query of each class: Q1 (linear), Q5 (restricted
+// predicate), Q9 (full XP{/,//,*,[]}).
+//
+// Expected shape (paper, section 5.4): TwigM's execution time grows slowly
+// and linearly with data size for simple and complex queries alike; the
+// non-streaming DomEval grows super-linearly and the enumeration engine
+// degrades/aborts on the complex query.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "data/datasets.h"
+
+namespace twigm::bench {
+namespace {
+
+const data::QuerySpec& QueryByName(const char* name) {
+  for (const data::QuerySpec& q : data::BookQueries()) {
+    if (q.name == name) return q;
+  }
+  std::abort();
+}
+
+void RunCell(benchmark::State& state, const char* query_name, System system) {
+  const data::QuerySpec& query = QueryByName(query_name);
+  const int copies = static_cast<int>(state.range(0));
+  const std::string& doc = BookDatasetCopies(copies);
+  for (auto _ : state) {
+    const RunResult result = RunSystem(system, query.text, doc);
+    if (!result.status.ok()) {
+      state.SkipWithError(result.status.ToString().c_str());
+      return;
+    }
+    state.counters["results"] =
+        benchmark::Counter(static_cast<double>(result.results));
+  }
+  state.counters["doc_MB"] =
+      benchmark::Counter(static_cast<double>(doc.size()) / 1048576.0);
+}
+
+void RegisterAll() {
+  const struct {
+    const char* query;
+    System system;
+  } kCells[] = {
+      {"Q1", System::kTwigM},  {"Q1", System::kLazyDfa},
+      {"Q1", System::kNaiveEnum}, {"Q1", System::kDomEval},
+      {"Q5", System::kTwigM},  {"Q5", System::kNaiveEnum},
+      {"Q5", System::kDomEval},
+      {"Q9", System::kTwigM},  {"Q9", System::kNaiveEnum},
+      {"Q9", System::kDomEval},
+  };
+  for (const auto& cell : kCells) {
+    const std::string name =
+        std::string("Fig9/") + cell.query + "/" + SystemName(cell.system);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [cell](benchmark::State& state) {
+          RunCell(state, cell.query, cell.system);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->DenseRange(1, 6, 1)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace twigm::bench
+
+int main(int argc, char** argv) {
+  twigm::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

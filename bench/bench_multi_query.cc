@@ -1,0 +1,78 @@
+// Filtering-workload benchmark (related work, section 6: YFilter/XTrie
+// match many queries against one stream). Measures single-pass throughput
+// as the number of simultaneously evaluated queries grows, for the product
+// construction of MultiQueryProcessor (no common-prefix sharing): per-event
+// cost should grow roughly linearly in the number of queries.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "core/multi_query.h"
+
+namespace twigm::bench {
+namespace {
+
+// Synthesizes a workload of Book-vocabulary queries of mixed classes.
+std::vector<std::string> MakeQuerySet(size_t count, uint64_t seed) {
+  static const char* kTemplates[] = {
+      "//section/title",
+      "//section//figure",
+      "//section[title]/figure",
+      "//figure[image]/title",
+      "//section[@id]//p",
+      "//book//section[p]//title",
+      "//section/*/image",
+      "//*[title]//p",
+  };
+  Rng rng(seed);
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(kTemplates[rng.Below(8)]);
+  }
+  return out;
+}
+
+class NullMultiSink : public core::MultiQueryResultSink {
+ public:
+  void OnResult(size_t, xml::NodeId) override { ++count_; }
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+void BM_MultiQuery(benchmark::State& state) {
+  const size_t queries = static_cast<size_t>(state.range(0));
+  const std::string& doc = BookDataset();
+  const std::vector<std::string> query_set = MakeQuerySet(queries, 99);
+  for (auto _ : state) {
+    NullMultiSink sink;
+    auto proc = core::MultiQueryProcessor::Create(query_set, &sink);
+    if (!proc.ok()) {
+      state.SkipWithError(proc.status().ToString().c_str());
+      return;
+    }
+    Status s = proc.value()->Feed(doc);
+    if (s.ok()) s = proc.value()->Finish();
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+    state.counters["results"] =
+        benchmark::Counter(static_cast<double>(sink.count()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.size()));
+}
+BENCHMARK(BM_MultiQuery)->RangeMultiplier(4)->Range(1, 64)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace twigm::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Shared infrastructure for the figure-reproduction benchmarks.
+//
+// Dataset sizes default to CI-friendly scales; set TWIGM_BENCH_SCALE (a
+// positive float, default 1.0) to multiply them — e.g. TWIGM_BENCH_SCALE=8
+// approximates the paper's 9 MB Book / 34 MB Auction / 75 MB Protein sizes.
+
+#ifndef TWIGM_BENCH_BENCH_UTIL_H_
+#define TWIGM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baselines/dom_eval.h"
+#include "baselines/lazy_dfa.h"
+#include "baselines/naive_enum.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "core/evaluator.h"
+#include "data/book.h"
+#include "data/datasets.h"
+#include "data/protein.h"
+#include "data/xmark.h"
+#include "xml/sax_parser.h"
+
+namespace twigm::bench {
+
+inline double BenchScale() {
+  const char* env = std::getenv("TWIGM_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double scale = std::atof(env);
+  return scale > 0 ? scale : 1.0;
+}
+
+/// Base sizes (bytes) at scale 1. The paper's sizes are 9 MB / 34 MB /
+/// 75 MB; defaults are ~1/8 of that so the full suite runs in minutes.
+inline size_t BookBytes() {
+  return static_cast<size_t>(1.2e6 * BenchScale());
+}
+inline size_t AuctionBytes() {
+  return static_cast<size_t>(4.25e6 * BenchScale());
+}
+inline size_t ProteinBytes() {
+  return static_cast<size_t>(9.4e6 * BenchScale());
+}
+
+/// Lazily generated, process-cached datasets.
+const std::string& BookDataset();
+const std::string& AuctionDataset();
+const std::string& ProteinDataset();
+/// Book dataset duplicated `copies` times (for Figs. 9 and 10).
+const std::string& BookDatasetCopies(int copies);
+
+/// The systems compared in section 5. Names follow the roles of the
+/// paper's systems (see DESIGN.md for the mapping).
+enum class System {
+  kTwigM,      // this paper
+  kLazyDfa,    // XMLTK-style (XP{/,//,*} only)
+  kNaiveEnum,  // XSQ-style explicit enumeration
+  kDomEval,    // Galax / XMLTaskForce-style non-streaming
+};
+
+inline const char* SystemName(System s) {
+  switch (s) {
+    case System::kTwigM: return "TwigM";
+    case System::kLazyDfa: return "LazyDFA";
+    case System::kNaiveEnum: return "NaiveEnum";
+    case System::kDomEval: return "DomEval";
+  }
+  return "?";
+}
+
+/// Outcome of one (system, query, document) run.
+struct RunResult {
+  Status status;            // non-OK: unsupported query or aborted run
+  double seconds = 0;
+  uint64_t results = 0;
+  uint64_t state_bytes = 0;  // engine-owned state at peak (internal count)
+  uint64_t state_items = 0;  // entries / matches / DFA states
+};
+
+/// Runs `query` over `doc` on the given system, measuring wall time and the
+/// engine's internal memory accounting.
+RunResult RunSystem(System system, const std::string& query,
+                    const std::string& doc);
+
+}  // namespace twigm::bench
+
+#endif  // TWIGM_BENCH_BENCH_UTIL_H_

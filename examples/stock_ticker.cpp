@@ -1,0 +1,94 @@
+// Streaming scenario from the paper's introduction: stock-market data
+// arriving continuously. The feed is an (in principle infinite) XML stream
+// of <trade> records; we stand watch with the query
+//
+//   //trade[symbol="ACME"][price>100]/alert
+//
+// and print alert ids the moment the engine can prove them — while the
+// stream is still flowing. The example synthesizes the feed with the
+// deterministic RNG and pushes it through the processor in network-sized
+// chunks.
+
+#include <cstdio>
+#include <string>
+
+#include "common/random.h"
+#include "core/evaluator.h"
+#include "xml/xml_writer.h"
+
+namespace {
+
+class AlertSink : public twigm::core::ResultSink {
+ public:
+  void OnResult(twigm::xml::NodeId id) override {
+    ++alerts_;
+    if (alerts_ <= 5) {
+      std::printf("  ALERT: element #%llu (delivered mid-stream)\n",
+                  static_cast<unsigned long long>(id));
+    }
+  }
+  uint64_t alerts() const { return alerts_; }
+
+ private:
+  uint64_t alerts_ = 0;
+};
+
+// Builds a feed of `trades` trade records.
+std::string MakeFeed(int trades, uint64_t seed) {
+  twigm::Rng rng(seed);
+  twigm::xml::XmlWriter w(/*with_declaration=*/false);
+  w.Open("feed");
+  const char* symbols[] = {"ACME", "GLOBEX", "INITECH", "HOOLI"};
+  for (int i = 0; i < trades; ++i) {
+    w.Open("trade");
+    w.Open("symbol").Text(symbols[rng.Below(4)]).Close();
+    w.Open("price")
+        .Text(std::to_string(50 + rng.Below(100)) + "." +
+              std::to_string(10 + rng.Below(90)))
+        .Close();
+    w.Open("volume").Text(std::to_string(100 + rng.Below(10000))).Close();
+    // The alert payload a downstream consumer would forward.
+    w.Open("alert").Attr("seq", std::to_string(i)).Close();
+    w.Close();
+  }
+  w.Close();
+  return std::move(w).TakeString();
+}
+
+}  // namespace
+
+int main() {
+  const char* query = "//trade[symbol=\"ACME\"][price>100]/alert";
+  std::printf("watching stream with query: %s\n", query);
+
+  AlertSink sink;
+  auto processor = twigm::core::XPathStreamProcessor::Create(query, &sink);
+  if (!processor.ok()) {
+    std::fprintf(stderr, "query error: %s\n",
+                 processor.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::string feed = MakeFeed(20000, /*seed=*/7);
+  // Simulate packet arrival: 1400-byte chunks.
+  constexpr size_t kMtu = 1400;
+  for (size_t pos = 0; pos < feed.size(); pos += kMtu) {
+    twigm::Status s =
+        processor.value()->Feed(std::string_view(feed).substr(pos, kMtu));
+    if (!s.ok()) {
+      std::fprintf(stderr, "stream error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!processor.value()->Finish().ok()) return 1;
+
+  const twigm::core::EngineStats& stats = processor.value()->stats();
+  std::printf("trades scanned: ~%llu, alerts raised: %llu\n",
+              static_cast<unsigned long long>(stats.start_events / 5),
+              static_cast<unsigned long long>(sink.alerts()));
+  std::printf("peak engine state: %llu stack entries (%llu bytes) — "
+              "constant regardless of stream length\n",
+              static_cast<unsigned long long>(stats.peak_stack_entries),
+              static_cast<unsigned long long>(stats.peak_state_bytes));
+  return 0;
+}

@@ -1,0 +1,196 @@
+#include "baselines/dom_eval.h"
+
+#include <algorithm>
+
+#include "core/value_test.h"
+
+namespace twigm::baselines {
+
+namespace {
+
+using xml::DomDocument;
+using xml::DomNode;
+using xpath::Axis;
+using xpath::QueryNode;
+
+// Evaluator with per-(query node, dom node) memoization of subtree
+// satisfaction.
+class Evaluator {
+ public:
+  Evaluator(const xpath::QueryTree& query, const DomDocument& doc)
+      : query_(query), doc_(doc) {
+    // Memo tables indexed by query-node pre-order index × dom node id.
+    memo_.assign(static_cast<size_t>(query.node_count()),
+                 std::vector<int8_t>(doc.size() + 1, kUnknown));
+    checks_ = 0;
+  }
+
+  std::vector<xml::NodeId> Run() {
+    // Walk the output path top-down, binding each spine node to document
+    // nodes; a visited set per spine position prevents re-expansion.
+    std::vector<const QueryNode*> spine;
+    for (const QueryNode* q = query_.root(); q != nullptr;) {
+      spine.push_back(q);
+      const QueryNode* next = nullptr;
+      for (const auto& child : q->children) {
+        if (child->on_output_path) {
+          next = child.get();
+          break;
+        }
+      }
+      q = next;
+    }
+
+    std::vector<std::vector<char>> visited(
+        spine.size(), std::vector<char>(doc_.size() + 1, 0));
+    std::vector<xml::NodeId> results;
+
+    // Frontier of (spine position, node) pairs.
+    struct Item {
+      size_t pos;
+      const DomNode* node;
+    };
+    std::vector<Item> frontier;
+
+    // Seed with bindings of the query root.
+    const QueryNode* root_q = spine[0];
+    for (const DomNode& n : doc_.nodes()) {
+      const bool level_ok = root_q->axis == Axis::kChild ? n.level == 1
+                                                         : n.level >= 1;
+      if (level_ok && NameMatches(root_q, n) && SatisfiesSubtree(root_q, n)) {
+        if (!visited[0][n.id]) {
+          visited[0][n.id] = 1;
+          frontier.push_back({0, &n});
+        }
+      }
+    }
+
+    while (!frontier.empty()) {
+      const Item item = frontier.back();
+      frontier.pop_back();
+      if (item.pos + 1 == spine.size()) {
+        results.push_back(item.node->id);
+        continue;
+      }
+      const QueryNode* next_q = spine[item.pos + 1];
+      auto consider = [&](const DomNode* n) {
+        if (NameMatches(next_q, *n) && SatisfiesSubtree(next_q, *n) &&
+            !visited[item.pos + 1][n->id]) {
+          visited[item.pos + 1][n->id] = 1;
+          frontier.push_back({item.pos + 1, n});
+        }
+      };
+      if (next_q->axis == Axis::kChild) {
+        for (const DomNode* c : item.node->children) consider(c);
+      } else {
+        ForEachDescendant(item.node, consider);
+      }
+    }
+
+    std::sort(results.begin(), results.end());
+    results.erase(std::unique(results.begin(), results.end()), results.end());
+    return results;
+  }
+
+  uint64_t memo_bytes() const {
+    uint64_t total = 0;
+    for (const auto& row : memo_) total += row.size();
+    return total;
+  }
+  uint64_t checks() const { return checks_; }
+
+ private:
+  static constexpr int8_t kUnknown = -1;
+
+  static bool NameMatches(const QueryNode* q, const DomNode& n) {
+    return q->is_wildcard || q->name == n.tag;
+  }
+
+  template <typename Fn>
+  static void ForEachDescendant(const DomNode* n, Fn fn) {
+    for (const DomNode* c : n->children) {
+      fn(c);
+      ForEachDescendant(c, fn);
+    }
+  }
+
+  // Does `n` (already name-matched) satisfy q's predicates (all child
+  // subtrees, attribute tests, value test)? Memoized.
+  bool SatisfiesSubtree(const QueryNode* q, const DomNode& n) {
+    int8_t& memo = memo_[static_cast<size_t>(q->index)][n.id];
+    if (memo != kUnknown) return memo != 0;
+    ++checks_;
+    bool ok = true;
+    if (q->has_value_test) {
+      ok = core::EvalValueTest(n.text, q->op, q->literal, q->literal_is_number);
+    }
+    for (const auto& child : q->children) {
+      if (!ok) break;
+      if (child->is_attribute) {
+        const std::string* value = n.FindAttribute(child->name);
+        ok = value != nullptr &&
+             (!child->has_value_test ||
+              core::EvalValueTest(*value, child->op, child->literal,
+                                  child->literal_is_number));
+      } else if (child->axis == Axis::kChild) {
+        ok = false;
+        for (const DomNode* c : n.children) {
+          if (NameMatches(child.get(), *c) &&
+              SatisfiesSubtree(child.get(), *c)) {
+            ok = true;
+            break;
+          }
+        }
+      } else {
+        ok = ExistsDescendantSatisfying(child.get(), &n);
+      }
+    }
+    memo = ok ? 1 : 0;
+    return ok;
+  }
+
+  bool ExistsDescendantSatisfying(const QueryNode* q, const DomNode* n) {
+    for (const DomNode* c : n->children) {
+      if (NameMatches(q, *c) && SatisfiesSubtree(q, *c)) return true;
+      if (ExistsDescendantSatisfying(q, c)) return true;
+    }
+    return false;
+  }
+
+  const xpath::QueryTree& query_;
+  const DomDocument& doc_;
+  std::vector<std::vector<int8_t>> memo_;
+  uint64_t checks_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<xml::NodeId>> EvaluateOnDom(const xpath::QueryTree& query,
+                                               const DomDocument& doc,
+                                               DomEvalStats* stats) {
+  if (query.root() == nullptr) {
+    return Status::InvalidArgument("empty query tree");
+  }
+  if (query.sol()->is_attribute) {
+    return Status::NotSupported(
+        "an attribute cannot be the return node of a query");
+  }
+  Evaluator evaluator(query, doc);
+  std::vector<xml::NodeId> results = evaluator.Run();
+  if (stats != nullptr) {
+    stats->dom_bytes = doc.ApproximateMemoryBytes();
+    stats->memo_bytes = evaluator.memo_bytes();
+    stats->subtree_checks = evaluator.checks();
+  }
+  return results;
+}
+
+Result<std::vector<xml::NodeId>> EvaluateOnDom(const xpath::QueryTree& query,
+                                               std::string_view document,
+                                               DomEvalStats* stats) {
+  Result<DomDocument> doc = DomDocument::Parse(document);
+  if (!doc.ok()) return doc.status();
+  return EvaluateOnDom(query, doc.value(), stats);
+}
+
+}  // namespace twigm::baselines

@@ -1,0 +1,45 @@
+// Non-streaming baseline: evaluates the query over a fully materialized DOM
+// with random access, in the style of the main-memory engines the paper
+// compares against (Galax, XMLTaskForce). Also the correctness oracle for
+// differential tests: its recursion + memoization is an independent,
+// obviously-polynomial implementation of XP{/,//,*,[]} semantics.
+//
+// Memoization of "does node n satisfy query subtree q" keeps evaluation
+// polynomial (the XMLTaskForce property); memory is proportional to
+// |D| × |Q| on top of the DOM itself — exactly the footprint the paper's
+// Figs. 8/10 show growing super-linearly for non-streaming engines.
+
+#ifndef TWIGM_BASELINES_DOM_EVAL_H_
+#define TWIGM_BASELINES_DOM_EVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/dom.h"
+#include "xpath/query_tree.h"
+
+namespace twigm::baselines {
+
+/// Memory accounting for a DomEvaluator run.
+struct DomEvalStats {
+  uint64_t dom_bytes = 0;        // materialized document
+  uint64_t memo_bytes = 0;       // memo tables
+  uint64_t subtree_checks = 0;   // SatisfiesSubtree invocations
+};
+
+/// Evaluates `query` over `doc`, returning result node ids in document
+/// order. `stats` is optional.
+Result<std::vector<xml::NodeId>> EvaluateOnDom(const xpath::QueryTree& query,
+                                               const xml::DomDocument& doc,
+                                               DomEvalStats* stats = nullptr);
+
+/// Convenience: parse `document` into a DOM, then evaluate. This is the
+/// whole-document-in-memory workflow of the non-streaming engines.
+Result<std::vector<xml::NodeId>> EvaluateOnDom(const xpath::QueryTree& query,
+                                               std::string_view document,
+                                               DomEvalStats* stats = nullptr);
+
+}  // namespace twigm::baselines
+
+#endif  // TWIGM_BASELINES_DOM_EVAL_H_

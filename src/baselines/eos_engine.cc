@@ -1,0 +1,59 @@
+#include "baselines/eos_engine.h"
+
+#include "baselines/dom_eval.h"
+
+namespace twigm::baselines {
+
+Result<std::unique_ptr<EosEngine>> EosEngine::Create(std::string_view query,
+                                                     core::ResultSink* sink) {
+  if (sink == nullptr) {
+    return Status::InvalidArgument("EosEngine requires a result sink");
+  }
+  Result<xpath::QueryTree> tree = xpath::QueryTree::Parse(query);
+  if (!tree.ok()) return tree.status();
+  auto engine = std::unique_ptr<EosEngine>(new EosEngine());
+  engine->query_ = std::move(tree).value();
+  engine->sink_ = sink;
+  return engine;
+}
+
+void EosEngine::StartElement(std::string_view tag, int level, xml::NodeId id,
+                             const std::vector<xml::Attribute>& attrs) {
+  (void)level;
+  (void)id;
+  assembler_.StartElement(tag, attrs);
+}
+
+void EosEngine::EndElement(std::string_view tag, int level) {
+  (void)tag;
+  (void)level;
+  assembler_.EndElement();
+}
+
+void EosEngine::Text(std::string_view text, int level) {
+  (void)level;
+  assembler_.Text(text);
+}
+
+void EosEngine::EndDocument() {
+  xml::DomDocument doc = assembler_.TakeDocument();
+  stats_.buffered_nodes = doc.size();
+  stats_.buffered_bytes = doc.ApproximateMemoryBytes();
+  Result<std::vector<xml::NodeId>> results = EvaluateOnDom(query_, doc);
+  if (!results.ok()) {
+    status_ = results.status();
+    return;
+  }
+  for (xml::NodeId id : results.value()) {
+    sink_->OnResult(id);
+    ++stats_.results;
+  }
+}
+
+void EosEngine::Reset() {
+  assembler_ = xml::DomAssembler();
+  stats_ = EosEngineStats();
+  status_ = Status::Ok();
+}
+
+}  // namespace twigm::baselines

@@ -1,0 +1,72 @@
+// XAOS-style baseline [6]: a streaming *input* engine with blocking
+// *output*. It builds a matching structure (here: the full element tree
+// with levels and ids) while the stream passes, and only materializes query
+// results by traversing that structure when the document ends. The paper
+// contrasts this with TwigM, which produces results incrementally
+// (section 6: "XAOS produces query results by traversing the matching
+// structure at the end of the stream. In contrast, TwigM can produce
+// results incrementally."). bench_latency measures exactly that contrast.
+
+#ifndef TWIGM_BASELINES_EOS_ENGINE_H_
+#define TWIGM_BASELINES_EOS_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/result_sink.h"
+#include "xml/dom.h"
+#include "xml/sax_event.h"
+#include "xpath/query_tree.h"
+
+namespace twigm::baselines {
+
+struct EosEngineStats {
+  uint64_t buffered_nodes = 0;   // matching-structure size at end of stream
+  uint64_t buffered_bytes = 0;   // its approximate heap footprint
+  uint64_t results = 0;
+};
+
+/// End-of-stream evaluation engine. Accepts the full XP{/,//,*,[]} fragment
+/// (it reuses the memoized tree evaluation of dom_eval).
+class EosEngine : public xml::StreamEventSink {
+ public:
+  /// `sink` must outlive the engine; not owned. The query tree is copied
+  /// into the engine (reparsed), so `query` need not outlive it.
+  static Result<std::unique_ptr<EosEngine>> Create(std::string_view query,
+                                                   core::ResultSink* sink);
+
+  EosEngine(const EosEngine&) = delete;
+  EosEngine& operator=(const EosEngine&) = delete;
+
+  // StreamEventSink: buffers structure; emits nothing until EndDocument.
+  void StartElement(std::string_view tag, int level, xml::NodeId id,
+                    const std::vector<xml::Attribute>& attrs) override;
+  void EndElement(std::string_view tag, int level) override;
+  void Text(std::string_view text, int level) override;
+  void EndDocument() override;
+
+  void Reset();
+
+  /// Set when evaluation at end-of-document failed.
+  const Status& status() const { return status_; }
+  const EosEngineStats& stats() const { return stats_; }
+
+ private:
+  EosEngine() = default;
+
+  xpath::QueryTree query_;
+  core::ResultSink* sink_ = nullptr;
+  Status status_;
+  EosEngineStats stats_;
+
+  // The matching structure: an element tree built directly from modified
+  // SAX events.
+  xml::DomAssembler assembler_;
+};
+
+}  // namespace twigm::baselines
+
+#endif  // TWIGM_BASELINES_EOS_ENGINE_H_

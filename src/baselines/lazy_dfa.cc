@@ -1,0 +1,134 @@
+#include "baselines/lazy_dfa.h"
+
+#include "core/machine_builder.h"
+
+namespace twigm::baselines {
+
+Result<std::unique_ptr<LazyDfaEngine>> LazyDfaEngine::Create(
+    const xpath::QueryTree& query, core::ResultSink* sink) {
+  if (sink == nullptr) {
+    return Status::InvalidArgument("LazyDfaEngine requires a result sink");
+  }
+  if (query.has_predicates() || query.has_value_tests()) {
+    return Status::NotSupported(
+        "the lazy-DFA engine evaluates XP{/,//,*} only (no predicates)");
+  }
+  Result<core::MachineGraph> graph = core::MachineGraph::Build(query);
+  if (!graph.ok()) return graph.status();
+
+  auto engine = std::unique_ptr<LazyDfaEngine>(new LazyDfaEngine());
+  engine->sink_ = sink;
+
+  // Compile the chain into an NFA. State 0 is the initial (document-root)
+  // state; each chain step contributes k-1 wildcard hops plus the final
+  // labeled hop; '≥' edges put a wildcard self-loop on the hop's source.
+  auto add_state = [&]() -> int {
+    engine->nfa_self_loop_.push_back(false);
+    engine->nfa_out_.emplace_back();
+    return static_cast<int>(engine->nfa_self_loop_.size()) - 1;
+  };
+  add_state();  // state 0
+  int cur = 0;
+  for (const core::MachineNode* v = graph.value().root(); v != nullptr;
+       v = v->children.empty() ? nullptr : v->children.front()) {
+    for (int hop = 1; hop < v->edge.distance; ++hop) {
+      const int next = add_state();
+      engine->nfa_out_[cur].push_back({"", next});
+      cur = next;
+    }
+    if (!v->edge.exact) engine->nfa_self_loop_[cur] = true;
+    const int next = add_state();
+    engine->nfa_out_[cur].push_back({v->is_wildcard ? "" : v->label, next});
+    cur = next;
+    if (engine->nfa_self_loop_.size() > 63) {
+      return Status::NotSupported("query too large for the lazy-DFA engine");
+    }
+  }
+  engine->accept_mask_ = uint64_t{1} << cur;
+  engine->initial_state_ = engine->InternDfaState(uint64_t{1} << 0);
+  engine->run_stack_.push_back(engine->initial_state_);
+  return engine;
+}
+
+int LazyDfaEngine::InternDfaState(uint64_t nfa_set) {
+  auto it = dfa_index_.find(nfa_set);
+  if (it != dfa_index_.end()) return it->second;
+  DfaState state;
+  state.nfa_set = nfa_set;
+  state.accepting = (nfa_set & accept_mask_) != 0;
+  const int id = static_cast<int>(dfa_.size());
+  dfa_.push_back(std::move(state));
+  dfa_index_.emplace(nfa_set, id);
+  ++stats_.dfa_states;
+  return id;
+}
+
+int LazyDfaEngine::Step(int from, std::string_view tag) {
+  DfaState& state = dfa_[from];
+  auto it = state.transitions.find(std::string(tag));
+  if (it != state.transitions.end()) return it->second;
+
+  uint64_t next_set = 0;
+  for (int s = 0; s < static_cast<int>(nfa_self_loop_.size()); ++s) {
+    if ((state.nfa_set & (uint64_t{1} << s)) == 0) continue;
+    if (nfa_self_loop_[s]) next_set |= uint64_t{1} << s;
+    for (const NfaTransition& t : nfa_out_[s]) {
+      if (t.label.empty() || t.label == tag) {
+        next_set |= uint64_t{1} << t.target;
+      }
+    }
+  }
+  const int next = InternDfaState(next_set);
+  // `state` may be dangling after InternDfaState (vector growth): re-index.
+  dfa_[from].transitions.emplace(std::string(tag), next);
+  ++stats_.dfa_transitions;
+  return next;
+}
+
+void LazyDfaEngine::StartElement(std::string_view tag, int level,
+                                 xml::NodeId id,
+                                 const std::vector<xml::Attribute>& attrs) {
+  (void)level;
+  (void)attrs;
+  const int next = Step(run_stack_.back(), tag);
+  run_stack_.push_back(next);
+  if (run_stack_.size() > stats_.peak_stack_depth) {
+    stats_.peak_stack_depth = run_stack_.size();
+  }
+  if (dfa_[next].accepting) {
+    sink_->OnResult(id);
+    ++stats_.results;
+  }
+}
+
+void LazyDfaEngine::EndElement(std::string_view tag, int level) {
+  (void)tag;
+  (void)level;
+  run_stack_.pop_back();
+}
+
+void LazyDfaEngine::EndDocument() {}
+
+void LazyDfaEngine::Reset() {
+  run_stack_.clear();
+  run_stack_.push_back(initial_state_);
+  stats_.results = 0;
+  stats_.peak_stack_depth = 0;
+  // The DFA cache is retained deliberately: it belongs to the compiled
+  // query, not to a document run.
+}
+
+uint64_t LazyDfaEngine::ApproximateMemoryBytes() const {
+  uint64_t total = 0;
+  for (const DfaState& s : dfa_) {
+    total += sizeof(DfaState);
+    for (const auto& [tag, target] : s.transitions) {
+      (void)target;
+      total += sizeof(int) + tag.capacity() + 32;  // hash-node overhead
+    }
+  }
+  total += run_stack_.capacity() * sizeof(int);
+  return total;
+}
+
+}  // namespace twigm::baselines

@@ -1,0 +1,101 @@
+// Streaming baseline for XP{/,//,*}: a lazily determinized automaton in the
+// style of XMLTK [3]. The linear path is compiled to an NFA (one state per
+// step; '//' edges add self-loops, collapsed '*' steps add wildcard
+// transitions); at run time the engine keeps a stack of DFA states (sets of
+// NFA states) and materializes transitions on demand, caching them per
+// (state, tag). Results are emitted at startElement of any element reaching
+// an accepting state.
+//
+// This reproduces the baseline's characteristic behaviour: fastest on
+// predicate-free queries, no predicate support at all, and worst-case
+// exponential DFA growth when many '*'s and '//'s mix (section 5.2).
+
+#ifndef TWIGM_BASELINES_LAZY_DFA_H_
+#define TWIGM_BASELINES_LAZY_DFA_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/machine_stats.h"
+#include "core/result_sink.h"
+#include "xml/sax_event.h"
+#include "xpath/query_tree.h"
+
+namespace twigm::baselines {
+
+/// Lazy-DFA statistics (the engine's memory story).
+struct LazyDfaStats {
+  uint64_t dfa_states = 0;        // materialized DFA states
+  uint64_t dfa_transitions = 0;   // cached (state, tag) transitions
+  uint64_t peak_stack_depth = 0;  // run-time DFA-state stack
+  uint64_t results = 0;
+};
+
+/// The lazy-DFA engine. Only accepts linear queries (XP{/,//,*}).
+class LazyDfaEngine : public xml::StreamEventSink {
+ public:
+  /// Fails with NotSupported for queries with predicates/value tests, or
+  /// with more than 63 NFA states.
+  static Result<std::unique_ptr<LazyDfaEngine>> Create(
+      const xpath::QueryTree& query, core::ResultSink* sink);
+
+  LazyDfaEngine(const LazyDfaEngine&) = delete;
+  LazyDfaEngine& operator=(const LazyDfaEngine&) = delete;
+
+  // StreamEventSink:
+  void StartElement(std::string_view tag, int level, xml::NodeId id,
+                    const std::vector<xml::Attribute>& attrs) override;
+  void EndElement(std::string_view tag, int level) override;
+  void EndDocument() override;
+
+  void Reset();
+
+  const LazyDfaStats& stats() const { return stats_; }
+
+  /// Approximate bytes held by the DFA cache (for memory figures).
+  uint64_t ApproximateMemoryBytes() const;
+
+ private:
+  // NFA: state i has optional self-loop (any tag) and labeled/wildcard
+  // transitions to other states.
+  struct NfaTransition {
+    std::string label;  // empty = wildcard (any tag)
+    int target = 0;
+  };
+
+  // One materialized DFA state: a set of NFA states (bitmask) plus a lazy
+  // transition cache keyed by tag.
+  struct DfaState {
+    uint64_t nfa_set = 0;
+    bool accepting = false;
+    std::unordered_map<std::string, int> transitions;
+  };
+
+  LazyDfaEngine() = default;
+
+  // Returns the id of the DFA state for `nfa_set`, creating it on demand.
+  int InternDfaState(uint64_t nfa_set);
+  // Computes/looks up the transition from DFA state `from` on `tag`.
+  int Step(int from, std::string_view tag);
+
+  std::vector<bool> nfa_self_loop_;                 // per NFA state
+  std::vector<std::vector<NfaTransition>> nfa_out_; // per NFA state
+  uint64_t accept_mask_ = 0;
+
+  std::vector<DfaState> dfa_;
+  std::unordered_map<uint64_t, int> dfa_index_;
+  std::vector<int> run_stack_;  // DFA-state ids; bottom = initial state
+  int initial_state_ = 0;
+
+  core::ResultSink* sink_ = nullptr;
+  LazyDfaStats stats_;
+};
+
+}  // namespace twigm::baselines
+
+#endif  // TWIGM_BASELINES_LAZY_DFA_H_

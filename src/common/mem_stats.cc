@@ -1,0 +1,42 @@
+#include "common/mem_stats.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace twigm {
+
+namespace {
+
+// Parses a "VmXXX:   1234 kB" line into bytes.
+uint64_t ParseKbLine(const char* line) {
+  const char* p = std::strchr(line, ':');
+  if (p == nullptr) return 0;
+  ++p;
+  while (*p == ' ' || *p == '\t') ++p;
+  uint64_t kb = 0;
+  while (*p >= '0' && *p <= '9') {
+    kb = kb * 10 + static_cast<uint64_t>(*p - '0');
+    ++p;
+  }
+  return kb * 1024;
+}
+
+}  // namespace
+
+ProcessMemory ReadProcessMemory() {
+  ProcessMemory out;
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return out;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      out.rss_bytes = ParseKbLine(line);
+    } else if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      out.peak_rss_bytes = ParseKbLine(line);
+    }
+  }
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace twigm

@@ -1,0 +1,24 @@
+// Process-level memory readings, used to reproduce the paper's memory-usage
+// figures (Figs. 8 and 10). The paper read Redhat's system monitor; we read
+// /proc/self/status, which reports the same resident-set numbers.
+
+#ifndef TWIGM_COMMON_MEM_STATS_H_
+#define TWIGM_COMMON_MEM_STATS_H_
+
+#include <cstdint>
+
+namespace twigm {
+
+/// Resident-set readings for the current process, in bytes.
+struct ProcessMemory {
+  uint64_t rss_bytes = 0;       // current resident set (VmRSS)
+  uint64_t peak_rss_bytes = 0;  // high-water mark (VmHWM)
+};
+
+/// Reads VmRSS/VmHWM from /proc/self/status. Returns zeros if unavailable
+/// (non-Linux platforms), so callers can fall back to internal accounting.
+ProcessMemory ReadProcessMemory();
+
+}  // namespace twigm
+
+#endif  // TWIGM_COMMON_MEM_STATS_H_

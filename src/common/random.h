@@ -1,0 +1,88 @@
+// Deterministic pseudo-random number generator used by dataset generators
+// and property-based tests. A fixed seed must always reproduce the same
+// document byte-for-byte across platforms, so we implement the generator
+// ourselves (xoshiro256**) instead of relying on std::mt19937 distribution
+// details.
+
+#ifndef TWIGM_COMMON_RANDOM_H_
+#define TWIGM_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace twigm {
+
+/// xoshiro256** PRNG with splitmix64 seeding. Not cryptographic.
+class Rng {
+ public:
+  /// Seeds the full state from a single 64-bit seed via splitmix64.
+  explicit Rng(uint64_t seed = 0x5eedf00ddeadbeefULL) { Reseed(seed); }
+
+  /// Re-seeds the generator; equivalent to constructing a fresh Rng.
+  void Reseed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      // splitmix64 step.
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform value in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// True with probability p (clamped to [0,1]).
+  bool Chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return NextDouble() < p;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Random lowercase ASCII word of length in [min_len, max_len].
+  std::string Word(int min_len, int max_len) {
+    const int len = static_cast<int>(Range(min_len, max_len));
+    std::string out;
+    out.reserve(static_cast<size_t>(len));
+    for (int i = 0; i < len; ++i) {
+      out.push_back(static_cast<char>('a' + Below(26)));
+    }
+    return out;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace twigm
+
+#endif  // TWIGM_COMMON_RANDOM_H_

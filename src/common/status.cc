@@ -1,0 +1,37 @@
+#include "common/status.h"
+
+namespace twigm {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kParseError:
+      return "parse error";
+    case StatusCode::kNotSupported:
+      return "not supported";
+    case StatusCode::kOutOfRange:
+      return "out of range";
+    case StatusCode::kResourceExhausted:
+      return "resource exhausted";
+    case StatusCode::kInternal:
+      return "internal error";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "ok";
+  }
+  std::string out = StatusCodeToString(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace twigm

@@ -1,0 +1,118 @@
+// Error-handling primitives for the twigm library.
+//
+// The library does not use exceptions. Fallible operations return a
+// `twigm::Status`, or a `twigm::Result<T>` when they also produce a value
+// (RocksDB-style). Both types are cheap to move and carry a code plus a
+// human-readable message with, where applicable, an input position.
+
+#ifndef TWIGM_COMMON_STATUS_H_
+#define TWIGM_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace twigm {
+
+/// Broad classification of failures surfaced by the library.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed (bad query text)
+  kParseError,        // malformed XML / DTD / XPath input
+  kNotSupported,      // construct outside the supported language subset
+  kOutOfRange,        // index/limit violation
+  kResourceExhausted, // configured budget (memory/match) exceeded
+  kInternal,          // invariant violation inside the library (a bug)
+};
+
+/// Returns a stable, lowercase name for `code` (e.g. "parse error").
+const char* StatusCodeToString(StatusCode code);
+
+/// Value-semantic status: either OK or a code plus message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code name>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. T must be movable.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: allows `return value;`.
+  Result(T value) : status_(), value_(std::move(value)), has_value_(true) {}
+  /// Implicit from an error status: allows `return Status::ParseError(...)`.
+  /// Must not be OK (an OK status carries no value).
+  Result(Status status)
+      : status_(std::move(status)), value_(), has_value_(false) {}
+
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+
+  bool ok() const { return has_value_; }
+  const Status& status() const { return status_; }
+
+  /// Requires ok(). Accessors for the contained value.
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+ private:
+  Status status_;
+  T value_;
+  bool has_value_;
+};
+
+}  // namespace twigm
+
+/// Propagates a non-OK Status from the enclosing function.
+#define TWIGM_RETURN_IF_ERROR(expr)          \
+  do {                                       \
+    ::twigm::Status _twigm_status = (expr);  \
+    if (!_twigm_status.ok()) {               \
+      return _twigm_status;                  \
+    }                                        \
+  } while (false)
+
+#endif  // TWIGM_COMMON_STATUS_H_

@@ -1,0 +1,32 @@
+// Wall-clock stopwatch used by the benchmark harnesses.
+
+#ifndef TWIGM_COMMON_STOPWATCH_H_
+#define TWIGM_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace twigm {
+
+/// Measures elapsed wall-clock time from construction or the last Reset().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction/Reset.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction/Reset.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace twigm
+
+#endif  // TWIGM_COMMON_STOPWATCH_H_

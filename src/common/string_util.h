@@ -1,0 +1,36 @@
+// Small string helpers shared across the library. Kept deliberately minimal;
+// anything XML-specific (escaping, name validation) lives in src/xml.
+
+#ifndef TWIGM_COMMON_STRING_UTIL_H_
+#define TWIGM_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace twigm {
+
+/// Splits `input` on `sep`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view input, char sep);
+
+/// Joins `pieces` with `sep` between them.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view sep);
+
+/// Returns `input` with ASCII whitespace removed from both ends.
+std::string_view StripAsciiWhitespace(std::string_view input);
+
+/// True iff `text` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Formats a byte count as a human-readable string ("1.5 MB").
+std::string HumanBytes(uint64_t bytes);
+
+/// Formats `n` with thousands separators ("1,234,567").
+std::string WithThousands(uint64_t n);
+
+}  // namespace twigm
+
+#endif  // TWIGM_COMMON_STRING_UTIL_H_

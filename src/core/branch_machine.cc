@@ -1,0 +1,145 @@
+#include "core/branch_machine.h"
+
+#include "core/twig_machine.h"  // UnionSortedIds
+#include "core/value_test.h"
+
+namespace twigm::core {
+
+Result<std::unique_ptr<BranchMachine>> BranchMachine::Create(
+    const xpath::QueryTree& query, ResultSink* sink) {
+  if (sink == nullptr) {
+    return Status::InvalidArgument("BranchMachine requires a result sink");
+  }
+  if (query.has_descendant_axis() || query.has_wildcard()) {
+    return Status::NotSupported(
+        "BranchM evaluates XP{/,[]} only; use TwigM for '//' or '*'");
+  }
+  Result<MachineGraph> graph = MachineGraph::Build(query);
+  if (!graph.ok()) return graph.status();
+  return std::unique_ptr<BranchMachine>(
+      new BranchMachine(std::move(graph).value(), sink));
+}
+
+BranchMachine::BranchMachine(MachineGraph graph, ResultSink* sink)
+    : graph_(std::move(graph)), sink_(sink) {
+  states_.resize(graph_.node_count());
+}
+
+void BranchMachine::Reset() {
+  for (NodeState& s : states_) s = NodeState();
+  stats_ = EngineStats();
+  live_entries_ = 0;
+  live_candidates_ = 0;
+}
+
+void BranchMachine::StartElement(std::string_view tag, int level,
+                                 xml::NodeId id,
+                                 const std::vector<xml::Attribute>& attrs) {
+  ++stats_.start_events;
+  for (const auto& node : graph_.nodes()) {
+    const MachineNode* v = node.get();
+    if (v->label != tag) continue;
+    // Qualification against the single parent state; with child-only axes
+    // the edge is always (=, 1) against the parent's recorded level.
+    bool qualified;
+    if (v->parent == nullptr) {
+      qualified = v->edge.Satisfies(level);
+    } else {
+      const NodeState& parent = states_[v->parent->id];
+      qualified = parent.level != -1 && v->edge.Satisfies(level - parent.level);
+    }
+    if (!qualified) continue;
+
+    NodeState& state = states_[v->id];
+    state.level = level;
+    state.branch = 0;
+    state.candidates.clear();
+    state.text.clear();
+    for (const AttributeTest& test : v->attr_tests) {
+      ++stats_.predicate_checks;
+      const std::string* value = nullptr;
+      for (const xml::Attribute& a : attrs) {
+        if (a.name == test.name) {
+          value = &a.value;
+          break;
+        }
+      }
+      bool pass = value != nullptr;
+      if (pass && test.has_value_test) {
+        pass = EvalValueTest(*value, test.op, test.literal,
+                             test.literal_is_number);
+      }
+      if (pass) state.branch |= uint64_t{1} << test.branch_slot;
+    }
+    if (v->is_return) {
+      state.candidates.push_back(id);
+      ++live_candidates_;
+      if (candidate_observer_ != nullptr) candidate_observer_->OnCandidate(id);
+    }
+    ++stats_.pushes;
+    ++live_entries_;
+  }
+  stats_.NoteEntries(live_entries_);
+  stats_.NoteCandidates(live_candidates_);
+  stats_.NoteBytes(live_entries_ * sizeof(NodeState) +
+                   live_candidates_ * sizeof(xml::NodeId));
+}
+
+void BranchMachine::Text(std::string_view text, int level) {
+  for (const auto& node : graph_.nodes()) {
+    if (!node->has_value_test) continue;
+    NodeState& state = states_[node->id];
+    if (state.level == level) state.text.append(text);
+  }
+}
+
+void BranchMachine::EndElement(std::string_view tag, int level) {
+  ++stats_.end_events;
+  // Children before parents (reverse pre-order): a child's propagation must
+  // land in its parent's state before the parent itself is examined —
+  // with child axes, parent and child end events are distinct, but several
+  // machine nodes can share a tag.
+  const auto& nodes = graph_.nodes();
+  for (auto rit = nodes.rbegin(); rit != nodes.rend(); ++rit) {
+    const MachineNode* v = rit->get();
+    if (v->label != tag) continue;
+    NodeState& state = states_[v->id];
+    if (state.level != level) continue;
+
+    ++stats_.predicate_checks;
+    bool satisfied = (state.branch & v->required_mask) == v->required_mask;
+    if (satisfied && v->has_value_test) {
+      satisfied =
+          EvalValueTest(state.text, v->op, v->literal, v->literal_is_number);
+    }
+    if (satisfied) {
+      if (v->parent == nullptr) {
+        for (xml::NodeId id : state.candidates) {
+          sink_->OnResult(id);
+          ++stats_.results;
+        }
+      } else {
+        NodeState& parent = states_[v->parent->id];
+        // The parent element is an ancestor of this one, so it is still
+        // active and its state is occupied.
+        parent.branch |= uint64_t{1} << v->branch_slot;
+        if (!state.candidates.empty()) {
+          ++stats_.candidate_unions;
+          live_candidates_ +=
+              UnionSortedIds(state.candidates, &parent.candidates);
+        }
+      }
+    }
+    // Reset to (L=-1, C=∅, B=<F..F>).
+    live_candidates_ -= state.candidates.size();
+    state = NodeState();
+    ++stats_.pops;
+    --live_entries_;
+  }
+  stats_.NoteEntries(live_entries_);
+  stats_.NoteCandidates(live_candidates_);
+}
+
+void BranchMachine::EndDocument() {}
+
+}  // namespace twigm::core

@@ -1,0 +1,79 @@
+// BranchM — streaming machine for XP{/,[]} (section 3.2): child axes and
+// predicates, no descendant axis, no wildcards.
+//
+// With only child axes, a machine node matches elements at exactly one
+// document level, and at any moment at most one such element is active; so
+// each machine node keeps a single state (L, B, C) — the matched level
+// (L = -1 when empty), the branch-match boolean array, and the candidate
+// set — instead of a stack. Value and attribute tests are handled exactly
+// as in TwigM.
+
+#ifndef TWIGM_CORE_BRANCH_MACHINE_H_
+#define TWIGM_CORE_BRANCH_MACHINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/machine_builder.h"
+#include "core/machine_stats.h"
+#include "core/result_sink.h"
+#include "xml/sax_event.h"
+#include "xpath/query_tree.h"
+
+namespace twigm::core {
+
+/// The BranchM machine. Only accepts XP{/,[]} queries.
+class BranchMachine : public xml::StreamEventSink {
+ public:
+  /// Fails with NotSupported if `query` uses '//' or '*'.
+  static Result<std::unique_ptr<BranchMachine>> Create(
+      const xpath::QueryTree& query, ResultSink* sink);
+
+  BranchMachine(const BranchMachine&) = delete;
+  BranchMachine& operator=(const BranchMachine&) = delete;
+
+  // StreamEventSink:
+  void StartElement(std::string_view tag, int level, xml::NodeId id,
+                    const std::vector<xml::Attribute>& attrs) override;
+  void EndElement(std::string_view tag, int level) override;
+  void Text(std::string_view text, int level) override;
+  void EndDocument() override;
+
+  /// Clears runtime state and statistics.
+  void Reset();
+
+  /// Optional: notified whenever an element becomes a candidate.
+  void set_candidate_observer(CandidateObserver* observer) {
+    candidate_observer_ = observer;
+  }
+
+  const EngineStats& stats() const { return stats_; }
+  const MachineGraph& graph() const { return graph_; }
+
+ private:
+  // Per-node state (L, B, C): section 3.2's triple, plus the text buffer
+  // for value tests.
+  struct NodeState {
+    int level = -1;  // -1 == no active match
+    uint64_t branch = 0;
+    std::vector<xml::NodeId> candidates;
+    std::string text;
+  };
+
+  BranchMachine(MachineGraph graph, ResultSink* sink);
+
+  MachineGraph graph_;
+  ResultSink* sink_;
+  CandidateObserver* candidate_observer_ = nullptr;
+  EngineStats stats_;
+  std::vector<NodeState> states_;  // indexed by machine-node id
+  uint64_t live_entries_ = 0;
+  uint64_t live_candidates_ = 0;
+};
+
+}  // namespace twigm::core
+
+#endif  // TWIGM_CORE_BRANCH_MACHINE_H_

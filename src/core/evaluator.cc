@@ -1,0 +1,145 @@
+#include "core/evaluator.h"
+
+namespace twigm::core {
+
+const char* EngineKindToString(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kAuto: return "auto";
+    case EngineKind::kPathM: return "PathM";
+    case EngineKind::kBranchM: return "BranchM";
+    case EngineKind::kTwigM: return "TwigM";
+  }
+  return "?";
+}
+
+namespace {
+
+EngineKind PickEngine(const xpath::QueryTree& query) {
+  if (query.is_linear() && !query.has_value_tests()) return EngineKind::kPathM;
+  if (!query.has_descendant_axis() && !query.has_wildcard()) {
+    return EngineKind::kBranchM;
+  }
+  return EngineKind::kTwigM;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<XPathStreamProcessor>> XPathStreamProcessor::Create(
+    std::string_view query_text, ResultSink* sink, EvaluatorOptions options) {
+  Result<xpath::QueryTree> query = xpath::QueryTree::Parse(query_text);
+  if (!query.ok()) return query.status();
+
+  auto proc =
+      std::unique_ptr<XPathStreamProcessor>(new XPathStreamProcessor());
+  proc->query_ = std::move(query).value();
+  proc->options_ = options;
+  proc->engine_kind_ = options.engine == EngineKind::kAuto
+                           ? PickEngine(proc->query_)
+                           : options.engine;
+
+  switch (proc->engine_kind_) {
+    case EngineKind::kPathM: {
+      Result<std::unique_ptr<PathMachine>> m =
+          PathMachine::Create(proc->query_, sink);
+      if (!m.ok()) return m.status();
+      proc->path_ = std::move(m).value();
+      proc->machine_ = proc->path_.get();
+      break;
+    }
+    case EngineKind::kBranchM: {
+      Result<std::unique_ptr<BranchMachine>> m =
+          BranchMachine::Create(proc->query_, sink);
+      if (!m.ok()) return m.status();
+      proc->branch_ = std::move(m).value();
+      proc->machine_ = proc->branch_.get();
+      break;
+    }
+    case EngineKind::kAuto:
+    case EngineKind::kTwigM: {
+      Result<std::unique_ptr<TwigMachine>> m =
+          TwigMachine::Create(proc->query_, sink, options.twig);
+      if (!m.ok()) return m.status();
+      proc->engine_kind_ = EngineKind::kTwigM;
+      proc->twig_ = std::move(m).value();
+      proc->machine_ = proc->twig_.get();
+      break;
+    }
+  }
+
+  proc->driver_ = std::make_unique<xml::EventDriver>(proc->machine_);
+  proc->parser_ =
+      std::make_unique<xml::SaxParser>(proc->driver_.get(), options.sax);
+  return proc;
+}
+
+Result<std::unique_ptr<XPathStreamProcessor>>
+XPathStreamProcessor::CreateWithFragments(std::string_view query_text,
+                                          FragmentSink* fragments,
+                                          ResultSink* ids,
+                                          EvaluatorOptions options) {
+  if (fragments == nullptr) {
+    return Status::InvalidArgument("fragment mode requires a fragment sink");
+  }
+  auto recorder = std::make_unique<FragmentRecorder>(fragments, ids);
+  // Build the machine with the recorder as its result sink.
+  Result<std::unique_ptr<XPathStreamProcessor>> proc =
+      Create(query_text, recorder.get(), options);
+  if (!proc.ok()) return proc.status();
+  XPathStreamProcessor* p = proc.value().get();
+  // Splice the recorder between driver and machine, and subscribe it to
+  // candidate announcements.
+  recorder->set_machine(p->machine_);
+  if (p->twig_ != nullptr) p->twig_->set_candidate_observer(recorder.get());
+  if (p->path_ != nullptr) p->path_->set_candidate_observer(recorder.get());
+  if (p->branch_ != nullptr) {
+    p->branch_->set_candidate_observer(recorder.get());
+  }
+  p->recorder_ = std::move(recorder);
+  p->machine_ = p->recorder_.get();
+  p->driver_ = std::make_unique<xml::EventDriver>(p->machine_);
+  p->parser_ =
+      std::make_unique<xml::SaxParser>(p->driver_.get(), options.sax);
+  return proc;
+}
+
+Status XPathStreamProcessor::Feed(std::string_view chunk) {
+  return parser_->Feed(chunk);
+}
+
+Status XPathStreamProcessor::Finish() { return parser_->Finish(); }
+
+void XPathStreamProcessor::Reset() {
+  if (twig_ != nullptr) twig_->Reset();
+  if (path_ != nullptr) path_->Reset();
+  if (branch_ != nullptr) branch_->Reset();
+  if (recorder_ != nullptr) recorder_->Reset();
+  driver_ = std::make_unique<xml::EventDriver>(machine_);
+  parser_ = std::make_unique<xml::SaxParser>(driver_.get(), options_.sax);
+}
+
+const EngineStats& XPathStreamProcessor::stats() const {
+  switch (engine_kind_) {
+    case EngineKind::kPathM:
+      return path_->stats();
+    case EngineKind::kBranchM:
+      return branch_->stats();
+    default:
+      return twig_->stats();
+  }
+}
+
+Result<std::vector<xml::NodeId>> EvaluateToIds(std::string_view query,
+                                               std::string_view document,
+                                               EvaluatorOptions options) {
+  VectorResultSink sink;
+  Result<std::unique_ptr<XPathStreamProcessor>> proc =
+      XPathStreamProcessor::Create(query, &sink, options);
+  if (!proc.ok()) return proc.status();
+  Status s = proc.value()->Feed(document);
+  if (!s.ok()) return s;
+  s = proc.value()->Finish();
+  if (!s.ok()) return s;
+  return sink.TakeIds();
+}
+
+}  // namespace twigm::core

@@ -1,0 +1,112 @@
+// Public entry point: a streaming XPath processor that wires the SAX parser,
+// the modified-SAX event driver, and a query machine together.
+//
+//   VectorResultSink sink;
+//   auto proc = XPathStreamProcessor::Create("//a[d]//b[e]//c", &sink);
+//   for (chunk : stream) proc.value()->Feed(chunk);
+//   proc.value()->Finish();
+//   // sink.ids() holds the pre-order ids of all result elements.
+//
+// Engine selection (EngineKind::kAuto) follows the paper's structure:
+// linear queries run on PathM, child-only queries with predicates on
+// BranchM, everything else on TwigM.
+
+#ifndef TWIGM_CORE_EVALUATOR_H_
+#define TWIGM_CORE_EVALUATOR_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/branch_machine.h"
+#include "core/fragment.h"
+#include "core/machine_stats.h"
+#include "core/path_machine.h"
+#include "core/result_sink.h"
+#include "core/twig_machine.h"
+#include "xml/sax_event.h"
+#include "xml/sax_parser.h"
+#include "xpath/query_tree.h"
+
+namespace twigm::core {
+
+/// Which machine evaluates the query.
+enum class EngineKind {
+  kAuto,     // pick by query structure
+  kPathM,    // XP{/,//,*} only
+  kBranchM,  // XP{/,[]} only
+  kTwigM,    // full XP{/,//,*,[]}
+};
+
+/// Returns a display name ("TwigM", ...).
+const char* EngineKindToString(EngineKind kind);
+
+struct EvaluatorOptions {
+  EngineKind engine = EngineKind::kAuto;
+  TwigMachineOptions twig;
+  xml::SaxParserOptions sax;
+};
+
+/// A compiled query bound to a result sink, consuming raw XML bytes.
+class XPathStreamProcessor {
+ public:
+  /// Compiles `query` and builds the machine. `sink` must outlive the
+  /// processor; not owned.
+  static Result<std::unique_ptr<XPathStreamProcessor>> Create(
+      std::string_view query, ResultSink* sink,
+      EvaluatorOptions options = EvaluatorOptions());
+
+  /// Like Create, but results are delivered as serialized XML fragments
+  /// (footnote 3 of the paper). `fragments` must outlive the processor;
+  /// `ids` (optional) additionally receives the plain node ids.
+  static Result<std::unique_ptr<XPathStreamProcessor>> CreateWithFragments(
+      std::string_view query, FragmentSink* fragments,
+      ResultSink* ids = nullptr, EvaluatorOptions options = EvaluatorOptions());
+
+  XPathStreamProcessor(const XPathStreamProcessor&) = delete;
+  XPathStreamProcessor& operator=(const XPathStreamProcessor&) = delete;
+
+  /// Feeds a chunk of the XML document. Results are emitted to the sink as
+  /// soon as they are proven.
+  Status Feed(std::string_view chunk);
+
+  /// Declares end of input.
+  Status Finish();
+
+  /// Resets parser and machine state so another document can be processed
+  /// with the same compiled query.
+  void Reset();
+
+  const EngineStats& stats() const;
+  EngineKind engine_kind() const { return engine_kind_; }
+  const xpath::QueryTree& query() const { return query_; }
+
+ private:
+  XPathStreamProcessor() = default;
+
+  xpath::QueryTree query_;
+  EngineKind engine_kind_ = EngineKind::kTwigM;
+  EvaluatorOptions options_;
+
+  // Exactly one of these is set, matching engine_kind_.
+  std::unique_ptr<TwigMachine> twig_;
+  std::unique_ptr<PathMachine> path_;
+  std::unique_ptr<BranchMachine> branch_;
+
+  xml::StreamEventSink* machine_ = nullptr;  // the active machine
+  std::unique_ptr<FragmentRecorder> recorder_;  // set in fragment mode
+  std::unique_ptr<xml::EventDriver> driver_;
+  std::unique_ptr<xml::SaxParser> parser_;
+};
+
+/// One-shot convenience: evaluates `query` over `document`, returning result
+/// ids in emission order.
+Result<std::vector<xml::NodeId>> EvaluateToIds(
+    std::string_view query, std::string_view document,
+    EvaluatorOptions options = EvaluatorOptions());
+
+}  // namespace twigm::core
+
+#endif  // TWIGM_CORE_EVALUATOR_H_

@@ -1,0 +1,120 @@
+#include "core/fragment.h"
+
+#include "xml/xml_writer.h"
+
+namespace twigm::core {
+
+void FragmentRecorder::AppendToActive(std::string_view text) {
+  for (Recording& rec : active_) {
+    rec.buffer.append(text);
+  }
+  buffered_bytes_ += text.size() * active_.size();
+  NoteBuffered();
+}
+
+void FragmentRecorder::NoteBuffered() {
+  if (buffered_bytes_ > peak_buffered_bytes_) {
+    peak_buffered_bytes_ = buffered_bytes_;
+  }
+}
+
+void FragmentRecorder::StartElement(std::string_view tag, int level,
+                                    xml::NodeId id,
+                                    const std::vector<xml::Attribute>& attrs) {
+  // Let the machine decide candidacy first; OnCandidate lands in
+  // `announced_`.
+  announced_.clear();
+  in_start_ = true;
+  machine_->StartElement(tag, level, id, attrs);
+  in_start_ = false;
+
+  for (xml::NodeId candidate : announced_) {
+    // A machine announces only the current element.
+    (void)candidate;
+    Recording rec;
+    rec.id = id;
+    rec.level = level;
+    active_.push_back(std::move(rec));
+    break;  // one recording per element even if announced twice
+  }
+  announced_.clear();
+
+  if (!active_.empty()) {
+    std::string open = "<" + std::string(tag);
+    for (const xml::Attribute& a : attrs) {
+      open += " " + a.name + "=\"" + xml::EscapeAttribute(a.value) + "\"";
+    }
+    open += ">";
+    AppendToActive(open);
+  }
+}
+
+void FragmentRecorder::Text(std::string_view text, int level) {
+  machine_->Text(text, level);
+  if (!active_.empty()) {
+    AppendToActive(xml::EscapeText(text));
+  }
+}
+
+void FragmentRecorder::EndElement(std::string_view tag, int level) {
+  // Serialize the close tag and finalize any recording rooted here BEFORE
+  // the machine runs: if the machine emits this element as a result during
+  // the same event (root == return node), the fragment must be complete.
+  if (!active_.empty()) {
+    AppendToActive("</" + std::string(tag) + ">");
+    if (active_.back().level == level) {
+      Recording rec = std::move(active_.back());
+      active_.pop_back();
+      if (pending_results_.count(rec.id) != 0) {
+        pending_results_.erase(rec.id);
+        buffered_bytes_ -= rec.buffer.size();
+        out_->OnFragment(rec.id, rec.buffer);
+      } else {
+        completed_.emplace(rec.id, std::move(rec.buffer));
+      }
+    }
+  }
+  machine_->EndElement(tag, level);
+}
+
+void FragmentRecorder::EndDocument() {
+  machine_->EndDocument();
+  // Whatever fragments remain belong to candidates that never became
+  // results; drop them.
+  for (const auto& [id, buffer] : completed_) {
+    (void)id;
+    buffered_bytes_ -= buffer.size();
+  }
+  completed_.clear();
+  active_.clear();
+  pending_results_.clear();
+}
+
+void FragmentRecorder::OnCandidate(xml::NodeId id) {
+  if (in_start_) announced_.push_back(id);
+}
+
+void FragmentRecorder::OnResult(xml::NodeId id) {
+  if (ids_out_ != nullptr) ids_out_->OnResult(id);
+  auto it = completed_.find(id);
+  if (it != completed_.end()) {
+    buffered_bytes_ -= it->second.size();
+    out_->OnFragment(id, it->second);
+    completed_.erase(it);
+    return;
+  }
+  // Fragment still recording (eager emission before the subtree closed).
+  pending_results_.insert(id);
+}
+
+void FragmentRecorder::Reset() {
+  announced_.clear();
+  active_.clear();
+  completed_.clear();
+  pending_results_.clear();
+  buffered_bytes_ = 0;
+  peak_buffered_bytes_ = 0;
+  in_start_ = false;
+}
+
+}  // namespace twigm::core

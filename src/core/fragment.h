@@ -1,0 +1,131 @@
+// XML-fragment result delivery (footnote 3 of the paper: "Our
+// implementation returns XML fragments instead of node ids").
+//
+// `FragmentRecorder` sits between the event driver and a query machine: it
+// forwards every modified-SAX event and, for each element the machine
+// reports as a *candidate*, re-serializes the element's subtree while it
+// streams past. When the machine later proves the candidate is a result,
+// the buffered fragment is handed to the `FragmentSink` — still
+// incrementally: a fragment is delivered at max(candidate subtree fully
+// parsed, membership proven).
+//
+// Memory note: buffering undecided candidates is inherent to returning
+// fragments from a stream (every fragment-producing engine pays it); the
+// recorder's footprint is included in its stats and fragments of
+// candidates that never become results are dropped as soon as that is
+// knowable (at the latest at end of document).
+
+#ifndef TWIGM_CORE_FRAGMENT_H_
+#define TWIGM_CORE_FRAGMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/result_sink.h"
+#include "xml/sax_event.h"
+
+namespace twigm::core {
+
+/// Receives serialized result fragments.
+class FragmentSink {
+ public:
+  virtual ~FragmentSink() = default;
+
+  /// Called exactly once per result. `xml` is the re-serialized element
+  /// subtree (elements, attributes, character data; comments/PIs/CDATA
+  /// sectioning are not preserved — text is emitted escaped).
+  virtual void OnFragment(xml::NodeId id, std::string_view xml) = 0;
+};
+
+/// Collects fragments into a vector (test/demo convenience).
+class VectorFragmentSink : public FragmentSink {
+ public:
+  struct Item {
+    xml::NodeId id;
+    std::string xml;
+  };
+
+  void OnFragment(xml::NodeId id, std::string_view xml) override {
+    items_.push_back(Item{id, std::string(xml)});
+  }
+
+  const std::vector<Item>& items() const { return items_; }
+
+ private:
+  std::vector<Item> items_;
+};
+
+/// Event tee that records candidate subtrees and pairs them with results.
+/// Wire-up (done by XPathStreamProcessor::CreateWithFragments):
+///   driver -> recorder (StreamEventSink) -> machine
+///   machine's ResultSink        = recorder
+///   machine's CandidateObserver = recorder
+class FragmentRecorder : public xml::StreamEventSink,
+                         public ResultSink,
+                         public CandidateObserver {
+ public:
+  /// `out` receives completed result fragments; `ids_out` (optional) also
+  /// receives plain result ids. Neither is owned.
+  explicit FragmentRecorder(FragmentSink* out, ResultSink* ids_out = nullptr)
+      : out_(out), ids_out_(ids_out) {}
+
+  /// The machine events are forwarded to; must be set before streaming.
+  void set_machine(xml::StreamEventSink* machine) { machine_ = machine; }
+
+  // StreamEventSink (from the event driver):
+  void StartElement(std::string_view tag, int level, xml::NodeId id,
+                    const std::vector<xml::Attribute>& attrs) override;
+  void EndElement(std::string_view tag, int level) override;
+  void Text(std::string_view text, int level) override;
+  void EndDocument() override;
+
+  // ResultSink (from the machine):
+  void OnResult(xml::NodeId id) override;
+
+  // CandidateObserver (from the machine):
+  void OnCandidate(xml::NodeId id) override;
+
+  /// Clears all buffered state for a new document.
+  void Reset();
+
+  /// Peak bytes held in fragment buffers (candidates + completed,
+  /// undecided).
+  uint64_t peak_buffered_bytes() const { return peak_buffered_bytes_; }
+
+ private:
+  // An in-flight recording of one candidate's subtree.
+  struct Recording {
+    xml::NodeId id = 0;
+    int level = 0;  // the candidate element's own level
+    std::string buffer;
+  };
+
+  void AppendToActive(std::string_view text);
+  void NoteBuffered();
+
+  xml::StreamEventSink* machine_ = nullptr;
+  FragmentSink* out_;
+  ResultSink* ids_out_;
+
+  // Candidate ids announced during the current StartElement call.
+  std::vector<xml::NodeId> announced_;
+  bool in_start_ = false;
+
+  // Active recordings, innermost last (LIFO by nesting).
+  std::vector<Recording> active_;
+  // Completed fragments awaiting a result decision.
+  std::unordered_map<xml::NodeId, std::string> completed_;
+  // Results whose fragment is still being recorded (PathM's eager emission).
+  std::unordered_set<xml::NodeId> pending_results_;
+
+  uint64_t buffered_bytes_ = 0;
+  uint64_t peak_buffered_bytes_ = 0;
+};
+
+}  // namespace twigm::core
+
+#endif  // TWIGM_CORE_FRAGMENT_H_

@@ -1,0 +1,51 @@
+// Execution statistics reported by every engine. These are the library's
+// machine-independent counterpart to the paper's memory measurements: exact
+// counts of the state an engine keeps, so Figs. 8 and 10 can be reproduced
+// without depending on allocator or OS behaviour.
+
+#ifndef TWIGM_CORE_MACHINE_STATS_H_
+#define TWIGM_CORE_MACHINE_STATS_H_
+
+#include <cstdint>
+
+namespace twigm::core {
+
+struct EngineStats {
+  uint64_t start_events = 0;       // startElement events processed
+  uint64_t end_events = 0;         // endElement events processed
+  uint64_t pushes = 0;             // stack entries created
+  uint64_t pops = 0;               // stack entries removed
+  uint64_t results = 0;            // result nodes emitted
+  uint64_t predicate_checks = 0;   // branch-match / value-test evaluations
+  uint64_t candidate_unions = 0;   // candidate-set merge operations
+
+  // High-water marks.
+  uint64_t peak_stack_entries = 0; // live entries across all stacks
+  uint64_t peak_candidates = 0;    // buffered candidate ids across entries
+  uint64_t peak_state_bytes = 0;   // approx. engine-owned bytes
+
+  // Current (instantaneous) values maintained by the engines.
+  uint64_t live_stack_entries = 0;
+  uint64_t live_candidates = 0;
+
+  /// Records a new live-entry count, updating the peak.
+  void NoteEntries(uint64_t live) {
+    live_stack_entries = live;
+    if (live > peak_stack_entries) peak_stack_entries = live;
+  }
+
+  /// Records a new live-candidate count, updating the peak.
+  void NoteCandidates(uint64_t live) {
+    live_candidates = live;
+    if (live > peak_candidates) peak_candidates = live;
+  }
+
+  /// Records an approximate byte footprint, updating the peak.
+  void NoteBytes(uint64_t bytes) {
+    if (bytes > peak_state_bytes) peak_state_bytes = bytes;
+  }
+};
+
+}  // namespace twigm::core
+
+#endif  // TWIGM_CORE_MACHINE_STATS_H_

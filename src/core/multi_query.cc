@@ -1,0 +1,112 @@
+#include "core/multi_query.h"
+
+#include "xpath/query_tree.h"
+
+namespace twigm::core {
+
+namespace {
+
+EngineKind PickEngineForTree(const xpath::QueryTree& query) {
+  if (query.is_linear() && !query.has_value_tests()) return EngineKind::kPathM;
+  if (!query.has_descendant_axis() && !query.has_wildcard()) {
+    return EngineKind::kBranchM;
+  }
+  return EngineKind::kTwigM;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<MultiQueryProcessor>> MultiQueryProcessor::Create(
+    const std::vector<std::string>& queries, MultiQueryResultSink* sink,
+    EvaluatorOptions options) {
+  if (sink == nullptr) {
+    return Status::InvalidArgument(
+        "MultiQueryProcessor requires a result sink");
+  }
+  if (queries.empty()) {
+    return Status::InvalidArgument("no queries given");
+  }
+  auto proc = std::unique_ptr<MultiQueryProcessor>(new MultiQueryProcessor());
+  proc->sink_ = sink;
+  proc->options_ = options;
+  proc->entries_.reserve(queries.size());
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Result<xpath::QueryTree> tree = xpath::QueryTree::Parse(queries[i]);
+    if (!tree.ok()) {
+      return Status::InvalidArgument(
+          "query #" + std::to_string(i) + ": " + tree.status().ToString());
+    }
+    Entry entry;
+    entry.tag_sink = std::make_unique<TaggingSink>(proc.get(), i);
+    entry.kind = options.engine == EngineKind::kAuto
+                     ? PickEngineForTree(tree.value())
+                     : options.engine;
+    switch (entry.kind) {
+      case EngineKind::kPathM: {
+        Result<std::unique_ptr<PathMachine>> m =
+            PathMachine::Create(tree.value(), entry.tag_sink.get());
+        if (!m.ok()) return m.status();
+        entry.path = std::move(m).value();
+        entry.machine = entry.path.get();
+        break;
+      }
+      case EngineKind::kBranchM: {
+        Result<std::unique_ptr<BranchMachine>> m =
+            BranchMachine::Create(tree.value(), entry.tag_sink.get());
+        if (!m.ok()) return m.status();
+        entry.branch = std::move(m).value();
+        entry.machine = entry.branch.get();
+        break;
+      }
+      case EngineKind::kAuto:
+      case EngineKind::kTwigM: {
+        Result<std::unique_ptr<TwigMachine>> m = TwigMachine::Create(
+            tree.value(), entry.tag_sink.get(), options.twig);
+        if (!m.ok()) return m.status();
+        entry.kind = EngineKind::kTwigM;
+        entry.twig = std::move(m).value();
+        entry.machine = entry.twig.get();
+        break;
+      }
+    }
+    proc->entries_.push_back(std::move(entry));
+  }
+
+  proc->fan_out_ = std::make_unique<FanOut>(proc.get());
+  proc->driver_ = std::make_unique<xml::EventDriver>(proc->fan_out_.get());
+  proc->parser_ =
+      std::make_unique<xml::SaxParser>(proc->driver_.get(), options.sax);
+  return proc;
+}
+
+Status MultiQueryProcessor::Feed(std::string_view chunk) {
+  return parser_->Feed(chunk);
+}
+
+Status MultiQueryProcessor::Finish() { return parser_->Finish(); }
+
+void MultiQueryProcessor::Reset() {
+  for (Entry& e : entries_) {
+    if (e.twig != nullptr) e.twig->Reset();
+    if (e.path != nullptr) e.path->Reset();
+    if (e.branch != nullptr) e.branch->Reset();
+  }
+  total_results_ = 0;
+  driver_ = std::make_unique<xml::EventDriver>(fan_out_.get());
+  parser_ = std::make_unique<xml::SaxParser>(driver_.get(), options_.sax);
+}
+
+const EngineStats& MultiQueryProcessor::stats(size_t query_index) const {
+  const Entry& e = entries_[query_index];
+  switch (e.kind) {
+    case EngineKind::kPathM:
+      return e.path->stats();
+    case EngineKind::kBranchM:
+      return e.branch->stats();
+    default:
+      return e.twig->stats();
+  }
+}
+
+}  // namespace twigm::core

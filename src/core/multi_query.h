@@ -1,0 +1,148 @@
+// Multi-query evaluation: many XPath queries over a single SAX pass.
+//
+// The paper's related work (section 6) discusses filtering systems
+// (YFilter, XTrie, XPush) that match large query sets against one stream.
+// This module provides that workload shape on top of the TwigM machinery:
+// each query is compiled to its own machine (PathM/BranchM/TwigM by
+// structure) and every modified-SAX event fans out to all of them, so the
+// document is parsed exactly once. Results carry the query index.
+//
+// This is deliberately the simple product construction — per-event cost is
+// the sum of the individual machines' costs. The common-prefix sharing of
+// YFilter is future work; bench_multi_query measures how far the product
+// construction carries.
+
+#ifndef TWIGM_CORE_MULTI_QUERY_H_
+#define TWIGM_CORE_MULTI_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/evaluator.h"
+#include "core/machine_stats.h"
+#include "core/result_sink.h"
+#include "xml/sax_event.h"
+#include "xml/sax_parser.h"
+
+namespace twigm::core {
+
+/// Receives results tagged with the index of the matching query.
+class MultiQueryResultSink {
+ public:
+  virtual ~MultiQueryResultSink() = default;
+  virtual void OnResult(size_t query_index, xml::NodeId id) = 0;
+};
+
+/// Collects (query, id) pairs (test/demo convenience).
+class VectorMultiQuerySink : public MultiQueryResultSink {
+ public:
+  struct Item {
+    size_t query_index;
+    xml::NodeId id;
+  };
+
+  void OnResult(size_t query_index, xml::NodeId id) override {
+    items_.push_back(Item{query_index, id});
+  }
+
+  const std::vector<Item>& items() const { return items_; }
+
+ private:
+  std::vector<Item> items_;
+};
+
+/// A set of compiled queries bound to one input stream.
+class MultiQueryProcessor {
+ public:
+  /// Compiles every query; fails on the first bad one (the error message
+  /// names its index). `sink` must outlive the processor; not owned.
+  static Result<std::unique_ptr<MultiQueryProcessor>> Create(
+      const std::vector<std::string>& queries, MultiQueryResultSink* sink,
+      EvaluatorOptions options = EvaluatorOptions());
+
+  MultiQueryProcessor(const MultiQueryProcessor&) = delete;
+  MultiQueryProcessor& operator=(const MultiQueryProcessor&) = delete;
+
+  /// Feeds a chunk of the document; results fan out to the sink tagged by
+  /// query index, as soon as each machine proves them.
+  Status Feed(std::string_view chunk);
+  Status Finish();
+
+  /// Clears all machines and the parser for a new document.
+  void Reset();
+
+  size_t query_count() const { return entries_.size(); }
+  EngineKind engine_kind(size_t query_index) const {
+    return entries_[query_index].kind;
+  }
+  const EngineStats& stats(size_t query_index) const;
+
+  /// Sum of results across queries so far.
+  uint64_t total_results() const { return total_results_; }
+
+ private:
+  // Tags one machine's results with its query index.
+  class TaggingSink : public ResultSink {
+   public:
+    TaggingSink(MultiQueryProcessor* owner, size_t index)
+        : owner_(owner), index_(index) {}
+    void OnResult(xml::NodeId id) override {
+      ++owner_->total_results_;
+      owner_->sink_->OnResult(index_, id);
+    }
+
+   private:
+    MultiQueryProcessor* owner_;
+    size_t index_;
+  };
+
+  // Forwards each event to every machine.
+  class FanOut : public xml::StreamEventSink {
+   public:
+    explicit FanOut(MultiQueryProcessor* owner) : owner_(owner) {}
+    void StartElement(std::string_view tag, int level, xml::NodeId id,
+                      const std::vector<xml::Attribute>& attrs) override {
+      for (auto& e : owner_->entries_) {
+        e.machine->StartElement(tag, level, id, attrs);
+      }
+    }
+    void EndElement(std::string_view tag, int level) override {
+      for (auto& e : owner_->entries_) e.machine->EndElement(tag, level);
+    }
+    void Text(std::string_view text, int level) override {
+      for (auto& e : owner_->entries_) e.machine->Text(text, level);
+    }
+    void EndDocument() override {
+      for (auto& e : owner_->entries_) e.machine->EndDocument();
+    }
+
+   private:
+    MultiQueryProcessor* owner_;
+  };
+
+  struct Entry {
+    EngineKind kind = EngineKind::kTwigM;
+    std::unique_ptr<TaggingSink> tag_sink;
+    std::unique_ptr<TwigMachine> twig;
+    std::unique_ptr<PathMachine> path;
+    std::unique_ptr<BranchMachine> branch;
+    xml::StreamEventSink* machine = nullptr;
+  };
+
+  MultiQueryProcessor() = default;
+
+  MultiQueryResultSink* sink_ = nullptr;
+  EvaluatorOptions options_;
+  std::vector<Entry> entries_;
+  std::unique_ptr<FanOut> fan_out_;
+  std::unique_ptr<xml::EventDriver> driver_;
+  std::unique_ptr<xml::SaxParser> parser_;
+  uint64_t total_results_ = 0;
+};
+
+}  // namespace twigm::core
+
+#endif  // TWIGM_CORE_MULTI_QUERY_H_

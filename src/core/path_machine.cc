@@ -1,0 +1,88 @@
+#include "core/path_machine.h"
+
+namespace twigm::core {
+
+Result<std::unique_ptr<PathMachine>> PathMachine::Create(
+    const xpath::QueryTree& query, ResultSink* sink) {
+  if (sink == nullptr) {
+    return Status::InvalidArgument("PathMachine requires a result sink");
+  }
+  if (query.has_predicates() || query.has_value_tests()) {
+    return Status::NotSupported(
+        "PathM evaluates XP{/,//,*} only; use BranchM or TwigM for "
+        "predicates");
+  }
+  Result<MachineGraph> graph = MachineGraph::Build(query);
+  if (!graph.ok()) return graph.status();
+  return std::unique_ptr<PathMachine>(
+      new PathMachine(std::move(graph).value(), sink));
+}
+
+PathMachine::PathMachine(MachineGraph graph, ResultSink* sink)
+    : graph_(std::move(graph)), sink_(sink) {
+  // A linear query's machine graph is a chain from the root to the return
+  // node.
+  const MachineNode* node = graph_.root();
+  while (node != nullptr) {
+    chain_.push_back(node);
+    node = node->children.empty() ? nullptr : node->children.front();
+  }
+  stacks_.resize(chain_.size());
+}
+
+void PathMachine::Reset() {
+  for (auto& stack : stacks_) stack.clear();
+  stats_ = EngineStats();
+  live_entries_ = 0;
+}
+
+void PathMachine::StartElement(std::string_view tag, int level, xml::NodeId id,
+                               const std::vector<xml::Attribute>& attrs) {
+  (void)attrs;
+  ++stats_.start_events;
+  for (size_t i = 0; i < chain_.size(); ++i) {
+    const MachineNode* v = chain_[i];
+    if (!v->MatchesTag(tag)) continue;
+    bool qualified = false;
+    if (i == 0) {
+      qualified = v->edge.Satisfies(level);
+    } else {
+      for (int parent_level : stacks_[i - 1]) {
+        if (v->edge.Satisfies(level - parent_level)) {
+          qualified = true;
+          break;
+        }
+      }
+    }
+    if (!qualified) continue;
+    stacks_[i].push_back(level);
+    ++stats_.pushes;
+    ++live_entries_;
+    if (v->is_return) {
+      if (candidate_observer_ != nullptr) candidate_observer_->OnCandidate(id);
+      sink_->OnResult(id);
+      ++stats_.results;
+    }
+  }
+  stats_.NoteEntries(live_entries_);
+  stats_.NoteBytes(live_entries_ * sizeof(int));
+}
+
+void PathMachine::EndElement(std::string_view tag, int level) {
+  ++stats_.end_events;
+  for (size_t i = 0; i < chain_.size(); ++i) {
+    const MachineNode* v = chain_[i];
+    if (!v->MatchesTag(tag)) continue;
+    std::vector<int>& stack = stacks_[i];
+    if (!stack.empty() && stack.back() == level) {
+      stack.pop_back();
+      ++stats_.pops;
+      --live_entries_;
+    }
+  }
+  stats_.NoteEntries(live_entries_);
+}
+
+void PathMachine::EndDocument() {}
+
+}  // namespace twigm::core

@@ -1,0 +1,73 @@
+// PathM — streaming machine for linear queries XP{/,//,*} (section 3.1).
+//
+// The machine is a chain of nodes, one stack of levels each. An element is
+// pushed onto node v's stack iff some entry of ρ(v)'s stack satisfies ζ(v);
+// entries pop at the element's end event. Because there are no predicates,
+// membership is decided the moment an element reaches the return node's
+// stack, so results are emitted immediately at startElement — the earliest
+// point possible (fully incremental, unlike TwigM which must wait for
+// predicate resolution).
+
+#ifndef TWIGM_CORE_PATH_MACHINE_H_
+#define TWIGM_CORE_PATH_MACHINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/machine_builder.h"
+#include "core/machine_stats.h"
+#include "core/result_sink.h"
+#include "xml/sax_event.h"
+#include "xpath/query_tree.h"
+
+namespace twigm::core {
+
+/// The PathM machine. Only accepts linear queries (no predicates).
+class PathMachine : public xml::StreamEventSink {
+ public:
+  /// Fails with NotSupported if `query` has predicates or value tests.
+  static Result<std::unique_ptr<PathMachine>> Create(
+      const xpath::QueryTree& query, ResultSink* sink);
+
+  PathMachine(const PathMachine&) = delete;
+  PathMachine& operator=(const PathMachine&) = delete;
+
+  // StreamEventSink:
+  void StartElement(std::string_view tag, int level, xml::NodeId id,
+                    const std::vector<xml::Attribute>& attrs) override;
+  void EndElement(std::string_view tag, int level) override;
+  void EndDocument() override;
+
+  /// Clears runtime state and statistics.
+  void Reset();
+
+  /// Optional: notified whenever an element becomes a candidate (for
+  /// PathM, candidates are immediately results).
+  void set_candidate_observer(CandidateObserver* observer) {
+    candidate_observer_ = observer;
+  }
+
+  const EngineStats& stats() const { return stats_; }
+  const MachineGraph& graph() const { return graph_; }
+
+ private:
+  PathMachine(MachineGraph graph, ResultSink* sink);
+
+  MachineGraph graph_;
+  ResultSink* sink_;
+  CandidateObserver* candidate_observer_ = nullptr;
+  EngineStats stats_;
+
+  // chain_[i] is the machine node at spine position i (root first);
+  // stacks_[i] its stack of levels.
+  std::vector<const MachineNode*> chain_;
+  std::vector<std::vector<int>> stacks_;
+  uint64_t live_entries_ = 0;
+};
+
+}  // namespace twigm::core
+
+#endif  // TWIGM_CORE_PATH_MACHINE_H_

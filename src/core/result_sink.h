@@ -1,0 +1,62 @@
+// Result delivery. Engines emit node ids incrementally, as soon as
+// membership is decided (the streaming requirement of section 1); callers
+// provide a sink. `VectorResultSink` is the common collect-everything sink.
+
+#ifndef TWIGM_CORE_RESULT_SINK_H_
+#define TWIGM_CORE_RESULT_SINK_H_
+
+#include <vector>
+
+#include "xml/sax_event.h"
+
+namespace twigm::core {
+
+/// Receives query results as they are proven.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  /// `id` is the pre-order node id of a result element. Engines guarantee
+  /// each result id is reported exactly once.
+  virtual void OnResult(xml::NodeId id) = 0;
+};
+
+/// Collects results into a vector (in emission order).
+class VectorResultSink : public ResultSink {
+ public:
+  void OnResult(xml::NodeId id) override { ids_.push_back(id); }
+
+  const std::vector<xml::NodeId>& ids() const { return ids_; }
+  std::vector<xml::NodeId> TakeIds() { return std::move(ids_); }
+
+ private:
+  std::vector<xml::NodeId> ids_;
+};
+
+/// Observes candidate creation: called by a machine the moment an element
+/// is recorded as a *possible* result (pushed into the return node's
+/// candidate set), before its membership is decided. Used by the fragment
+/// recorder to start capturing the element's subtree.
+class CandidateObserver {
+ public:
+  virtual ~CandidateObserver() = default;
+  virtual void OnCandidate(xml::NodeId id) = 0;
+};
+
+/// Counts results without storing them (for benchmarks).
+class CountingResultSink : public ResultSink {
+ public:
+  void OnResult(xml::NodeId id) override {
+    (void)id;
+    ++count_;
+  }
+
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+}  // namespace twigm::core
+
+#endif  // TWIGM_CORE_RESULT_SINK_H_

@@ -1,0 +1,239 @@
+#include "core/twig_machine.h"
+
+#include <algorithm>
+
+#include "core/value_test.h"
+
+namespace twigm::core {
+
+size_t UnionSortedIds(const std::vector<xml::NodeId>& src,
+                      std::vector<xml::NodeId>* dst) {
+  if (src.empty()) return 0;
+  if (dst->empty()) {
+    *dst = src;
+    return src.size();
+  }
+  // Fast path: everything in src is larger than dst's back (common, because
+  // ids increase in document order).
+  const size_t old_size = dst->size();
+  if (src.front() > dst->back()) {
+    dst->insert(dst->end(), src.begin(), src.end());
+    return src.size();
+  }
+  std::vector<xml::NodeId> merged;
+  merged.reserve(dst->size() + src.size());
+  std::set_union(dst->begin(), dst->end(), src.begin(), src.end(),
+                 std::back_inserter(merged));
+  *dst = std::move(merged);
+  return dst->size() - old_size;
+}
+
+Result<std::unique_ptr<TwigMachine>> TwigMachine::Create(
+    const xpath::QueryTree& query, ResultSink* sink,
+    TwigMachineOptions options) {
+  if (sink == nullptr) {
+    return Status::InvalidArgument("TwigMachine requires a result sink");
+  }
+  Result<MachineGraph> graph = MachineGraph::Build(query);
+  if (!graph.ok()) return graph.status();
+  return std::unique_ptr<TwigMachine>(
+      new TwigMachine(std::move(graph).value(), sink, options));
+}
+
+TwigMachine::TwigMachine(MachineGraph graph, ResultSink* sink,
+                         TwigMachineOptions options)
+    : graph_(std::move(graph)), sink_(sink), options_(options) {
+  stacks_.resize(graph_.node_count());
+  for (const auto& node : graph_.nodes()) {
+    preorder_.push_back(node->id);
+    if (node->is_wildcard) {
+      wildcard_nodes_.push_back(node->id);
+    } else {
+      label_index_[node->label].push_back(node->id);
+    }
+    if (node->has_value_test) value_test_nodes_.push_back(node->id);
+  }
+}
+
+void TwigMachine::Reset() {
+  for (auto& stack : stacks_) stack.clear();
+  emitted_.clear();
+  stats_ = EngineStats();
+  live_entries_ = 0;
+  live_candidates_ = 0;
+  live_text_bytes_ = 0;
+}
+
+void TwigMachine::UpdateMemoryStats() {
+  stats_.NoteEntries(live_entries_);
+  stats_.NoteCandidates(live_candidates_);
+  stats_.NoteBytes(live_entries_ * sizeof(Entry) +
+                   live_candidates_ * sizeof(xml::NodeId) + live_text_bytes_);
+}
+
+void TwigMachine::StartElement(std::string_view tag, int level, xml::NodeId id,
+                               const std::vector<xml::Attribute>& attrs) {
+  ++stats_.start_events;
+  // δs: try every machine node whose label matches the tag, parents first
+  // (pre-order). Wildcard nodes match every tag.
+  auto try_node = [&](int node_id) {
+    const MachineNode* v = graph_.nodes()[node_id].get();
+    // Qualification: the root checks the element level directly (the
+    // document root is at level 0); other nodes need a parent-stack entry
+    // whose level difference satisfies ζ(v).
+    // Stack levels are strictly increasing (entries belong to the chain of
+    // active ancestors), so qualification needs no scan: for '≥' edges the
+    // bottom (shallowest) entry is the best witness; for '=' edges the
+    // required level is unique and found by binary search.
+    bool qualified = false;
+    if (v->parent == nullptr) {
+      qualified = v->edge.Satisfies(level);
+    } else {
+      const std::vector<Entry>& pstack = stacks_[v->parent->id];
+      if (!pstack.empty()) {
+        if (!v->edge.exact) {
+          qualified = level - pstack.front().level >= v->edge.distance;
+        } else {
+          const int want = level - v->edge.distance;
+          auto it = std::lower_bound(
+              pstack.begin(), pstack.end(), want,
+              [](const Entry& e, int l) { return e.level < l; });
+          qualified = it != pstack.end() && it->level == want;
+        }
+      }
+    }
+    if (!qualified) return;
+
+    // Resolve attribute tests now: attributes are fully known at
+    // startElement (footnote 2 of the paper).
+    uint64_t branch = 0;
+    bool attr_failed = false;
+    for (const AttributeTest& test : v->attr_tests) {
+      ++stats_.predicate_checks;
+      const std::string* value = nullptr;
+      for (const xml::Attribute& a : attrs) {
+        if (a.name == test.name) {
+          value = &a.value;
+          break;
+        }
+      }
+      bool pass = value != nullptr;
+      if (pass && test.has_value_test) {
+        pass = EvalValueTest(*value, test.op, test.literal,
+                             test.literal_is_number);
+      }
+      if (pass) {
+        branch |= uint64_t{1} << test.branch_slot;
+      } else {
+        attr_failed = true;
+      }
+    }
+    if (attr_failed && options_.prune_static_failures) return;
+
+    Entry entry;
+    entry.level = level;
+    entry.branch = branch;
+    if (v->is_return) {
+      entry.candidates.push_back(id);
+      ++live_candidates_;
+      if (candidate_observer_ != nullptr) candidate_observer_->OnCandidate(id);
+    }
+    stacks_[node_id].push_back(std::move(entry));
+    ++stats_.pushes;
+    ++live_entries_;
+  };
+
+  auto it = label_index_.find(tag);
+  if (it != label_index_.end()) {
+    for (int node_id : it->second) try_node(node_id);
+  }
+  for (int node_id : wildcard_nodes_) try_node(node_id);
+  UpdateMemoryStats();
+}
+
+void TwigMachine::Text(std::string_view text, int level) {
+  // Only nodes with value tests accumulate text, and only for the element
+  // currently on top of their stack (direct character data).
+  for (int node_id : value_test_nodes_) {
+    std::vector<Entry>& stack = stacks_[node_id];
+    if (!stack.empty() && stack.back().level == level) {
+      stack.back().text.append(text);
+      live_text_bytes_ += text.size();
+    }
+  }
+}
+
+void TwigMachine::EndElement(std::string_view tag, int level) {
+  ++stats_.end_events;
+  // δe: pop every machine node whose top entry has this level. Processed in
+  // reverse pre-order so that a child's propagation into parent entries is
+  // complete before any code inspects them; entries popped in this event
+  // can never be propagation targets of this event (ζ distances are ≥ 1).
+  for (auto rit = preorder_.rbegin(); rit != preorder_.rend(); ++rit) {
+    const int node_id = *rit;
+    const MachineNode* v = graph_.nodes()[node_id].get();
+    if (!v->MatchesTag(tag)) continue;
+    std::vector<Entry>& stack = stacks_[node_id];
+    if (stack.empty() || stack.back().level != level) continue;
+
+    Entry top = std::move(stack.back());
+    stack.pop_back();
+    ++stats_.pops;
+    --live_entries_;
+    live_candidates_ -= top.candidates.size();
+    live_text_bytes_ -= top.text.size();
+
+    ++stats_.predicate_checks;
+    bool satisfied = (top.branch & v->required_mask) == v->required_mask;
+    if (satisfied && v->has_value_test) {
+      satisfied =
+          EvalValueTest(top.text, v->op, v->literal, v->literal_is_number);
+    }
+    if (!satisfied) continue;  // prune: drop every match `top` was part of
+
+    if (v->parent == nullptr) {
+      // Root: output candidates. A candidate may have reached several root
+      // entries on recursive data; emit each id once.
+      for (xml::NodeId id : top.candidates) {
+        if (emitted_.insert(id).second) {
+          sink_->OnResult(id);
+          ++stats_.results;
+        }
+      }
+      if (stack.empty()) emitted_.clear();
+      continue;
+    }
+
+    // Propagate to qualifying parent entries. Levels are strictly
+    // increasing, so '≥' edges match a prefix of the stack and '=' edges
+    // match at most one entry.
+    const uint64_t bit = uint64_t{1} << v->branch_slot;
+    std::vector<Entry>& pstack = stacks_[v->parent->id];
+    auto propagate = [&](Entry& e) {
+      e.branch |= bit;
+      if (!top.candidates.empty()) {
+        ++stats_.candidate_unions;
+        live_candidates_ += UnionSortedIds(top.candidates, &e.candidates);
+      }
+    };
+    const int max_level = top.level - v->edge.distance;
+    if (!v->edge.exact) {
+      for (Entry& e : pstack) {
+        if (e.level > max_level) break;
+        propagate(e);
+      }
+    } else {
+      auto it = std::lower_bound(
+          pstack.begin(), pstack.end(), max_level,
+          [](const Entry& e, int l) { return e.level < l; });
+      if (it != pstack.end() && it->level == max_level) propagate(*it);
+    }
+  }
+  UpdateMemoryStats();
+}
+
+void TwigMachine::EndDocument() {
+  // Nothing pending: every element's end event popped its entries.
+}
+
+}  // namespace twigm::core

@@ -1,0 +1,146 @@
+// TwigM — the paper's streaming XPath evaluation machine (sections 3.3, 4).
+//
+// One stack per machine node. A stack entry is the triple of section 4.1:
+//   (level, branch-match array, candidate set)
+// and, when the node carries a value test, the element's accumulated direct
+// text. The stacks compactly encode every pattern match a candidate
+// participates in (n² matches in 2n entries for the Fig. 1 family);
+// verification pops one entry to discard a whole group of failed matches and
+// unions candidate sets to deduplicate, giving the polynomial bound of
+// Theorem 4.4: O((|Q| + R·B)·|Q|·|D|).
+//
+// Transition functions (Algorithm 1):
+//  * δs (startElement(tag, level, id)): every machine node v whose label
+//    matches tag (or is '*') and for which some entry e of ρ(v)'s stack
+//    satisfies ζ(v) on level − e.level (the root checks `level` directly)
+//    pushes <level, <F..F>, ∅>; the return node also adds `id` to the new
+//    entry's candidate set. Attribute tests are resolved immediately against
+//    the element's attributes.
+//  * δe (endElement(tag, level)): every machine node v whose stack-top has
+//    this level pops. If the top's branch match is all-T (and its value test
+//    passes): the root outputs its candidates; any other node sets bit β(v)
+//    in each parent entry satisfying ζ(v) and uploads its candidates there.
+//    A top with an F bit is simply discarded — pruning, without enumeration,
+//    every pattern match it participated in.
+
+#ifndef TWIGM_CORE_TWIG_MACHINE_H_
+#define TWIGM_CORE_TWIG_MACHINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "core/machine_builder.h"
+#include "core/machine_stats.h"
+#include "core/result_sink.h"
+#include "xml/sax_event.h"
+#include "xpath/query_tree.h"
+
+namespace twigm::core {
+
+/// Tuning options for TwigM.
+struct TwigMachineOptions {
+  /// When true (default), an element whose attribute tests already failed at
+  /// startElement is not pushed at all: its branch match can never become
+  /// all-T, so the entry would only be dead weight. Disable to run the
+  /// paper's literal push rule (ablation in bench_ablation_adversarial).
+  bool prune_static_failures = true;
+};
+
+/// The TwigM machine. Feed it modified SAX events (via xml::EventDriver or
+/// directly); results are emitted to the ResultSink incrementally.
+class TwigMachine : public xml::StreamEventSink {
+ public:
+  /// Builds the machine for `query` (section 4.2 construction). `sink` must
+  /// outlive the machine; not owned.
+  static Result<std::unique_ptr<TwigMachine>> Create(
+      const xpath::QueryTree& query, ResultSink* sink,
+      TwigMachineOptions options = TwigMachineOptions());
+
+  TwigMachine(const TwigMachine&) = delete;
+  TwigMachine& operator=(const TwigMachine&) = delete;
+
+  // StreamEventSink:
+  void StartElement(std::string_view tag, int level, xml::NodeId id,
+                    const std::vector<xml::Attribute>& attrs) override;
+  void EndElement(std::string_view tag, int level) override;
+  void Text(std::string_view text, int level) override;
+  void EndDocument() override;
+
+  /// Clears all runtime state (stacks, emitted set) and statistics so the
+  /// machine can process another document.
+  void Reset();
+
+  /// Optional: notified whenever an element becomes a candidate (not
+  /// owned; may be null).
+  void set_candidate_observer(CandidateObserver* observer) {
+    candidate_observer_ = observer;
+  }
+
+  const EngineStats& stats() const { return stats_; }
+  const MachineGraph& graph() const { return graph_; }
+
+ private:
+  // One stack entry: <level, branch match, candidates> (+ text buffer for
+  // value-test nodes).
+  struct Entry {
+    int level = 0;
+    uint64_t branch = 0;
+    std::vector<xml::NodeId> candidates;  // sorted ascending
+    std::string text;
+  };
+
+  TwigMachine(MachineGraph graph, ResultSink* sink,
+              TwigMachineOptions options);
+
+  void UpdateMemoryStats();
+
+  MachineGraph graph_;
+  ResultSink* sink_;
+  CandidateObserver* candidate_observer_ = nullptr;
+  TwigMachineOptions options_;
+  EngineStats stats_;
+
+  // stacks_[node->id] is ξ(v).
+  std::vector<std::vector<Entry>> stacks_;
+
+  // Heterogeneous string hashing so event tags (string_view) probe the
+  // label index without allocating.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  // Label index: tag -> machine-node ids with that label, in pre-order.
+  std::unordered_map<std::string, std::vector<int>, StringHash,
+                     std::equal_to<>>
+      label_index_;
+  std::vector<int> wildcard_nodes_;   // '*' machine-node ids, pre-order
+  std::vector<int> value_test_nodes_; // nodes that accumulate text
+  // Pre-order list of ids used for δe (processed in reverse: leaves first).
+  std::vector<int> preorder_;
+
+  // Already-output results: guards against re-emission when a candidate
+  // reached several root entries (recursive data matching the query root).
+  // Cleared whenever the root stack empties — after that point no live
+  // entry can still hold an already-emitted candidate.
+  std::unordered_set<xml::NodeId> emitted_;
+
+  uint64_t live_entries_ = 0;
+  uint64_t live_candidates_ = 0;
+  uint64_t live_text_bytes_ = 0;
+};
+
+/// Merges sorted id vector `src` into sorted `dst`, dropping duplicates.
+/// Exposed for reuse by BranchM and tests. Returns how many ids were added.
+size_t UnionSortedIds(const std::vector<xml::NodeId>& src,
+                      std::vector<xml::NodeId>* dst);
+
+}  // namespace twigm::core
+
+#endif  // TWIGM_CORE_TWIG_MACHINE_H_

@@ -1,0 +1,51 @@
+#include "core/union_query.h"
+
+#include "xpath/lexer.h"
+
+namespace twigm::core {
+
+Result<std::vector<std::string>> SplitUnionQuery(std::string_view query) {
+  Result<std::vector<xpath::Token>> tokens = xpath::Tokenize(query);
+  if (!tokens.ok()) return tokens.status();
+
+  std::vector<std::string> branches;
+  size_t branch_begin = 0;  // byte offset of the current branch
+  for (const xpath::Token& token : tokens.value()) {
+    if (token.kind != xpath::TokenKind::kPipe &&
+        token.kind != xpath::TokenKind::kEnd) {
+      continue;
+    }
+    std::string branch(query.substr(branch_begin, token.offset - branch_begin));
+    // Trim surrounding whitespace for clean error messages.
+    while (!branch.empty() && branch.front() == ' ') branch.erase(0, 1);
+    while (!branch.empty() && branch.back() == ' ') branch.pop_back();
+    if (branch.empty()) {
+      return Status::ParseError("empty branch in union query '" +
+                                std::string(query) + "'");
+    }
+    branches.push_back(std::move(branch));
+    branch_begin = token.offset + 1;
+  }
+  return branches;
+}
+
+Result<std::unique_ptr<UnionQueryProcessor>> UnionQueryProcessor::Create(
+    std::string_view query, ResultSink* sink, EvaluatorOptions options) {
+  if (sink == nullptr) {
+    return Status::InvalidArgument(
+        "UnionQueryProcessor requires a result sink");
+  }
+  Result<std::vector<std::string>> branches = SplitUnionQuery(query);
+  if (!branches.ok()) return branches.status();
+
+  auto proc =
+      std::unique_ptr<UnionQueryProcessor>(new UnionQueryProcessor());
+  proc->dedup_.out = sink;
+  Result<std::unique_ptr<MultiQueryProcessor>> multi =
+      MultiQueryProcessor::Create(branches.value(), &proc->dedup_, options);
+  if (!multi.ok()) return multi.status();
+  proc->multi_ = std::move(multi).value();
+  return proc;
+}
+
+}  // namespace twigm::core

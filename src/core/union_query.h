@@ -1,0 +1,76 @@
+// Union queries: `//a/b | //c[d]` — XPath 1.0's top-level `|` operator.
+//
+// Each branch is compiled to its own machine (via MultiQueryProcessor's
+// fan-out, so the document is parsed once); results are the set union:
+// an element matched by several branches is reported exactly once, the
+// first time any branch proves it.
+
+#ifndef TWIGM_CORE_UNION_QUERY_H_
+#define TWIGM_CORE_UNION_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "core/multi_query.h"
+#include "core/result_sink.h"
+
+namespace twigm::core {
+
+/// Splits `query` on top-level '|' into branch texts. A query without '|'
+/// yields one branch. Fails on empty branches or lexing errors.
+Result<std::vector<std::string>> SplitUnionQuery(std::string_view query);
+
+/// A compiled union query bound to a result sink.
+class UnionQueryProcessor {
+ public:
+  /// Compiles every branch of `query`. Also accepts branch-free queries
+  /// (degenerates to a single machine plus dedup). `sink` not owned.
+  static Result<std::unique_ptr<UnionQueryProcessor>> Create(
+      std::string_view query, ResultSink* sink,
+      EvaluatorOptions options = EvaluatorOptions());
+
+  UnionQueryProcessor(const UnionQueryProcessor&) = delete;
+  UnionQueryProcessor& operator=(const UnionQueryProcessor&) = delete;
+
+  Status Feed(std::string_view chunk) { return multi_->Feed(chunk); }
+  Status Finish() { return multi_->Finish(); }
+
+  void Reset() {
+    multi_->Reset();
+    dedup_.emitted.clear();
+  }
+
+  size_t branch_count() const { return multi_->query_count(); }
+  const EngineStats& branch_stats(size_t i) const { return multi_->stats(i); }
+
+  /// Results emitted so far (after set-union deduplication).
+  uint64_t results() const { return dedup_.results; }
+
+ private:
+  // Drops ids already reported by another branch.
+  struct DedupSink : MultiQueryResultSink {
+    void OnResult(size_t query_index, xml::NodeId id) override {
+      (void)query_index;
+      if (emitted.insert(id).second) {
+        out->OnResult(id);
+        ++results;
+      }
+    }
+    ResultSink* out = nullptr;
+    std::unordered_set<xml::NodeId> emitted;
+    uint64_t results = 0;
+  };
+
+  UnionQueryProcessor() = default;
+
+  DedupSink dedup_;
+  std::unique_ptr<MultiQueryProcessor> multi_;
+};
+
+}  // namespace twigm::core
+
+#endif  // TWIGM_CORE_UNION_QUERY_H_

@@ -1,0 +1,59 @@
+#include "core/value_test.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace twigm::core {
+
+namespace {
+
+// Parses `s` as a double; returns false if `s` is not entirely a number
+// (modulo surrounding ASCII whitespace).
+bool ParseNumber(std::string_view s, double* out) {
+  // Trim ASCII whitespace.
+  size_t begin = 0;
+  size_t end = s.size();
+  auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+  };
+  while (begin < end && is_space(s[begin])) ++begin;
+  while (end > begin && is_space(s[end - 1])) --end;
+  if (begin == end) return false;
+  const std::string buf(s.substr(begin, end - begin));
+  char* parse_end = nullptr;
+  const double value = std::strtod(buf.c_str(), &parse_end);
+  if (parse_end != buf.c_str() + buf.size()) return false;
+  *out = value;
+  return true;
+}
+
+template <typename T>
+bool Compare(const T& lhs, xpath::CmpOp op, const T& rhs) {
+  switch (op) {
+    case xpath::CmpOp::kEq: return lhs == rhs;
+    case xpath::CmpOp::kNe: return lhs != rhs;
+    case xpath::CmpOp::kLt: return lhs < rhs;
+    case xpath::CmpOp::kLe: return lhs <= rhs;
+    case xpath::CmpOp::kGt: return lhs > rhs;
+    case xpath::CmpOp::kGe: return lhs >= rhs;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool EvalValueTest(std::string_view text, xpath::CmpOp op,
+                   std::string_view literal, bool literal_is_number) {
+  if (literal_is_number) {
+    double text_num = 0.0;
+    double literal_num = 0.0;
+    if (ParseNumber(text, &text_num) && ParseNumber(literal, &literal_num)) {
+      return Compare(text_num, op, literal_num);
+    }
+    // A non-numeric node value never satisfies a numeric comparison.
+    return op == xpath::CmpOp::kNe;
+  }
+  return Compare(std::string_view(text), op, literal);
+}
+
+}  // namespace twigm::core

@@ -1,0 +1,27 @@
+// Value-test semantics shared by every engine (streaming machines, DOM
+// oracle, naive baseline), so differential tests compare like for like.
+//
+// A value test compares a node's *direct* text content (the concatenation of
+// character data immediately inside the element, not of descendants) or an
+// attribute's value against a literal. When the literal was written as a
+// number and the node text also parses as a number, the comparison is
+// numeric; otherwise it is bytewise string comparison. This matches the
+// restricted predicates of the paper's experimental queries (Q8's value
+// test) rather than full XPath string-value semantics; see DESIGN.md.
+
+#ifndef TWIGM_CORE_VALUE_TEST_H_
+#define TWIGM_CORE_VALUE_TEST_H_
+
+#include <string_view>
+
+#include "xpath/ast.h"
+
+namespace twigm::core {
+
+/// Evaluates `text op literal`.
+bool EvalValueTest(std::string_view text, xpath::CmpOp op,
+                   std::string_view literal, bool literal_is_number);
+
+}  // namespace twigm::core
+
+#endif  // TWIGM_CORE_VALUE_TEST_H_

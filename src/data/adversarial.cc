@@ -1,0 +1,30 @@
+#include "data/adversarial.h"
+
+#include "xml/xml_writer.h"
+
+namespace twigm::data {
+
+std::string GenerateAdversarial(const AdversarialOptions& options) {
+  const int n = options.n < 1 ? 1 : options.n;
+  xml::XmlWriter writer;
+  // a_1 .. a_n nested.
+  for (int i = 0; i < n; ++i) writer.Open("a");
+  // b_1 .. b_n nested inside a_n.
+  for (int i = 0; i < n; ++i) writer.Open("b");
+  for (int i = 0; i < options.c_count; ++i) {
+    writer.Open("c").Close();
+  }
+  // Close b_n .. b_2; then e arrives as a following sibling inside b_1, so
+  // every [e] predicate stays unresolved until after c was seen.
+  for (int i = 0; i < n - 1; ++i) writer.Close();
+  if (options.with_e) writer.Open("e").Close();
+  writer.Close();  // b_1
+  // Close a_n .. a_2; d is a following sibling inside a_1 — the [d]
+  // predicate resolves at the very end of the document.
+  for (int i = 0; i < n - 1; ++i) writer.Close();
+  if (options.with_d) writer.Open("d").Close();
+  writer.Close();  // a_1
+  return std::move(writer).TakeString();
+}
+
+}  // namespace twigm::data

@@ -1,0 +1,31 @@
+// The adversarial document family of Figure 1: n nested a's, then n nested
+// b's, then a single c — the data on which //a[d]//b[e]//c has n² pattern
+// matches for the one result node, which TwigM encodes in 2n stack entries.
+// The d child hangs off the outermost a and the e child off the innermost
+// b, exactly as in the paper's running example (the predicates resolve only
+// at the very end).
+
+#ifndef TWIGM_DATA_ADVERSARIAL_H_
+#define TWIGM_DATA_ADVERSARIAL_H_
+
+#include <string>
+
+namespace twigm::data {
+
+struct AdversarialOptions {
+  int n = 8;               // nesting depth of the a-chain and b-chain
+  bool with_d = true;      // emit <d/> under a_1 (satisfies [d])
+  bool with_e = true;      // emit <e/> under b_1 (satisfies [e])
+  int c_count = 1;         // number of c leaves under b_n
+};
+
+/// Builds the Figure 1 document:
+///   a_1( d?, a_2( ... a_n( b_1( b_2( ... b_n( c... ), e? ) ) ) ... ) )
+/// Note d precedes the nested a's but e FOLLOWS the nested b's (paper
+/// figure): every b's predicate stays unresolved until after c is seen.
+std::string GenerateAdversarial(
+    const AdversarialOptions& options = AdversarialOptions());
+
+}  // namespace twigm::data
+
+#endif  // TWIGM_DATA_ADVERSARIAL_H_

@@ -1,0 +1,64 @@
+#include "data/book.h"
+
+#include "dtd/dtd_parser.h"
+
+namespace twigm::data {
+
+// XQuery use cases (TREE), lightly extended with the attributes the
+// experimental queries test (@id on section, @short on title).
+const char kBookDtd[] = R"(
+<!ELEMENT book (title, author+, section*)>
+<!ATTLIST book year CDATA #IMPLIED>
+<!ELEMENT title (#PCDATA)>
+<!ATTLIST title short CDATA #IMPLIED>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT section (title, (p | figure | section)*)>
+<!ATTLIST section id ID #REQUIRED difficulty CDATA #IMPLIED>
+<!ELEMENT p (#PCDATA)>
+<!ELEMENT figure (title, image)>
+<!ATTLIST figure width CDATA #IMPLIED height CDATA #IMPLIED>
+<!ELEMENT image EMPTY>
+<!ATTLIST image source CDATA #REQUIRED>
+)";
+
+Result<std::string> GenerateBook(const BookOptions& options) {
+  Result<dtd::Dtd> parsed = dtd::ParseDtd(kBookDtd);
+  if (!parsed.ok()) return parsed.status();
+  const dtd::Dtd& dtd = parsed.value();
+
+  dtd::GeneratorOptions gen;
+  gen.seed = options.seed;
+  gen.number_levels = options.number_levels;
+  gen.max_repeats = options.max_repeats;
+
+  if (options.min_bytes == 0) {
+    if (options.copies == 1) {
+      return dtd::GenerateDocument(dtd, "book", gen);
+    }
+    return dtd::GenerateCollection(dtd, "book", gen, options.copies);
+  }
+
+  // Size-targeted mode: stack independent books (distinct seeds) under a
+  // <collection> root until at least min_bytes of XML text exist. Raw
+  // splicing is safe: each generated document is well-formed and the XML
+  // declaration is stripped.
+  std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<collection>";
+  uint64_t seed = options.seed;
+  while (out.size() < options.min_bytes) {
+    dtd::GeneratorOptions per_book = gen;
+    per_book.seed = seed++;
+    Result<std::string> doc = dtd::GenerateDocument(dtd, "book", per_book);
+    if (!doc.ok()) return doc.status();
+    const std::string& text = doc.value();
+    const size_t start = text.find("<book");
+    if (start == std::string::npos) {
+      return Status::Internal("generated book document has no <book> root");
+    }
+    out.append(text, start, std::string::npos);
+    out.push_back('\n');
+  }
+  out += "</collection>";
+  return out;
+}
+
+}  // namespace twigm::data

@@ -1,0 +1,38 @@
+// The Book dataset (section 5.1): synthetic data generated from the Book
+// DTD of the XQuery use cases ("TREE" use case) — the recursive `section`
+// element is what makes this dataset exercise TwigM's compact match
+// encoding. The paper's IBM XML Generator settings are the defaults:
+// NumberLevels = 20, MaxRepeats = 9.
+
+#ifndef TWIGM_DATA_BOOK_H_
+#define TWIGM_DATA_BOOK_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "dtd/dtd_generator.h"
+
+namespace twigm::data {
+
+/// The Book DTD (XQuery use cases, TREE), with recursive sections.
+extern const char kBookDtd[];
+
+struct BookOptions {
+  uint64_t seed = 42;
+  int number_levels = 20;  // paper setting
+  int max_repeats = 9;     // paper setting
+  /// Number of <book> instances concatenated under a <collection> root;
+  /// 1 emits a bare <book> document. The scalability figures use 1..6
+  /// identical copies.
+  int copies = 1;
+  /// Grow the document by stacking additional independent books until at
+  /// least this many bytes (0 = ignore; used to reach the paper's ~9 MB).
+  size_t min_bytes = 0;
+};
+
+/// Generates the Book dataset. Deterministic per seed.
+Result<std::string> GenerateBook(const BookOptions& options = BookOptions());
+
+}  // namespace twigm::data
+
+#endif  // TWIGM_DATA_BOOK_H_

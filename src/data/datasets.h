@@ -1,0 +1,52 @@
+// Dataset registry and feature measurement (Figure 5: size, number of
+// elements, depth, recursion) plus the experimental query sets (Figure 6).
+
+#ifndef TWIGM_DATA_DATASETS_H_
+#define TWIGM_DATA_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace twigm::data {
+
+/// Structural features of a document (the paper's Figure 5 columns).
+struct DatasetFeatures {
+  uint64_t bytes = 0;
+  uint64_t elements = 0;
+  uint64_t attributes = 0;
+  uint64_t text_bytes = 0;
+  int max_depth = 0;
+  /// True iff some tag repeats along a root-to-leaf path (the paper's
+  /// definition of recursive data, section 1).
+  bool recursive = false;
+
+  std::string ToString() const;
+};
+
+/// Parses `document` and measures its features. Fails on malformed XML.
+Result<DatasetFeatures> ComputeFeatures(std::string_view document);
+
+/// One experimental query (Figure 6 rows).
+struct QuerySpec {
+  std::string name;      // "Q1".."Q10" / "XM1"..
+  std::string text;      // XPath
+  std::string language;  // "XP{/,//,*}", "XP{/,//,[]}", "XP{/,//,*,[]}"
+};
+
+/// The ten Book-dataset queries (Q1–Q4 linear, Q5–Q8 restricted predicates
+/// with Q8 carrying a value test, Q9–Q10 full XP{/,//,*,[]}).
+const std::vector<QuerySpec>& BookQueries();
+
+/// The ten Protein-dataset queries, same class structure.
+const std::vector<QuerySpec>& ProteinQueries();
+
+/// The XMark-style benchmark queries (only '/', '//', '*', predicates).
+const std::vector<QuerySpec>& AuctionQueries();
+
+}  // namespace twigm::data
+
+#endif  // TWIGM_DATA_DATASETS_H_

@@ -1,0 +1,103 @@
+#include "data/protein.h"
+
+#include "common/random.h"
+#include "xml/xml_writer.h"
+
+namespace twigm::data {
+
+namespace {
+
+constexpr const char* kOrganisms[] = {
+    "Homo sapiens", "Mus musculus",   "Escherichia coli",
+    "Rattus rattus", "Gallus gallus", "Saccharomyces cerevisiae",
+};
+constexpr const char* kCommonNames[] = {
+    "human", "mouse", "bacterium", "rat", "chicken", "yeast",
+};
+constexpr const char* kClassifications[] = {
+    "kinase", "transferase", "hydrolase", "ligase", "isomerase", "oxidoreductase",
+};
+constexpr const char* kJournals[] = {
+    "J. Biol. Chem.", "Nature", "Science", "Cell", "EMBO J.",
+};
+constexpr char kResidues[] = "ACDEFGHIKLMNPQRSTVWY";
+
+void EmitEntry(Rng* rng, int index, xml::XmlWriter* w) {
+  w->Open("ProteinEntry").Attr("id", "PE" + std::to_string(index));
+
+  w->Open("header");
+  w->Open("uid").Text("U" + std::to_string(100000 + index)).Close();
+  w->Open("accession").Text("A" + std::to_string(rng->Below(1000000))).Close();
+  w->Open("created").Text("199" + std::to_string(rng->Below(10))).Close();
+  w->Close();  // header
+
+  w->Open("protein");
+  w->Open("name").Text("protein-" + rng->Word(4, 9)).Close();
+  const size_t kind = rng->Below(6);
+  w->Open("classification")
+      .Open("superfamily")
+      .Text(kClassifications[kind])
+      .Close()
+      .Close();
+  w->Close();  // protein
+
+  w->Open("organism");
+  w->Open("source").Text(kOrganisms[kind]).Close();
+  w->Open("common").Text(kCommonNames[kind]).Close();
+  w->Close();  // organism
+
+  const int refs = 1 + static_cast<int>(rng->Below(3));
+  for (int r = 0; r < refs; ++r) {
+    w->Open("reference");
+    w->Open("refinfo").Attr("refid", "R" + std::to_string(index) + "." +
+                                          std::to_string(r));
+    const int authors = 1 + static_cast<int>(rng->Below(4));
+    w->Open("authors");
+    for (int a = 0; a < authors; ++a) {
+      w->Open("author").Text(rng->Word(3, 8) + ", " +
+                             static_cast<char>('A' + rng->Below(26)) + ".")
+          .Close();
+    }
+    w->Close();  // authors
+    w->Open("citation").Attr("type", "journal");
+    w->Open("journal").Text(kJournals[rng->Below(5)]).Close();
+    w->Open("year").Text(std::to_string(1980 + rng->Below(25))).Close();
+    w->Close();  // citation
+    w->Close();  // refinfo
+    w->Close();  // reference
+  }
+
+  const int seq_len = 60 + static_cast<int>(rng->Below(120));
+  std::string seq;
+  seq.reserve(static_cast<size_t>(seq_len));
+  for (int i = 0; i < seq_len; ++i) {
+    seq.push_back(kResidues[rng->Below(sizeof(kResidues) - 1)]);
+  }
+  w->Open("sequence").Text(seq).Close();
+
+  w->Close();  // ProteinEntry
+}
+
+}  // namespace
+
+Result<std::string> GenerateProtein(const ProteinOptions& options) {
+  if (options.entries < 1 && options.min_bytes == 0) {
+    return Status::InvalidArgument("entries must be >= 1");
+  }
+  Rng rng(options.seed);
+  xml::XmlWriter writer;
+  writer.Open("ProteinDatabase");
+  int index = 0;
+  while (true) {
+    if (options.min_bytes > 0) {
+      if (writer.size_bytes() >= options.min_bytes) break;
+    } else if (index >= options.entries) {
+      break;
+    }
+    EmitEntry(&rng, index++, &writer);
+  }
+  writer.Close();
+  return std::move(writer).TakeString();
+}
+
+}  // namespace twigm::data

@@ -1,0 +1,30 @@
+// Protein Sequence Database stand-in (section 5.1's real dataset, [15]):
+// a large, shallow, *non-recursive* document — many small ProteinEntry
+// records under a single root. The element vocabulary follows the published
+// Georgetown PIR XML schema closely enough for the paper's query classes.
+
+#ifndef TWIGM_DATA_PROTEIN_H_
+#define TWIGM_DATA_PROTEIN_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace twigm::data {
+
+struct ProteinOptions {
+  uint64_t seed = 7;
+  /// Number of ProteinEntry records.
+  int entries = 5000;
+  /// Grow until at least this many bytes (0 = use `entries` exactly).
+  size_t min_bytes = 0;
+};
+
+/// Generates the protein dataset. Deterministic per seed. Document depth is
+/// fixed (6) and no tag repeats along any root-to-leaf path.
+Result<std::string> GenerateProtein(
+    const ProteinOptions& options = ProteinOptions());
+
+}  // namespace twigm::data
+
+#endif  // TWIGM_DATA_PROTEIN_H_

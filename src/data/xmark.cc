@@ -1,0 +1,279 @@
+#include "data/xmark.h"
+
+#include "common/random.h"
+#include "xml/xml_writer.h"
+
+namespace twigm::data {
+
+namespace {
+
+constexpr const char* kRegions[] = {"africa",  "asia",   "australia",
+                                    "europe",  "namerica", "samerica"};
+constexpr const char* kCategoriesWords[] = {"antiques", "books", "coins",
+                                            "computers", "art", "music"};
+
+class XmarkGenerator {
+ public:
+  XmarkGenerator(const XmarkOptions& options)
+      : options_(options), rng_(options.seed) {
+    people_ = options.people;
+    items_ = people_ * 2;
+    open_auctions_ = people_;
+    closed_auctions_ = people_ / 2;
+    categories_ = people_ / 5 + 1;
+  }
+
+  void Run(xml::XmlWriter* w) {
+    w->Open("site");
+    EmitRegions(w);
+    EmitCategories(w);
+    EmitCatgraph(w);
+    EmitPeople(w);
+    EmitOpenAuctions(w);
+    EmitClosedAuctions(w);
+    w->Close();
+  }
+
+ private:
+  std::string Sentence(int min_words, int max_words) {
+    std::string out;
+    const int n = static_cast<int>(rng_.Range(min_words, max_words));
+    for (int i = 0; i < n; ++i) {
+      if (i > 0) out.push_back(' ');
+      out += rng_.Word(3, 9);
+    }
+    return out;
+  }
+
+  // Recursive parlist/listitem description (the recursive part of XMark).
+  void EmitParlist(int depth, xml::XmlWriter* w) {
+    w->Open("parlist");
+    const int items = 1 + static_cast<int>(rng_.Below(3));
+    for (int i = 0; i < items; ++i) {
+      w->Open("listitem");
+      if (depth < options_.description_depth && rng_.Chance(0.35)) {
+        EmitParlist(depth + 1, w);
+      } else {
+        w->Open("text").Text(Sentence(4, 12)).Close();
+      }
+      w->Close();
+    }
+    w->Close();
+  }
+
+  void EmitDescription(xml::XmlWriter* w) {
+    w->Open("description");
+    if (rng_.Chance(0.6)) {
+      EmitParlist(1, w);
+    } else {
+      w->Open("text").Text(Sentence(5, 15)).Close();
+    }
+    w->Close();
+  }
+
+  void EmitRegions(xml::XmlWriter* w) {
+    w->Open("regions");
+    int item_index = 0;
+    for (const char* region : kRegions) {
+      w->Open(region);
+      const int per_region = items_ / 6 + 1;
+      for (int i = 0; i < per_region; ++i) {
+        w->Open("item").Attr("id", "item" + std::to_string(item_index++));
+        w->Open("location").Text(Sentence(1, 2)).Close();
+        w->Open("quantity").Text(std::to_string(1 + rng_.Below(5))).Close();
+        w->Open("name").Text(Sentence(2, 4)).Close();
+        w->Open("payment").Text("Creditcard").Close();
+        EmitDescription(w);
+        w->Open("shipping").Text("Will ship internationally").Close();
+        if (rng_.Chance(0.5)) {
+          w->Open("incategory")
+              .Attr("category",
+                    "category" + std::to_string(rng_.Below(
+                                     static_cast<uint64_t>(categories_))))
+              .Close();
+        }
+        w->Close();  // item
+      }
+      w->Close();  // region
+    }
+    w->Close();  // regions
+  }
+
+  void EmitCategories(xml::XmlWriter* w) {
+    w->Open("categories");
+    for (int i = 0; i < categories_; ++i) {
+      w->Open("category").Attr("id", "category" + std::to_string(i));
+      w->Open("name").Text(kCategoriesWords[rng_.Below(6)]).Close();
+      EmitDescription(w);
+      w->Close();
+    }
+    w->Close();
+  }
+
+  void EmitCatgraph(xml::XmlWriter* w) {
+    w->Open("catgraph");
+    for (int i = 0; i + 1 < categories_; ++i) {
+      w->Open("edge")
+          .Attr("from", "category" + std::to_string(i))
+          .Attr("to", "category" + std::to_string(i + 1))
+          .Close();
+    }
+    w->Close();
+  }
+
+  void EmitPeople(xml::XmlWriter* w) {
+    w->Open("people");
+    for (int i = 0; i < people_; ++i) {
+      w->Open("person").Attr("id", "person" + std::to_string(i));
+      w->Open("name").Text(rng_.Word(4, 8) + " " + rng_.Word(4, 9)).Close();
+      w->Open("emailaddress")
+          .Text("mailto:" + rng_.Word(4, 8) + "@" + rng_.Word(4, 8) + ".com")
+          .Close();
+      if (rng_.Chance(0.6)) {
+        w->Open("phone").Text("+1 (" + std::to_string(100 + rng_.Below(900)) +
+                              ") " + std::to_string(1000000 + rng_.Below(9000000)))
+            .Close();
+      }
+      if (rng_.Chance(0.4)) {
+        w->Open("address");
+        w->Open("street").Text(std::to_string(1 + rng_.Below(99)) + " " +
+                               rng_.Word(4, 9) + " St")
+            .Close();
+        w->Open("city").Text(rng_.Word(4, 9)).Close();
+        w->Open("country").Text("United States").Close();
+        w->Open("zipcode").Text(std::to_string(10000 + rng_.Below(90000)))
+            .Close();
+        w->Close();
+      }
+      if (rng_.Chance(0.5)) {
+        w->Open("profile").Attr("income",
+                                std::to_string(20000 + rng_.Below(80000)));
+        w->Open("interest")
+            .Attr("category",
+                  "category" + std::to_string(
+                                   rng_.Below(static_cast<uint64_t>(
+                                       categories_))))
+            .Close();
+        if (rng_.Chance(0.5)) {
+          w->Open("education").Text("Graduate School").Close();
+        }
+        w->Open("business").Text(rng_.Chance(0.5) ? "Yes" : "No").Close();
+        w->Close();
+      }
+      w->Close();  // person
+    }
+    w->Close();  // people
+  }
+
+  void EmitOpenAuctions(xml::XmlWriter* w) {
+    w->Open("open_auctions");
+    for (int i = 0; i < open_auctions_; ++i) {
+      w->Open("open_auction").Attr("id", "open_auction" + std::to_string(i));
+      w->Open("initial")
+          .Text(std::to_string(1 + rng_.Below(200)) + "." +
+                std::to_string(10 + rng_.Below(90)))
+          .Close();
+      const int bids = static_cast<int>(rng_.Below(5));
+      for (int b = 0; b < bids; ++b) {
+        w->Open("bidder");
+        w->Open("date").Text("07/" + std::to_string(1 + rng_.Below(28)) +
+                             "/2005")
+            .Close();
+        w->Open("personref")
+            .Attr("person",
+                  "person" + std::to_string(
+                                 rng_.Below(static_cast<uint64_t>(people_))))
+            .Close();
+        w->Open("increase")
+            .Text(std::to_string(1 + rng_.Below(50)) + ".00")
+            .Close();
+        w->Close();
+      }
+      w->Open("current")
+          .Text(std::to_string(1 + rng_.Below(500)) + ".00")
+          .Close();
+      w->Open("itemref")
+          .Attr("item",
+                "item" + std::to_string(rng_.Below(
+                             static_cast<uint64_t>(items_))))
+          .Close();
+      w->Open("seller")
+          .Attr("person",
+                "person" + std::to_string(rng_.Below(
+                               static_cast<uint64_t>(people_))))
+          .Close();
+      EmitDescription(w);
+      w->Open("quantity").Text("1").Close();
+      w->Open("type").Text(rng_.Chance(0.5) ? "Regular" : "Featured").Close();
+      w->Open("interval");
+      w->Open("start").Text("01/01/2005").Close();
+      w->Open("end").Text("12/31/2005").Close();
+      w->Close();
+      w->Close();  // open_auction
+    }
+    w->Close();  // open_auctions
+  }
+
+  void EmitClosedAuctions(xml::XmlWriter* w) {
+    w->Open("closed_auctions");
+    for (int i = 0; i < closed_auctions_; ++i) {
+      w->Open("closed_auction");
+      w->Open("seller")
+          .Attr("person",
+                "person" + std::to_string(rng_.Below(
+                               static_cast<uint64_t>(people_))))
+          .Close();
+      w->Open("buyer")
+          .Attr("person",
+                "person" + std::to_string(rng_.Below(
+                               static_cast<uint64_t>(people_))))
+          .Close();
+      w->Open("itemref")
+          .Attr("item",
+                "item" + std::to_string(rng_.Below(
+                             static_cast<uint64_t>(items_))))
+          .Close();
+      w->Open("price")
+          .Text(std::to_string(1 + rng_.Below(500)) + ".00")
+          .Close();
+      w->Open("date").Text("10/" + std::to_string(1 + rng_.Below(28)) +
+                           "/2005")
+          .Close();
+      w->Open("quantity").Text("1").Close();
+      w->Open("type").Text("Regular").Close();
+      EmitDescription(w);
+      w->Close();  // closed_auction
+    }
+    w->Close();  // closed_auctions
+  }
+
+  XmarkOptions options_;
+  Rng rng_;
+  int people_;
+  int items_;
+  int open_auctions_;
+  int closed_auctions_;
+  int categories_;
+};
+
+}  // namespace
+
+Result<std::string> GenerateXmark(const XmarkOptions& options) {
+  if (options.people < 1) {
+    return Status::InvalidArgument("people must be >= 1");
+  }
+  XmarkOptions effective = options;
+  while (true) {
+    xml::XmlWriter writer;
+    XmarkGenerator gen(effective);
+    gen.Run(&writer);
+    std::string doc = std::move(writer).TakeString();
+    if (options.min_bytes == 0 || doc.size() >= options.min_bytes) {
+      return doc;
+    }
+    // Scale up and regenerate until the size target is met.
+    effective.people = effective.people * 2;
+  }
+}
+
+}  // namespace twigm::data

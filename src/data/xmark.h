@@ -1,0 +1,34 @@
+// XMark-like auction benchmark data (section 5.1's benchmark dataset,
+// [31]): the standard `site` document with regions/items, categories,
+// people, and open/closed auctions. Item and category descriptions use the
+// recursive parlist/listitem structure — the recursion the benchmark
+// queries exercise. Scaled by an approximate factor instead of XMark's
+// `-f` (factor 1.0 ≈ tens of MB there; our default is CI-sized and every
+// bench can raise it).
+
+#ifndef TWIGM_DATA_XMARK_H_
+#define TWIGM_DATA_XMARK_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace twigm::data {
+
+struct XmarkOptions {
+  uint64_t seed = 11;
+  /// Number of people; items/auctions/categories are derived from it with
+  /// the XMark document's proportions.
+  int people = 500;
+  /// Maximum nesting depth of parlist/listitem descriptions.
+  int description_depth = 4;
+  /// Grow until at least this many bytes (0 = use `people` exactly).
+  size_t min_bytes = 0;
+};
+
+/// Generates the auction dataset. Deterministic per seed.
+Result<std::string> GenerateXmark(const XmarkOptions& options = XmarkOptions());
+
+}  // namespace twigm::data
+
+#endif  // TWIGM_DATA_XMARK_H_

@@ -1,0 +1,83 @@
+// Object model for a (simplified) DTD: element declarations with full
+// content models (sequence, choice, repetition, #PCDATA, EMPTY, ANY) and
+// attribute-list declarations. This is the input language of the dataset
+// generator (src/dtd/dtd_generator.h), our stand-in for IBM's XML Generator
+// which the paper drives with the Book DTD.
+
+#ifndef TWIGM_DTD_DTD_MODEL_H_
+#define TWIGM_DTD_DTD_MODEL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace twigm::dtd {
+
+/// Repetition suffix on a content particle.
+enum class Repeat {
+  kOne,       // (no suffix)
+  kOptional,  // ?
+  kStar,      // *
+  kPlus,      // +
+};
+
+/// A node of a content-model expression.
+struct ContentExpr {
+  enum class Kind {
+    kElement,   // a child element reference
+    kPcdata,    // #PCDATA
+    kSequence,  // (a, b, c)
+    kChoice,    // (a | b | c)
+    kEmpty,     // EMPTY
+    kAny,       // ANY
+  };
+
+  Kind kind = Kind::kEmpty;
+  Repeat repeat = Repeat::kOne;
+  std::string name;                   // kind == kElement
+  std::vector<ContentExpr> children;  // kSequence / kChoice
+};
+
+/// How an attribute's value is declared.
+enum class AttrDefault {
+  kRequired,  // #REQUIRED
+  kImplied,   // #IMPLIED
+  kFixed,     // #FIXED "value"
+  kValue,     // "value" (default)
+};
+
+struct AttrDecl {
+  std::string name;
+  /// "CDATA", "ID", "IDREF", "NMTOKEN", or "" for an enumerated type.
+  std::string type;
+  std::vector<std::string> enum_values;  // enumerated types
+  AttrDefault default_kind = AttrDefault::kImplied;
+  std::string default_value;  // for kFixed / kValue
+};
+
+struct ElementDecl {
+  std::string name;
+  ContentExpr content;
+  /// True for mixed content (#PCDATA | a | ...)*.
+  bool mixed = false;
+};
+
+/// A parsed DTD. The first declared element is the conventional root.
+struct Dtd {
+  std::map<std::string, ElementDecl> elements;
+  std::map<std::string, std::vector<AttrDecl>> attlists;
+  std::string first_element;
+
+  const ElementDecl* FindElement(const std::string& name) const {
+    auto it = elements.find(name);
+    return it == elements.end() ? nullptr : &it->second;
+  }
+  const std::vector<AttrDecl>* FindAttlist(const std::string& name) const {
+    auto it = attlists.find(name);
+    return it == attlists.end() ? nullptr : &it->second;
+  }
+};
+
+}  // namespace twigm::dtd
+
+#endif  // TWIGM_DTD_DTD_MODEL_H_

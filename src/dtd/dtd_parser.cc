@@ -1,0 +1,296 @@
+#include "dtd/dtd_parser.h"
+
+namespace twigm::dtd {
+
+namespace {
+
+bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+bool IsNameChar(unsigned char c) {
+  return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':' || c == '-' ||
+         c == '.' || c >= 0x80;
+}
+
+class DtdParserImpl {
+ public:
+  explicit DtdParserImpl(std::string_view text) : text_(text) {}
+
+  Result<Dtd> Run() {
+    while (true) {
+      SkipSpaceAndComments();
+      if (pos_ >= text_.size()) break;
+      if (!Consume("<!")) {
+        return Error("expected a declaration starting with '<!'");
+      }
+      if (Consume("ELEMENT")) {
+        TWIGM_RETURN_IF_ERROR(ParseElementDecl());
+      } else if (Consume("ATTLIST")) {
+        TWIGM_RETURN_IF_ERROR(ParseAttlistDecl());
+      } else if (Consume("ENTITY") || Consume("NOTATION")) {
+        // Skipped: consume to the closing '>'.
+        while (pos_ < text_.size() && text_[pos_] != '>') ++pos_;
+        if (pos_ >= text_.size()) return Error("unterminated declaration");
+        ++pos_;
+      } else {
+        return Error("unknown declaration");
+      }
+    }
+    if (dtd_.elements.empty()) {
+      return Error("DTD declares no elements");
+    }
+    return std::move(dtd_);
+  }
+
+ private:
+  Status Error(const std::string& msg) {
+    return Status::ParseError("DTD: " + msg + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && IsSpace(text_[pos_])) ++pos_;
+  }
+
+  void SkipSpaceAndComments() {
+    while (true) {
+      SkipSpace();
+      if (text_.substr(pos_, 4) == "<!--") {
+        const size_t end = text_.find("-->", pos_ + 4);
+        pos_ = end == std::string_view::npos ? text_.size() : end + 3;
+      } else if (text_.substr(pos_, 2) == "<?") {
+        const size_t end = text_.find("?>", pos_ + 2);
+        pos_ = end == std::string_view::npos ? text_.size() : end + 2;
+      } else {
+        return;
+      }
+    }
+  }
+
+  bool Consume(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> ParseName() {
+    SkipSpace();
+    const size_t begin = pos_;
+    while (pos_ < text_.size() &&
+           IsNameChar(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == begin) return Error("expected a name");
+    return std::string(text_.substr(begin, pos_ - begin));
+  }
+
+  Repeat ParseRepeat() {
+    if (pos_ < text_.size()) {
+      switch (text_[pos_]) {
+        case '?':
+          ++pos_;
+          return Repeat::kOptional;
+        case '*':
+          ++pos_;
+          return Repeat::kStar;
+        case '+':
+          ++pos_;
+          return Repeat::kPlus;
+        default:
+          break;
+      }
+    }
+    return Repeat::kOne;
+  }
+
+  // Parses a parenthesized group; `mixed` is set when it is a mixed-content
+  // model (#PCDATA | ...).
+  Status ParseGroup(ContentExpr* out, bool* mixed) {
+    SkipSpace();
+    if (!Consume("(")) return Error("expected '('");
+    SkipSpace();
+
+    if (Consume("#PCDATA")) {
+      // (#PCDATA) or (#PCDATA | a | b)*
+      ContentExpr pcdata;
+      pcdata.kind = ContentExpr::Kind::kPcdata;
+      SkipSpace();
+      if (Consume(")")) {
+        ParseRepeat();  // (#PCDATA)* is legal; repetition is irrelevant
+        *out = pcdata;
+        return Status::Ok();
+      }
+      ContentExpr choice;
+      choice.kind = ContentExpr::Kind::kChoice;
+      choice.children.push_back(pcdata);
+      while (true) {
+        SkipSpace();
+        if (Consume(")")) break;
+        if (!Consume("|")) return Error("expected '|' in mixed content");
+        Result<std::string> name = ParseName();
+        if (!name.ok()) return name.status();
+        ContentExpr child;
+        child.kind = ContentExpr::Kind::kElement;
+        child.name = std::move(name).value();
+        choice.children.push_back(std::move(child));
+      }
+      ParseRepeat();  // the trailing '*' of mixed content
+      choice.repeat = Repeat::kStar;
+      *mixed = true;
+      *out = std::move(choice);
+      return Status::Ok();
+    }
+
+    // Ordinary group: particle (sep particle)* ')'
+    std::vector<ContentExpr> particles;
+    char separator = 0;
+    while (true) {
+      SkipSpace();
+      ContentExpr particle;
+      if (text_.substr(pos_, 1) == "(") {
+        bool inner_mixed = false;
+        TWIGM_RETURN_IF_ERROR(ParseGroup(&particle, &inner_mixed));
+        particle.repeat = ParseRepeat();
+      } else {
+        Result<std::string> name = ParseName();
+        if (!name.ok()) return name.status();
+        particle.kind = ContentExpr::Kind::kElement;
+        particle.name = std::move(name).value();
+        particle.repeat = ParseRepeat();
+      }
+      particles.push_back(std::move(particle));
+      SkipSpace();
+      if (Consume(")")) break;
+      char sep = 0;
+      if (Consume(",")) {
+        sep = ',';
+      } else if (Consume("|")) {
+        sep = '|';
+      } else {
+        return Error("expected ',', '|' or ')'");
+      }
+      if (separator != 0 && sep != separator) {
+        return Error("cannot mix ',' and '|' in one group");
+      }
+      separator = sep;
+    }
+
+    if (particles.size() == 1 && separator == 0) {
+      *out = std::move(particles.front());
+      // A single-particle group's repetition applies to the group; caller
+      // reads it via ParseRepeat after us, so wrap to preserve both.
+      if (out->repeat == Repeat::kOne) return Status::Ok();
+      ContentExpr wrap;
+      wrap.kind = ContentExpr::Kind::kSequence;
+      wrap.children.push_back(std::move(*out));
+      *out = std::move(wrap);
+      return Status::Ok();
+    }
+    ContentExpr group;
+    group.kind = separator == '|' ? ContentExpr::Kind::kChoice
+                                  : ContentExpr::Kind::kSequence;
+    group.children = std::move(particles);
+    *out = std::move(group);
+    return Status::Ok();
+  }
+
+  Status ParseElementDecl() {
+    Result<std::string> name = ParseName();
+    if (!name.ok()) return name.status();
+    ElementDecl decl;
+    decl.name = std::move(name).value();
+    SkipSpace();
+    if (Consume("EMPTY")) {
+      decl.content.kind = ContentExpr::Kind::kEmpty;
+    } else if (Consume("ANY")) {
+      decl.content.kind = ContentExpr::Kind::kAny;
+    } else {
+      TWIGM_RETURN_IF_ERROR(ParseGroup(&decl.content, &decl.mixed));
+      decl.content.repeat = decl.mixed ? decl.content.repeat : ParseRepeat();
+    }
+    SkipSpace();
+    if (!Consume(">")) return Error("expected '>' after element declaration");
+    if (dtd_.elements.count(decl.name) != 0) {
+      return Error("duplicate declaration of element '" + decl.name + "'");
+    }
+    if (dtd_.first_element.empty()) dtd_.first_element = decl.name;
+    dtd_.elements.emplace(decl.name, std::move(decl));
+    return Status::Ok();
+  }
+
+  Status ParseAttlistDecl() {
+    Result<std::string> element = ParseName();
+    if (!element.ok()) return element.status();
+    std::vector<AttrDecl>& attrs = dtd_.attlists[element.value()];
+    while (true) {
+      SkipSpace();
+      if (Consume(">")) break;
+      AttrDecl attr;
+      Result<std::string> attr_name = ParseName();
+      if (!attr_name.ok()) return attr_name.status();
+      attr.name = std::move(attr_name).value();
+      SkipSpace();
+      if (text_.substr(pos_, 1) == "(") {
+        ++pos_;
+        while (true) {
+          SkipSpace();
+          Result<std::string> value = ParseName();
+          if (!value.ok()) return value.status();
+          attr.enum_values.push_back(std::move(value).value());
+          SkipSpace();
+          if (Consume(")")) break;
+          if (!Consume("|")) return Error("expected '|' in enumerated type");
+        }
+      } else {
+        Result<std::string> type = ParseName();
+        if (!type.ok()) return type.status();
+        attr.type = std::move(type).value();
+      }
+      SkipSpace();
+      if (Consume("#REQUIRED")) {
+        attr.default_kind = AttrDefault::kRequired;
+      } else if (Consume("#IMPLIED")) {
+        attr.default_kind = AttrDefault::kImplied;
+      } else if (Consume("#FIXED")) {
+        attr.default_kind = AttrDefault::kFixed;
+        TWIGM_RETURN_IF_ERROR(ParseQuoted(&attr.default_value));
+      } else {
+        attr.default_kind = AttrDefault::kValue;
+        TWIGM_RETURN_IF_ERROR(ParseQuoted(&attr.default_value));
+      }
+      attrs.push_back(std::move(attr));
+    }
+    return Status::Ok();
+  }
+
+  Status ParseQuoted(std::string* out) {
+    SkipSpace();
+    if (pos_ >= text_.size() || (text_[pos_] != '"' && text_[pos_] != '\'')) {
+      return Error("expected a quoted value");
+    }
+    const char quote = text_[pos_];
+    ++pos_;
+    const size_t end = text_.find(quote, pos_);
+    if (end == std::string_view::npos) return Error("unterminated value");
+    out->assign(text_.substr(pos_, end - pos_));
+    pos_ = end + 1;
+    return Status::Ok();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  Dtd dtd_;
+};
+
+}  // namespace
+
+Result<Dtd> ParseDtd(std::string_view text) {
+  DtdParserImpl impl(text);
+  return impl.Run();
+}
+
+}  // namespace twigm::dtd

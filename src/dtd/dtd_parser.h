@@ -1,0 +1,26 @@
+// Parser for the simplified DTD language of dtd_model.h.
+//
+// Supports <!ELEMENT> declarations with nested sequence/choice groups and
+// ?/*/+ repetition, #PCDATA (pure and mixed), EMPTY, ANY, and <!ATTLIST>
+// declarations with CDATA / ID / IDREF / NMTOKEN / enumerated types and
+// #REQUIRED / #IMPLIED / #FIXED / literal defaults. Comments and
+// <?...?> processing instructions inside the DTD are skipped. Parameter
+// entities are not supported (none of the paper's DTDs need them).
+
+#ifndef TWIGM_DTD_DTD_PARSER_H_
+#define TWIGM_DTD_DTD_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "dtd/dtd_model.h"
+
+namespace twigm::dtd {
+
+/// Parses DTD text (the *internal subset* syntax: a sequence of
+/// declarations, without the surrounding <!DOCTYPE ... [ ]>).
+Result<Dtd> ParseDtd(std::string_view text);
+
+}  // namespace twigm::dtd
+
+#endif  // TWIGM_DTD_DTD_PARSER_H_

@@ -1,0 +1,78 @@
+#include "xml/dom.h"
+
+#include "xml/sax_parser.h"
+
+namespace twigm::xml {
+
+DomNode* DomAssembler::StartElement(std::string_view tag,
+                                    const std::vector<Attribute>& attrs) {
+  doc_.nodes_.emplace_back();
+  DomNode* node = &doc_.nodes_.back();
+  node->tag.assign(tag);
+  node->attributes = attrs;
+  node->level = static_cast<int>(stack_.size()) + 1;
+  node->id = ++next_id_;
+  if (stack_.empty()) {
+    doc_.root_ = node;
+  } else {
+    node->parent = stack_.back();
+    stack_.back()->children.push_back(node);
+  }
+  if (node->level > doc_.depth_) doc_.depth_ = node->level;
+  stack_.push_back(node);
+  return node;
+}
+
+void DomAssembler::EndElement() { stack_.pop_back(); }
+
+void DomAssembler::Text(std::string_view text) {
+  if (!stack_.empty()) stack_.back()->text.append(text);
+}
+
+DomDocument DomAssembler::TakeDocument() {
+  stack_.clear();
+  next_id_ = 0;
+  DomDocument out = std::move(doc_);
+  doc_ = DomDocument();
+  return out;
+}
+
+void DomBuilder::OnStartElement(std::string_view tag,
+                                const std::vector<Attribute>& attrs) {
+  assembler_.StartElement(tag, attrs);
+}
+
+void DomBuilder::OnEndElement(std::string_view tag) {
+  (void)tag;  // the parser already verified tag matching
+  assembler_.EndElement();
+}
+
+void DomBuilder::OnCharacters(std::string_view text) {
+  assembler_.Text(text);
+}
+
+DomDocument DomBuilder::TakeDocument() { return assembler_.TakeDocument(); }
+
+Result<DomDocument> DomDocument::Parse(std::string_view doc) {
+  DomBuilder builder;
+  SaxParser parser(&builder);
+  Status s = parser.ParseAll(doc);
+  if (!s.ok()) return s;
+  return builder.TakeDocument();
+}
+
+size_t DomDocument::ApproximateMemoryBytes() const {
+  size_t total = 0;
+  for (const DomNode& n : nodes_) {
+    total += sizeof(DomNode);
+    total += n.tag.capacity();
+    total += n.text.capacity();
+    total += n.children.capacity() * sizeof(DomNode*);
+    for (const Attribute& a : n.attributes) {
+      total += sizeof(Attribute) + a.name.capacity() + a.value.capacity();
+    }
+  }
+  return total;
+}
+
+}  // namespace twigm::xml

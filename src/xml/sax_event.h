@@ -1,0 +1,117 @@
+// Event model for streaming XML processing.
+//
+// Two layers:
+//   * `SaxHandler` — raw SAX callbacks emitted by `SaxParser` (src/xml/
+//     sax_parser.h): start/end element with attributes, character data,
+//     comments, processing instructions.
+//   * `StreamEventSink` + `EventDriver` — the paper's *modified SAX events*
+//     (section 2): startElement(tag, level, id) / endElement(tag, level),
+//     where `level` is the node's depth in the XML tree (root = 1) and `id`
+//     is a unique identifier assigned in document order (pre-order). All
+//     query machines consume this layer.
+
+#ifndef TWIGM_XML_SAX_EVENT_H_
+#define TWIGM_XML_SAX_EVENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace twigm::xml {
+
+/// A single element attribute, with its value already entity-decoded.
+struct Attribute {
+  std::string name;
+  std::string value;
+};
+
+/// Raw SAX callbacks. Default implementations ignore every event so
+/// subclasses override only what they need.
+class SaxHandler {
+ public:
+  virtual ~SaxHandler() = default;
+
+  virtual void OnStartDocument() {}
+  virtual void OnEndDocument() {}
+  /// `attrs` is only valid for the duration of the call.
+  virtual void OnStartElement(std::string_view tag,
+                              const std::vector<Attribute>& attrs) {
+    (void)tag;
+    (void)attrs;
+  }
+  virtual void OnEndElement(std::string_view tag) { (void)tag; }
+  /// Character data (entity-decoded). May be delivered in multiple pieces.
+  virtual void OnCharacters(std::string_view text) { (void)text; }
+  virtual void OnComment(std::string_view text) { (void)text; }
+  virtual void OnProcessingInstruction(std::string_view target,
+                                       std::string_view data) {
+    (void)target;
+    (void)data;
+  }
+};
+
+/// Node identifier: position in document order (pre-order), starting at 1.
+using NodeId = uint64_t;
+
+/// The paper's modified SAX event stream. Machines (PathM/BranchM/TwigM) and
+/// baselines implement this interface.
+class StreamEventSink {
+ public:
+  virtual ~StreamEventSink() = default;
+
+  /// startElement(tag, level, id). `attrs` carries the element's attributes
+  /// so attribute predicates can be evaluated immediately (footnote 2 of the
+  /// paper: the implementation supports attributes as well as elements).
+  virtual void StartElement(std::string_view tag, int level, NodeId id,
+                            const std::vector<Attribute>& attrs) = 0;
+
+  /// endElement(tag, level).
+  virtual void EndElement(std::string_view tag, int level) = 0;
+
+  /// Character data of the current node, used by value predicates.
+  /// `level` is the level of the innermost open element.
+  virtual void Text(std::string_view text, int level) { (void)text; (void)level; }
+
+  /// End of stream.
+  virtual void EndDocument() {}
+};
+
+/// Adapts raw SAX callbacks into modified SAX events: assigns levels
+/// (root = 1) and pre-order node ids (first element = 1), then forwards to a
+/// `StreamEventSink`.
+class EventDriver : public SaxHandler {
+ public:
+  /// `sink` must outlive the driver. Does not take ownership.
+  explicit EventDriver(StreamEventSink* sink) : sink_(sink) {}
+
+  void OnStartElement(std::string_view tag,
+                      const std::vector<Attribute>& attrs) override {
+    ++level_;
+    ++next_id_;
+    sink_->StartElement(tag, level_, next_id_, attrs);
+  }
+
+  void OnEndElement(std::string_view tag) override {
+    sink_->EndElement(tag, level_);
+    --level_;
+  }
+
+  void OnCharacters(std::string_view text) override {
+    if (level_ > 0) sink_->Text(text, level_);
+  }
+
+  void OnEndDocument() override { sink_->EndDocument(); }
+
+  /// Number of elements seen so far.
+  NodeId element_count() const { return next_id_; }
+
+ private:
+  StreamEventSink* sink_;
+  int level_ = 0;
+  NodeId next_id_ = 0;
+};
+
+}  // namespace twigm::xml
+
+#endif  // TWIGM_XML_SAX_EVENT_H_

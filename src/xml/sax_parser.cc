@@ -1,0 +1,518 @@
+#include "xml/sax_parser.h"
+
+#include <cctype>
+
+namespace twigm::xml {
+
+namespace {
+
+bool IsWhitespace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+bool IsNameStartByte(unsigned char c) {
+  return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || c == '_' ||
+         c == ':' || c >= 0x80;
+}
+
+bool IsNameByte(unsigned char c) {
+  return IsNameStartByte(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+}
+
+bool IsAllWhitespace(std::string_view s) {
+  for (char c : s) {
+    if (!IsWhitespace(c)) return false;
+  }
+  return true;
+}
+
+// Appends the UTF-8 encoding of `cp` to `out`. Returns false for invalid
+// code points (surrogates, > U+10FFFF).
+bool AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp >= 0xD800 && cp <= 0xDFFF) return false;
+  if (cp > 0x10FFFF) return false;
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+  return true;
+}
+
+}  // namespace
+
+bool IsValidXmlName(std::string_view name) {
+  if (name.empty()) return false;
+  if (!IsNameStartByte(static_cast<unsigned char>(name[0]))) return false;
+  for (size_t i = 1; i < name.size(); ++i) {
+    if (!IsNameByte(static_cast<unsigned char>(name[i]))) return false;
+  }
+  return true;
+}
+
+SaxParser::SaxParser(SaxHandler* handler, SaxParserOptions options)
+    : handler_(handler), options_(options) {}
+
+Status SaxParser::Feed(std::string_view chunk) {
+  if (!error_.ok()) return error_;
+  if (finished_) {
+    error_ = Status::InvalidArgument("Feed() after Finish()");
+    return error_;
+  }
+  if (!started_) {
+    started_ = true;
+    handler_->OnStartDocument();
+  }
+  buffer_.append(chunk.data(), chunk.size());
+  error_ = Drain();
+  return error_;
+}
+
+Status SaxParser::Finish() {
+  if (!error_.ok()) return error_;
+  if (finished_) return Status::Ok();
+  if (!started_) {
+    started_ = true;
+    handler_->OnStartDocument();
+  }
+  finished_ = true;
+  // Whatever remains must be trailing whitespace; anything else means the
+  // document was truncated.
+  std::string_view rest(buffer_.data() + pos_, buffer_.size() - pos_);
+  if (!rest.empty()) {
+    if (!IsAllWhitespace(rest)) {
+      return ErrorHere("unexpected end of document (unterminated construct)");
+    }
+  }
+  if (!open_tags_.empty()) {
+    return ErrorHere("document ended with unclosed element <" +
+                     open_tags_.back() + ">");
+  }
+  if (!seen_root_) {
+    return ErrorHere("document contains no root element");
+  }
+  handler_->OnEndDocument();
+  return Status::Ok();
+}
+
+Status SaxParser::ParseAll(std::string_view doc) {
+  TWIGM_RETURN_IF_ERROR(Feed(doc));
+  return Finish();
+}
+
+Status SaxParser::Drain() {
+  // A UTF-8 byte-order mark at the very start of the document is consumed
+  // silently (common in real-world files).
+  if (bytes_consumed_ == 0 && pos_ == 0) {
+    constexpr std::string_view kBom = "\xEF\xBB\xBF";
+    if (buffer_.size() < kBom.size()) {
+      if (std::string_view(buffer_).substr(0, buffer_.size()) ==
+          kBom.substr(0, buffer_.size())) {
+        return Status::Ok();  // may still be a BOM prefix; wait
+      }
+    } else if (std::string_view(buffer_).substr(0, kBom.size()) == kBom) {
+      pos_ = kBom.size();
+      bytes_consumed_ = kBom.size();
+    }
+  }
+  while (pos_ < buffer_.size()) {
+    if (buffer_[pos_] == '<') {
+      bool made_progress = false;
+      TWIGM_RETURN_IF_ERROR(ConsumeMarkup(&made_progress));
+      if (!made_progress) break;  // construct incomplete; wait for more input
+    } else {
+      const size_t lt = buffer_.find('<', pos_);
+      if (lt == std::string::npos) {
+        // Text may continue into the next chunk; emit nothing yet unless we
+        // can prove there is no entity split across the boundary. We simply
+        // wait — text runs are bounded by the next tag in practice.
+        break;
+      }
+      TWIGM_RETURN_IF_ERROR(EmitText(lt));
+    }
+  }
+  // Compact the buffer occasionally so long documents do not accumulate.
+  if (pos_ > 65536 && pos_ > buffer_.size() / 2) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  return Status::Ok();
+}
+
+Status SaxParser::EmitText(size_t lt) {
+  std::string_view raw(buffer_.data() + pos_, lt - pos_);
+  if (!raw.empty()) {
+    if (open_tags_.empty()) {
+      // Outside the root element only whitespace is allowed.
+      if (!IsAllWhitespace(raw)) {
+        return ErrorHere("character data outside the root element");
+      }
+    } else {
+      text_scratch_.clear();
+      TWIGM_RETURN_IF_ERROR(
+          DecodeEntities(raw, "character data", &text_scratch_));
+      if (options_.emit_whitespace_text || !IsAllWhitespace(text_scratch_)) {
+        handler_->OnCharacters(text_scratch_);
+      }
+    }
+  }
+  AdvancePosition(pos_, lt);
+  pos_ = lt;
+  return Status::Ok();
+}
+
+size_t SaxParser::FindTagEnd(size_t start) const {
+  char quote = 0;
+  for (size_t i = start; i < buffer_.size(); ++i) {
+    const char c = buffer_[i];
+    if (quote != 0) {
+      if (c == quote) quote = 0;
+    } else if (c == '"' || c == '\'') {
+      quote = c;
+    } else if (c == '>') {
+      return i;
+    } else if (c == '<') {
+      return std::string::npos - 1;  // sentinel: error, '<' inside tag
+    }
+  }
+  return std::string::npos;
+}
+
+Status SaxParser::ConsumeMarkup(bool* made_progress) {
+  *made_progress = false;
+  const size_t avail = buffer_.size() - pos_;
+  std::string_view view(buffer_.data() + pos_, avail);
+
+  // Comments: <!-- ... -->
+  if (view.substr(0, 4) == "<!--" ||
+      (avail < 4 && std::string_view("<!--").substr(0, avail) == view)) {
+    if (avail < 4) return Status::Ok();  // prefix only; need more input
+    const size_t end = buffer_.find("-->", pos_ + 4);
+    if (end == std::string::npos) return Status::Ok();
+    std::string_view body(buffer_.data() + pos_ + 4, end - pos_ - 4);
+    if (body.find("--") != std::string_view::npos) {
+      return ErrorHere("'--' is not allowed inside a comment");
+    }
+    handler_->OnComment(body);
+    AdvancePosition(pos_, end + 3);
+    pos_ = end + 3;
+    *made_progress = true;
+    return Status::Ok();
+  }
+
+  // CDATA: <![CDATA[ ... ]]>
+  constexpr std::string_view kCdataOpen = "<![CDATA[";
+  if (view.substr(0, kCdataOpen.size()) == kCdataOpen ||
+      (avail < kCdataOpen.size() && kCdataOpen.substr(0, avail) == view)) {
+    if (avail < kCdataOpen.size()) return Status::Ok();
+    const size_t end = buffer_.find("]]>", pos_ + kCdataOpen.size());
+    if (end == std::string::npos) return Status::Ok();
+    if (open_tags_.empty()) {
+      return ErrorHere("CDATA section outside the root element");
+    }
+    std::string_view body(buffer_.data() + pos_ + kCdataOpen.size(),
+                          end - pos_ - kCdataOpen.size());
+    handler_->OnCharacters(body);
+    AdvancePosition(pos_, end + 3);
+    pos_ = end + 3;
+    *made_progress = true;
+    return Status::Ok();
+  }
+
+  // DOCTYPE: skipped. May contain an [ internal subset ].
+  constexpr std::string_view kDoctype = "<!DOCTYPE";
+  if (view.substr(0, kDoctype.size()) == kDoctype ||
+      (avail < kDoctype.size() && kDoctype.substr(0, avail) == view)) {
+    if (avail < kDoctype.size()) return Status::Ok();
+    if (seen_root_ || !open_tags_.empty()) {
+      return ErrorHere("DOCTYPE must precede the root element");
+    }
+    int bracket_depth = 0;
+    for (size_t i = pos_ + kDoctype.size(); i < buffer_.size(); ++i) {
+      const char c = buffer_[i];
+      if (c == '[') {
+        ++bracket_depth;
+      } else if (c == ']') {
+        --bracket_depth;
+      } else if (c == '>' && bracket_depth == 0) {
+        AdvancePosition(pos_, i + 1);
+        pos_ = i + 1;
+        *made_progress = true;
+        return Status::Ok();
+      }
+    }
+    return Status::Ok();  // incomplete
+  }
+
+  // Processing instruction / XML declaration: <? ... ?>
+  if (view.substr(0, 2) == "<?" || (avail == 1)) {
+    if (avail < 2) return Status::Ok();
+    if (view.substr(0, 2) == "<?") {
+      const size_t end = buffer_.find("?>", pos_ + 2);
+      if (end == std::string::npos) return Status::Ok();
+      std::string_view body(buffer_.data() + pos_ + 2, end - pos_ - 2);
+      size_t name_end = 0;
+      while (name_end < body.size() &&
+             !IsWhitespace(body[name_end])) {
+        ++name_end;
+      }
+      std::string_view target = body.substr(0, name_end);
+      std::string_view data = body.substr(name_end);
+      while (!data.empty() && IsWhitespace(data.front())) data.remove_prefix(1);
+      if (target.empty() || !IsValidXmlName(target)) {
+        return ErrorHere("invalid processing-instruction target");
+      }
+      // The XML declaration is consumed silently.
+      if (target != "xml") {
+        handler_->OnProcessingInstruction(target, data);
+      } else if (seen_root_ || !open_tags_.empty() || bytes_consumed_ != 0 ||
+                 pos_ != 0) {
+        return ErrorHere("XML declaration must be at the start of the document");
+      }
+      AdvancePosition(pos_, end + 2);
+      pos_ = end + 2;
+      *made_progress = true;
+      return Status::Ok();
+    }
+  }
+
+  // Unknown "<!..." construct.
+  if (view.size() >= 2 && view[1] == '!') {
+    // Could still be the prefix of a comment/CDATA/DOCTYPE; if we already
+    // have enough bytes to rule those out, it is an error.
+    if (avail >= kCdataOpen.size()) {
+      return ErrorHere("unrecognized markup declaration");
+    }
+    return Status::Ok();
+  }
+
+  // End tag: </name>
+  if (view.size() >= 2 && view[1] == '/') {
+    const size_t gt = buffer_.find('>', pos_ + 2);
+    if (gt == std::string::npos) return Status::Ok();
+    TWIGM_RETURN_IF_ERROR(ConsumeEndTag(gt));
+    *made_progress = true;
+    return Status::Ok();
+  }
+
+  // Start tag: <name attr="v" ...> or empty element <name ... />
+  const size_t gt = FindTagEnd(pos_ + 1);
+  if (gt == std::string::npos) return Status::Ok();
+  if (gt == std::string::npos - 1) {
+    return ErrorHere("'<' is not allowed inside a tag");
+  }
+  TWIGM_RETURN_IF_ERROR(ConsumeStartTag(gt));
+  *made_progress = true;
+  return Status::Ok();
+}
+
+Status SaxParser::ConsumeStartTag(size_t gt) {
+  // buffer_[pos_] == '<', buffer_[gt] == '>'.
+  size_t i = pos_ + 1;
+  const size_t name_begin = i;
+  while (i < gt && IsNameByte(static_cast<unsigned char>(buffer_[i]))) ++i;
+  std::string_view name(buffer_.data() + name_begin, i - name_begin);
+  if (!IsValidXmlName(name)) {
+    return ErrorHere("invalid element name");
+  }
+  if (open_tags_.empty() && seen_root_) {
+    return ErrorHere("multiple root elements");
+  }
+  if (static_cast<int>(open_tags_.size()) >= options_.max_depth) {
+    return Status::ResourceExhausted("maximum element depth exceeded");
+  }
+
+  attr_scratch_.clear();
+  bool self_closing = false;
+  while (i < gt) {
+    // Skip whitespace.
+    if (IsWhitespace(buffer_[i])) {
+      ++i;
+      continue;
+    }
+    if (buffer_[i] == '/') {
+      if (i + 1 != gt) return ErrorHere("'/' must immediately precede '>'");
+      self_closing = true;
+      ++i;
+      continue;
+    }
+    // Attribute name.
+    const size_t an_begin = i;
+    while (i < gt && IsNameByte(static_cast<unsigned char>(buffer_[i]))) ++i;
+    std::string_view attr_name(buffer_.data() + an_begin, i - an_begin);
+    if (!IsValidXmlName(attr_name)) {
+      return ErrorHere("invalid attribute name in <" + std::string(name) +
+                       ">");
+    }
+    while (i < gt && IsWhitespace(buffer_[i])) ++i;
+    if (i >= gt || buffer_[i] != '=') {
+      return ErrorHere("expected '=' after attribute name '" +
+                       std::string(attr_name) + "'");
+    }
+    ++i;
+    while (i < gt && IsWhitespace(buffer_[i])) ++i;
+    if (i >= gt || (buffer_[i] != '"' && buffer_[i] != '\'')) {
+      return ErrorHere("attribute value must be quoted");
+    }
+    const char quote = buffer_[i];
+    ++i;
+    const size_t val_begin = i;
+    while (i < gt && buffer_[i] != quote) {
+      if (buffer_[i] == '<') {
+        return ErrorHere("'<' is not allowed in an attribute value");
+      }
+      ++i;
+    }
+    if (i >= gt) return ErrorHere("unterminated attribute value");
+    std::string_view raw_value(buffer_.data() + val_begin, i - val_begin);
+    ++i;  // closing quote
+    for (const Attribute& existing : attr_scratch_) {
+      if (existing.name == attr_name) {
+        return ErrorHere("duplicate attribute '" + std::string(attr_name) +
+                         "'");
+      }
+    }
+    Attribute attr;
+    attr.name.assign(attr_name);
+    TWIGM_RETURN_IF_ERROR(
+        DecodeEntities(raw_value, "attribute value", &attr.value));
+    attr_scratch_.push_back(std::move(attr));
+  }
+
+  seen_root_ = true;
+  handler_->OnStartElement(name, attr_scratch_);
+  if (self_closing) {
+    handler_->OnEndElement(name);
+  } else {
+    open_tags_.emplace_back(name);
+  }
+  AdvancePosition(pos_, gt + 1);
+  pos_ = gt + 1;
+  return Status::Ok();
+}
+
+Status SaxParser::ConsumeEndTag(size_t gt) {
+  // buffer_[pos_..pos_+1] == "</", buffer_[gt] == '>'.
+  size_t i = pos_ + 2;
+  const size_t name_begin = i;
+  while (i < gt && IsNameByte(static_cast<unsigned char>(buffer_[i]))) ++i;
+  std::string_view name(buffer_.data() + name_begin, i - name_begin);
+  while (i < gt && IsWhitespace(buffer_[i])) ++i;
+  if (i != gt || !IsValidXmlName(name)) {
+    return ErrorHere("malformed end tag");
+  }
+  if (open_tags_.empty()) {
+    return ErrorHere("end tag </" + std::string(name) +
+                     "> with no open element");
+  }
+  if (open_tags_.back() != name) {
+    return ErrorHere("mismatched end tag: expected </" + open_tags_.back() +
+                     ">, found </" + std::string(name) + ">");
+  }
+  open_tags_.pop_back();
+  handler_->OnEndElement(name);
+  AdvancePosition(pos_, gt + 1);
+  pos_ = gt + 1;
+  return Status::Ok();
+}
+
+Status SaxParser::DecodeEntities(std::string_view raw, const char* context,
+                                 std::string* out) {
+  out->reserve(out->size() + raw.size());
+  size_t i = 0;
+  while (i < raw.size()) {
+    const char c = raw[i];
+    if (c != '&') {
+      out->push_back(c);
+      ++i;
+      continue;
+    }
+    const size_t semi = raw.find(';', i + 1);
+    if (semi == std::string_view::npos) {
+      return ErrorHere(std::string("unterminated entity reference in ") +
+                       context);
+    }
+    std::string_view entity = raw.substr(i + 1, semi - i - 1);
+    if (entity == "amp") {
+      out->push_back('&');
+    } else if (entity == "lt") {
+      out->push_back('<');
+    } else if (entity == "gt") {
+      out->push_back('>');
+    } else if (entity == "apos") {
+      out->push_back('\'');
+    } else if (entity == "quot") {
+      out->push_back('"');
+    } else if (!entity.empty() && entity[0] == '#') {
+      uint32_t cp = 0;
+      bool valid = entity.size() > 1;
+      if (entity.size() > 2 && (entity[1] == 'x' || entity[1] == 'X')) {
+        for (size_t k = 2; k < entity.size() && valid; ++k) {
+          const char h = entity[k];
+          uint32_t digit;
+          if (h >= '0' && h <= '9') {
+            digit = static_cast<uint32_t>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            digit = static_cast<uint32_t>(h - 'a' + 10);
+          } else if (h >= 'A' && h <= 'F') {
+            digit = static_cast<uint32_t>(h - 'A' + 10);
+          } else {
+            valid = false;
+            break;
+          }
+          cp = cp * 16 + digit;
+          if (cp > 0x10FFFF) valid = false;
+        }
+        valid = valid && entity.size() > 2;
+      } else {
+        for (size_t k = 1; k < entity.size() && valid; ++k) {
+          const char d = entity[k];
+          if (d < '0' || d > '9') {
+            valid = false;
+            break;
+          }
+          cp = cp * 10 + static_cast<uint32_t>(d - '0');
+          if (cp > 0x10FFFF) valid = false;
+        }
+      }
+      if (!valid || !AppendUtf8(cp, out)) {
+        return ErrorHere(std::string("invalid character reference in ") +
+                         context);
+      }
+    } else {
+      return ErrorHere("unknown entity '&" + std::string(entity) + ";' in " +
+                       context);
+    }
+    i = semi + 1;
+  }
+  return Status::Ok();
+}
+
+void SaxParser::AdvancePosition(size_t from, size_t to) {
+  for (size_t i = from; i < to; ++i) {
+    if (buffer_[i] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+  }
+  bytes_consumed_ += to - from;
+}
+
+Status SaxParser::ErrorHere(const std::string& msg) {
+  return Status::ParseError(msg + " (line " + std::to_string(line_) +
+                            ", column " + std::to_string(column_) + ")");
+}
+
+}  // namespace twigm::xml

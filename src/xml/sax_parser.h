@@ -1,0 +1,119 @@
+// Incremental (push-model) SAX parser for XML 1.0, written from scratch.
+//
+// This is the library's substitute for Expat (which the paper uses): a
+// non-validating, streaming parser that accepts input in arbitrary chunks
+// and fires `SaxHandler` callbacks as soon as complete constructs are
+// available. It supports:
+//   * elements with attributes (single or double quoted),
+//   * character data with the predefined entities (&amp; &lt; &gt; &apos;
+//     &quot;) and decimal/hex character references,
+//   * CDATA sections, comments, processing instructions,
+//   * an XML declaration and a (skipped) DOCTYPE with internal subset,
+// and enforces the well-formedness rules a streaming processor needs:
+// matching tags, a single root element, no markup outside the root, valid
+// names, and no duplicate attributes. Errors carry line/column positions.
+
+#ifndef TWIGM_XML_SAX_PARSER_H_
+#define TWIGM_XML_SAX_PARSER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/sax_event.h"
+
+namespace twigm::xml {
+
+/// Tuning knobs for the parser.
+struct SaxParserOptions {
+  /// Maximum element nesting depth before the parser reports an error.
+  int max_depth = 20000;
+  /// When true, character data consisting only of whitespace between
+  /// elements is still delivered via OnCharacters. Query machines ignore it
+  /// either way; tests may want it suppressed.
+  bool emit_whitespace_text = true;
+};
+
+/// Push-model SAX parser. Typical use:
+///
+///   MyHandler handler;
+///   SaxParser parser(&handler);
+///   while (have more bytes) TWIGM_RETURN_IF_ERROR(parser.Feed(chunk));
+///   TWIGM_RETURN_IF_ERROR(parser.Finish());
+class SaxParser {
+ public:
+  /// `handler` must outlive the parser. Does not take ownership.
+  explicit SaxParser(SaxHandler* handler,
+                     SaxParserOptions options = SaxParserOptions());
+
+  SaxParser(const SaxParser&) = delete;
+  SaxParser& operator=(const SaxParser&) = delete;
+
+  /// Appends a chunk of the document and processes every construct that is
+  /// now complete. Returns the first error encountered; after an error the
+  /// parser is poisoned and further calls return the same error.
+  Status Feed(std::string_view chunk);
+
+  /// Declares end-of-input: verifies the document ended cleanly (all tags
+  /// closed, a root element present) and fires OnEndDocument.
+  Status Finish();
+
+  /// Convenience: Feed(doc) then Finish() on a fresh document.
+  Status ParseAll(std::string_view doc);
+
+  /// 1-based position of the next unconsumed byte (for error reporting).
+  size_t line() const { return line_; }
+  size_t column() const { return column_; }
+
+  /// Total bytes consumed so far.
+  size_t bytes_consumed() const { return bytes_consumed_; }
+
+ private:
+  // Consumes as many complete constructs from buffer_ as possible.
+  Status Drain();
+  // Handles one markup construct starting at buffer_[pos_] == '<'.
+  // Sets *made_progress to false if the construct is still incomplete.
+  Status ConsumeMarkup(bool* made_progress);
+  // Emits the text run [pos_, lt) as character data (entity-decoded).
+  Status EmitText(size_t lt);
+  Status ConsumeStartTag(size_t gt);
+  Status ConsumeEndTag(size_t gt);
+  // Decodes entities/char-refs in `raw` into `out`. `context` names the
+  // construct for error messages ("character data", "attribute value").
+  Status DecodeEntities(std::string_view raw, const char* context,
+                        std::string* out);
+  Status ErrorHere(const std::string& msg);
+  // Advances line_/column_ over buffer_[from, to).
+  void AdvancePosition(size_t from, size_t to);
+  // Scans for the '>' ending a tag, honoring quoted attribute values.
+  // Returns npos if not yet complete.
+  size_t FindTagEnd(size_t start) const;
+
+  SaxHandler* handler_;
+  SaxParserOptions options_;
+
+  std::string buffer_;   // unconsumed input
+  size_t pos_ = 0;       // parse cursor within buffer_
+  size_t line_ = 1;
+  size_t column_ = 1;
+  size_t bytes_consumed_ = 0;
+
+  std::vector<std::string> open_tags_;
+  bool seen_root_ = false;
+  bool started_ = false;
+  bool finished_ = false;
+  Status error_;  // sticky error state
+
+  std::string text_scratch_;             // reused decode buffer
+  std::vector<Attribute> attr_scratch_;  // reused attribute list
+};
+
+/// Returns true iff `name` is a valid XML element/attribute name under this
+/// parser's (slightly relaxed, byte-oriented) rules.
+bool IsValidXmlName(std::string_view name);
+
+}  // namespace twigm::xml
+
+#endif  // TWIGM_XML_SAX_PARSER_H_

@@ -1,0 +1,117 @@
+#include "xml/xml_writer.h"
+
+namespace twigm::xml {
+
+std::string EscapeText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string EscapeAttribute(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+XmlWriter::XmlWriter(bool with_declaration) {
+  if (with_declaration) {
+    out_ = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  }
+}
+
+void XmlWriter::SealOpenTag() {
+  if (tag_open_) {
+    out_.push_back('>');
+    tag_open_ = false;
+  }
+}
+
+XmlWriter& XmlWriter::Open(std::string_view tag) {
+  SealOpenTag();
+  out_.push_back('<');
+  out_.append(tag);
+  open_tags_.emplace_back(tag);
+  tag_open_ = true;
+  had_content_ = false;
+  return *this;
+}
+
+XmlWriter& XmlWriter::Attr(std::string_view name, std::string_view value) {
+  // Attr after the tag was sealed is a programming error; we tolerate it by
+  // ignoring the attribute rather than corrupting the document.
+  if (!tag_open_) return *this;
+  out_.push_back(' ');
+  out_.append(name);
+  out_.append("=\"");
+  out_.append(EscapeAttribute(value));
+  out_.push_back('"');
+  return *this;
+}
+
+XmlWriter& XmlWriter::Text(std::string_view text) {
+  if (text.empty()) return *this;
+  SealOpenTag();
+  out_.append(EscapeText(text));
+  had_content_ = true;
+  return *this;
+}
+
+XmlWriter& XmlWriter::Close() {
+  if (open_tags_.empty()) return *this;
+  if (tag_open_) {
+    out_.append("/>");
+    tag_open_ = false;
+  } else {
+    out_.append("</");
+    out_.append(open_tags_.back());
+    out_.push_back('>');
+  }
+  open_tags_.pop_back();
+  had_content_ = true;
+  return *this;
+}
+
+void XmlWriter::CloseAll() {
+  while (!open_tags_.empty()) Close();
+}
+
+std::string XmlWriter::TakeString() && {
+  CloseAll();
+  return std::move(out_);
+}
+
+}  // namespace twigm::xml

@@ -1,0 +1,70 @@
+// Serialization helpers: escaping plus a small push-style document writer.
+// Used by the dataset generators and by tests that build documents
+// programmatically.
+
+#ifndef TWIGM_XML_XML_WRITER_H_
+#define TWIGM_XML_XML_WRITER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace twigm::xml {
+
+/// Escapes `text` for use as character data (& < >).
+std::string EscapeText(std::string_view text);
+
+/// Escapes `value` for use inside a double-quoted attribute (& < > ").
+std::string EscapeAttribute(std::string_view value);
+
+/// Builds an XML document into an in-memory string. The writer performs no
+/// name validation (generators always produce valid names) but does keep the
+/// element stack so Close() emits the matching tag.
+///
+///   XmlWriter w;
+///   w.Open("book").Attr("year", "2006").Open("title").Text("XML").Close();
+///   w.Close();
+///   std::string doc = std::move(w).TakeString();
+class XmlWriter {
+ public:
+  explicit XmlWriter(bool with_declaration = true);
+
+  /// Opens `tag`. Attributes may be added with Attr() until the next
+  /// Open/Text/Close call.
+  XmlWriter& Open(std::string_view tag);
+
+  /// Adds an attribute to the element opened by the preceding Open().
+  XmlWriter& Attr(std::string_view name, std::string_view value);
+
+  /// Appends escaped character data inside the current element.
+  XmlWriter& Text(std::string_view text);
+
+  /// Closes the innermost open element. Elements with no content are
+  /// serialized in the self-closing form.
+  XmlWriter& Close();
+
+  /// Closes all remaining open elements.
+  void CloseAll();
+
+  /// Number of currently open elements.
+  size_t depth() const { return open_tags_.size(); }
+
+  /// Current size of the serialized output in bytes.
+  size_t size_bytes() const { return out_.size(); }
+
+  /// Finishes the document (closing any open elements) and returns it.
+  std::string TakeString() &&;
+
+ private:
+  // Emits ">" for a pending start tag, if any.
+  void SealOpenTag();
+
+  std::string out_;
+  std::vector<std::string> open_tags_;
+  bool tag_open_ = false;      // "<tag" emitted but not yet ">"
+  bool had_content_ = false;   // current element has children/text
+};
+
+}  // namespace twigm::xml
+
+#endif  // TWIGM_XML_XML_WRITER_H_

@@ -1,0 +1,93 @@
+// Abstract syntax for the supported XPath fragment.
+//
+// The paper's language is XP{/,//,*,[]}: child and descendant axes,
+// wildcards, and predicates (branches), over element name tests. Following
+// footnote 2 and the experimental queries (Q5–Q8), we additionally support
+// attribute tests (@name), value comparisons against string/number literals,
+// and self value tests ('.') inside predicates.
+//
+// Grammar (recursive descent, see parser.cc):
+//
+//   Query     := ('/' | '//')? Step (('/' | '//') Step)*
+//   Step      := ('*' | Name | '@' Name) Predicate*
+//   Predicate := '[' PredExpr ']'
+//   PredExpr  := RelPath (CmpOp Literal)?
+//              | '.' CmpOp Literal
+//   RelPath   := ('.//')? Step (('/' | '//') Step)*
+//   CmpOp     := '=' | '!=' | '<' | '<=' | '>' | '>='
+//   Literal   := '"' chars '"' | "'" chars "'" | Number
+
+#ifndef TWIGM_XPATH_AST_H_
+#define TWIGM_XPATH_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace twigm::xpath {
+
+/// Axis of a location step, relative to its context node.
+enum class Axis {
+  kChild,       // '/'
+  kDescendant,  // '//'
+};
+
+/// Comparison operator in a value test.
+enum class CmpOp {
+  kEq,   // =
+  kNe,   // !=
+  kLt,   // <
+  kLe,   // <=
+  kGt,   // >
+  kGe,   // >=
+};
+
+/// Returns the XPath spelling of `op` ("=", "!=", ...).
+const char* CmpOpToString(CmpOp op);
+
+/// Kind of node test in a step.
+enum class NodeTestKind {
+  kName,       // element name test
+  kWildcard,   // '*'
+  kAttribute,  // '@name'
+};
+
+struct Predicate;  // forward: steps own predicates, predicates own paths
+
+/// One location step: axis + node test + predicates.
+struct Step {
+  Axis axis = Axis::kChild;
+  NodeTestKind kind = NodeTestKind::kName;
+  std::string name;  // element or attribute name; empty for '*'
+  std::vector<Predicate> predicates;
+};
+
+/// A (relative or absolute) path: a sequence of steps.
+struct PathExpr {
+  /// True for queries anchored at the document root with '/'; false when the
+  /// query begins with '//' (descendant-or-self from the root) or, for
+  /// relative paths inside predicates, from the context node.
+  bool absolute_child_anchor = false;
+  std::vector<Step> steps;
+};
+
+/// A predicate: an existential path test, optionally with a value
+/// comparison applied to the final step (or to the context node itself when
+/// `self_test` is set and `path.steps` is empty).
+struct Predicate {
+  PathExpr path;              // empty steps => self test ('.')
+  bool self_test = false;     // '.' — compare the context node's own text
+  bool has_value_test = false;
+  CmpOp op = CmpOp::kEq;
+  std::string literal;        // literal to compare against
+  bool literal_is_number = false;
+};
+
+/// Renders the AST back to (canonical) XPath text.
+std::string ToString(const PathExpr& path);
+std::string ToString(const Step& step);
+std::string ToString(const Predicate& pred);
+
+}  // namespace twigm::xpath
+
+#endif  // TWIGM_XPATH_AST_H_

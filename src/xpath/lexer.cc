@@ -1,0 +1,190 @@
+#include "xpath/lexer.h"
+
+namespace twigm::xpath {
+
+namespace {
+
+bool IsNameStart(unsigned char c) {
+  return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || c == '_' ||
+         c >= 0x80;
+}
+
+bool IsNameChar(unsigned char c) {
+  return IsNameStart(c) || (c >= '0' && c <= '9') || c == '-' || c == '.' ||
+         c == ':';
+}
+
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+Status LexError(std::string_view query, size_t pos, const std::string& msg) {
+  return Status::ParseError(msg + " at offset " + std::to_string(pos) +
+                            " in query '" + std::string(query) + "'");
+}
+
+}  // namespace
+
+const char* TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kDoubleSlash: return "'//'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kName: return "name";
+    case TokenKind::kAt: return "'@'";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kStringLiteral: return "string literal";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kPipe: return "'|'";
+    case TokenKind::kEnd: return "end of query";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view query) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  auto push = [&](TokenKind kind, std::string text, size_t offset) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.offset = offset;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < query.size()) {
+    const char c = query[i];
+    const size_t start = i;
+    switch (c) {
+      case ' ':
+      case '\t':
+      case '\n':
+      case '\r':
+        ++i;
+        break;
+      case '/':
+        if (i + 1 < query.size() && query[i + 1] == '/') {
+          push(TokenKind::kDoubleSlash, "//", start);
+          i += 2;
+        } else {
+          push(TokenKind::kSlash, "/", start);
+          ++i;
+        }
+        break;
+      case '*':
+        push(TokenKind::kStar, "*", start);
+        ++i;
+        break;
+      case '@':
+        push(TokenKind::kAt, "@", start);
+        ++i;
+        break;
+      case '[':
+        push(TokenKind::kLBracket, "[", start);
+        ++i;
+        break;
+      case ']':
+        push(TokenKind::kRBracket, "]", start);
+        ++i;
+        break;
+      case '|':
+        push(TokenKind::kPipe, "|", start);
+        ++i;
+        break;
+      case '=':
+        push(TokenKind::kEq, "=", start);
+        ++i;
+        break;
+      case '!':
+        if (i + 1 < query.size() && query[i + 1] == '=') {
+          push(TokenKind::kNe, "!=", start);
+          i += 2;
+        } else {
+          return LexError(query, i, "expected '=' after '!'");
+        }
+        break;
+      case '<':
+        if (i + 1 < query.size() && query[i + 1] == '=') {
+          push(TokenKind::kLe, "<=", start);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, "<", start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < query.size() && query[i + 1] == '=') {
+          push(TokenKind::kGe, ">=", start);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, ">", start);
+          ++i;
+        }
+        break;
+      case '"':
+      case '\'': {
+        const char quote = c;
+        const size_t end = query.find(quote, i + 1);
+        if (end == std::string_view::npos) {
+          return LexError(query, i, "unterminated string literal");
+        }
+        push(TokenKind::kStringLiteral,
+             std::string(query.substr(i + 1, end - i - 1)), start);
+        i = end + 1;
+        break;
+      }
+      default:
+        if (IsDigit(c)) {
+          size_t j = i;
+          while (j < query.size() && IsDigit(query[j])) ++j;
+          if (j < query.size() && query[j] == '.') {
+            ++j;
+            while (j < query.size() && IsDigit(query[j])) ++j;
+          }
+          push(TokenKind::kNumber, std::string(query.substr(i, j - i)), start);
+          i = j;
+        } else if (c == '.') {
+          // Distinguish '.' (self) from a leading-dot number like ".5".
+          if (i + 1 < query.size() && IsDigit(query[i + 1])) {
+            size_t j = i + 1;
+            while (j < query.size() && IsDigit(query[j])) ++j;
+            push(TokenKind::kNumber, std::string(query.substr(i, j - i)),
+                 start);
+            i = j;
+          } else {
+            push(TokenKind::kDot, ".", start);
+            ++i;
+          }
+        } else if (IsNameStart(static_cast<unsigned char>(c))) {
+          size_t j = i;
+          while (j < query.size() &&
+                 IsNameChar(static_cast<unsigned char>(query[j]))) {
+            ++j;
+          }
+          std::string name(query.substr(i, j - i));
+          // "text()" and similar node-type tests are not in the supported
+          // fragment; reject the '(' explicitly for a clearer error.
+          if (j < query.size() && query[j] == '(') {
+            return LexError(query, i,
+                            "function calls / node-type tests are not "
+                            "supported ('" + name + "(')");
+          }
+          push(TokenKind::kName, std::move(name), start);
+          i = j;
+        } else {
+          return LexError(query, i,
+                          std::string("unexpected character '") + c + "'");
+        }
+    }
+  }
+  push(TokenKind::kEnd, "", query.size());
+  return tokens;
+}
+
+}  // namespace twigm::xpath

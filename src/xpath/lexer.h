@@ -1,0 +1,49 @@
+// Tokenizer for the supported XPath fragment.
+
+#ifndef TWIGM_XPATH_LEXER_H_
+#define TWIGM_XPATH_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace twigm::xpath {
+
+enum class TokenKind {
+  kSlash,         // /
+  kDoubleSlash,   // //
+  kStar,          // *
+  kName,          // element/attribute name
+  kAt,            // @
+  kDot,           // .
+  kLBracket,      // [
+  kRBracket,      // ]
+  kEq,            // =
+  kNe,            // !=
+  kLt,            // <
+  kLe,            // <=
+  kGt,            // >
+  kGe,            // >=
+  kStringLiteral, // "..." or '...'
+  kNumber,        // 123 or 1.5
+  kPipe,          // | (top-level union separator)
+  kEnd,           // end of input
+};
+
+/// Returns a short display name for `kind` ("'//'", "name", ...).
+const char* TokenKindToString(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // name text, literal contents (unquoted), number text
+  size_t offset = 0;  // byte offset in the query string, for errors
+};
+
+/// Tokenizes `query`. Fails on unknown characters or unterminated literals.
+Result<std::vector<Token>> Tokenize(std::string_view query);
+
+}  // namespace twigm::xpath
+
+#endif  // TWIGM_XPATH_LEXER_H_

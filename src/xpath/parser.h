@@ -1,0 +1,19 @@
+// Recursive-descent parser producing a PathExpr AST from XPath text.
+
+#ifndef TWIGM_XPATH_PARSER_H_
+#define TWIGM_XPATH_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xpath/ast.h"
+
+namespace twigm::xpath {
+
+/// Parses a top-level query in XP{/,//,*,[]} (plus attribute and value
+/// tests). The query must start with '/' or '//'.
+Result<PathExpr> ParseQuery(std::string_view query);
+
+}  // namespace twigm::xpath
+
+#endif  // TWIGM_XPATH_PARSER_H_

@@ -1,0 +1,218 @@
+#include "xpath/query_tree.h"
+
+#include "xpath/parser.h"
+
+namespace twigm::xpath {
+
+namespace {
+
+// Builds the query subtree for one step and hangs predicate subtrees off it.
+// Returns the new node (owned by *owner).
+Result<QueryNode*> BuildStepNode(const Step& step,
+                                 std::vector<std::unique_ptr<QueryNode>>* owner,
+                                 QueryNode* parent);
+
+// Appends the chain for `path` under `parent`; *out_last receives the final
+// node of the chain.
+Status BuildChain(const PathExpr& path, QueryNode* parent,
+                  QueryNode** out_last) {
+  QueryNode* current = parent;
+  for (const Step& step : path.steps) {
+    Result<QueryNode*> node =
+        BuildStepNode(step, &current->children, current);
+    if (!node.ok()) return node.status();
+    current = node.value();
+  }
+  *out_last = current;
+  return Status::Ok();
+}
+
+Status AttachValueTest(QueryNode* node, const Predicate& pred) {
+  if (node->has_value_test) {
+    return Status::NotSupported(
+        "multiple value tests on the same query node");
+  }
+  node->has_value_test = true;
+  node->op = pred.op;
+  node->literal = pred.literal;
+  node->literal_is_number = pred.literal_is_number;
+  return Status::Ok();
+}
+
+Result<QueryNode*> BuildStepNode(const Step& step,
+                                 std::vector<std::unique_ptr<QueryNode>>* owner,
+                                 QueryNode* parent) {
+  auto node = std::make_unique<QueryNode>();
+  node->axis = step.axis;
+  node->parent = parent;
+  switch (step.kind) {
+    case NodeTestKind::kName:
+      node->name = step.name;
+      break;
+    case NodeTestKind::kWildcard:
+      node->name = "*";
+      node->is_wildcard = true;
+      break;
+    case NodeTestKind::kAttribute:
+      node->name = step.name;
+      node->is_attribute = true;
+      break;
+  }
+  QueryNode* raw = node.get();
+  owner->push_back(std::move(node));
+
+  for (const Predicate& pred : step.predicates) {
+    if (pred.self_test) {
+      TWIGM_RETURN_IF_ERROR(AttachValueTest(raw, pred));
+      continue;
+    }
+    QueryNode* last = nullptr;
+    TWIGM_RETURN_IF_ERROR(BuildChain(pred.path, raw, &last));
+    if (pred.has_value_test) {
+      TWIGM_RETURN_IF_ERROR(AttachValueTest(last, pred));
+    }
+  }
+  return raw;
+}
+
+void Classify(const QueryNode* node, bool is_root, QueryTree* tree,
+              bool* has_predicates, bool* has_descendant, bool* has_wildcard,
+              bool* has_value_tests, int* count) {
+  (void)tree;
+  ++*count;
+  if (!is_root || node->axis == Axis::kDescendant) {
+    if (node->axis == Axis::kDescendant) *has_descendant = true;
+  }
+  if (node->is_wildcard) *has_wildcard = true;
+  if (node->has_value_test) *has_value_tests = true;
+  for (const auto& child : node->children) {
+    if (!child->on_output_path) *has_predicates = true;
+    Classify(child.get(), false, tree, has_predicates, has_descendant,
+             has_wildcard, has_value_tests, count);
+  }
+}
+
+void AssignIndexes(QueryNode* node, int* next) {
+  node->index = (*next)++;
+  for (auto& child : node->children) AssignIndexes(child.get(), next);
+}
+
+void RenderNode(const QueryNode* node, std::string* out,
+                bool in_predicate) {
+  if (node->is_attribute) {
+    out->push_back('@');
+  }
+  out->append(node->name);
+  // Predicates first (off-path children), then the output-path continuation.
+  const QueryNode* continuation = nullptr;
+  for (const auto& child : node->children) {
+    if (child->on_output_path) {
+      continuation = child.get();
+      continue;
+    }
+    out->push_back('[');
+    const QueryNode* c = child.get();
+    // Render the predicate chain (each predicate child is a chain possibly
+    // with its own branches).
+    std::string inner;
+    if (c->axis == Axis::kDescendant) inner += "//";
+    RenderNode(c, &inner, /*in_predicate=*/true);
+    out->append(inner);
+    out->push_back(']');
+  }
+  if (node->has_value_test) {
+    // A leaf at the end of a predicate chain renders its value test inline
+    // ("[b=\"x\"]"); everywhere else the self-test form is used.
+    const bool inline_form =
+        in_predicate && node->children.empty() && continuation == nullptr;
+    if (inline_form) {
+      out->append(CmpOpToString(node->op));
+    } else {
+      out->append("[.");
+      out->append(CmpOpToString(node->op));
+    }
+    if (node->literal_is_number) {
+      out->append(node->literal);
+    } else {
+      out->push_back('"');
+      out->append(node->literal);
+      out->push_back('"');
+    }
+    if (!inline_form) out->push_back(']');
+  }
+  if (continuation != nullptr) {
+    out->append(continuation->axis == Axis::kChild ? "/" : "//");
+    RenderNode(continuation, out, in_predicate);
+  }
+}
+
+}  // namespace
+
+Result<QueryTree> QueryTree::Compile(const PathExpr& ast) {
+  if (ast.steps.empty()) {
+    return Status::InvalidArgument("empty query");
+  }
+  if (ast.steps.back().kind == NodeTestKind::kAttribute) {
+    return Status::NotSupported(
+        "an attribute cannot be the return node of a query");
+  }
+
+  QueryTree tree;
+  // Build the output-path spine. We create a synthetic holder for the root
+  // by building the first step into a temporary owner list.
+  std::vector<std::unique_ptr<QueryNode>> top;
+  QueryNode* current = nullptr;
+  for (size_t i = 0; i < ast.steps.size(); ++i) {
+    Result<QueryNode*> node =
+        i == 0 ? BuildStepNode(ast.steps[i], &top, nullptr)
+               : BuildStepNode(ast.steps[i], &current->children, current);
+    if (!node.ok()) return node.status();
+    node.value()->on_output_path = true;
+    current = node.value();
+  }
+  tree.root_ = std::move(top.front());
+  tree.sol_ = current;
+
+  int count = 0;
+  Classify(tree.root_.get(), /*is_root=*/true, &tree, &tree.has_predicates_,
+           &tree.has_descendant_axis_, &tree.has_wildcard_,
+           &tree.has_value_tests_, &count);
+  tree.node_count_ = count;
+
+  int next_index = 0;
+  AssignIndexes(tree.root_.get(), &next_index);
+  return tree;
+}
+
+Result<QueryTree> QueryTree::Parse(std::string_view query) {
+  Result<PathExpr> ast = ParseQuery(query);
+  if (!ast.ok()) return ast.status();
+  return Compile(ast.value());
+}
+
+std::string QueryTree::ToString() const {
+  if (root_ == nullptr) return "";
+  std::string out = root_->axis == Axis::kChild ? "/" : "//";
+  RenderNode(root_.get(), &out, /*in_predicate=*/false);
+  return out;
+}
+
+std::vector<const QueryNode*> QueryTree::NodesPreOrder() const {
+  std::vector<const QueryNode*> out;
+  out.reserve(static_cast<size_t>(node_count_));
+  std::vector<const QueryNode*> stack;
+  if (root_ != nullptr) stack.push_back(root_.get());
+  while (!stack.empty()) {
+    const QueryNode* node = stack.back();
+    stack.pop_back();
+    out.push_back(node);
+    for (auto it = node->children.rbegin(); it != node->children.rend();
+         ++it) {
+      stack.push_back(it->get());
+    }
+  }
+  return out;
+}
+
+}  // namespace xpath
+

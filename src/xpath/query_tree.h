@@ -1,0 +1,106 @@
+// Query-tree model of Definition 4.1.
+//
+// An XP{/,//,*,[]} query is a tree: nodes carry a name ('*' or a tag), an
+// incoming-edge axis ('/' or '//'), and children (predicates plus the
+// continuation of the output path). One node is the *return node* (sol);
+// the root-to-sol spine is the output path, and every off-spine subtree is
+// an existential predicate. Extensions per the paper's implementation notes:
+// attribute nodes and value tests on nodes.
+
+#ifndef TWIGM_XPATH_QUERY_TREE_H_
+#define TWIGM_XPATH_QUERY_TREE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "xpath/ast.h"
+
+namespace twigm::xpath {
+
+/// A node of the query tree. Owned by its parent (the root by QueryTree).
+struct QueryNode {
+  /// Element tag, attribute name, or "*" for a wildcard.
+  std::string name;
+  bool is_wildcard = false;
+  bool is_attribute = false;
+
+  /// ζ(v): label of the incoming edge (axis from the parent).
+  Axis axis = Axis::kChild;
+
+  QueryNode* parent = nullptr;
+  std::vector<std::unique_ptr<QueryNode>> children;
+
+  /// True iff this node lies on the root→sol output path.
+  bool on_output_path = false;
+
+  /// Optional value test: the node's direct text (or attribute value)
+  /// compared against `literal` with `op`.
+  bool has_value_test = false;
+  CmpOp op = CmpOp::kEq;
+  std::string literal;
+  bool literal_is_number = false;
+
+  /// Pre-order index within the tree, assigned at compile time.
+  int index = -1;
+
+  /// True iff the node has more than one child or is the return node
+  /// (the paper's "branching node").
+  bool IsBranching(const QueryNode* sol) const {
+    return children.size() > 1 || this == sol;
+  }
+};
+
+/// A compiled query: owns the node tree, identifies root and sol, and caches
+/// structural classification used to pick evaluation machinery.
+class QueryTree {
+ public:
+  QueryTree() = default;
+  QueryTree(QueryTree&&) = default;
+  QueryTree& operator=(QueryTree&&) = default;
+  QueryTree(const QueryTree&) = delete;
+  QueryTree& operator=(const QueryTree&) = delete;
+
+  /// Builds a query tree from a parsed AST. Fails on constructs outside the
+  /// supported fragment (e.g. an attribute as the return node).
+  static Result<QueryTree> Compile(const PathExpr& ast);
+
+  /// Convenience: parse + compile.
+  static Result<QueryTree> Parse(std::string_view query);
+
+  const QueryNode* root() const { return root_.get(); }
+  const QueryNode* sol() const { return sol_; }
+
+  /// Number of nodes, including attribute nodes.
+  int node_count() const { return node_count_; }
+
+  /// Structural classification (drives machine/baseline selection).
+  bool has_predicates() const { return has_predicates_; }
+  bool has_descendant_axis() const { return has_descendant_axis_; }
+  bool has_wildcard() const { return has_wildcard_; }
+  bool has_value_tests() const { return has_value_tests_; }
+  /// True iff the query is a linear path (XP{/,//,*}; no branches).
+  bool is_linear() const { return !has_predicates_; }
+
+  /// Renders the tree back to XPath text.
+  std::string ToString() const;
+
+  /// Nodes in pre-order (root first); pointers remain valid while the tree
+  /// lives.
+  std::vector<const QueryNode*> NodesPreOrder() const;
+
+ private:
+  std::unique_ptr<QueryNode> root_;
+  QueryNode* sol_ = nullptr;
+  int node_count_ = 0;
+  bool has_predicates_ = false;
+  bool has_descendant_axis_ = false;
+  bool has_wildcard_ = false;
+  bool has_value_tests_ = false;
+};
+
+}  // namespace twigm::xpath
+
+#endif  // TWIGM_XPATH_QUERY_TREE_H_

@@ -1,0 +1,193 @@
+#include "common/mem_stats.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "gtest/gtest.h"
+
+namespace twigm {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad tag");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad tag");
+  EXPECT_EQ(s.ToString(), "parse error: bad tag");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "ok");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "invalid argument");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kParseError), "parse error");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotSupported), "not supported");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOutOfRange), "out of range");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "resource exhausted");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "internal error");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::OutOfRange("too big"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, MovesValueOut) {
+  Result<std::string> r(std::string("hello"));
+  ASSERT_TRUE(r.ok());
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+TEST(ReturnIfErrorTest, PropagatesError) {
+  auto fails = [] { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    TWIGM_RETURN_IF_ERROR(fails());
+    return Status::Ok();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(7), 7u);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.Range(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(RngTest, WordLengthBounds) {
+  Rng rng(77);
+  for (int i = 0; i < 200; ++i) {
+    const std::string w = rng.Word(2, 6);
+    EXPECT_GE(w.size(), 2u);
+    EXPECT_LE(w.size(), 6u);
+    for (char c : w) {
+      EXPECT_GE(c, 'a');
+      EXPECT_LE(c, 'z');
+    }
+  }
+}
+
+TEST(RngTest, ReseedReproduces) {
+  Rng rng(55);
+  const uint64_t first = rng.Next();
+  rng.Next();
+  rng.Reseed(55);
+  EXPECT_EQ(rng.Next(), first);
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyPieces) {
+  EXPECT_EQ(StrSplit("a,,b", ','),
+            (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StringUtilTest, JoinRoundTrips) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, "/"), "a/b/c");
+  EXPECT_EQ(StrJoin({}, "/"), "");
+  EXPECT_EQ(StrJoin({"one"}, ", "), "one");
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripAsciiWhitespace("  x \t\n"), "x");
+  EXPECT_EQ(StripAsciiWhitespace("\r\n"), "");
+  EXPECT_EQ(StripAsciiWhitespace("a b"), "a b");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("ar", "bar"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(StringUtilTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KB");
+  EXPECT_EQ(HumanBytes(uint64_t{3} * 1024 * 1024), "3.0 MB");
+}
+
+TEST(StringUtilTest, WithThousands) {
+  EXPECT_EQ(WithThousands(0), "0");
+  EXPECT_EQ(WithThousands(999), "999");
+  EXPECT_EQ(WithThousands(1000), "1,000");
+  EXPECT_EQ(WithThousands(1234567), "1,234,567");
+}
+
+TEST(MemStatsTest, ReadsProcSelfStatus) {
+  const ProcessMemory mem = ReadProcessMemory();
+  // On Linux both readings are non-zero for a live process.
+  EXPECT_GT(mem.rss_bytes, 0u);
+  EXPECT_GE(mem.peak_rss_bytes, mem.rss_bytes / 2);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch sw;
+  // Busy-wait a tiny amount.
+  volatile uint64_t x = 0;
+  for (int i = 0; i < 100000; ++i) x += static_cast<uint64_t>(i);
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+  EXPECT_GE(sw.ElapsedMillis(), sw.ElapsedSeconds());
+}
+
+}  // namespace
+}  // namespace twigm

@@ -1,0 +1,231 @@
+#include "data/datasets.h"
+
+#include "data/adversarial.h"
+#include "data/book.h"
+#include "data/protein.h"
+#include "data/xmark.h"
+#include "gtest/gtest.h"
+#include "xml/dom.h"
+#include "xpath/query_tree.h"
+
+namespace twigm::data {
+namespace {
+
+TEST(FeaturesTest, CountsElementsAndDepth) {
+  Result<DatasetFeatures> f =
+      ComputeFeatures("<a><b k=\"1\"><c/></b>text</a>");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f.value().elements, 3u);
+  EXPECT_EQ(f.value().attributes, 1u);
+  EXPECT_EQ(f.value().max_depth, 3);
+  EXPECT_EQ(f.value().text_bytes, 4u);
+  EXPECT_FALSE(f.value().recursive);
+}
+
+TEST(FeaturesTest, DetectsRecursion) {
+  Result<DatasetFeatures> recursive = ComputeFeatures("<a><b><a/></b></a>");
+  ASSERT_TRUE(recursive.ok());
+  EXPECT_TRUE(recursive.value().recursive);
+
+  // Same tag at the same depth in different subtrees is NOT recursion.
+  Result<DatasetFeatures> flat = ComputeFeatures("<r><a/><a/></r>");
+  ASSERT_TRUE(flat.ok());
+  EXPECT_FALSE(flat.value().recursive);
+}
+
+TEST(FeaturesTest, MalformedInputFails) {
+  EXPECT_FALSE(ComputeFeatures("<a><b></a>").ok());
+}
+
+TEST(FeaturesTest, ToStringMentionsEverything) {
+  Result<DatasetFeatures> f = ComputeFeatures("<a><a/></a>");
+  ASSERT_TRUE(f.ok());
+  const std::string s = f.value().ToString();
+  EXPECT_NE(s.find("size="), std::string::npos);
+  EXPECT_NE(s.find("depth=2"), std::string::npos);
+  EXPECT_NE(s.find(" recursive"), std::string::npos);
+}
+
+TEST(BookDatasetTest, GeneratesRecursiveWellFormedData) {
+  BookOptions options;
+  options.seed = 20;
+  Result<std::string> doc = GenerateBook(options);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  Result<DatasetFeatures> f = ComputeFeatures(doc.value());
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  EXPECT_GT(f.value().elements, 10u);
+  EXPECT_LE(f.value().max_depth, 20);
+}
+
+TEST(BookDatasetTest, SomeSeedProducesRecursion) {
+  // Sections nest; across a few seeds at least one document must contain
+  // section-in-section.
+  bool found_recursive = false;
+  for (uint64_t seed = 1; seed <= 10 && !found_recursive; ++seed) {
+    BookOptions options;
+    options.seed = seed;
+    Result<std::string> doc = GenerateBook(options);
+    ASSERT_TRUE(doc.ok());
+    Result<DatasetFeatures> f = ComputeFeatures(doc.value());
+    ASSERT_TRUE(f.ok());
+    found_recursive = f.value().recursive;
+  }
+  EXPECT_TRUE(found_recursive);
+}
+
+TEST(BookDatasetTest, Deterministic) {
+  BookOptions options;
+  options.seed = 4;
+  Result<std::string> a = GenerateBook(options);
+  Result<std::string> b = GenerateBook(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(BookDatasetTest, CopiesScaleContent) {
+  // Copies are identical, so element counts (minus the <collection>
+  // wrapper) must scale exactly linearly between 2 and 3 copies.
+  BookOptions two;
+  two.seed = 9;
+  two.copies = 2;
+  BookOptions three = two;
+  three.copies = 3;
+  Result<std::string> doc2 = GenerateBook(two);
+  Result<std::string> doc3 = GenerateBook(three);
+  ASSERT_TRUE(doc2.ok());
+  ASSERT_TRUE(doc3.ok());
+  Result<DatasetFeatures> f2 = ComputeFeatures(doc2.value());
+  Result<DatasetFeatures> f3 = ComputeFeatures(doc3.value());
+  ASSERT_TRUE(f2.ok());
+  ASSERT_TRUE(f3.ok());
+  ASSERT_EQ((f2.value().elements - 1) % 2, 0u);
+  EXPECT_EQ(f3.value().elements - 1, 3 * ((f2.value().elements - 1) / 2));
+}
+
+TEST(BookDatasetTest, MinBytesReached) {
+  BookOptions options;
+  options.min_bytes = 200000;
+  Result<std::string> doc = GenerateBook(options);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_GE(doc.value().size(), 200000u);
+  EXPECT_TRUE(ComputeFeatures(doc.value()).ok());
+}
+
+TEST(ProteinDatasetTest, NonRecursiveAndShallow) {
+  ProteinOptions options;
+  options.entries = 50;
+  Result<std::string> doc = GenerateProtein(options);
+  ASSERT_TRUE(doc.ok());
+  Result<DatasetFeatures> f = ComputeFeatures(doc.value());
+  ASSERT_TRUE(f.ok());
+  EXPECT_FALSE(f.value().recursive);
+  EXPECT_LE(f.value().max_depth, 7);
+  Result<xml::DomDocument> dom = xml::DomDocument::Parse(doc.value());
+  ASSERT_TRUE(dom.ok());
+  EXPECT_EQ(dom.value().root()->tag, "ProteinDatabase");
+  EXPECT_EQ(dom.value().root()->children.size(), 50u);
+}
+
+TEST(ProteinDatasetTest, MinBytesMode) {
+  ProteinOptions options;
+  options.min_bytes = 100000;
+  Result<std::string> doc = GenerateProtein(options);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_GE(doc.value().size(), 100000u);
+}
+
+TEST(XmarkDatasetTest, StructureAndRecursion) {
+  XmarkOptions options;
+  options.people = 40;
+  Result<std::string> doc = GenerateXmark(options);
+  ASSERT_TRUE(doc.ok());
+  Result<DatasetFeatures> f = ComputeFeatures(doc.value());
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  // parlist within parlist makes the auction data recursive.
+  EXPECT_TRUE(f.value().recursive);
+  Result<xml::DomDocument> dom = xml::DomDocument::Parse(doc.value());
+  ASSERT_TRUE(dom.ok());
+  EXPECT_EQ(dom.value().root()->tag, "site");
+  ASSERT_EQ(dom.value().root()->children.size(), 6u);
+  EXPECT_EQ(dom.value().root()->children[0]->tag, "regions");
+  EXPECT_EQ(dom.value().root()->children[3]->tag, "people");
+}
+
+TEST(XmarkDatasetTest, Deterministic) {
+  XmarkOptions options;
+  options.people = 20;
+  Result<std::string> a = GenerateXmark(options);
+  Result<std::string> b = GenerateXmark(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(AdversarialDatasetTest, ShapeMatchesFigure1) {
+  AdversarialOptions options;
+  options.n = 3;
+  const std::string doc = GenerateAdversarial(options);
+  Result<xml::DomDocument> dom = xml::DomDocument::Parse(doc);
+  ASSERT_TRUE(dom.ok());
+  // a1 > a2 > a3 > b1 > b2 > b3 > c ; e under b1 ; d under a1.
+  const xml::DomNode* a1 = dom.value().root();
+  EXPECT_EQ(a1->tag, "a");
+  ASSERT_EQ(a1->children.size(), 2u);  // a2 and d
+  EXPECT_EQ(a1->children[1]->tag, "d");
+  const xml::DomNode* a3 = a1->children[0]->children[0];
+  EXPECT_EQ(a3->tag, "a");
+  const xml::DomNode* b1 = a3->children[0];
+  EXPECT_EQ(b1->tag, "b");
+  ASSERT_EQ(b1->children.size(), 2u);  // b2 and e
+  EXPECT_EQ(b1->children[1]->tag, "e");
+  EXPECT_EQ(dom.value().size(), static_cast<size_t>(2 * 3 + 3));
+  EXPECT_EQ(dom.value().depth(), 7);  // a*3, b*3, c
+}
+
+TEST(AdversarialDatasetTest, OptionsControlPredicateWitnesses) {
+  AdversarialOptions options;
+  options.n = 2;
+  options.with_d = false;
+  options.with_e = false;
+  options.c_count = 3;
+  const std::string doc = GenerateAdversarial(options);
+  Result<xml::DomDocument> dom = xml::DomDocument::Parse(doc);
+  ASSERT_TRUE(dom.ok());
+  EXPECT_EQ(dom.value().size(), static_cast<size_t>(2 + 2 + 3));
+}
+
+TEST(QuerySetsTest, AllQueriesCompile) {
+  for (const auto* set : {&BookQueries(), &ProteinQueries(),
+                          &AuctionQueries()}) {
+    for (const QuerySpec& spec : *set) {
+      Result<xpath::QueryTree> tree = xpath::QueryTree::Parse(spec.text);
+      EXPECT_TRUE(tree.ok())
+          << spec.name << " (" << spec.text
+          << "): " << tree.status().ToString();
+    }
+  }
+}
+
+TEST(QuerySetsTest, ClassesMatchDeclaredLanguage) {
+  for (const auto* set : {&BookQueries(), &ProteinQueries()}) {
+    for (const QuerySpec& spec : *set) {
+      Result<xpath::QueryTree> tree = xpath::QueryTree::Parse(spec.text);
+      ASSERT_TRUE(tree.ok());
+      if (spec.language == "XP{/,//,*}") {
+        EXPECT_TRUE(tree.value().is_linear()) << spec.name;
+      } else {
+        EXPECT_TRUE(tree.value().has_predicates()) << spec.name;
+      }
+    }
+  }
+}
+
+TEST(QuerySetsTest, TenQueriesPerDataset) {
+  EXPECT_EQ(BookQueries().size(), 10u);
+  EXPECT_EQ(ProteinQueries().size(), 10u);
+  EXPECT_GE(AuctionQueries().size(), 8u);
+}
+
+}  // namespace
+}  // namespace twigm::data

@@ -1,0 +1,220 @@
+#include <set>
+#include <string>
+
+#include "dtd/dtd_generator.h"
+#include "dtd/dtd_parser.h"
+#include "gtest/gtest.h"
+#include "xml/dom.h"
+
+namespace twigm::dtd {
+namespace {
+
+TEST(DtdParserTest, SimpleElementDecl) {
+  Result<Dtd> dtd = ParseDtd("<!ELEMENT a (b, c)>");
+  ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+  const ElementDecl* a = dtd.value().FindElement("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->content.kind, ContentExpr::Kind::kSequence);
+  ASSERT_EQ(a->content.children.size(), 2u);
+  EXPECT_EQ(a->content.children[0].name, "b");
+  EXPECT_EQ(a->content.children[1].name, "c");
+  EXPECT_EQ(dtd.value().first_element, "a");
+}
+
+TEST(DtdParserTest, ChoiceAndRepetition) {
+  Result<Dtd> dtd = ParseDtd("<!ELEMENT a (b | c)*>");
+  ASSERT_TRUE(dtd.ok());
+  const ElementDecl* a = dtd.value().FindElement("a");
+  EXPECT_EQ(a->content.kind, ContentExpr::Kind::kChoice);
+  EXPECT_EQ(a->content.repeat, Repeat::kStar);
+}
+
+TEST(DtdParserTest, ParticleRepetitions) {
+  Result<Dtd> dtd = ParseDtd("<!ELEMENT a (b?, c+, d*)>");
+  ASSERT_TRUE(dtd.ok());
+  const ContentExpr& seq = dtd.value().FindElement("a")->content;
+  EXPECT_EQ(seq.children[0].repeat, Repeat::kOptional);
+  EXPECT_EQ(seq.children[1].repeat, Repeat::kPlus);
+  EXPECT_EQ(seq.children[2].repeat, Repeat::kStar);
+}
+
+TEST(DtdParserTest, NestedGroups) {
+  Result<Dtd> dtd = ParseDtd("<!ELEMENT a (b, (c | d)+, e)>");
+  ASSERT_TRUE(dtd.ok());
+  const ContentExpr& seq = dtd.value().FindElement("a")->content;
+  ASSERT_EQ(seq.children.size(), 3u);
+  EXPECT_EQ(seq.children[1].kind, ContentExpr::Kind::kChoice);
+  EXPECT_EQ(seq.children[1].repeat, Repeat::kPlus);
+}
+
+TEST(DtdParserTest, PcdataAndMixed) {
+  Result<Dtd> pure = ParseDtd("<!ELEMENT t (#PCDATA)>");
+  ASSERT_TRUE(pure.ok());
+  EXPECT_EQ(pure.value().FindElement("t")->content.kind,
+            ContentExpr::Kind::kPcdata);
+  EXPECT_FALSE(pure.value().FindElement("t")->mixed);
+
+  Result<Dtd> mixed = ParseDtd("<!ELEMENT p (#PCDATA | em | strong)*>");
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_TRUE(mixed.value().FindElement("p")->mixed);
+  EXPECT_EQ(mixed.value().FindElement("p")->content.kind,
+            ContentExpr::Kind::kChoice);
+}
+
+TEST(DtdParserTest, EmptyAndAny) {
+  Result<Dtd> dtd = ParseDtd("<!ELEMENT e EMPTY><!ELEMENT x ANY>");
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_EQ(dtd.value().FindElement("e")->content.kind,
+            ContentExpr::Kind::kEmpty);
+  EXPECT_EQ(dtd.value().FindElement("x")->content.kind,
+            ContentExpr::Kind::kAny);
+}
+
+TEST(DtdParserTest, Attlist) {
+  Result<Dtd> dtd = ParseDtd(R"(
+    <!ELEMENT a EMPTY>
+    <!ATTLIST a id ID #REQUIRED
+                kind (big | small) "small"
+                note CDATA #IMPLIED
+                ver CDATA #FIXED "1">
+  )");
+  ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+  const std::vector<AttrDecl>* attrs = dtd.value().FindAttlist("a");
+  ASSERT_NE(attrs, nullptr);
+  ASSERT_EQ(attrs->size(), 4u);
+  EXPECT_EQ((*attrs)[0].type, "ID");
+  EXPECT_EQ((*attrs)[0].default_kind, AttrDefault::kRequired);
+  EXPECT_EQ((*attrs)[1].enum_values.size(), 2u);
+  EXPECT_EQ((*attrs)[1].default_kind, AttrDefault::kValue);
+  EXPECT_EQ((*attrs)[1].default_value, "small");
+  EXPECT_EQ((*attrs)[2].default_kind, AttrDefault::kImplied);
+  EXPECT_EQ((*attrs)[3].default_kind, AttrDefault::kFixed);
+  EXPECT_EQ((*attrs)[3].default_value, "1");
+}
+
+TEST(DtdParserTest, CommentsSkipped) {
+  Result<Dtd> dtd =
+      ParseDtd("<!-- c --><!ELEMENT a EMPTY><!-- d -->");
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_EQ(dtd.value().elements.size(), 1u);
+}
+
+TEST(DtdParserTest, Errors) {
+  EXPECT_FALSE(ParseDtd("").ok());
+  EXPECT_FALSE(ParseDtd("<!ELEMENT a (b,>").ok());
+  EXPECT_FALSE(ParseDtd("<!ELEMENT a (b | c, d)>").ok());  // mixed seps
+  EXPECT_FALSE(ParseDtd("<!ELEMENT a EMPTY><!ELEMENT a EMPTY>").ok());
+  EXPECT_FALSE(ParseDtd("<!WHAT a>").ok());
+  EXPECT_FALSE(ParseDtd("garbage").ok());
+}
+
+TEST(DtdGeneratorTest, GeneratesWellFormedXml) {
+  Result<Dtd> dtd = ParseDtd(R"(
+    <!ELEMENT root (item*, note?)>
+    <!ELEMENT item (#PCDATA)>
+    <!ATTLIST item id ID #REQUIRED>
+    <!ELEMENT note (#PCDATA)>
+  )");
+  ASSERT_TRUE(dtd.ok());
+  GeneratorOptions options;
+  options.seed = 1;
+  Result<std::string> doc = GenerateDocument(dtd.value(), "", options);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  Result<xml::DomDocument> parsed = xml::DomDocument::Parse(doc.value());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().root()->tag, "root");
+}
+
+TEST(DtdGeneratorTest, DeterministicPerSeed) {
+  Result<Dtd> dtd = ParseDtd("<!ELEMENT r (a | b)*><!ELEMENT a (#PCDATA)>"
+                             "<!ELEMENT b EMPTY>");
+  ASSERT_TRUE(dtd.ok());
+  GeneratorOptions options;
+  options.seed = 99;
+  Result<std::string> one = GenerateDocument(dtd.value(), "r", options);
+  Result<std::string> two = GenerateDocument(dtd.value(), "r", options);
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(two.ok());
+  EXPECT_EQ(one.value(), two.value());
+  options.seed = 100;
+  Result<std::string> three = GenerateDocument(dtd.value(), "r", options);
+  ASSERT_TRUE(three.ok());
+  EXPECT_NE(one.value(), three.value());
+}
+
+TEST(DtdGeneratorTest, RespectsNumberLevels) {
+  // Unboundedly recursive DTD; the generator must stop at number_levels.
+  Result<Dtd> dtd =
+      ParseDtd("<!ELEMENT n (n*, t?)><!ELEMENT t (#PCDATA)>");
+  ASSERT_TRUE(dtd.ok());
+  GeneratorOptions options;
+  options.seed = 3;
+  options.number_levels = 5;
+  options.max_repeats = 3;
+  Result<std::string> doc = GenerateDocument(dtd.value(), "n", options);
+  ASSERT_TRUE(doc.ok());
+  Result<xml::DomDocument> parsed = xml::DomDocument::Parse(doc.value());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_LE(parsed.value().depth(), 5);
+}
+
+TEST(DtdGeneratorTest, RespectsMaxRepeats) {
+  Result<Dtd> dtd = ParseDtd("<!ELEMENT r (x*)><!ELEMENT x EMPTY>");
+  ASSERT_TRUE(dtd.ok());
+  GeneratorOptions options;
+  options.max_repeats = 4;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    options.seed = seed;
+    Result<std::string> doc = GenerateDocument(dtd.value(), "r", options);
+    ASSERT_TRUE(doc.ok());
+    Result<xml::DomDocument> parsed = xml::DomDocument::Parse(doc.value());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_LE(parsed.value().root()->children.size(), 4u);
+  }
+}
+
+TEST(DtdGeneratorTest, RequiredAttributesAlwaysPresent) {
+  Result<Dtd> dtd = ParseDtd(
+      "<!ELEMENT r (x+)><!ELEMENT x EMPTY>"
+      "<!ATTLIST x id ID #REQUIRED opt CDATA #IMPLIED>");
+  ASSERT_TRUE(dtd.ok());
+  GeneratorOptions options;
+  options.seed = 17;
+  Result<std::string> doc = GenerateDocument(dtd.value(), "r", options);
+  ASSERT_TRUE(doc.ok());
+  Result<xml::DomDocument> parsed = xml::DomDocument::Parse(doc.value());
+  ASSERT_TRUE(parsed.ok());
+  std::set<std::string> ids;
+  for (const xml::DomNode* child : parsed.value().root()->children) {
+    const std::string* id = child->FindAttribute("id");
+    ASSERT_NE(id, nullptr);
+    EXPECT_TRUE(ids.insert(*id).second) << "ID values must be unique";
+  }
+}
+
+TEST(DtdGeneratorTest, UnknownRootFails) {
+  Result<Dtd> dtd = ParseDtd("<!ELEMENT a EMPTY>");
+  ASSERT_TRUE(dtd.ok());
+  Result<std::string> doc =
+      GenerateDocument(dtd.value(), "nope", GeneratorOptions());
+  EXPECT_FALSE(doc.ok());
+}
+
+TEST(DtdGeneratorTest, CollectionConcatenatesIdenticalCopies) {
+  Result<Dtd> dtd = ParseDtd("<!ELEMENT r (x*)><!ELEMENT x (#PCDATA)>");
+  ASSERT_TRUE(dtd.ok());
+  GeneratorOptions options;
+  options.seed = 5;
+  Result<std::string> coll = GenerateCollection(dtd.value(), "r", options, 3);
+  ASSERT_TRUE(coll.ok());
+  Result<xml::DomDocument> parsed = xml::DomDocument::Parse(coll.value());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().root()->tag, "collection");
+  ASSERT_EQ(parsed.value().root()->children.size(), 3u);
+  // Copies are identical in structure.
+  EXPECT_EQ(parsed.value().root()->children[0]->children.size(),
+            parsed.value().root()->children[2]->children.size());
+}
+
+}  // namespace
+}  // namespace twigm::dtd

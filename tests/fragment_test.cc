@@ -1,0 +1,189 @@
+// Tests for XML-fragment result delivery (footnote 3): the recorder must
+// capture exactly the subtrees of result elements, across engines, nesting,
+// eager emission (PathM), and undecided candidates.
+
+#include "core/fragment.h"
+
+#include <algorithm>
+#include <string>
+
+#include "core/evaluator.h"
+#include "gtest/gtest.h"
+
+namespace twigm {
+namespace {
+
+using core::EngineKind;
+using core::EvaluatorOptions;
+using core::VectorFragmentSink;
+using core::VectorResultSink;
+using core::XPathStreamProcessor;
+
+struct FragmentRun {
+  std::vector<core::VectorFragmentSink::Item> fragments;
+  std::vector<xml::NodeId> ids;
+};
+
+FragmentRun RunFragments(std::string_view query, std::string_view doc,
+                         EngineKind engine = EngineKind::kAuto,
+                         size_t chunk = 0) {
+  VectorFragmentSink fragments;
+  VectorResultSink ids;
+  EvaluatorOptions options;
+  options.engine = engine;
+  auto proc =
+      XPathStreamProcessor::CreateWithFragments(query, &fragments, &ids,
+                                                options);
+  EXPECT_TRUE(proc.ok()) << proc.status().ToString();
+  FragmentRun run;
+  if (!proc.ok()) return run;
+  if (chunk == 0) {
+    EXPECT_TRUE(proc.value()->Feed(doc).ok());
+  } else {
+    for (size_t pos = 0; pos < doc.size(); pos += chunk) {
+      EXPECT_TRUE(proc.value()->Feed(doc.substr(pos, chunk)).ok());
+    }
+  }
+  EXPECT_TRUE(proc.value()->Finish().ok());
+  run.fragments = fragments.items();
+  run.ids = ids.TakeIds();
+  return run;
+}
+
+TEST(FragmentTest, SimpleSubtree) {
+  const FragmentRun run =
+      RunFragments("//b", "<a><b><c>x</c></b></a>");
+  ASSERT_EQ(run.fragments.size(), 1u);
+  EXPECT_EQ(run.fragments[0].id, 2u);
+  EXPECT_EQ(run.fragments[0].xml, "<b><c>x</c></b>");
+}
+
+TEST(FragmentTest, AttributesPreserved) {
+  const FragmentRun run =
+      RunFragments("//b", "<a><b k=\"v\" m=\"&lt;\"/></a>");
+  ASSERT_EQ(run.fragments.size(), 1u);
+  EXPECT_EQ(run.fragments[0].xml, "<b k=\"v\" m=\"&lt;\"></b>");
+}
+
+TEST(FragmentTest, TextEscapedOnOutput) {
+  const FragmentRun run =
+      RunFragments("//b", "<a><b>1 &lt; 2 &amp; 3</b></a>");
+  ASSERT_EQ(run.fragments.size(), 1u);
+  EXPECT_EQ(run.fragments[0].xml, "<b>1 &lt; 2 &amp; 3</b>");
+}
+
+TEST(FragmentTest, PredicateDecidedAfterSubtreeCloses) {
+  // Result proven only when <d> appears, long after </b>.
+  const FragmentRun run =
+      RunFragments("//a[d]/b", "<a><b><c/></b><d/></a>",
+                   EngineKind::kTwigM);
+  ASSERT_EQ(run.fragments.size(), 1u);
+  EXPECT_EQ(run.fragments[0].xml, "<b><c></c></b>");
+}
+
+TEST(FragmentTest, FailedCandidatesProduceNothing) {
+  const FragmentRun run =
+      RunFragments("//a[x]/b", "<a><b><c/></b><d/></a>",
+                   EngineKind::kTwigM);
+  EXPECT_TRUE(run.fragments.empty());
+  EXPECT_TRUE(run.ids.empty());
+}
+
+TEST(FragmentTest, EagerPathMEmission) {
+  // PathM announces the result at startElement; the fragment must still be
+  // complete when delivered.
+  const FragmentRun run =
+      RunFragments("//a/b", "<a><b><c>deep</c></b></a>", EngineKind::kPathM);
+  ASSERT_EQ(run.fragments.size(), 1u);
+  EXPECT_EQ(run.fragments[0].xml, "<b><c>deep</c></b>");
+  EXPECT_EQ(run.ids.size(), 1u);
+}
+
+TEST(FragmentTest, NestedResults) {
+  // Both b's match //b; the outer fragment contains the inner one.
+  const FragmentRun run = RunFragments("//b", "<a><b>x<b>y</b></b></a>");
+  ASSERT_EQ(run.fragments.size(), 2u);
+  // Inner completes first.
+  EXPECT_EQ(run.fragments[0].xml, "<b>y</b>");
+  EXPECT_EQ(run.fragments[1].xml, "<b>x<b>y</b></b>");
+}
+
+TEST(FragmentTest, BranchMFragments) {
+  const FragmentRun run = RunFragments(
+      "/a[d]/b", "<a><b><c/></b><d/></a>", EngineKind::kBranchM);
+  ASSERT_EQ(run.fragments.size(), 1u);
+  EXPECT_EQ(run.fragments[0].xml, "<b><c></c></b>");
+}
+
+TEST(FragmentTest, MultipleResultsInOrder) {
+  const FragmentRun run =
+      RunFragments("//b", "<a><b>1</b><b>2</b><b>3</b></a>");
+  ASSERT_EQ(run.fragments.size(), 3u);
+  EXPECT_EQ(run.fragments[0].xml, "<b>1</b>");
+  EXPECT_EQ(run.fragments[1].xml, "<b>2</b>");
+  EXPECT_EQ(run.fragments[2].xml, "<b>3</b>");
+}
+
+TEST(FragmentTest, ChunkedFeedingIdentical) {
+  const std::string doc =
+      "<a><b k=\"1\">text<c/>more</b><d/><b>two</b></a>";
+  const FragmentRun whole = RunFragments("//a[d]//b", doc);
+  for (size_t chunk : {1u, 3u, 5u}) {
+    const FragmentRun chunked =
+        RunFragments("//a[d]//b", doc, EngineKind::kAuto, chunk);
+    ASSERT_EQ(chunked.fragments.size(), whole.fragments.size());
+    for (size_t i = 0; i < whole.fragments.size(); ++i) {
+      EXPECT_EQ(chunked.fragments[i].xml, whole.fragments[i].xml);
+    }
+  }
+}
+
+TEST(FragmentTest, IdsSinkReceivesSameResults) {
+  const FragmentRun run =
+      RunFragments("//b[c]", "<a><b><c/></b><b/></a>");
+  ASSERT_EQ(run.fragments.size(), 1u);
+  ASSERT_EQ(run.ids.size(), 1u);
+  EXPECT_EQ(run.fragments[0].id, run.ids[0]);
+}
+
+TEST(FragmentTest, ValueTestFragments) {
+  const FragmentRun run = RunFragments(
+      "//s[.=\"keep\"]", "<r><s>keep</s><s>drop</s></r>");
+  ASSERT_EQ(run.fragments.size(), 1u);
+  EXPECT_EQ(run.fragments[0].xml, "<s>keep</s>");
+}
+
+TEST(FragmentTest, ResetAllowsReuse) {
+  VectorFragmentSink fragments;
+  auto proc = XPathStreamProcessor::CreateWithFragments("//b", &fragments);
+  ASSERT_TRUE(proc.ok());
+  ASSERT_TRUE(proc.value()->Feed("<a><b>1</b></a>").ok());
+  ASSERT_TRUE(proc.value()->Finish().ok());
+  proc.value()->Reset();
+  ASSERT_TRUE(proc.value()->Feed("<a><b>2</b></a>").ok());
+  ASSERT_TRUE(proc.value()->Finish().ok());
+  ASSERT_EQ(fragments.items().size(), 2u);
+  EXPECT_EQ(fragments.items()[1].xml, "<b>2</b>");
+}
+
+TEST(FragmentTest, NullFragmentSinkRejected) {
+  auto proc = XPathStreamProcessor::CreateWithFragments("//b", nullptr);
+  ASSERT_FALSE(proc.ok());
+  EXPECT_EQ(proc.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FragmentTest, DeepRecursiveCandidates) {
+  // Every a is a candidate and a result; fragments nest 50 deep.
+  std::string doc;
+  const int n = 50;
+  for (int i = 0; i < n; ++i) doc += "<a>";
+  for (int i = 0; i < n; ++i) doc += "</a>";
+  const FragmentRun run = RunFragments("//a", doc, EngineKind::kTwigM);
+  ASSERT_EQ(run.fragments.size(), static_cast<size_t>(n));
+  // Innermost result is the empty chain.
+  EXPECT_EQ(run.fragments[0].xml, "<a></a>");
+  EXPECT_EQ(run.fragments.back().xml.size(), static_cast<size_t>(7 * n));
+}
+
+}  // namespace
+}  // namespace twigm

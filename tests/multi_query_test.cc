@@ -1,0 +1,149 @@
+#include "core/multi_query.h"
+
+#include <algorithm>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace twigm {
+namespace {
+
+using core::EngineKind;
+using core::EvaluatorOptions;
+using core::MultiQueryProcessor;
+using core::VectorMultiQuerySink;
+
+struct PerQuery {
+  std::vector<xml::NodeId> ids;
+};
+
+std::vector<PerQuery> RunMulti(const std::vector<std::string>& queries,
+                               std::string_view doc) {
+  VectorMultiQuerySink sink;
+  auto proc = MultiQueryProcessor::Create(queries, &sink);
+  EXPECT_TRUE(proc.ok()) << proc.status().ToString();
+  std::vector<PerQuery> out(queries.size());
+  if (!proc.ok()) return out;
+  EXPECT_TRUE(proc.value()->Feed(doc).ok());
+  EXPECT_TRUE(proc.value()->Finish().ok());
+  for (const auto& item : sink.items()) {
+    out[item.query_index].ids.push_back(item.id);
+  }
+  for (auto& q : out) std::sort(q.ids.begin(), q.ids.end());
+  return out;
+}
+
+TEST(MultiQueryTest, IndependentQueriesIndependentResults) {
+  const std::string doc =
+      "<a><b><c/></b><d/><b/></a>";  // a=1 b=2 c=3 d=4 b=5
+  const std::vector<PerQuery> results =
+      RunMulti({"//b", "//b[c]", "//a[d]//c", "//x"}, doc);
+  EXPECT_EQ(results[0].ids, (std::vector<xml::NodeId>{2, 5}));
+  EXPECT_EQ(results[1].ids, (std::vector<xml::NodeId>{2}));
+  EXPECT_EQ(results[2].ids, (std::vector<xml::NodeId>{3}));
+  EXPECT_TRUE(results[3].ids.empty());
+}
+
+TEST(MultiQueryTest, MatchesSingleQueryProcessors) {
+  const std::string doc =
+      "<r><s id=\"1\"><t>x</t></s><s><t>y</t><u/></s></r>";
+  const std::vector<std::string> queries = {
+      "//s[@id]/t", "//s[u]", "/r/s/t", "//s[t=\"y\"]", "//*[t]"};
+  const std::vector<PerQuery> multi = RunMulti(queries, doc);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Result<std::vector<xml::NodeId>> single =
+        core::EvaluateToIds(queries[i], doc);
+    ASSERT_TRUE(single.ok());
+    std::vector<xml::NodeId> expected = std::move(single).value();
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(multi[i].ids, expected) << queries[i];
+  }
+}
+
+TEST(MultiQueryTest, EnginesPickedPerQuery) {
+  VectorMultiQuerySink sink;
+  auto proc = MultiQueryProcessor::Create(
+      {"//a//b", "/a/b[c]", "//a[b]//c"}, &sink);
+  ASSERT_TRUE(proc.ok());
+  EXPECT_EQ(proc.value()->engine_kind(0), EngineKind::kPathM);
+  EXPECT_EQ(proc.value()->engine_kind(1), EngineKind::kBranchM);
+  EXPECT_EQ(proc.value()->engine_kind(2), EngineKind::kTwigM);
+}
+
+TEST(MultiQueryTest, BadQueryNamesItsIndex) {
+  VectorMultiQuerySink sink;
+  auto proc = MultiQueryProcessor::Create({"//a", "b[", "//c"}, &sink);
+  ASSERT_FALSE(proc.ok());
+  EXPECT_NE(proc.status().message().find("query #1"), std::string::npos);
+}
+
+TEST(MultiQueryTest, EmptyQuerySetRejected) {
+  VectorMultiQuerySink sink;
+  auto proc = MultiQueryProcessor::Create({}, &sink);
+  ASSERT_FALSE(proc.ok());
+}
+
+TEST(MultiQueryTest, NullSinkRejected) {
+  auto proc = MultiQueryProcessor::Create({"//a"}, nullptr);
+  ASSERT_FALSE(proc.ok());
+}
+
+TEST(MultiQueryTest, ChunkedFeeding) {
+  const std::string doc = "<a><b/><c/><b/></a>";
+  VectorMultiQuerySink sink;
+  auto proc = MultiQueryProcessor::Create({"//b", "//c"}, &sink);
+  ASSERT_TRUE(proc.ok());
+  for (char ch : doc) {
+    ASSERT_TRUE(proc.value()->Feed(std::string_view(&ch, 1)).ok());
+  }
+  ASSERT_TRUE(proc.value()->Finish().ok());
+  EXPECT_EQ(proc.value()->total_results(), 3u);
+}
+
+TEST(MultiQueryTest, StatsPerQuery) {
+  const std::string doc = "<a><b/><b/></a>";
+  VectorMultiQuerySink sink;
+  auto proc = MultiQueryProcessor::Create({"//b", "//nope"}, &sink);
+  ASSERT_TRUE(proc.ok());
+  ASSERT_TRUE(proc.value()->Feed(doc).ok());
+  ASSERT_TRUE(proc.value()->Finish().ok());
+  EXPECT_EQ(proc.value()->stats(0).results, 2u);
+  EXPECT_EQ(proc.value()->stats(1).results, 0u);
+  EXPECT_EQ(proc.value()->stats(1).start_events, 3u);
+}
+
+TEST(MultiQueryTest, ResetAllowsNewDocument) {
+  VectorMultiQuerySink sink;
+  auto proc = MultiQueryProcessor::Create({"//b"}, &sink);
+  ASSERT_TRUE(proc.ok());
+  ASSERT_TRUE(proc.value()->Feed("<a><b/></a>").ok());
+  ASSERT_TRUE(proc.value()->Finish().ok());
+  proc.value()->Reset();
+  EXPECT_EQ(proc.value()->total_results(), 0u);
+  ASSERT_TRUE(proc.value()->Feed("<a><b/><b/></a>").ok());
+  ASSERT_TRUE(proc.value()->Finish().ok());
+  EXPECT_EQ(proc.value()->total_results(), 2u);
+  EXPECT_EQ(sink.items().size(), 3u);
+}
+
+TEST(MultiQueryTest, ManyQueriesOneParse) {
+  // 100 queries over one document: results must be exactly per query.
+  std::vector<std::string> queries;
+  for (int i = 0; i < 100; ++i) {
+    queries.push_back(i % 2 == 0 ? "//b" : "//c[d]");
+  }
+  const std::string doc = "<a><b/><c><d/></c></a>";  // b=2, c=3
+  const std::vector<PerQuery> results = RunMulti(queries, doc);
+  for (int i = 0; i < 100; ++i) {
+    if (i % 2 == 0) {
+      EXPECT_EQ(results[static_cast<size_t>(i)].ids,
+                (std::vector<xml::NodeId>{2}));
+    } else {
+      EXPECT_EQ(results[static_cast<size_t>(i)].ids,
+                (std::vector<xml::NodeId>{3}));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace twigm

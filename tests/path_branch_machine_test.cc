@@ -1,0 +1,161 @@
+// Tests for the specialized machines: PathM (section 3.1, XP{/,//,*}) and
+// BranchM (section 3.2, XP{/,[]}), including their applicability limits and
+// PathM's fully incremental emission.
+
+#include <memory>
+#include <string>
+
+#include "core/branch_machine.h"
+#include "core/path_machine.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "xml/sax_parser.h"
+
+namespace twigm {
+namespace {
+
+using core::BranchMachine;
+using core::EngineKind;
+using core::PathMachine;
+using core::VectorResultSink;
+using testing::Ids;
+using testing::MustEvaluate;
+
+TEST(PathMachineTest, LinearQueries) {
+  const std::string doc = "<a><b><c/></b><c/></a>";
+  EXPECT_EQ(MustEvaluate("/a/c", doc, EngineKind::kPathM), Ids({4}));
+  EXPECT_EQ(MustEvaluate("/a//c", doc, EngineKind::kPathM), Ids({3, 4}));
+  EXPECT_EQ(MustEvaluate("//c", doc, EngineKind::kPathM), Ids({3, 4}));
+}
+
+TEST(PathMachineTest, WildcardsAndCollapse) {
+  const std::string doc = "<a><x><b/></x><b/></a>";  // a=1 x=2 b=3 b=4
+  EXPECT_EQ(MustEvaluate("//a/*/b", doc, EngineKind::kPathM), Ids({3}));
+  EXPECT_EQ(MustEvaluate("//*", doc, EngineKind::kPathM), Ids({1, 2, 3, 4}));
+}
+
+TEST(PathMachineTest, RecursiveData) {
+  const std::string doc = "<a><a><b/></a></a>";  // a=1 a=2 b=3
+  EXPECT_EQ(MustEvaluate("//a//b", doc, EngineKind::kPathM), Ids({3}));
+  EXPECT_EQ(MustEvaluate("//a//a", doc, EngineKind::kPathM), Ids({2}));
+}
+
+TEST(PathMachineTest, RejectsPredicates) {
+  Result<xpath::QueryTree> tree = xpath::QueryTree::Parse("//a[b]/c");
+  ASSERT_TRUE(tree.ok());
+  VectorResultSink sink;
+  Result<std::unique_ptr<PathMachine>> machine =
+      PathMachine::Create(tree.value(), &sink);
+  ASSERT_FALSE(machine.ok());
+  EXPECT_EQ(machine.status().code(), StatusCode::kNotSupported);
+}
+
+TEST(PathMachineTest, EmitsAtStartElement) {
+  // PathM emits the instant the candidate's start tag is seen: the result
+  // must be delivered before the document is finished.
+  Result<xpath::QueryTree> tree = xpath::QueryTree::Parse("//a/b");
+  ASSERT_TRUE(tree.ok());
+  VectorResultSink sink;
+  Result<std::unique_ptr<PathMachine>> machine =
+      PathMachine::Create(tree.value(), &sink);
+  ASSERT_TRUE(machine.ok());
+  xml::EventDriver driver(machine.value().get());
+  xml::SaxParser parser(&driver);
+  ASSERT_TRUE(parser.Feed("<a><b>").ok());
+  EXPECT_EQ(sink.ids().size(), 1u);  // already emitted, stream still open
+  ASSERT_TRUE(parser.Feed("</b></a>").ok());
+  ASSERT_TRUE(parser.Finish().ok());
+  EXPECT_EQ(sink.ids().size(), 1u);
+}
+
+TEST(PathMachineTest, StatsTrackStackDepth) {
+  Result<xpath::QueryTree> tree = xpath::QueryTree::Parse("//a//a");
+  ASSERT_TRUE(tree.ok());
+  VectorResultSink sink;
+  Result<std::unique_ptr<PathMachine>> machine =
+      PathMachine::Create(tree.value(), &sink);
+  ASSERT_TRUE(machine.ok());
+  xml::EventDriver driver(machine.value().get());
+  xml::SaxParser parser(&driver);
+  ASSERT_TRUE(parser.ParseAll("<a><a><a/></a></a>").ok());
+  EXPECT_EQ(machine.value()->stats().results, 2u);
+  // Stacks: node0 holds 3 a's, node1 holds 2 => peak 5.
+  EXPECT_EQ(machine.value()->stats().peak_stack_entries, 5u);
+}
+
+TEST(BranchMachineTest, ChildOnlyPredicates) {
+  const std::string doc =
+      "<a><b><d/></b><b/><c/></a>";  // a=1 b=2 d=3 b=4 c=5
+  EXPECT_EQ(MustEvaluate("/a/b[d]", doc, EngineKind::kBranchM), Ids({2}));
+  EXPECT_EQ(MustEvaluate("/a[c]/b", doc, EngineKind::kBranchM), Ids({2, 4}));
+  EXPECT_EQ(MustEvaluate("/a[b][c]", doc, EngineKind::kBranchM), Ids({1}));
+  EXPECT_EQ(MustEvaluate("/a[x]/b", doc, EngineKind::kBranchM), Ids({}));
+}
+
+TEST(BranchMachineTest, PaperFigure3Example) {
+  // Q3 ≈ /a[d]/b[e]/c: candidate c buffered until both predicates resolve.
+  const std::string doc =
+      "<a><b><c/><e/></b><d/></a>";  // a=1 b=2 c=3 e=4 d=5
+  EXPECT_EQ(MustEvaluate("/a[d]/b[e]/c", doc, EngineKind::kBranchM),
+            Ids({3}));
+  EXPECT_EQ(MustEvaluate("/a[d]/b[x]/c", doc, EngineKind::kBranchM), Ids({}));
+}
+
+TEST(BranchMachineTest, SiblingCandidatesAccumulate) {
+  const std::string doc =
+      "<a><b><c/><c/></b><b><c/></b><d/></a>";  // c ids 3,4,6
+  EXPECT_EQ(MustEvaluate("/a[d]/b/c", doc, EngineKind::kBranchM),
+            Ids({3, 4, 6}));
+}
+
+TEST(BranchMachineTest, AttributeAndValueTests) {
+  const std::string doc =
+      "<a><b id=\"1\"><t>x</t></b><b><t>y</t></b></a>";  // a=1 b=2 t=3 b=4 t=5
+  EXPECT_EQ(MustEvaluate("/a/b[@id]", doc, EngineKind::kBranchM), Ids({2}));
+  EXPECT_EQ(MustEvaluate("/a/b[t=\"y\"]", doc, EngineKind::kBranchM),
+            Ids({4}));
+  EXPECT_EQ(MustEvaluate("/a/b[.!=\"\"]", doc, EngineKind::kBranchM),
+            Ids({}));  // b has no direct text
+}
+
+TEST(BranchMachineTest, NestedPredicates) {
+  const std::string doc = "<a><b><c><d/></c></b><b><c/></b></a>";
+  EXPECT_EQ(MustEvaluate("/a/b[c[d]]", doc, EngineKind::kBranchM), Ids({2}));
+}
+
+TEST(BranchMachineTest, RepeatedTagAtDifferentLevels) {
+  // The same tag appears at several query depths.
+  const std::string doc = "<a><a><a/></a></a>";
+  EXPECT_EQ(MustEvaluate("/a/a/a", doc, EngineKind::kBranchM), Ids({3}));
+  EXPECT_EQ(MustEvaluate("/a/a[a]", doc, EngineKind::kBranchM), Ids({2}));
+}
+
+TEST(BranchMachineTest, RejectsDescendantAxis) {
+  Result<xpath::QueryTree> tree = xpath::QueryTree::Parse("//a[b]/c");
+  ASSERT_TRUE(tree.ok());
+  VectorResultSink sink;
+  Result<std::unique_ptr<BranchMachine>> machine =
+      BranchMachine::Create(tree.value(), &sink);
+  ASSERT_FALSE(machine.ok());
+  EXPECT_EQ(machine.status().code(), StatusCode::kNotSupported);
+}
+
+TEST(BranchMachineTest, RejectsWildcard) {
+  Result<xpath::QueryTree> tree = xpath::QueryTree::Parse("/a/*[b]");
+  ASSERT_TRUE(tree.ok());
+  VectorResultSink sink;
+  Result<std::unique_ptr<BranchMachine>> machine =
+      BranchMachine::Create(tree.value(), &sink);
+  ASSERT_FALSE(machine.ok());
+  EXPECT_EQ(machine.status().code(), StatusCode::kNotSupported);
+}
+
+TEST(BranchMachineTest, StateResetBetweenSiblings) {
+  // The first b satisfies [d]; the second must not inherit its match.
+  const std::string doc = "<a><b><d/><c/></b><b><c/></b></a>";
+  // ids: a=1 b=2 d=3 c=4 b=5 c=6
+  EXPECT_EQ(MustEvaluate("/a/b[d]/c", doc, EngineKind::kBranchM), Ids({4}));
+}
+
+}  // namespace
+}  // namespace twigm

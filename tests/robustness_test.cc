@@ -1,0 +1,170 @@
+// Robustness / failure-injection tests: mutated and truncated inputs must
+// produce clean errors (never crashes, hangs, or silent wrong results), and
+// engines must stay inert after a parse error.
+
+#include <string>
+
+#include "common/random.h"
+#include "core/evaluator.h"
+#include "core/value_test.h"
+#include "gtest/gtest.h"
+#include "xml/dom.h"
+#include "xml/sax_parser.h"
+#include "xml/xml_writer.h"
+
+namespace twigm {
+namespace {
+
+TEST(RobustnessTest, RandomByteMutationsNeverCrash) {
+  const std::string base =
+      "<?xml version=\"1.0\"?><a><b x=\"1\">t&amp;t</b><!--c--><c><![CDATA["
+      "raw]]></c><d/></a>";
+  Rng rng(0xF002);
+  int errors = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string doc = base;
+    const int mutations = 1 + static_cast<int>(rng.Below(4));
+    for (int m = 0; m < mutations; ++m) {
+      const size_t pos = rng.Below(doc.size());
+      switch (rng.Below(3)) {
+        case 0:
+          doc[pos] = static_cast<char>(rng.Below(256));
+          break;
+        case 1:
+          doc.erase(pos, 1);
+          break;
+        default:
+          doc.insert(pos, 1, static_cast<char>("<>&\"'/="[rng.Below(7)]));
+      }
+    }
+    core::VectorResultSink sink;
+    auto proc = core::XPathStreamProcessor::Create("//b[x]//c", &sink);
+    ASSERT_TRUE(proc.ok());
+    Status s = proc.value()->Feed(doc);
+    if (s.ok()) s = proc.value()->Finish();
+    if (!s.ok()) ++errors;
+    // Either way: no crash, and the status is well-formed.
+    EXPECT_TRUE(s.ok() || !s.message().empty());
+  }
+  // Most mutations must be detected as malformed.
+  EXPECT_GT(errors, 1000);
+}
+
+TEST(RobustnessTest, TruncationAtEveryPrefixFailsCleanly) {
+  const std::string doc = "<a><b x=\"1\">text</b><c/></a>";
+  for (size_t len = 0; len < doc.size(); ++len) {
+    xml::SaxHandler handler;
+    xml::SaxParser parser(&handler);
+    Status s = parser.Feed(std::string_view(doc).substr(0, len));
+    if (s.ok()) s = parser.Finish();
+    EXPECT_FALSE(s.ok()) << "prefix length " << len;
+  }
+}
+
+TEST(RobustnessTest, ErrorsAfterPartialResultsLeaveEmittedResultsValid) {
+  // The engine emits what it can prove, then the document breaks. Results
+  // emitted before the error must be correct; no extras after.
+  core::VectorResultSink sink;
+  auto proc = core::XPathStreamProcessor::Create("//b", &sink);
+  ASSERT_TRUE(proc.ok());
+  ASSERT_TRUE(proc.value()->Feed("<a><b/><b/>").ok());
+  EXPECT_EQ(sink.ids().size(), 2u);  // PathM emits eagerly
+  EXPECT_FALSE(proc.value()->Feed("</c>").ok());
+  EXPECT_FALSE(proc.value()->Feed("<b/>").ok());  // poisoned
+  EXPECT_EQ(sink.ids().size(), 2u);
+}
+
+TEST(RobustnessTest, HugeFlatDocumentStaysBoundedMemory) {
+  // 200k siblings; engine state must remain tiny (no growth with |D|).
+  core::VectorResultSink sink;
+  core::EvaluatorOptions options;
+  options.engine = core::EngineKind::kTwigM;
+  auto proc = core::XPathStreamProcessor::Create("//row[v]", &sink, options);
+  ASSERT_TRUE(proc.ok());
+  ASSERT_TRUE(proc.value()->Feed("<table>").ok());
+  for (int i = 0; i < 200000; ++i) {
+    ASSERT_TRUE(proc.value()->Feed("<row><v/></row>").ok());
+  }
+  ASSERT_TRUE(proc.value()->Feed("</table>").ok());
+  ASSERT_TRUE(proc.value()->Finish().ok());
+  EXPECT_EQ(sink.ids().size(), 200000u);
+  EXPECT_LE(proc.value()->stats().peak_stack_entries, 4u);
+}
+
+TEST(RobustnessTest, PathologicalDeepNestingHitsDepthLimit) {
+  core::VectorResultSink sink;
+  core::EvaluatorOptions options;
+  options.sax.max_depth = 1000;
+  auto proc = core::XPathStreamProcessor::Create("//a", &sink, options);
+  ASSERT_TRUE(proc.ok());
+  Status s;
+  for (int i = 0; i < 2000; ++i) {
+    s = proc.value()->Feed("<a>");
+    if (!s.ok()) break;
+  }
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ValueTestSemantics, NumericVsStringComparison) {
+  using core::EvalValueTest;
+  using xpath::CmpOp;
+  // Numeric literal + numeric text: numeric comparison.
+  EXPECT_TRUE(EvalValueTest("10", CmpOp::kGt, "9", true));
+  EXPECT_TRUE(EvalValueTest(" 10 ", CmpOp::kEq, "10", true));
+  EXPECT_TRUE(EvalValueTest("2.5", CmpOp::kLt, "2.75", true));
+  // Numeric literal + non-numeric text: only != holds.
+  EXPECT_FALSE(EvalValueTest("abc", CmpOp::kEq, "10", true));
+  EXPECT_TRUE(EvalValueTest("abc", CmpOp::kNe, "10", true));
+  EXPECT_FALSE(EvalValueTest("abc", CmpOp::kLt, "10", true));
+  // String literal: bytewise.
+  EXPECT_TRUE(EvalValueTest("10", CmpOp::kLt, "9", false));  // "1" < "9"
+  EXPECT_TRUE(EvalValueTest("abc", CmpOp::kEq, "abc", false));
+  EXPECT_FALSE(EvalValueTest("abc", CmpOp::kEq, "ABC", false));
+  EXPECT_TRUE(EvalValueTest("", CmpOp::kEq, "", false));
+}
+
+TEST(ValueTestSemantics, EdgeNumbers) {
+  using core::EvalValueTest;
+  using xpath::CmpOp;
+  EXPECT_TRUE(EvalValueTest("0", CmpOp::kEq, "0.0", true));
+  EXPECT_TRUE(EvalValueTest("-3", CmpOp::kLt, "0", true));
+  EXPECT_FALSE(EvalValueTest("", CmpOp::kEq, "0", true));
+  EXPECT_FALSE(EvalValueTest("1e", CmpOp::kEq, "1", true));
+  EXPECT_TRUE(EvalValueTest("1e2", CmpOp::kEq, "100", true));
+}
+
+TEST(EdgeConditionTest, SatisfiesSemantics) {
+  core::EdgeCondition exact{true, 2};
+  EXPECT_TRUE(exact.Satisfies(2));
+  EXPECT_FALSE(exact.Satisfies(1));
+  EXPECT_FALSE(exact.Satisfies(3));
+  EXPECT_EQ(exact.ToString(), "(=,2)");
+
+  core::EdgeCondition ge{false, 3};
+  EXPECT_FALSE(ge.Satisfies(2));
+  EXPECT_TRUE(ge.Satisfies(3));
+  EXPECT_TRUE(ge.Satisfies(30));
+  EXPECT_EQ(ge.ToString(), "(>=,3)");
+}
+
+TEST(RobustnessTest, WriterParserRoundTripProperty) {
+  // Random content through XmlWriter must reparse to the same text/attrs.
+  Rng rng(0x5150);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text;
+    const int len = static_cast<int>(rng.Below(30));
+    for (int i = 0; i < len; ++i) {
+      text.push_back(static_cast<char>(32 + rng.Below(95)));
+    }
+    xml::XmlWriter w(false);
+    w.Open("r").Attr("k", text).Text(text).Close();
+    const std::string doc = std::move(w).TakeString();
+    Result<xml::DomDocument> parsed = xml::DomDocument::Parse(doc);
+    ASSERT_TRUE(parsed.ok()) << doc;
+    EXPECT_EQ(parsed.value().root()->text, text);
+    EXPECT_EQ(*parsed.value().root()->FindAttribute("k"), text);
+  }
+}
+
+}  // namespace
+}  // namespace twigm

@@ -1,0 +1,174 @@
+#include "xpath/parser.h"
+
+#include "gtest/gtest.h"
+#include "xpath/lexer.h"
+
+namespace twigm::xpath {
+namespace {
+
+// Parses and renders back to canonical text.
+std::string RoundTrip(std::string_view query) {
+  Result<PathExpr> result = ParseQuery(query);
+  if (!result.ok()) return "ERROR: " + result.status().ToString();
+  return ToString(result.value());
+}
+
+StatusCode ParseCode(std::string_view query) {
+  Result<PathExpr> result = ParseQuery(query);
+  return result.ok() ? StatusCode::kOk : result.status().code();
+}
+
+TEST(LexerTest, BasicTokens) {
+  Result<std::vector<Token>> tokens = Tokenize("//a[b=\"x\"]/*");
+  ASSERT_TRUE(tokens.ok());
+  const std::vector<TokenKind> kinds = {
+      TokenKind::kDoubleSlash, TokenKind::kName,         TokenKind::kLBracket,
+      TokenKind::kName,        TokenKind::kEq,           TokenKind::kStringLiteral,
+      TokenKind::kRBracket,    TokenKind::kSlash,        TokenKind::kStar,
+      TokenKind::kEnd};
+  ASSERT_EQ(tokens.value().size(), kinds.size());
+  for (size_t i = 0; i < kinds.size(); ++i) {
+    EXPECT_EQ(tokens.value()[i].kind, kinds[i]) << "token " << i;
+  }
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  Result<std::vector<Token>> tokens = Tokenize("= != < <= > >=");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].kind, TokenKind::kEq);
+  EXPECT_EQ(tokens.value()[1].kind, TokenKind::kNe);
+  EXPECT_EQ(tokens.value()[2].kind, TokenKind::kLt);
+  EXPECT_EQ(tokens.value()[3].kind, TokenKind::kLe);
+  EXPECT_EQ(tokens.value()[4].kind, TokenKind::kGt);
+  EXPECT_EQ(tokens.value()[5].kind, TokenKind::kGe);
+}
+
+TEST(LexerTest, NumbersAndDot) {
+  Result<std::vector<Token>> tokens = Tokenize("123 1.5 .5 .");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens.value()[0].text, "123");
+  EXPECT_EQ(tokens.value()[1].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens.value()[1].text, "1.5");
+  EXPECT_EQ(tokens.value()[2].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens.value()[2].text, ".5");
+  EXPECT_EQ(tokens.value()[3].kind, TokenKind::kDot);
+}
+
+TEST(LexerTest, SingleAndDoubleQuotedLiterals) {
+  Result<std::vector<Token>> tokens = Tokenize("\"dq\" 'sq'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].text, "dq");
+  EXPECT_EQ(tokens.value()[1].text, "sq");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("//a[\"unterminated]").ok());
+  EXPECT_FALSE(Tokenize("//a ! b").ok());
+  EXPECT_FALSE(Tokenize("//a[text()]").ok());
+  EXPECT_FALSE(Tokenize("//a$").ok());
+}
+
+TEST(ParserTest, LinearPaths) {
+  EXPECT_EQ(RoundTrip("/a/b/c"), "/a/b/c");
+  EXPECT_EQ(RoundTrip("//a//b//c"), "//a//b//c");
+  EXPECT_EQ(RoundTrip("/a//b/c"), "/a//b/c");
+  EXPECT_EQ(RoundTrip("//*"), "//*");
+  EXPECT_EQ(RoundTrip("/a/*//b"), "/a/*//b");
+}
+
+TEST(ParserTest, Whitespace) {
+  EXPECT_EQ(RoundTrip(" //a [ b ] / c "), "//a[b]/c");
+}
+
+TEST(ParserTest, Predicates) {
+  EXPECT_EQ(RoundTrip("//a[b]/c"), "//a[b]/c");
+  EXPECT_EQ(RoundTrip("//a[d]//b[e]//c"), "//a[d]//b[e]//c");
+  EXPECT_EQ(RoundTrip("//a[b/c]/d"), "//a[b/c]/d");
+  EXPECT_EQ(RoundTrip("//a[//b]/c"), "//a[//b]/c");
+  EXPECT_EQ(RoundTrip("//a[b][c]/d"), "//a[b][c]/d");
+}
+
+TEST(ParserTest, NestedPredicates) {
+  EXPECT_EQ(RoundTrip("//a[b[c]]/d"), "//a[b[c]]/d");
+  EXPECT_EQ(RoundTrip("//a[b[c[d]]/e]"), "//a[b[c[d]]/e]");
+}
+
+TEST(ParserTest, AttributeTests) {
+  EXPECT_EQ(RoundTrip("//a[@id]/b"), "//a[@id]/b");
+  EXPECT_EQ(RoundTrip("//a[@id=\"1\"]"), "//a[@id=\"1\"]");
+  EXPECT_EQ(RoundTrip("//a[b/@id]"), "//a[b/@id]");
+}
+
+TEST(ParserTest, ValueTests) {
+  EXPECT_EQ(RoundTrip("//a[b=\"x\"]"), "//a[b=\"x\"]");
+  EXPECT_EQ(RoundTrip("//a[b!=\"x\"]"), "//a[b!=\"x\"]");
+  EXPECT_EQ(RoundTrip("//a[b<5]"), "//a[b<5]");
+  EXPECT_EQ(RoundTrip("//a[b>=1.5]"), "//a[b>=1.5]");
+  EXPECT_EQ(RoundTrip("//a[.=\"x\"]"), "//a[.=\"x\"]");
+}
+
+TEST(ParserTest, WildcardWithPredicate) {
+  EXPECT_EQ(RoundTrip("//*[b]/c"), "//*[b]/c");
+  EXPECT_EQ(RoundTrip("//a/*[@x]//c"), "//a/*[@x]//c");
+}
+
+TEST(ParserTest, ErrorsAreParseErrors) {
+  EXPECT_EQ(ParseCode(""), StatusCode::kParseError);
+  EXPECT_EQ(ParseCode("a/b"), StatusCode::kParseError);     // no anchor
+  EXPECT_EQ(ParseCode("//a["), StatusCode::kParseError);    // open bracket
+  EXPECT_EQ(ParseCode("//a[]"), StatusCode::kParseError);   // empty predicate
+  EXPECT_EQ(ParseCode("//a]b"), StatusCode::kParseError);
+  EXPECT_EQ(ParseCode("//a//"), StatusCode::kParseError);   // trailing axis
+  EXPECT_EQ(ParseCode("//a[b=]"), StatusCode::kParseError); // missing literal
+  EXPECT_EQ(ParseCode("//a[.]"), StatusCode::kParseError);  // bare self test
+  EXPECT_EQ(ParseCode("//a[/b]"), StatusCode::kParseError); // absolute pred
+}
+
+TEST(ParserTest, AttributeRestrictions) {
+  // Attribute must be the last step of its path.
+  EXPECT_EQ(ParseCode("//a/@id/b"), StatusCode::kParseError);
+  // '//@x' is not supported.
+  EXPECT_EQ(ParseCode("//a[//@x]"), StatusCode::kParseError);
+  // Predicates cannot hang off an attribute.
+  EXPECT_EQ(ParseCode("//a[@x[y]]"), StatusCode::kParseError);
+}
+
+TEST(ParserTest, AstShape) {
+  Result<PathExpr> result = ParseQuery("//a[d]/b[e]//c");
+  ASSERT_TRUE(result.ok());
+  const PathExpr& path = result.value();
+  EXPECT_FALSE(path.absolute_child_anchor);
+  ASSERT_EQ(path.steps.size(), 3u);
+  EXPECT_EQ(path.steps[0].name, "a");
+  EXPECT_EQ(path.steps[0].axis, Axis::kDescendant);
+  ASSERT_EQ(path.steps[0].predicates.size(), 1u);
+  EXPECT_EQ(path.steps[0].predicates[0].path.steps[0].name, "d");
+  EXPECT_EQ(path.steps[1].axis, Axis::kChild);
+  EXPECT_EQ(path.steps[2].axis, Axis::kDescendant);
+  EXPECT_EQ(path.steps[2].name, "c");
+}
+
+TEST(ParserTest, ValueTestAst) {
+  Result<PathExpr> result = ParseQuery("//a[b/c>=10]");
+  ASSERT_TRUE(result.ok());
+  const Predicate& pred = result.value().steps[0].predicates[0];
+  EXPECT_TRUE(pred.has_value_test);
+  EXPECT_EQ(pred.op, CmpOp::kGe);
+  EXPECT_EQ(pred.literal, "10");
+  EXPECT_TRUE(pred.literal_is_number);
+  ASSERT_EQ(pred.path.steps.size(), 2u);
+}
+
+TEST(ParserTest, SelfTestAst) {
+  Result<PathExpr> result = ParseQuery("//a[.!=\"no\"]");
+  ASSERT_TRUE(result.ok());
+  const Predicate& pred = result.value().steps[0].predicates[0];
+  EXPECT_TRUE(pred.self_test);
+  EXPECT_TRUE(pred.has_value_test);
+  EXPECT_EQ(pred.op, CmpOp::kNe);
+  EXPECT_FALSE(pred.literal_is_number);
+}
+
+}  // namespace
+}  // namespace twigm::xpath
