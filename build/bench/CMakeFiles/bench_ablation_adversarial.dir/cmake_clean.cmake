@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_adversarial.dir/bench_ablation_adversarial.cc.o"
+  "CMakeFiles/bench_ablation_adversarial.dir/bench_ablation_adversarial.cc.o.d"
+  "bench_ablation_adversarial"
+  "bench_ablation_adversarial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_adversarial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gigabyte_stream.dir/bench_gigabyte_stream.cc.o"
+  "CMakeFiles/bench_gigabyte_stream.dir/bench_gigabyte_stream.cc.o.d"
+  "bench_gigabyte_stream"
+  "bench_gigabyte_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gigabyte_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

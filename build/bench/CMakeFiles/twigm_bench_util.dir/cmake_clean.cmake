@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twigm_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/twigm_bench_util.dir/bench_util.cc.o.d"
+  "libtwigm_bench_util.a"
+  "libtwigm_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twigm_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

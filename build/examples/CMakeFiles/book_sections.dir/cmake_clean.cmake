@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/book_sections.dir/book_sections.cpp.o"
+  "CMakeFiles/book_sections.dir/book_sections.cpp.o.d"
+  "book_sections"
+  "book_sections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/book_sections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feed_router.dir/feed_router.cpp.o"
+  "CMakeFiles/feed_router.dir/feed_router.cpp.o.d"
+  "feed_router"
+  "feed_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feed_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

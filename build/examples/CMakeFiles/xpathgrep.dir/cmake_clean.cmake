@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpathgrep.dir/xpathgrep.cpp.o"
+  "CMakeFiles/xpathgrep.dir/xpathgrep.cpp.o.d"
+  "xpathgrep"
+  "xpathgrep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpathgrep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dom_eval.cc" "src/baselines/CMakeFiles/twigm_baselines.dir/dom_eval.cc.o" "gcc" "src/baselines/CMakeFiles/twigm_baselines.dir/dom_eval.cc.o.d"
+  "/root/repo/src/baselines/eos_engine.cc" "src/baselines/CMakeFiles/twigm_baselines.dir/eos_engine.cc.o" "gcc" "src/baselines/CMakeFiles/twigm_baselines.dir/eos_engine.cc.o.d"
+  "/root/repo/src/baselines/lazy_dfa.cc" "src/baselines/CMakeFiles/twigm_baselines.dir/lazy_dfa.cc.o" "gcc" "src/baselines/CMakeFiles/twigm_baselines.dir/lazy_dfa.cc.o.d"
+  "/root/repo/src/baselines/naive_enum.cc" "src/baselines/CMakeFiles/twigm_baselines.dir/naive_enum.cc.o" "gcc" "src/baselines/CMakeFiles/twigm_baselines.dir/naive_enum.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/twigm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/twigm_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/xpath/CMakeFiles/twigm_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/twigm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twigm_baselines.dir/dom_eval.cc.o"
+  "CMakeFiles/twigm_baselines.dir/dom_eval.cc.o.d"
+  "CMakeFiles/twigm_baselines.dir/eos_engine.cc.o"
+  "CMakeFiles/twigm_baselines.dir/eos_engine.cc.o.d"
+  "CMakeFiles/twigm_baselines.dir/lazy_dfa.cc.o"
+  "CMakeFiles/twigm_baselines.dir/lazy_dfa.cc.o.d"
+  "CMakeFiles/twigm_baselines.dir/naive_enum.cc.o"
+  "CMakeFiles/twigm_baselines.dir/naive_enum.cc.o.d"
+  "libtwigm_baselines.a"
+  "libtwigm_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twigm_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtwigm_baselines.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twigm_common.dir/mem_stats.cc.o"
+  "CMakeFiles/twigm_common.dir/mem_stats.cc.o.d"
+  "CMakeFiles/twigm_common.dir/status.cc.o"
+  "CMakeFiles/twigm_common.dir/status.cc.o.d"
+  "CMakeFiles/twigm_common.dir/string_util.cc.o"
+  "CMakeFiles/twigm_common.dir/string_util.cc.o.d"
+  "libtwigm_common.a"
+  "libtwigm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twigm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/branch_machine.cc" "src/core/CMakeFiles/twigm_core.dir/branch_machine.cc.o" "gcc" "src/core/CMakeFiles/twigm_core.dir/branch_machine.cc.o.d"
+  "/root/repo/src/core/evaluator.cc" "src/core/CMakeFiles/twigm_core.dir/evaluator.cc.o" "gcc" "src/core/CMakeFiles/twigm_core.dir/evaluator.cc.o.d"
+  "/root/repo/src/core/fragment.cc" "src/core/CMakeFiles/twigm_core.dir/fragment.cc.o" "gcc" "src/core/CMakeFiles/twigm_core.dir/fragment.cc.o.d"
+  "/root/repo/src/core/machine_builder.cc" "src/core/CMakeFiles/twigm_core.dir/machine_builder.cc.o" "gcc" "src/core/CMakeFiles/twigm_core.dir/machine_builder.cc.o.d"
+  "/root/repo/src/core/multi_query.cc" "src/core/CMakeFiles/twigm_core.dir/multi_query.cc.o" "gcc" "src/core/CMakeFiles/twigm_core.dir/multi_query.cc.o.d"
+  "/root/repo/src/core/path_machine.cc" "src/core/CMakeFiles/twigm_core.dir/path_machine.cc.o" "gcc" "src/core/CMakeFiles/twigm_core.dir/path_machine.cc.o.d"
+  "/root/repo/src/core/twig_machine.cc" "src/core/CMakeFiles/twigm_core.dir/twig_machine.cc.o" "gcc" "src/core/CMakeFiles/twigm_core.dir/twig_machine.cc.o.d"
+  "/root/repo/src/core/union_query.cc" "src/core/CMakeFiles/twigm_core.dir/union_query.cc.o" "gcc" "src/core/CMakeFiles/twigm_core.dir/union_query.cc.o.d"
+  "/root/repo/src/core/value_test.cc" "src/core/CMakeFiles/twigm_core.dir/value_test.cc.o" "gcc" "src/core/CMakeFiles/twigm_core.dir/value_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/twigm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/twigm_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/xpath/CMakeFiles/twigm_xpath.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

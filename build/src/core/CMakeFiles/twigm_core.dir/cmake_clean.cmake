@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twigm_core.dir/branch_machine.cc.o"
+  "CMakeFiles/twigm_core.dir/branch_machine.cc.o.d"
+  "CMakeFiles/twigm_core.dir/evaluator.cc.o"
+  "CMakeFiles/twigm_core.dir/evaluator.cc.o.d"
+  "CMakeFiles/twigm_core.dir/fragment.cc.o"
+  "CMakeFiles/twigm_core.dir/fragment.cc.o.d"
+  "CMakeFiles/twigm_core.dir/machine_builder.cc.o"
+  "CMakeFiles/twigm_core.dir/machine_builder.cc.o.d"
+  "CMakeFiles/twigm_core.dir/multi_query.cc.o"
+  "CMakeFiles/twigm_core.dir/multi_query.cc.o.d"
+  "CMakeFiles/twigm_core.dir/path_machine.cc.o"
+  "CMakeFiles/twigm_core.dir/path_machine.cc.o.d"
+  "CMakeFiles/twigm_core.dir/twig_machine.cc.o"
+  "CMakeFiles/twigm_core.dir/twig_machine.cc.o.d"
+  "CMakeFiles/twigm_core.dir/union_query.cc.o"
+  "CMakeFiles/twigm_core.dir/union_query.cc.o.d"
+  "CMakeFiles/twigm_core.dir/value_test.cc.o"
+  "CMakeFiles/twigm_core.dir/value_test.cc.o.d"
+  "libtwigm_core.a"
+  "libtwigm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twigm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/adversarial.cc" "src/data/CMakeFiles/twigm_data.dir/adversarial.cc.o" "gcc" "src/data/CMakeFiles/twigm_data.dir/adversarial.cc.o.d"
+  "/root/repo/src/data/book.cc" "src/data/CMakeFiles/twigm_data.dir/book.cc.o" "gcc" "src/data/CMakeFiles/twigm_data.dir/book.cc.o.d"
+  "/root/repo/src/data/datasets.cc" "src/data/CMakeFiles/twigm_data.dir/datasets.cc.o" "gcc" "src/data/CMakeFiles/twigm_data.dir/datasets.cc.o.d"
+  "/root/repo/src/data/protein.cc" "src/data/CMakeFiles/twigm_data.dir/protein.cc.o" "gcc" "src/data/CMakeFiles/twigm_data.dir/protein.cc.o.d"
+  "/root/repo/src/data/xmark.cc" "src/data/CMakeFiles/twigm_data.dir/xmark.cc.o" "gcc" "src/data/CMakeFiles/twigm_data.dir/xmark.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/twigm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/twigm_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtd/CMakeFiles/twigm_dtd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twigm_data.dir/adversarial.cc.o"
+  "CMakeFiles/twigm_data.dir/adversarial.cc.o.d"
+  "CMakeFiles/twigm_data.dir/book.cc.o"
+  "CMakeFiles/twigm_data.dir/book.cc.o.d"
+  "CMakeFiles/twigm_data.dir/datasets.cc.o"
+  "CMakeFiles/twigm_data.dir/datasets.cc.o.d"
+  "CMakeFiles/twigm_data.dir/protein.cc.o"
+  "CMakeFiles/twigm_data.dir/protein.cc.o.d"
+  "CMakeFiles/twigm_data.dir/xmark.cc.o"
+  "CMakeFiles/twigm_data.dir/xmark.cc.o.d"
+  "libtwigm_data.a"
+  "libtwigm_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twigm_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twigm_dtd.dir/dtd_generator.cc.o"
+  "CMakeFiles/twigm_dtd.dir/dtd_generator.cc.o.d"
+  "CMakeFiles/twigm_dtd.dir/dtd_parser.cc.o"
+  "CMakeFiles/twigm_dtd.dir/dtd_parser.cc.o.d"
+  "libtwigm_dtd.a"
+  "libtwigm_dtd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twigm_dtd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twigm_xml.dir/dom.cc.o"
+  "CMakeFiles/twigm_xml.dir/dom.cc.o.d"
+  "CMakeFiles/twigm_xml.dir/sax_parser.cc.o"
+  "CMakeFiles/twigm_xml.dir/sax_parser.cc.o.d"
+  "CMakeFiles/twigm_xml.dir/xml_writer.cc.o"
+  "CMakeFiles/twigm_xml.dir/xml_writer.cc.o.d"
+  "libtwigm_xml.a"
+  "libtwigm_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twigm_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

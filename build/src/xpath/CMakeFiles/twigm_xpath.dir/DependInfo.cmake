@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xpath/lexer.cc" "src/xpath/CMakeFiles/twigm_xpath.dir/lexer.cc.o" "gcc" "src/xpath/CMakeFiles/twigm_xpath.dir/lexer.cc.o.d"
+  "/root/repo/src/xpath/parser.cc" "src/xpath/CMakeFiles/twigm_xpath.dir/parser.cc.o" "gcc" "src/xpath/CMakeFiles/twigm_xpath.dir/parser.cc.o.d"
+  "/root/repo/src/xpath/query_tree.cc" "src/xpath/CMakeFiles/twigm_xpath.dir/query_tree.cc.o" "gcc" "src/xpath/CMakeFiles/twigm_xpath.dir/query_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/twigm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

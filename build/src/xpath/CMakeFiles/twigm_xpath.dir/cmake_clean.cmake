@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twigm_xpath.dir/lexer.cc.o"
+  "CMakeFiles/twigm_xpath.dir/lexer.cc.o.d"
+  "CMakeFiles/twigm_xpath.dir/parser.cc.o"
+  "CMakeFiles/twigm_xpath.dir/parser.cc.o.d"
+  "CMakeFiles/twigm_xpath.dir/query_tree.cc.o"
+  "CMakeFiles/twigm_xpath.dir/query_tree.cc.o.d"
+  "libtwigm_xpath.a"
+  "libtwigm_xpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twigm_xpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

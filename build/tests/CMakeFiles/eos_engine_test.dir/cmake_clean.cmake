@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eos_engine_test.dir/eos_engine_test.cc.o"
+  "CMakeFiles/eos_engine_test.dir/eos_engine_test.cc.o.d"
+  "eos_engine_test"
+  "eos_engine_test.pdb"
+  "eos_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eos_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fragment_property_test.dir/fragment_property_test.cc.o"
+  "CMakeFiles/fragment_property_test.dir/fragment_property_test.cc.o.d"
+  "fragment_property_test"
+  "fragment_property_test.pdb"
+  "fragment_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fragment_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

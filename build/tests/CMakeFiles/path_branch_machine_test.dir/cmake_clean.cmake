@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_branch_machine_test.dir/path_branch_machine_test.cc.o"
+  "CMakeFiles/path_branch_machine_test.dir/path_branch_machine_test.cc.o.d"
+  "path_branch_machine_test"
+  "path_branch_machine_test.pdb"
+  "path_branch_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_branch_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

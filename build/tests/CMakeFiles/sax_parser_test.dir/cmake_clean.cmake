@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sax_parser_test.dir/sax_parser_test.cc.o"
+  "CMakeFiles/sax_parser_test.dir/sax_parser_test.cc.o.d"
+  "sax_parser_test"
+  "sax_parser_test.pdb"
+  "sax_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sax_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

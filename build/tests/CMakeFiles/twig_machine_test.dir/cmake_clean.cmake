@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twig_machine_test.dir/twig_machine_test.cc.o"
+  "CMakeFiles/twig_machine_test.dir/twig_machine_test.cc.o.d"
+  "twig_machine_test"
+  "twig_machine_test.pdb"
+  "twig_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twig_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sax_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_dom_test[1]_include.cmake")
+include("/root/repo/build/tests/xpath_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/query_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/twig_machine_test[1]_include.cmake")
+include("/root/repo/build/tests/path_branch_machine_test[1]_include.cmake")
+include("/root/repo/build/tests/evaluator_test[1]_include.cmake")
+include("/root/repo/build/tests/differential_test[1]_include.cmake")
+include("/root/repo/build/tests/dtd_test[1]_include.cmake")
+include("/root/repo/build/tests/datasets_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/fragment_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_query_test[1]_include.cmake")
+include("/root/repo/build/tests/param_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/eos_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/union_query_test[1]_include.cmake")
+include("/root/repo/build/tests/fragment_property_test[1]_include.cmake")
