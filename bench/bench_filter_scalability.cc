@@ -1,0 +1,241 @@
+// Filter-engine scalability benchmark: one stream, many queries. Compares
+// the shared-prefix FilterEngine (src/filter/) against the product
+// construction of MultiQueryProcessor as the query set grows 16 -> 4096,
+// on the Book and Auction datasets. The product's per-event cost is linear
+// in the number of queries; the filter's is bounded by the number of
+// distinct active location steps, so the gap widens with the set size.
+//
+// Run with `--json BENCH_filter_scalability.json` for machine-readable
+// records (wall time, peak RSS, result counts, trie sharing stats).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "core/multi_query.h"
+#include "filter/filter_engine.h"
+
+namespace twigm::bench {
+namespace {
+
+struct Vocabulary {
+  const char* name;
+  std::vector<std::string> tags;
+  std::vector<std::string> attrs;
+};
+
+const Vocabulary& BookVocabulary() {
+  static const Vocabulary* kVocab = new Vocabulary{
+      "book",
+      {"collection", "book", "title", "author", "section", "p", "figure",
+       "image"},
+      {"id", "short", "difficulty"}};
+  return *kVocab;
+}
+
+const Vocabulary& AuctionVocabulary() {
+  static const Vocabulary* kVocab = new Vocabulary{
+      "auction",
+      {"site", "regions", "item", "description", "parlist", "listitem",
+       "text", "people", "person", "name", "open_auctions", "open_auction",
+       "bidder", "increase", "seller", "price", "category"},
+      {"id", "category"}};
+  return *kVocab;
+}
+
+// Synthesizes a filtering workload over the dataset vocabulary: ~75%
+// linear queries (the dominant publish/subscribe class), the rest with one
+// structural or attribute predicate on the last step. Duplicates and
+// shared prefixes arise naturally from the small vocabulary.
+std::vector<std::string> MakeWorkload(const Vocabulary& vocab, size_t count,
+                                      uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const int steps = 2 + static_cast<int>(rng.Below(3));  // 2..4
+    std::string q;
+    for (int s = 0; s < steps; ++s) {
+      q += (s == 0 || rng.Below(100) < 35) ? "//" : "/";
+      if (rng.Below(100) < 8) {
+        q += "*";
+      } else {
+        q += vocab.tags[rng.Below(vocab.tags.size())];
+      }
+    }
+    if (rng.Below(100) >= 75) {
+      if (rng.Below(2) == 0) {
+        q += "[@" + vocab.attrs[rng.Below(vocab.attrs.size())] + "]";
+      } else {
+        q += "[" + vocab.tags[rng.Below(vocab.tags.size())] + "]";
+      }
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+const Vocabulary& VocabularyFor(int dataset) {
+  return dataset == 0 ? BookVocabulary() : AuctionVocabulary();
+}
+
+const std::string& DatasetFor(int dataset) {
+  return dataset == 0 ? BookDataset() : AuctionDataset();
+}
+
+class CountingSink : public core::MultiQueryResultSink {
+ public:
+  void OnResult(size_t, xml::NodeId) override { ++count_; }
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+void BM_FilterEngine(benchmark::State& state) {
+  const size_t queries = static_cast<size_t>(state.range(0));
+  const int dataset = static_cast<int>(state.range(1));
+  const std::string& doc = DatasetFor(dataset);
+  const std::vector<std::string> query_set =
+      MakeWorkload(VocabularyFor(dataset), queries, 2006 + dataset);
+  for (auto _ : state) {
+    CountingSink sink;
+    auto engine = filter::FilterEngine::Create(query_set, &sink);
+    if (!engine.ok()) {
+      state.SkipWithError(engine.status().ToString().c_str());
+      return;
+    }
+    Stopwatch sw;
+    Status s = engine.value()->Feed(doc);
+    if (s.ok()) s = engine.value()->Finish();
+    const double wall_ms = sw.ElapsedSeconds() * 1e3;
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+    const filter::FilterIndexStats& istats = engine.value()->index().stats();
+    state.counters["results"] =
+        benchmark::Counter(static_cast<double>(sink.count()));
+    state.counters["trie_nodes"] =
+        benchmark::Counter(static_cast<double>(istats.trie_node_count));
+    BenchRecord record;
+    record.bench = "filter_scalability";
+    record.params = {{"system", "filter"},
+                     {"queries", std::to_string(queries)},
+                     {"dataset", VocabularyFor(dataset).name}};
+    record.wall_ms = wall_ms;
+    record.metrics = {
+        {"results", static_cast<double>(sink.count())},
+        {"trie_node_count", static_cast<double>(istats.trie_node_count)},
+        {"total_steps", static_cast<double>(istats.total_steps)},
+        {"linear_queries", static_cast<double>(istats.linear_query_count)},
+        {"tail_queries", static_cast<double>(istats.tail_query_count)}};
+    BenchJson::Get().Add(std::move(record));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.size()));
+}
+
+void BM_ProductConstruction(benchmark::State& state) {
+  const size_t queries = static_cast<size_t>(state.range(0));
+  const int dataset = static_cast<int>(state.range(1));
+  const std::string& doc = DatasetFor(dataset);
+  const std::vector<std::string> query_set =
+      MakeWorkload(VocabularyFor(dataset), queries, 2006 + dataset);
+  for (auto _ : state) {
+    CountingSink sink;
+    auto proc = core::MultiQueryProcessor::Create(query_set, &sink);
+    if (!proc.ok()) {
+      state.SkipWithError(proc.status().ToString().c_str());
+      return;
+    }
+    Stopwatch sw;
+    Status s = proc.value()->Feed(doc);
+    if (s.ok()) s = proc.value()->Finish();
+    const double wall_ms = sw.ElapsedSeconds() * 1e3;
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+    state.counters["results"] =
+        benchmark::Counter(static_cast<double>(sink.count()));
+    BenchRecord record;
+    record.bench = "filter_scalability";
+    record.params = {{"system", "product"},
+                     {"queries", std::to_string(queries)},
+                     {"dataset", VocabularyFor(dataset).name}};
+    record.wall_ms = wall_ms;
+    record.metrics = {{"results", static_cast<double>(sink.count())}};
+    BenchJson::Get().Add(std::move(record));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.size()));
+}
+
+void RegisterSweep() {
+  for (auto* bench : {benchmark::RegisterBenchmark("BM_FilterEngine",
+                                                   BM_FilterEngine),
+                      benchmark::RegisterBenchmark("BM_ProductConstruction",
+                                                   BM_ProductConstruction)}) {
+    bench->ArgNames({"queries", "dataset"});
+    for (int dataset : {0, 1}) {
+      for (int queries : {16, 64, 256, 1024, 4096}) {
+        bench->Args({queries, dataset});
+      }
+    }
+    bench->Unit(benchmark::kMillisecond)->Iterations(1);
+  }
+}
+
+// Cross-checks the two systems before the timed runs: they must emit the
+// same number of (query, id) results on the same workload.
+bool SanityCheck() {
+  for (int dataset : {0, 1}) {
+    const std::vector<std::string> query_set =
+        MakeWorkload(VocabularyFor(dataset), 64, 2006 + dataset);
+    const std::string& doc = DatasetFor(dataset);
+    CountingSink product_sink;
+    auto proc = core::MultiQueryProcessor::Create(query_set, &product_sink);
+    if (!proc.ok() || !proc.value()->Feed(doc).ok() ||
+        !proc.value()->Finish().ok()) {
+      std::fprintf(stderr, "sanity: product construction failed (%s)\n",
+                   VocabularyFor(dataset).name);
+      return false;
+    }
+    CountingSink filter_sink;
+    auto engine = filter::FilterEngine::Create(query_set, &filter_sink);
+    if (!engine.ok() || !engine.value()->Feed(doc).ok() ||
+        !engine.value()->Finish().ok()) {
+      std::fprintf(stderr, "sanity: filter engine failed (%s)\n",
+                   VocabularyFor(dataset).name);
+      return false;
+    }
+    if (product_sink.count() != filter_sink.count()) {
+      std::fprintf(stderr,
+                   "sanity: result mismatch on %s: product=%llu filter=%llu\n",
+                   VocabularyFor(dataset).name,
+                   static_cast<unsigned long long>(product_sink.count()),
+                   static_cast<unsigned long long>(filter_sink.count()));
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+}  // namespace twigm::bench
+
+int main(int argc, char** argv) {
+  twigm::bench::BenchJson::Get().StripJsonFlag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (!twigm::bench::SanityCheck()) return 1;
+  twigm::bench::RegisterSweep();
+  benchmark::RunSpecifiedBenchmarks();
+  twigm::bench::BenchJson::Get().Write();
+  return 0;
+}

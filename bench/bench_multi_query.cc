@@ -57,14 +57,23 @@ void BM_MultiQuery(benchmark::State& state) {
       state.SkipWithError(proc.status().ToString().c_str());
       return;
     }
+    Stopwatch sw;
     Status s = proc.value()->Feed(doc);
     if (s.ok()) s = proc.value()->Finish();
+    const double wall_ms = sw.ElapsedSeconds() * 1e3;
     if (!s.ok()) {
       state.SkipWithError(s.ToString().c_str());
       return;
     }
     state.counters["results"] =
         benchmark::Counter(static_cast<double>(sink.count()));
+    BenchRecord record;
+    record.bench = "multi_query";
+    record.params = {{"queries", std::to_string(queries)},
+                     {"dataset", "book"}};
+    record.wall_ms = wall_ms;
+    record.metrics = {{"results", static_cast<double>(sink.count())}};
+    BenchJson::Get().Add(std::move(record));
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(doc.size()));
@@ -75,4 +84,11 @@ BENCHMARK(BM_MultiQuery)->RangeMultiplier(4)->Range(1, 64)
 }  // namespace
 }  // namespace twigm::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  twigm::bench::BenchJson::Get().StripJsonFlag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  twigm::bench::BenchJson::Get().Write();
+  return 0;
+}

@@ -1,5 +1,8 @@
 #include "bench/bench_util.h"
 
+#include <cstring>
+
+#include "common/mem_stats.h"
 #include "xml/sax_event.h"
 
 namespace twigm::bench {
@@ -76,6 +79,82 @@ const std::string& BookDatasetCopies(int copies) {
   const std::string* stored = new std::string(std::move(doc));
   (*kCache)[copies] = stored;
   return *stored;
+}
+
+BenchJson& BenchJson::Get() {
+  static BenchJson* kInstance = new BenchJson();
+  return *kInstance;
+}
+
+void BenchJson::StripJsonFlag(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
+      path_ = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      path_ = argv[i] + 7;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+void BenchJson::Add(BenchRecord record) {
+  if (record.peak_rss_bytes == 0) {
+    record.peak_rss_bytes = ReadProcessMemory().peak_rss_bytes;
+  }
+  records_.push_back(std::move(record));
+}
+
+namespace {
+
+// Minimal JSON string escaping: the values we emit are benchmark and
+// parameter names, never arbitrary user text.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void BenchJson::Write() const {
+  if (path_.empty()) return;
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench json: cannot open %s\n", path_.c_str());
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const BenchRecord& r = records_[i];
+    std::fprintf(f, "  {\"bench\": \"%s\", \"params\": {",
+                 JsonEscape(r.bench).c_str());
+    for (size_t p = 0; p < r.params.size(); ++p) {
+      std::fprintf(f, "%s\"%s\": \"%s\"", p > 0 ? ", " : "",
+                   JsonEscape(r.params[p].first).c_str(),
+                   JsonEscape(r.params[p].second).c_str());
+    }
+    std::fprintf(f, "}, \"wall_ms\": %.3f, \"peak_rss_bytes\": %llu",
+                 r.wall_ms, static_cast<unsigned long long>(r.peak_rss_bytes));
+    for (const auto& [name, value] : r.metrics) {
+      std::fprintf(f, ", \"%s\": %.3f", JsonEscape(name).c_str(), value);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < records_.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::fprintf(stderr, "bench json: wrote %zu records to %s\n",
+               records_.size(), path_.c_str());
 }
 
 RunResult RunSystem(System system, const std::string& query,

@@ -12,6 +12,8 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "baselines/dom_eval.h"
 #include "baselines/lazy_dfa.h"
@@ -85,6 +87,53 @@ struct RunResult {
 /// engine's internal memory accounting.
 RunResult RunSystem(System system, const std::string& query,
                     const std::string& doc);
+
+/// One measurement for machine-readable benchmark output (the `--json`
+/// flag): benchmark name, its parameters, wall time, and peak RSS.
+struct BenchRecord {
+  std::string bench;  // e.g. "multi_query"
+  std::vector<std::pair<std::string, std::string>> params;
+  double wall_ms = 0;
+  uint64_t peak_rss_bytes = 0;  // filled from /proc/self/status when 0
+  /// Extra numeric fields inlined into the record (results, trie nodes, …).
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+/// Collects BenchRecords and, when the binary was started with
+/// `--json <path>` (or `--json=<path>`), writes them as a JSON array to
+/// `<path>` — by convention `BENCH_<name>.json`, so the perf trajectory of
+/// a benchmark is machine-readable across PRs. Usage in a bench main():
+///
+///   twigm::bench::BenchJson::Get().StripJsonFlag(&argc, argv);
+///   benchmark::Initialize(&argc, argv);
+///   benchmark::RunSpecifiedBenchmarks();
+///   twigm::bench::BenchJson::Get().Write();
+///
+/// Without the flag, Add/Write are cheap no-ops on the output side (records
+/// are still collected; Write simply skips the file).
+class BenchJson {
+ public:
+  static BenchJson& Get();
+
+  /// Removes `--json <path>` / `--json=<path>` from argv before
+  /// google-benchmark sees (and rejects) the unknown flag.
+  void StripJsonFlag(int* argc, char** argv);
+
+  /// Records one measurement; peak_rss_bytes defaults to the process
+  /// high-water mark at the time of the call.
+  void Add(BenchRecord record);
+
+  /// Writes the collected records to the requested path (no-op without
+  /// `--json`). Prints the destination to stderr on success.
+  void Write() const;
+
+  bool enabled() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::vector<BenchRecord> records_;
+};
 
 }  // namespace twigm::bench
 

@@ -43,7 +43,12 @@ void BranchMachine::StartElement(std::string_view tag, int level,
     // the edge is always (=, 1) against the parent's recorded level.
     bool qualified;
     if (v->parent == nullptr) {
-      qualified = v->edge.Satisfies(level);
+      if (root_context_ == nullptr) {
+        qualified = v->edge.Satisfies(level);
+      } else {
+        qualified = !root_context_->empty() &&
+                    v->edge.Satisfies(level - root_context_->back());
+      }
     } else {
       const NodeState& parent = states_[v->parent->id];
       qualified = parent.level != -1 && v->edge.Satisfies(level - parent.level);

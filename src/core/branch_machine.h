@@ -50,6 +50,14 @@ class BranchMachine : public xml::StreamEventSink {
     candidate_observer_ = observer;
   }
 
+  /// Optional: anchors the root to an external ancestor stack (see
+  /// TwigMachine::set_root_context). Only valid when the anchoring trunk is
+  /// child-axis-only, so at most one ancestor level is ever live — the
+  /// single-state invariant of BranchM is preserved. Used by src/filter/.
+  void set_root_context(const std::vector<int>* levels) {
+    root_context_ = levels;
+  }
+
   const EngineStats& stats() const { return stats_; }
   const MachineGraph& graph() const { return graph_; }
 
@@ -68,6 +76,7 @@ class BranchMachine : public xml::StreamEventSink {
   MachineGraph graph_;
   ResultSink* sink_;
   CandidateObserver* candidate_observer_ = nullptr;
+  const std::vector<int>* root_context_ = nullptr;
   EngineStats stats_;
   std::vector<NodeState> states_;  // indexed by machine-node id
   uint64_t live_entries_ = 0;

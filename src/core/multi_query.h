@@ -8,9 +8,11 @@
 // document is parsed exactly once. Results carry the query index.
 //
 // This is deliberately the simple product construction — per-event cost is
-// the sum of the individual machines' costs. The common-prefix sharing of
-// YFilter is future work; bench_multi_query measures how far the product
-// construction carries.
+// the sum of the individual machines' costs. For large query sets, use the
+// shared-prefix filter engine (src/filter/filter_engine.h): it merges common
+// location-step prefixes into one trie so per-event cost tracks the number
+// of *distinct* steps, and it takes the same MultiQueryResultSink.
+// bench_filter_scalability measures both against each other.
 
 #ifndef TWIGM_CORE_MULTI_QUERY_H_
 #define TWIGM_CORE_MULTI_QUERY_H_

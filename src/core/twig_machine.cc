@@ -87,7 +87,19 @@ void TwigMachine::StartElement(std::string_view tag, int level, xml::NodeId id,
     // required level is unique and found by binary search.
     bool qualified = false;
     if (v->parent == nullptr) {
-      qualified = v->edge.Satisfies(level);
+      if (root_context_ == nullptr) {
+        qualified = v->edge.Satisfies(level);
+      } else if (!root_context_->empty()) {
+        // Anchored root: qualify against the external ancestor stack, which
+        // is sorted ascending like a machine stack.
+        if (!v->edge.exact) {
+          qualified = level - root_context_->front() >= v->edge.distance;
+        } else {
+          qualified = std::binary_search(root_context_->begin(),
+                                         root_context_->end(),
+                                         level - v->edge.distance);
+        }
+      }
     } else {
       const std::vector<Entry>& pstack = stacks_[v->parent->id];
       if (!pstack.empty()) {

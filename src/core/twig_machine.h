@@ -81,6 +81,17 @@ class TwigMachine : public xml::StreamEventSink {
     candidate_observer_ = observer;
   }
 
+  /// Optional: anchors the machine's root to an external ancestor stack
+  /// instead of the document root. When set, the root node pushes at level l
+  /// iff some level l' in `*levels` satisfies ζ(root) on l − l'. `levels`
+  /// must outlive the machine and stay sorted ascending (a stack of open
+  /// ancestor levels has this property). Used by the filter subsystem
+  /// (src/filter/) to run a predicate tail below a shared trunk; null
+  /// restores the default document-root behaviour.
+  void set_root_context(const std::vector<int>* levels) {
+    root_context_ = levels;
+  }
+
   const EngineStats& stats() const { return stats_; }
   const MachineGraph& graph() const { return graph_; }
 
@@ -102,6 +113,7 @@ class TwigMachine : public xml::StreamEventSink {
   MachineGraph graph_;
   ResultSink* sink_;
   CandidateObserver* candidate_observer_ = nullptr;
+  const std::vector<int>* root_context_ = nullptr;
   TwigMachineOptions options_;
   EngineStats stats_;
 

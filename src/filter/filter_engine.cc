@@ -1,0 +1,221 @@
+#include "filter/filter_engine.h"
+
+#include <algorithm>
+
+namespace twigm::filter {
+
+Result<std::unique_ptr<FilterEngine>> FilterEngine::Create(
+    const std::vector<std::string>& queries, core::MultiQueryResultSink* sink,
+    core::EvaluatorOptions options) {
+  if (sink == nullptr) {
+    return Status::InvalidArgument("FilterEngine requires a result sink");
+  }
+  Result<FilterIndex> index = FilterIndex::Build(queries);
+  if (!index.ok()) return index.status();
+
+  auto engine =
+      std::unique_ptr<FilterEngine>(new FilterEngine(std::move(index).value()));
+  engine->sink_ = sink;
+  engine->options_ = options;
+
+  const size_t node_count = engine->index_.nodes().size();
+  engine->stacks_.resize(node_count);
+  engine->active_pos_.assign(node_count, -1);
+  engine->tails_by_anchor_.resize(node_count);
+
+  // Build the demultiplexed tail machines. stacks_ is never resized after
+  // this point, so the root-context pointers stay valid.
+  const std::vector<QueryPlan>& plans = engine->index_.plans();
+  for (size_t i = 0; i < plans.size(); ++i) {
+    const QueryPlan& plan = plans[i];
+    if (plan.linear) continue;
+    Result<xpath::QueryTree> tail_tree = xpath::QueryTree::Parse(plan.tail);
+    if (!tail_tree.ok()) {
+      return Status::Internal("query #" + std::to_string(i) +
+                              ": tail re-parse failed: " + plan.tail + ": " +
+                              tail_tree.status().ToString());
+    }
+    Tail tail;
+    tail.query_index = i;
+    tail.anchor = plan.anchor;
+    tail.sink = std::make_unique<TailSink>(engine.get(), i);
+    const std::vector<int>* context =
+        plan.anchor >= 0 ? &engine->stacks_[plan.anchor] : nullptr;
+    if (plan.tail_kind == core::EngineKind::kBranchM) {
+      Result<std::unique_ptr<core::BranchMachine>> m =
+          core::BranchMachine::Create(tail_tree.value(), tail.sink.get());
+      if (!m.ok()) return m.status();
+      tail.branch = std::move(m).value();
+      tail.branch->set_root_context(context);
+      tail.machine = tail.branch.get();
+    } else {
+      Result<std::unique_ptr<core::TwigMachine>> m = core::TwigMachine::Create(
+          tail_tree.value(), tail.sink.get(), options.twig);
+      if (!m.ok()) return m.status();
+      tail.twig = std::move(m).value();
+      tail.twig->set_root_context(context);
+      tail.machine = tail.twig.get();
+    }
+    const int tail_index = static_cast<int>(engine->tails_.size());
+    if (plan.anchor >= 0) {
+      engine->tails_by_anchor_[plan.anchor].push_back(tail_index);
+    } else {
+      engine->always_on_.push_back(tail_index);
+    }
+    engine->tails_.push_back(std::move(tail));
+  }
+
+  engine->event_sink_ = std::make_unique<EventSink>(engine.get());
+  engine->driver_ = std::make_unique<xml::EventDriver>(engine->event_sink_.get());
+  engine->parser_ =
+      std::make_unique<xml::SaxParser>(engine->driver_.get(), options.sax);
+  return engine;
+}
+
+Status FilterEngine::Feed(std::string_view chunk) {
+  return parser_->Feed(chunk);
+}
+
+Status FilterEngine::Finish() { return parser_->Finish(); }
+
+void FilterEngine::Reset() {
+  for (std::vector<int>& stack : stacks_) stack.clear();
+  active_.clear();
+  std::fill(active_pos_.begin(), active_pos_.end(), -1);
+  live_trie_entries_ = 0;
+  for (Tail& tail : tails_) {
+    tail.engaged = false;
+    tail.ResetMachine();
+  }
+  engaged_.clear();
+  total_results_ = 0;
+  rstats_ = FilterRuntimeStats();
+  driver_ = std::make_unique<xml::EventDriver>(event_sink_.get());
+  parser_ = std::make_unique<xml::SaxParser>(driver_.get(), options_.sax);
+}
+
+void FilterEngine::Activate(int node) {
+  active_pos_[node] = static_cast<int>(active_.size());
+  active_.push_back(node);
+}
+
+void FilterEngine::Deactivate(int node) {
+  const int pos = active_pos_[node];
+  const int last = active_.back();
+  active_[pos] = last;
+  active_pos_[last] = pos;
+  active_.pop_back();
+  active_pos_[node] = -1;
+}
+
+void FilterEngine::Engage(int tail) {
+  Tail& t = tails_[tail];
+  if (t.engaged) return;
+  t.engaged = true;
+  engaged_.push_back(tail);
+}
+
+void FilterEngine::OnStartElement(std::string_view tag, int level,
+                                  xml::NodeId id,
+                                  const std::vector<xml::Attribute>& attrs) {
+  ++rstats_.start_events;
+  const std::vector<StepTrieNode>& nodes = index_.nodes();
+
+  // Collect the qualifying pushes first: an entry pushed by this event can
+  // never enable another push at the same level (edge distances are ≥ 1),
+  // and deferring keeps the active list stable while we scan it.
+  scratch_.clear();
+  for (int child : index_.root_children()) {
+    const StepTrieNode& c = nodes[child];
+    if (!c.is_wildcard && c.label != tag) continue;
+    if (c.edge.Satisfies(level)) scratch_.push_back(child);
+  }
+  for (int n : active_) {
+    const std::vector<int>& stack = stacks_[n];
+    for (int child : nodes[n].children) {
+      const StepTrieNode& c = nodes[child];
+      if (!c.is_wildcard && c.label != tag) continue;
+      // Stack levels are strictly increasing (open ancestors), so '≥'
+      // edges test the shallowest entry and '=' edges binary-search.
+      bool qualified;
+      if (!c.edge.exact) {
+        qualified = level - stack.front() >= c.edge.distance;
+      } else {
+        qualified = std::binary_search(stack.begin(), stack.end(),
+                                       level - c.edge.distance);
+      }
+      if (qualified) scratch_.push_back(child);
+    }
+  }
+
+  for (int n : scratch_) {
+    std::vector<int>& stack = stacks_[n];
+    stack.push_back(level);
+    ++rstats_.trie_pushes;
+    ++live_trie_entries_;
+    if (stack.size() == 1) Activate(n);
+    const StepTrieNode& node = nodes[n];
+    for (size_t q : node.accept) {
+      ++total_results_;
+      ++rstats_.results;
+      sink_->OnResult(q, id);
+    }
+    for (int t : tails_by_anchor_[n]) Engage(t);
+  }
+
+  for (int t : always_on_) tails_[t].machine->StartElement(tag, level, id, attrs);
+  for (int t : engaged_) tails_[t].machine->StartElement(tag, level, id, attrs);
+
+  rstats_.sum_active_nodes += active_.size();
+  rstats_.peak_active_nodes =
+      std::max<uint64_t>(rstats_.peak_active_nodes, active_.size());
+  rstats_.peak_trie_entries =
+      std::max(rstats_.peak_trie_entries, live_trie_entries_);
+  rstats_.peak_engaged_tails = std::max<uint64_t>(
+      rstats_.peak_engaged_tails, engaged_.size() + always_on_.size());
+}
+
+void FilterEngine::OnEndElement(std::string_view tag, int level) {
+  ++rstats_.end_events;
+
+  // Tails first: their entries are strictly deeper in the pattern than the
+  // trunk entries they hang off, mirroring TwigM's leaves-first δe order.
+  for (int t : always_on_) tails_[t].machine->EndElement(tag, level);
+  for (int t : engaged_) tails_[t].machine->EndElement(tag, level);
+
+  // Pop every trie stack whose top carries the closing level. Only the
+  // element that pushed the entry can close at this level, so no tag check
+  // is needed. Collect first: popping deactivates nodes mid-scan.
+  scratch_.clear();
+  for (int n : active_) {
+    if (stacks_[n].back() == level) scratch_.push_back(n);
+  }
+  for (int n : scratch_) {
+    stacks_[n].pop_back();
+    ++rstats_.trie_pops;
+    --live_trie_entries_;
+    if (stacks_[n].empty()) Deactivate(n);
+  }
+
+  // Disengage drained tails: anchor gone and no live entries left. (All
+  // tail entries are nested inside some anchor entry, so this converges.)
+  for (size_t i = engaged_.size(); i-- > 0;) {
+    Tail& t = tails_[engaged_[i]];
+    if (stacks_[t.anchor].empty() && t.live_entries() == 0) {
+      t.engaged = false;
+      engaged_[i] = engaged_.back();
+      engaged_.pop_back();
+    }
+  }
+}
+
+void FilterEngine::OnText(std::string_view text, int level) {
+  for (int t : always_on_) tails_[t].machine->Text(text, level);
+  for (int t : engaged_) tails_[t].machine->Text(text, level);
+}
+
+void FilterEngine::OnEndDocument() {
+  for (Tail& tail : tails_) tail.machine->EndDocument();
+}
+
+}  // namespace twigm::filter

@@ -1,0 +1,178 @@
+// Shared-prefix stream filter engine: evaluates a large set of XPath
+// queries over one SAX pass with per-event cost proportional to the number
+// of *distinct* active location steps, not the number of queries.
+//
+// The runtime advances every query simultaneously per modified-SAX event
+// using the compiled FilterIndex: one stack of levels per *trie node*
+// (rather than per query node per query, as in the product construction of
+// MultiQueryProcessor), reusing the paper's level encoding so recursive
+// '//' stays polynomial. On startElement(tag, level, id), the children of
+// the virtual root and of every *active* trie node (non-empty stack) whose
+// name test matches push `level`; a push onto an accepting node emits
+// (query, id) immediately — linear queries keep the earliest-emission
+// property of PathM. On endElement, stacks whose top carries the closing
+// level pop. Queries with predicates demultiplex at their anchor node into
+// a per-query BranchM/TwigM tail machine whose root is attached to the
+// anchor's stack (set_root_context); a tail only receives events while it
+// is *engaged* — its anchor stack is non-empty or it still holds live
+// entries — so dormant subscriptions cost nothing per event.
+//
+// Correctness contract: FilterEngine emits exactly the same
+// (query_index, id) set as MultiQueryProcessor over the same queries and
+// document (emission order may differ; each pair is emitted once).
+//
+//   VectorMultiQuerySink sink;
+//   auto engine = filter::FilterEngine::Create(queries, &sink);
+//   engine.value()->Feed(chunk); ...; engine.value()->Finish();
+
+#ifndef TWIGM_FILTER_FILTER_ENGINE_H_
+#define TWIGM_FILTER_FILTER_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/branch_machine.h"
+#include "core/evaluator.h"
+#include "core/multi_query.h"
+#include "core/twig_machine.h"
+#include "filter/filter_index.h"
+#include "filter/filter_stats.h"
+#include "xml/sax_event.h"
+#include "xml/sax_parser.h"
+
+namespace twigm::filter {
+
+/// A compiled query set bound to one input stream. Drop-in replacement for
+/// MultiQueryProcessor: same sink, same Feed/Finish/Reset surface.
+class FilterEngine {
+ public:
+  /// Compiles the index and tail machines. `sink` must outlive the engine;
+  /// not owned. `options.engine` is ignored (the plan picks per-query
+  /// machinery); `options.twig` and `options.sax` apply.
+  static Result<std::unique_ptr<FilterEngine>> Create(
+      const std::vector<std::string>& queries,
+      core::MultiQueryResultSink* sink,
+      core::EvaluatorOptions options = core::EvaluatorOptions());
+
+  FilterEngine(const FilterEngine&) = delete;
+  FilterEngine& operator=(const FilterEngine&) = delete;
+
+  /// Feeds a chunk of the document; results fan out to the sink tagged by
+  /// query index, as soon as each query proves them.
+  Status Feed(std::string_view chunk);
+  Status Finish();
+
+  /// Clears all runtime state and the parser for a new document.
+  void Reset();
+
+  size_t query_count() const { return index_.plans().size(); }
+  uint64_t total_results() const { return total_results_; }
+
+  const FilterIndex& index() const { return index_; }
+  const QueryPlan& plan(size_t query_index) const {
+    return index_.plans()[query_index];
+  }
+  const FilterRuntimeStats& runtime_stats() const { return rstats_; }
+
+ private:
+  // Routes modified-SAX events into the engine.
+  class EventSink : public xml::StreamEventSink {
+   public:
+    explicit EventSink(FilterEngine* owner) : owner_(owner) {}
+    void StartElement(std::string_view tag, int level, xml::NodeId id,
+                      const std::vector<xml::Attribute>& attrs) override {
+      owner_->OnStartElement(tag, level, id, attrs);
+    }
+    void EndElement(std::string_view tag, int level) override {
+      owner_->OnEndElement(tag, level);
+    }
+    void Text(std::string_view text, int level) override {
+      owner_->OnText(text, level);
+    }
+    void EndDocument() override { owner_->OnEndDocument(); }
+
+   private:
+    FilterEngine* owner_;
+  };
+
+  // Tags one tail machine's results with its query index.
+  class TailSink : public core::ResultSink {
+   public:
+    TailSink(FilterEngine* owner, size_t index)
+        : owner_(owner), index_(index) {}
+    void OnResult(xml::NodeId id) override {
+      ++owner_->total_results_;
+      ++owner_->rstats_.results;
+      owner_->sink_->OnResult(index_, id);
+    }
+
+   private:
+    FilterEngine* owner_;
+    size_t index_;
+  };
+
+  // One predicate query's demultiplexed tail.
+  struct Tail {
+    size_t query_index = 0;
+    int anchor = -1;  // -1: unshared, always receives events
+    bool engaged = false;
+    std::unique_ptr<TailSink> sink;
+    std::unique_ptr<core::TwigMachine> twig;
+    std::unique_ptr<core::BranchMachine> branch;
+    xml::StreamEventSink* machine = nullptr;
+
+    uint64_t live_entries() const {
+      return twig != nullptr ? twig->stats().live_stack_entries
+                             : branch->stats().live_stack_entries;
+    }
+    void ResetMachine() {
+      if (twig != nullptr) twig->Reset();
+      if (branch != nullptr) branch->Reset();
+    }
+  };
+
+  explicit FilterEngine(FilterIndex index) : index_(std::move(index)) {}
+
+  void OnStartElement(std::string_view tag, int level, xml::NodeId id,
+                      const std::vector<xml::Attribute>& attrs);
+  void OnEndElement(std::string_view tag, int level);
+  void OnText(std::string_view text, int level);
+  void OnEndDocument();
+
+  void Activate(int node);
+  void Deactivate(int node);
+  void Engage(int tail);
+
+  FilterIndex index_;
+  core::MultiQueryResultSink* sink_ = nullptr;
+  core::EvaluatorOptions options_;
+
+  // Runtime trie state: stacks_[n] holds the (ascending) levels of open
+  // elements matched at trie node n; active_ lists nodes with non-empty
+  // stacks (active_pos_[n] is n's slot in it, -1 when inactive).
+  std::vector<std::vector<int>> stacks_;
+  std::vector<int> active_;
+  std::vector<int> active_pos_;
+  uint64_t live_trie_entries_ = 0;
+
+  std::vector<Tail> tails_;
+  std::vector<std::vector<int>> tails_by_anchor_;  // trie node -> tail idxs
+  std::vector<int> always_on_;  // tails with no trunk (anchor == -1)
+  std::vector<int> engaged_;    // anchored tails currently receiving events
+
+  std::vector<int> scratch_;  // per-event push/pop worklist
+
+  std::unique_ptr<EventSink> event_sink_;
+  std::unique_ptr<xml::EventDriver> driver_;
+  std::unique_ptr<xml::SaxParser> parser_;
+
+  uint64_t total_results_ = 0;
+  FilterRuntimeStats rstats_;
+};
+
+}  // namespace twigm::filter
+
+#endif  // TWIGM_FILTER_FILTER_ENGINE_H_

@@ -197,6 +197,13 @@ std::string QueryTree::ToString() const {
   return out;
 }
 
+std::string QueryTree::RenderSubquery(const QueryNode* node) {
+  if (node == nullptr) return "";
+  std::string out = node->axis == Axis::kChild ? "/" : "//";
+  RenderNode(node, &out, /*in_predicate=*/false);
+  return out;
+}
+
 std::vector<const QueryNode*> QueryTree::NodesPreOrder() const {
   std::vector<const QueryNode*> out;
   out.reserve(static_cast<size_t>(node_count_));

@@ -87,6 +87,13 @@ class QueryTree {
   /// Renders the tree back to XPath text.
   std::string ToString() const;
 
+  /// Renders the subquery rooted at `node` (including its incoming axis) as
+  /// a standalone XPath expression: reparsing the result yields the subtree
+  /// as its own query with the same axis on its first step. Used by the
+  /// filter subsystem (src/filter/) to demultiplex predicate tails off a
+  /// shared trunk.
+  static std::string RenderSubquery(const QueryNode* node);
+
   /// Nodes in pre-order (root first); pointers remain valid while the tree
   /// lives.
   std::vector<const QueryNode*> NodesPreOrder() const;

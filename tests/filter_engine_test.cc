@@ -1,0 +1,335 @@
+// Tests for the shared-prefix filter engine (src/filter/): trie
+// construction, the sharing-sensitive edge cases (duplicates, prefix
+// queries, '*' vs tag at the same step), tail demultiplexing, and a
+// randomized differential test against N independent XPathStreamProcessor
+// runs and against MultiQueryProcessor — the correctness contract is
+// emission-set equality per query.
+
+#include "filter/filter_engine.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/evaluator.h"
+#include "core/multi_query.h"
+#include "filter/filter_index.h"
+#include "gtest/gtest.h"
+#include "xml/xml_writer.h"
+
+namespace twigm {
+namespace {
+
+using core::EngineKind;
+using core::VectorMultiQuerySink;
+using filter::FilterEngine;
+using filter::FilterIndex;
+
+std::vector<std::vector<xml::NodeId>> RunFilter(
+    const std::vector<std::string>& queries, std::string_view doc,
+    const FilterEngine** engine_out = nullptr) {
+  static std::unique_ptr<FilterEngine> keep_alive;  // for engine_out users
+  VectorMultiQuerySink sink;
+  auto engine = FilterEngine::Create(queries, &sink);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  std::vector<std::vector<xml::NodeId>> out(queries.size());
+  if (!engine.ok()) return out;
+  EXPECT_TRUE(engine.value()->Feed(doc).ok());
+  EXPECT_TRUE(engine.value()->Finish().ok());
+  for (const auto& item : sink.items()) {
+    out[item.query_index].push_back(item.id);
+  }
+  for (auto& ids : out) std::sort(ids.begin(), ids.end());
+  if (engine_out != nullptr) {
+    keep_alive = std::move(engine).value();
+    *engine_out = keep_alive.get();
+  }
+  return out;
+}
+
+std::vector<xml::NodeId> SingleQuery(const std::string& query,
+                                     std::string_view doc) {
+  Result<std::vector<xml::NodeId>> ids = core::EvaluateToIds(query, doc);
+  EXPECT_TRUE(ids.ok()) << query << ": " << ids.status().ToString();
+  std::vector<xml::NodeId> out =
+      ids.ok() ? std::move(ids).value() : std::vector<xml::NodeId>{};
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(FilterIndexTest, SharesCommonPrefixes) {
+  auto index = FilterIndex::Build(
+      {"//a/b/c", "//a/b/d", "//a/b", "//a/b/c", "/a/b"});
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  const auto& stats = index.value().stats();
+  // //a/b/c + //a/b/d + //a/b + //a/b/c + /a/b = 3+3+2+3+2 = 13 steps.
+  EXPECT_EQ(stats.total_steps, 13u);
+  // Distinct nodes: //a, //a/b, //a/b/c, //a/b/d, /a, /a/b.
+  EXPECT_EQ(stats.trie_node_count, 6u);
+  EXPECT_EQ(stats.linear_query_count, 5u);
+}
+
+TEST(FilterIndexTest, PlansClassifyQueries) {
+  VectorMultiQuerySink sink;
+  auto engine = FilterEngine::Create(
+      {"//a/b", "//a/b[c]/d", "/a/b[c]", "//a[b]", "//a/*[b]/c"}, &sink);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_TRUE(engine.value()->plan(0).linear);
+  // //a/b[c]/d shares trunk //a, tail rooted at b.
+  EXPECT_FALSE(engine.value()->plan(1).linear);
+  EXPECT_EQ(engine.value()->plan(1).trunk_steps, 1);
+  EXPECT_EQ(engine.value()->plan(1).tail_kind, EngineKind::kTwigM);
+  // Child-only, wildcard-free: BranchM tail.
+  EXPECT_EQ(engine.value()->plan(2).trunk_steps, 1);
+  EXPECT_EQ(engine.value()->plan(2).tail_kind, EngineKind::kBranchM);
+  // Predicate on the first step: no trunk.
+  EXPECT_EQ(engine.value()->plan(3).trunk_steps, 0);
+  EXPECT_EQ(engine.value()->plan(3).anchor, -1);
+  // Wildcard tail root still shares the //a trunk.
+  EXPECT_EQ(engine.value()->plan(4).trunk_steps, 1);
+  EXPECT_EQ(engine.value()->plan(4).tail_kind, EngineKind::kTwigM);
+}
+
+TEST(FilterEngineTest, DuplicateQueriesEachGetResults) {
+  const std::string doc = "<a><b/><b/></a>";  // a=1 b=2 b=3
+  const auto results = RunFilter({"//b", "//b", "//b"}, doc);
+  for (int q = 0; q < 3; ++q) {
+    EXPECT_EQ(results[static_cast<size_t>(q)],
+              (std::vector<xml::NodeId>{2, 3}));
+  }
+}
+
+TEST(FilterEngineTest, QueryPrefixOfAnother) {
+  // //a accepts at an interior trie node of //a/b.
+  const std::string doc = "<a><a><b/></a><c/></a>";  // a=1 a=2 b=3 c=4
+  const auto results = RunFilter({"//a", "//a/b", "//a/b/c"}, doc);
+  EXPECT_EQ(results[0], (std::vector<xml::NodeId>{1, 2}));
+  EXPECT_EQ(results[1], (std::vector<xml::NodeId>{3}));
+  EXPECT_TRUE(results[2].empty());
+}
+
+TEST(FilterEngineTest, WildcardAndTagOverlapAtSameStep) {
+  const std::string doc = "<a><b><d/></b><c><d/></c></a>";  // 1 2 3 4 5
+  const auto results =
+      RunFilter({"//a/*/d", "//a/b/d", "/a/*", "//*"}, doc);
+  EXPECT_EQ(results[0], (std::vector<xml::NodeId>{3, 5}));
+  EXPECT_EQ(results[1], (std::vector<xml::NodeId>{3}));
+  EXPECT_EQ(results[2], (std::vector<xml::NodeId>{2, 4}));
+  EXPECT_EQ(results[3], (std::vector<xml::NodeId>{1, 2, 3, 4, 5}));
+}
+
+TEST(FilterEngineTest, ChildVsDescendantAreDistinctTrieNodes) {
+  const std::string doc = "<a><x><b/></x><b/></a>";  // a=1 x=2 b=3 b=4
+  const auto results = RunFilter({"/a/b", "//a//b", "/a//b"}, doc);
+  EXPECT_EQ(results[0], (std::vector<xml::NodeId>{4}));
+  EXPECT_EQ(results[1], (std::vector<xml::NodeId>{3, 4}));
+  EXPECT_EQ(results[2], (std::vector<xml::NodeId>{3, 4}));
+}
+
+TEST(FilterEngineTest, PredicateTailsMatchSingleQueryEngines) {
+  const std::string doc =
+      "<r><s id=\"1\"><t>x</t></s><s><t>y</t><u/></s>"
+      "<s><s><t>y</t></s></s></r>";
+  const std::vector<std::string> queries = {
+      "//s[@id]/t",  "//s[u]",        "/r/s/t",      "//s[t=\"y\"]",
+      "//*[t]",      "//r//s[t]/t",   "//s[s[t]]",   "/r/s[t=\"x\"]/t",
+  };
+  const auto multi = RunFilter(queries, doc);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(multi[i], SingleQuery(queries[i], doc)) << queries[i];
+  }
+}
+
+TEST(FilterEngineTest, SharedTrunkRecursiveDescendant) {
+  // Recursive document: '//' trunks with nested matches must stay exact.
+  const std::string doc =
+      "<a><b><a><b><c/></b></a></b><b><c/></b></a>";
+  const std::vector<std::string> queries = {"//a//b[c]", "//a//b[c]/c",
+                                            "//a/b/c", "//b//c"};
+  const auto multi = RunFilter(queries, doc);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(multi[i], SingleQuery(queries[i], doc)) << queries[i];
+  }
+}
+
+TEST(FilterEngineTest, DormantTailsReceiveNoEvents) {
+  // The tail for //z[b]/c can never engage: no <z> in the document.
+  const std::string doc = "<a><b/><b/><c/></a>";
+  const FilterEngine* engine = nullptr;
+  RunFilter({"//b", "//z/y[b]/c"}, doc, &engine);
+  ASSERT_NE(engine, nullptr);
+  EXPECT_EQ(engine->runtime_stats().peak_engaged_tails, 0u);
+  EXPECT_GT(engine->runtime_stats().start_events, 0u);
+}
+
+TEST(FilterEngineTest, ChunkedFeedingAndReset) {
+  const std::string doc = "<a><b/><c><d/></c></a>";
+  VectorMultiQuerySink sink;
+  auto engine = FilterEngine::Create({"//b", "//c[d]"}, &sink);
+  ASSERT_TRUE(engine.ok());
+  for (char ch : doc) {
+    ASSERT_TRUE(engine.value()->Feed(std::string_view(&ch, 1)).ok());
+  }
+  ASSERT_TRUE(engine.value()->Finish().ok());
+  EXPECT_EQ(engine.value()->total_results(), 2u);
+  engine.value()->Reset();
+  EXPECT_EQ(engine.value()->total_results(), 0u);
+  ASSERT_TRUE(engine.value()->Feed(doc).ok());
+  ASSERT_TRUE(engine.value()->Finish().ok());
+  EXPECT_EQ(engine.value()->total_results(), 2u);
+  EXPECT_EQ(sink.items().size(), 4u);
+}
+
+TEST(FilterEngineTest, BadQueryNamesItsIndex) {
+  VectorMultiQuerySink sink;
+  auto engine = FilterEngine::Create({"//a", "b[", "//c"}, &sink);
+  ASSERT_FALSE(engine.ok());
+  EXPECT_NE(engine.status().message().find("query #1"), std::string::npos);
+}
+
+TEST(FilterEngineTest, EmptySetAndNullSinkRejected) {
+  VectorMultiQuerySink sink;
+  EXPECT_FALSE(FilterEngine::Create({}, &sink).ok());
+  EXPECT_FALSE(FilterEngine::Create({"//a"}, nullptr).ok());
+}
+
+// ---------- randomized differential testing ----------
+
+struct DocParams {
+  int max_depth = 6;
+  int max_children = 4;
+};
+
+void EmitRandomElement(Rng* rng, const DocParams& params, int depth,
+                       xml::XmlWriter* w) {
+  static const char* kTags[] = {"a", "b", "c", "d", "e"};
+  static const char* kAttrs[] = {"x", "y"};
+  static const char* kTexts[] = {"u", "v", "w", "10", "3"};
+  w->Open(depth == 1 ? "a" : kTags[rng->Below(5)]);
+  if (rng->Chance(0.3)) w->Attr(kAttrs[rng->Below(2)], kTexts[rng->Below(5)]);
+  if (rng->Chance(0.3)) w->Text(kTexts[rng->Below(5)]);
+  if (depth < params.max_depth) {
+    const int children = static_cast<int>(
+        rng->Below(static_cast<uint64_t>(params.max_children) + 1));
+    for (int i = 0; i < children; ++i) {
+      EmitRandomElement(rng, params, depth + 1, w);
+    }
+  }
+  w->Close();
+}
+
+std::string RandomDocument(Rng* rng) {
+  xml::XmlWriter w(/*with_declaration=*/false);
+  EmitRandomElement(rng, DocParams(), 1, &w);
+  return std::move(w).TakeString();
+}
+
+std::string RandomName(Rng* rng) {
+  static const char* kTags[] = {"a", "b", "c", "d", "e"};
+  return kTags[rng->Below(5)];
+}
+
+std::string RandomStep(Rng* rng, bool allow_predicates) {
+  std::string out = rng->Chance(0.15) ? "*" : RandomName(rng);
+  if (allow_predicates) {
+    while (rng->Chance(0.3)) {
+      if (rng->Chance(0.25)) {
+        out += rng->Chance(0.5) ? "[@x]" : "[@y=\"u\"]";
+      } else if (rng->Chance(0.25)) {
+        out += "[" + RandomName(rng) + "=\"" +
+               std::string(rng->Chance(0.5) ? "u" : "10") + "\"]";
+      } else {
+        out += "[";
+        out += rng->Chance(0.3) ? "//" : "";
+        out += RandomName(rng);
+        if (rng->Chance(0.4)) out += "/" + RandomName(rng);
+        out += "]";
+      }
+    }
+  }
+  return out;
+}
+
+std::string RandomQuery(Rng* rng) {
+  // ~60% linear queries: the filtering workload is linear-dominant, and
+  // this exercises both the fully-shared path and the tail demux.
+  const bool allow_predicates = rng->Chance(0.4);
+  const int steps = 1 + static_cast<int>(rng->Below(3));
+  std::string out;
+  for (int i = 0; i < steps; ++i) {
+    out += rng->Chance(0.4) ? "//" : "/";
+    out += RandomStep(rng, allow_predicates);
+  }
+  return out;
+}
+
+// Acceptance criterion: for ≥50 seeded (query set, document) pairs, the
+// filter engine emits exactly the same (query_index, id) set as both
+// MultiQueryProcessor and N independent XPathStreamProcessor runs.
+TEST(FilterEngineDifferentialTest, MatchesIndependentProcessorsAndProduct) {
+  Rng rng(0xF117E6);
+  int nonempty = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::string doc = RandomDocument(&rng);
+    std::vector<std::string> queries;
+    const int count = 8 + static_cast<int>(rng.Below(8));
+    for (int q = 0; q < count; ++q) {
+      // Re-use earlier queries sometimes: duplicates must keep working.
+      if (!queries.empty() && rng.Chance(0.2)) {
+        queries.push_back(queries[rng.Below(queries.size())]);
+      } else {
+        queries.push_back(RandomQuery(&rng));
+      }
+    }
+
+    const auto filtered = RunFilter(queries, doc);
+
+    // N independent single-query streaming runs.
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_EQ(filtered[i], SingleQuery(queries[i], doc))
+          << "trial " << trial << " query " << queries[i] << "\ndoc " << doc;
+      if (!filtered[i].empty()) ++nonempty;
+    }
+
+    // The product construction.
+    VectorMultiQuerySink product_sink;
+    auto product = core::MultiQueryProcessor::Create(queries, &product_sink);
+    ASSERT_TRUE(product.ok()) << product.status().ToString();
+    ASSERT_TRUE(product.value()->Feed(doc).ok());
+    ASSERT_TRUE(product.value()->Finish().ok());
+    std::vector<std::vector<xml::NodeId>> expected(queries.size());
+    for (const auto& item : product_sink.items()) {
+      expected[item.query_index].push_back(item.id);
+    }
+    for (auto& ids : expected) std::sort(ids.begin(), ids.end());
+    ASSERT_EQ(filtered, expected) << "trial " << trial << "\ndoc " << doc;
+  }
+  // The generators must actually exercise matching queries.
+  EXPECT_GT(nonempty, 100);
+}
+
+// Results are emitted exactly once per (query, id) pair.
+TEST(FilterEngineDifferentialTest, NoDuplicateEmissions) {
+  Rng rng(0xD0D0);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::string doc = RandomDocument(&rng);
+    std::vector<std::string> queries;
+    for (int q = 0; q < 6; ++q) queries.push_back(RandomQuery(&rng));
+    VectorMultiQuerySink sink;
+    auto engine = FilterEngine::Create(queries, &sink);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE(engine.value()->Feed(doc).ok());
+    ASSERT_TRUE(engine.value()->Finish().ok());
+    std::vector<std::pair<size_t, xml::NodeId>> pairs;
+    for (const auto& item : sink.items()) {
+      pairs.emplace_back(item.query_index, item.id);
+    }
+    std::sort(pairs.begin(), pairs.end());
+    EXPECT_EQ(std::adjacent_find(pairs.begin(), pairs.end()), pairs.end())
+        << "duplicate emission, trial " << trial << "\ndoc " << doc;
+  }
+}
+
+}  // namespace
+}  // namespace twigm
