@@ -18,6 +18,7 @@
 
 #include "bench/bench_util.h"
 #include "data/datasets.h"
+#include "obs/instrumentation.h"
 
 namespace twigm::bench {
 namespace {
@@ -50,10 +51,120 @@ void RunCell(benchmark::State& state, const DatasetRef& dataset,
         benchmark::Counter(static_cast<double>(result.results));
     state.counters["state_KB"] = benchmark::Counter(
         static_cast<double>(result.state_bytes) / 1024.0);
+    BenchRecord record;
+    record.bench = "fig7_exec_time";
+    record.params = {{"dataset", dataset.name},
+                     {"query", query.name},
+                     {"system", SystemName(system)}};
+    record.wall_ms = result.seconds * 1e3;
+    record.metrics = {
+        {"results", static_cast<double>(result.results)},
+        {"state_bytes", static_cast<double>(result.state_bytes)},
+        {"doc_bytes", static_cast<double>(doc.size())}};
+    BenchJson::Get().Add(std::move(record));
   }
   state.counters["MB/s"] = benchmark::Counter(
       static_cast<double>(doc.size()) / 1048576.0,
       benchmark::Counter::kIsIterationInvariantRate);
+}
+
+// ---------------------------------------------------------------------------
+// Instrumentation-overhead pair. Three variants stream the same Book query:
+//   handwired  — parser -> driver -> TwigMachine, no processor wrapper (the
+//                shape the engine had before the observability layer);
+//   obs_off    — XPathStreamProcessor with instrumentation == nullptr;
+//   obs_on     — processor with a live Instrumentation (for reference only).
+// scripts/check_obs_overhead.py compares obs_off against handwired and fails
+// if the null-instrumentation path regresses by more than 5%.
+
+constexpr char kOverheadQuery[] = "//section[title]//figure";
+
+void AddOverheadRecord(const char* variant, double wall_ms, uint64_t results,
+                       size_t doc_bytes) {
+  BenchRecord record;
+  record.bench = "fig7_exec_time";
+  record.params = {
+      {"group", "overhead"}, {"dataset", "Book"}, {"variant", variant}};
+  record.wall_ms = wall_ms;
+  record.metrics = {{"results", static_cast<double>(results)},
+                    {"doc_bytes", static_cast<double>(doc_bytes)}};
+  BenchJson::Get().Add(std::move(record));
+}
+
+void BM_OverheadHandwired(benchmark::State& state) {
+  const std::string& doc = BookDataset();
+  Result<xpath::QueryTree> tree = xpath::QueryTree::Parse(kOverheadQuery);
+  if (!tree.ok()) {
+    state.SkipWithError(tree.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    core::CountingResultSink sink;
+    Result<std::unique_ptr<core::TwigMachine>> machine =
+        core::TwigMachine::Create(tree.value(), &sink);
+    if (!machine.ok()) {
+      state.SkipWithError(machine.status().ToString().c_str());
+      return;
+    }
+    xml::EventDriver driver(machine.value().get());
+    xml::SaxParser parser(&driver);
+    Stopwatch sw;
+    Status s = parser.Feed(doc);
+    if (s.ok()) s = parser.Finish();
+    const double wall_ms = sw.ElapsedSeconds() * 1e3;
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+    AddOverheadRecord("handwired", wall_ms, sink.count(), doc.size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.size()));
+}
+
+void BM_OverheadProcessor(benchmark::State& state, bool instrumented) {
+  const std::string& doc = BookDataset();
+  for (auto _ : state) {
+    core::CountingResultSink sink;
+    obs::Instrumentation instr;
+    core::EvaluatorOptions options;
+    options.engine = core::EngineKind::kTwigM;
+    options.instrumentation = instrumented ? &instr : nullptr;
+    Result<std::unique_ptr<core::XPathStreamProcessor>> proc =
+        core::XPathStreamProcessor::Create(kOverheadQuery, &sink, options);
+    if (!proc.ok()) {
+      state.SkipWithError(proc.status().ToString().c_str());
+      return;
+    }
+    Stopwatch sw;
+    Status s = proc.value()->Feed(doc);
+    if (s.ok()) s = proc.value()->Finish();
+    const double wall_ms = sw.ElapsedSeconds() * 1e3;
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+    AddOverheadRecord(instrumented ? "obs_on" : "obs_off", wall_ms,
+                      sink.count(), doc.size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.size()));
+}
+
+void RegisterOverheadPair() {
+  benchmark::RegisterBenchmark("Overhead/handwired", BM_OverheadHandwired)
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(5);
+  benchmark::RegisterBenchmark(
+      "Overhead/obs_off",
+      [](benchmark::State& state) { BM_OverheadProcessor(state, false); })
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(5);
+  benchmark::RegisterBenchmark(
+      "Overhead/obs_on",
+      [](benchmark::State& state) { BM_OverheadProcessor(state, true); })
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(5);
 }
 
 void RegisterAll() {
@@ -90,10 +201,13 @@ void PrintFigure6() {
 }  // namespace twigm::bench
 
 int main(int argc, char** argv) {
+  twigm::bench::BenchJson::Get().StripJsonFlag(&argc, argv);
   twigm::bench::PrintFigure6();
   twigm::bench::RegisterAll();
+  twigm::bench::RegisterOverheadPair();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  twigm::bench::BenchJson::Get().Write();
   benchmark::Shutdown();
   return 0;
 }

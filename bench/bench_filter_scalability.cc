@@ -89,7 +89,7 @@ const std::string& DatasetFor(int dataset) {
 
 class CountingSink : public core::MultiQueryResultSink {
  public:
-  void OnResult(size_t, xml::NodeId) override { ++count_; }
+  void OnResult(size_t, const core::MatchInfo&) override { ++count_; }
   uint64_t count() const { return count_; }
 
  private:

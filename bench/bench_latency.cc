@@ -27,9 +27,11 @@ struct LatencyResult {
 };
 
 // A sink that asks the harness where the stream currently is.
-class PositionSink : public core::ResultSink {
+class PositionSink : public core::MatchObserver {
  public:
-  void OnResult(xml::NodeId) override { positions_.push_back(*current_pct_); }
+  void OnResult(const core::MatchInfo&) override {
+    positions_.push_back(*current_pct_);
+  }
   void set_position_source(const double* pct) { current_pct_ = pct; }
   const std::vector<double>& positions() const { return positions_; }
 

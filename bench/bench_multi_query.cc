@@ -39,7 +39,7 @@ std::vector<std::string> MakeQuerySet(size_t count, uint64_t seed) {
 
 class NullMultiSink : public core::MultiQueryResultSink {
  public:
-  void OnResult(size_t, xml::NodeId) override { ++count_; }
+  void OnResult(size_t, const core::MatchInfo&) override { ++count_; }
   uint64_t count() const { return count_; }
 
  private:

@@ -31,12 +31,13 @@ constexpr size_t kSubscriptionCount =
 
 class Router : public twigm::core::MultiQueryResultSink {
  public:
-  void OnResult(size_t query_index, twigm::xml::NodeId id) override {
+  void OnResult(size_t query_index,
+                const twigm::core::MatchInfo& match) override {
     ++counts_[query_index];
     if (delivered_ < 8) {
       std::printf("  -> %-13s headline #%llu\n",
                   kSubscriptions[query_index].name,
-                  static_cast<unsigned long long>(id));
+                  static_cast<unsigned long long>(match.id));
       ++delivered_;
     }
   }

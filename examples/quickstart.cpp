@@ -14,12 +14,14 @@
 
 namespace {
 
-// A sink that prints results the moment they are proven.
-class PrintingSink : public twigm::core::ResultSink {
+// An observer that prints results the moment they are proven. MatchInfo
+// also carries the stream byte offset at which membership became provable.
+class PrintingObserver : public twigm::core::MatchObserver {
  public:
-  void OnResult(twigm::xml::NodeId id) override {
-    std::printf("  result: element #%llu\n",
-                static_cast<unsigned long long>(id));
+  void OnResult(const twigm::core::MatchInfo& match) override {
+    std::printf("  result: element #%llu (proven at byte %llu)\n",
+                static_cast<unsigned long long>(match.id),
+                static_cast<unsigned long long>(match.byte_offset));
   }
 };
 
@@ -45,7 +47,7 @@ int main() {
   const char* query = "//book[year]/title";
   std::printf("query: %s\n", query);
 
-  PrintingSink sink;
+  PrintingObserver sink;
   auto processor =
       twigm::core::XPathStreamProcessor::Create(query, &sink);
   if (!processor.ok()) {

@@ -18,13 +18,13 @@
 
 namespace {
 
-class AlertSink : public twigm::core::ResultSink {
+class AlertSink : public twigm::core::MatchObserver {
  public:
-  void OnResult(twigm::xml::NodeId id) override {
+  void OnResult(const twigm::core::MatchInfo& match) override {
     ++alerts_;
     if (alerts_ <= 5) {
       std::printf("  ALERT: element #%llu (delivered mid-stream)\n",
-                  static_cast<unsigned long long>(id));
+                  static_cast<unsigned long long>(match.id));
     }
   }
   uint64_t alerts() const { return alerts_; }

@@ -42,7 +42,8 @@ std::vector<std::string> MakeSubscriptions(int count, uint64_t seed) {
 class Router : public twigm::core::MultiQueryResultSink {
  public:
   explicit Router(size_t queries) : counts_(queries) {}
-  void OnResult(size_t query_index, twigm::xml::NodeId) override {
+  void OnResult(size_t query_index,
+                const twigm::core::MatchInfo&) override {
     ++counts_[query_index];
     ++total_;
   }

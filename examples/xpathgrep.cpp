@@ -22,29 +22,34 @@
 
 namespace {
 
-class LineSink : public twigm::core::ResultSink {
+// One observer for both modes: prints ids (or just counts), and in -x mode
+// asks the processor for fragment capture and prints each fragment.
+class LineSink : public twigm::core::MatchObserver {
  public:
-  explicit LineSink(bool quiet) : quiet_(quiet) {}
-  void OnResult(twigm::xml::NodeId id) override {
+  LineSink(bool quiet, bool fragments)
+      : quiet_(quiet), fragments_(fragments) {}
+
+  bool wants_fragments() const override { return fragments_; }
+
+  void OnResult(const twigm::core::MatchInfo& match) override {
     ++count_;
-    if (!quiet_) {
-      std::printf("%llu\n", static_cast<unsigned long long>(id));
+    if (!quiet_ && !fragments_) {
+      std::printf("%llu\n", static_cast<unsigned long long>(match.id));
     }
   }
-  uint64_t count() const { return count_; }
 
- private:
-  bool quiet_;
-  uint64_t count_ = 0;
-};
-
-class FragmentPrinter : public twigm::core::FragmentSink {
- public:
   void OnFragment(twigm::xml::NodeId id, std::string_view xml) override {
     (void)id;
     std::fwrite(xml.data(), 1, xml.size(), stdout);
     std::fputc('\n', stdout);
   }
+
+  uint64_t count() const { return count_; }
+
+ private:
+  bool quiet_;
+  bool fragments_;
+  uint64_t count_ = 0;
 };
 
 }  // namespace
@@ -81,13 +86,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  LineSink sink(quiet || fragments);
-  FragmentPrinter fragment_sink;
+  LineSink sink(quiet, fragments);
   std::unique_ptr<twigm::core::XPathStreamProcessor> processor;
   std::unique_ptr<twigm::core::UnionQueryProcessor> union_processor;
   if (fragments) {
-    auto created = twigm::core::XPathStreamProcessor::CreateWithFragments(
-        query, &fragment_sink, &sink);
+    auto created = twigm::core::XPathStreamProcessor::Create(query, &sink);
     if (!created.ok()) {
       std::fprintf(stderr, "query error: %s\n",
                    created.status().ToString().c_str());

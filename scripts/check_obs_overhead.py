@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Fail if the null-instrumentation processor path regresses vs handwired.
+
+Reads a BENCH_*.json file produced by `bench_fig7_exec_time --json <path>`
+and compares the `group=overhead` records: the best (minimum) wall time of
+the `obs_off` variant (XPathStreamProcessor with instrumentation == nullptr)
+must be within --threshold (default 5%) of the best `handwired` variant
+(parser -> driver -> machine with no processor wrapper). The `obs_on`
+variant is reported for reference but never gates.
+
+Usage: check_obs_overhead.py BENCH_fig7_exec_time.json [--threshold 0.05]
+"""
+
+import argparse
+import json
+import sys
+
+
+def best_wall_ms(records, variant):
+    times = [
+        r["wall_ms"]
+        for r in records
+        if r.get("params", {}).get("group") == "overhead"
+        and r["params"].get("variant") == variant
+    ]
+    return min(times) if times else None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_path", help="BenchJson output of bench_fig7_exec_time")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.05,
+        help="max allowed relative overhead of obs_off vs handwired (default 0.05)",
+    )
+    args = parser.parse_args()
+
+    with open(args.json_path) as f:
+        records = json.load(f)
+
+    baseline = best_wall_ms(records, "handwired")
+    obs_off = best_wall_ms(records, "obs_off")
+    obs_on = best_wall_ms(records, "obs_on")
+    if baseline is None or obs_off is None:
+        print(
+            "error: no overhead records found — run bench_fig7_exec_time "
+            "with --benchmark_filter=Overhead --json <path>",
+            file=sys.stderr,
+        )
+        return 2
+
+    overhead = (obs_off - baseline) / baseline
+    print(f"handwired (baseline): {baseline:.3f} ms")
+    print(f"obs_off  (processor): {obs_off:.3f} ms  ({overhead:+.2%} vs baseline)")
+    if obs_on is not None:
+        on_overhead = (obs_on - baseline) / baseline
+        print(f"obs_on   (reference): {obs_on:.3f} ms  ({on_overhead:+.2%} vs baseline)")
+
+    if overhead > args.threshold:
+        print(
+            f"FAIL: instrumentation-off overhead {overhead:.2%} exceeds "
+            f"threshold {args.threshold:.2%}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: within {args.threshold:.2%} threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

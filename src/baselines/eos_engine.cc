@@ -5,7 +5,7 @@
 namespace twigm::baselines {
 
 Result<std::unique_ptr<EosEngine>> EosEngine::Create(std::string_view query,
-                                                     core::ResultSink* sink) {
+                                                     core::MatchObserver* sink) {
   if (sink == nullptr) {
     return Status::InvalidArgument("EosEngine requires a result sink");
   }
@@ -45,7 +45,7 @@ void EosEngine::EndDocument() {
     return;
   }
   for (xml::NodeId id : results.value()) {
-    sink_->OnResult(id);
+    sink_->OnResult(core::MatchInfo{id});
     ++stats_.results;
   }
 }

@@ -36,7 +36,7 @@ class EosEngine : public xml::StreamEventSink {
   /// `sink` must outlive the engine; not owned. The query tree is copied
   /// into the engine (reparsed), so `query` need not outlive it.
   static Result<std::unique_ptr<EosEngine>> Create(std::string_view query,
-                                                   core::ResultSink* sink);
+                                                   core::MatchObserver* sink);
 
   EosEngine(const EosEngine&) = delete;
   EosEngine& operator=(const EosEngine&) = delete;
@@ -58,7 +58,7 @@ class EosEngine : public xml::StreamEventSink {
   EosEngine() = default;
 
   xpath::QueryTree query_;
-  core::ResultSink* sink_ = nullptr;
+  core::MatchObserver* sink_ = nullptr;
   Status status_;
   EosEngineStats stats_;
 

@@ -5,7 +5,7 @@
 namespace twigm::baselines {
 
 Result<std::unique_ptr<LazyDfaEngine>> LazyDfaEngine::Create(
-    const xpath::QueryTree& query, core::ResultSink* sink) {
+    const xpath::QueryTree& query, core::MatchObserver* sink) {
   if (sink == nullptr) {
     return Status::InvalidArgument("LazyDfaEngine requires a result sink");
   }
@@ -96,7 +96,7 @@ void LazyDfaEngine::StartElement(std::string_view tag, int level,
     stats_.peak_stack_depth = run_stack_.size();
   }
   if (dfa_[next].accepting) {
-    sink_->OnResult(id);
+    sink_->OnResult(core::MatchInfo{id});
     ++stats_.results;
   }
 }

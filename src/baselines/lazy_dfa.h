@@ -42,7 +42,7 @@ class LazyDfaEngine : public xml::StreamEventSink {
   /// Fails with NotSupported for queries with predicates/value tests, or
   /// with more than 63 NFA states.
   static Result<std::unique_ptr<LazyDfaEngine>> Create(
-      const xpath::QueryTree& query, core::ResultSink* sink);
+      const xpath::QueryTree& query, core::MatchObserver* sink);
 
   LazyDfaEngine(const LazyDfaEngine&) = delete;
   LazyDfaEngine& operator=(const LazyDfaEngine&) = delete;
@@ -92,7 +92,7 @@ class LazyDfaEngine : public xml::StreamEventSink {
   std::vector<int> run_stack_;  // DFA-state ids; bottom = initial state
   int initial_state_ = 0;
 
-  core::ResultSink* sink_ = nullptr;
+  core::MatchObserver* sink_ = nullptr;
   LazyDfaStats stats_;
 };
 

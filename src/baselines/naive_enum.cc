@@ -5,7 +5,7 @@
 namespace twigm::baselines {
 
 Result<std::unique_ptr<NaiveEnumEngine>> NaiveEnumEngine::Create(
-    const xpath::QueryTree& query, core::ResultSink* sink,
+    const xpath::QueryTree& query, core::MatchObserver* sink,
     NaiveEnumOptions options) {
   if (sink == nullptr) {
     return Status::InvalidArgument("NaiveEnumEngine requires a result sink");
@@ -37,7 +37,7 @@ void NaiveEnumEngine::StartElement(std::string_view tag, int level,
       ++stats_.matches_completed;
       const xml::NodeId sol_id = m.ids[graph_.return_node()->id];
       if (emitted_.insert(sol_id).second) {
-        sink_->OnResult(sol_id);
+        sink_->OnResult(core::MatchInfo{sol_id});
         ++stats_.results;
       }
       return;  // complete matches need no further tracking

@@ -51,7 +51,7 @@ class NaiveEnumEngine : public xml::StreamEventSink {
   /// Fails with NotSupported for queries with element value tests (the
   /// XSQ-style restriction: predicates are structural or attribute tests).
   static Result<std::unique_ptr<NaiveEnumEngine>> Create(
-      const xpath::QueryTree& query, core::ResultSink* sink,
+      const xpath::QueryTree& query, core::MatchObserver* sink,
       NaiveEnumOptions options = NaiveEnumOptions());
 
   NaiveEnumEngine(const NaiveEnumEngine&) = delete;
@@ -89,7 +89,7 @@ class NaiveEnumEngine : public xml::StreamEventSink {
   }
 
   core::MachineGraph graph_;
-  core::ResultSink* sink_ = nullptr;
+  core::MatchObserver* sink_ = nullptr;
   NaiveEnumOptions options_;
   NaiveEnumStats stats_;
   Status status_;

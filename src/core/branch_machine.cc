@@ -6,9 +6,9 @@
 namespace twigm::core {
 
 Result<std::unique_ptr<BranchMachine>> BranchMachine::Create(
-    const xpath::QueryTree& query, ResultSink* sink) {
-  if (sink == nullptr) {
-    return Status::InvalidArgument("BranchMachine requires a result sink");
+    const xpath::QueryTree& query, MatchObserver* observer) {
+  if (observer == nullptr) {
+    return Status::InvalidArgument("BranchMachine requires a match observer");
   }
   if (query.has_descendant_axis() || query.has_wildcard()) {
     return Status::NotSupported(
@@ -17,11 +17,11 @@ Result<std::unique_ptr<BranchMachine>> BranchMachine::Create(
   Result<MachineGraph> graph = MachineGraph::Build(query);
   if (!graph.ok()) return graph.status();
   return std::unique_ptr<BranchMachine>(
-      new BranchMachine(std::move(graph).value(), sink));
+      new BranchMachine(std::move(graph).value(), observer));
 }
 
-BranchMachine::BranchMachine(MachineGraph graph, ResultSink* sink)
-    : graph_(std::move(graph)), sink_(sink) {
+BranchMachine::BranchMachine(MachineGraph graph, MatchObserver* observer)
+    : graph_(std::move(graph)), sink_(observer) {
   states_.resize(graph_.node_count());
 }
 
@@ -79,10 +79,18 @@ void BranchMachine::StartElement(std::string_view tag, int level,
     if (v->is_return) {
       state.candidates.push_back(id);
       ++live_candidates_;
-      if (candidate_observer_ != nullptr) candidate_observer_->OnCandidate(id);
+      sink_->OnCandidate(id);
+      if (instr_ != nullptr) {
+        instr_->Trace(obs::TraceEvent::Kind::kCandidate, v->id, level, id, 1);
+      }
     }
     ++stats_.pushes;
     ++live_entries_;
+    if (instr_ != nullptr) {
+      // BranchM keeps one state per node, so depth is at most 1.
+      instr_->NoteNodeDepth(v->id, 1);
+      instr_->Trace(obs::TraceEvent::Kind::kStackPush, v->id, level, id, 1);
+    }
   }
   stats_.NoteEntries(live_entries_);
   stats_.NoteCandidates(live_candidates_);
@@ -119,9 +127,18 @@ void BranchMachine::EndElement(std::string_view tag, int level) {
     }
     if (satisfied) {
       if (v->parent == nullptr) {
+        obs::TimerScope emit_timer(instr_ != nullptr
+                                       ? instr_->stage_slot(obs::Stage::kEmit)
+                                       : nullptr);
+        const int return_node =
+            graph_.return_node() != nullptr ? graph_.return_node()->id : -1;
         for (xml::NodeId id : state.candidates) {
-          sink_->OnResult(id);
+          sink_->OnResult(MatchInfo{id, offset(), return_node});
           ++stats_.results;
+          if (instr_ != nullptr) {
+            instr_->Trace(obs::TraceEvent::Kind::kEmit, return_node, level,
+                          id, 0);
+          }
         }
       } else {
         NodeState& parent = states_[v->parent->id];
@@ -137,6 +154,13 @@ void BranchMachine::EndElement(std::string_view tag, int level) {
     }
     // Reset to (L=-1, C=∅, B=<F..F>).
     live_candidates_ -= state.candidates.size();
+    if (instr_ != nullptr) {
+      if (!satisfied) {
+        instr_->Trace(obs::TraceEvent::Kind::kPrune, v->id, level, 0,
+                      state.candidates.size());
+      }
+      instr_->Trace(obs::TraceEvent::Kind::kStackPop, v->id, level, 0, 0);
+    }
     state = NodeState();
     ++stats_.pops;
     --live_entries_;

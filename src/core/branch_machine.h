@@ -20,6 +20,7 @@
 #include "core/machine_builder.h"
 #include "core/machine_stats.h"
 #include "core/result_sink.h"
+#include "obs/instrumentation.h"
 #include "xml/sax_event.h"
 #include "xpath/query_tree.h"
 
@@ -30,7 +31,7 @@ class BranchMachine : public xml::StreamEventSink {
  public:
   /// Fails with NotSupported if `query` uses '//' or '*'.
   static Result<std::unique_ptr<BranchMachine>> Create(
-      const xpath::QueryTree& query, ResultSink* sink);
+      const xpath::QueryTree& query, MatchObserver* observer);
 
   BranchMachine(const BranchMachine&) = delete;
   BranchMachine& operator=(const BranchMachine&) = delete;
@@ -45,10 +46,14 @@ class BranchMachine : public xml::StreamEventSink {
   /// Clears runtime state and statistics.
   void Reset();
 
-  /// Optional: notified whenever an element becomes a candidate.
-  void set_candidate_observer(CandidateObserver* observer) {
-    candidate_observer_ = observer;
+  /// Optional: attaches observability (see TwigMachine). Not owned.
+  void set_instrumentation(obs::Instrumentation* instr) {
+    instr_ = instr;
+    if (instr_ != nullptr) instr_->EnsureNodeSlots(graph_.node_count());
   }
+
+  /// Optional: source of the current stream byte offset (see TwigMachine).
+  void set_stream_offset(const uint64_t* offset) { stream_offset_ = offset; }
 
   /// Optional: anchors the root to an external ancestor stack (see
   /// TwigMachine::set_root_context). Only valid when the anchoring trunk is
@@ -71,11 +76,16 @@ class BranchMachine : public xml::StreamEventSink {
     std::string text;
   };
 
-  BranchMachine(MachineGraph graph, ResultSink* sink);
+  BranchMachine(MachineGraph graph, MatchObserver* observer);
+
+  uint64_t offset() const {
+    return stream_offset_ != nullptr ? *stream_offset_ : 0;
+  }
 
   MachineGraph graph_;
-  ResultSink* sink_;
-  CandidateObserver* candidate_observer_ = nullptr;
+  MatchObserver* sink_;
+  obs::Instrumentation* instr_ = nullptr;
+  const uint64_t* stream_offset_ = nullptr;
   const std::vector<int>* root_context_ = nullptr;
   EngineStats stats_;
   std::vector<NodeState> states_;  // indexed by machine-node id

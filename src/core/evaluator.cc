@@ -22,10 +22,57 @@ EngineKind PickEngine(const xpath::QueryTree& query) {
   return EngineKind::kTwigM;
 }
 
+// Adapts the pre-redesign FragmentSink/ResultSink pair onto MatchObserver
+// for the deprecated CreateWithFragments shim.
+class LegacyFragmentAdapter : public MatchObserver {
+ public:
+  LegacyFragmentAdapter(FragmentSink* fragments, MatchObserver* ids)
+      : fragments_(fragments), ids_(ids) {}
+
+  bool wants_fragments() const override { return true; }
+  void OnResult(const MatchInfo& match) override {
+    if (ids_ != nullptr) ids_->OnResult(match);
+  }
+  void OnFragment(xml::NodeId id, std::string_view xml) override {
+    fragments_->OnFragment(id, xml);
+  }
+
+ private:
+  FragmentSink* fragments_;
+  MatchObserver* ids_;
+};
+
 }  // namespace
 
+// Registered-once export instruments; values are refreshed per call.
+struct XPathStreamProcessor::ExportHandles {
+  obs::MetricsRegistry* registry = nullptr;
+  size_t registered_count = 0;  // registry size right after registration
+  obs::Counter* start_events = nullptr;
+  obs::Counter* end_events = nullptr;
+  obs::Counter* pushes = nullptr;
+  obs::Counter* pops = nullptr;
+  obs::Counter* results = nullptr;
+  obs::Counter* predicate_checks = nullptr;
+  obs::Counter* candidate_unions = nullptr;
+  obs::Counter* live_stack_entries = nullptr;
+  obs::Counter* peak_stack_entries = nullptr;
+  obs::Counter* live_candidates = nullptr;
+  obs::Counter* peak_candidates = nullptr;
+  obs::Counter* peak_state_bytes = nullptr;
+  obs::Counter* fragment_peak_buffered_bytes = nullptr;
+};
+
+XPathStreamProcessor::XPathStreamProcessor() = default;
+XPathStreamProcessor::~XPathStreamProcessor() = default;
+
 Result<std::unique_ptr<XPathStreamProcessor>> XPathStreamProcessor::Create(
-    std::string_view query_text, ResultSink* sink, EvaluatorOptions options) {
+    std::string_view query_text, MatchObserver* observer,
+    EvaluatorOptions options) {
+  if (observer == nullptr) {
+    return Status::InvalidArgument(
+        "XPathStreamProcessor requires a match observer");
+  }
   Result<xpath::QueryTree> query = xpath::QueryTree::Parse(query_text);
   if (!query.ok()) return query.status();
 
@@ -37,38 +84,60 @@ Result<std::unique_ptr<XPathStreamProcessor>> XPathStreamProcessor::Create(
                            ? PickEngine(proc->query_)
                            : options.engine;
 
+  const bool fragments =
+      options.capture_fragments || observer->wants_fragments();
+  MatchObserver* machine_observer = observer;
+  if (fragments) {
+    proc->recorder_ = std::make_unique<FragmentRecorder>(observer);
+    machine_observer = proc->recorder_.get();
+  }
+
+  // With instrumentation attached, everyone shares its byte-offset slot so
+  // trace events and MatchInfo agree; otherwise the processor's own word.
+  obs::Instrumentation* instr = options.instrumentation;
+  uint64_t* offset_slot =
+      instr != nullptr ? instr->byte_offset_slot() : &proc->stream_offset_;
   switch (proc->engine_kind_) {
     case EngineKind::kPathM: {
       Result<std::unique_ptr<PathMachine>> m =
-          PathMachine::Create(proc->query_, sink);
+          PathMachine::Create(proc->query_, machine_observer);
       if (!m.ok()) return m.status();
       proc->path_ = std::move(m).value();
+      proc->path_->set_instrumentation(instr);
+      proc->path_->set_stream_offset(offset_slot);
       proc->machine_ = proc->path_.get();
       break;
     }
     case EngineKind::kBranchM: {
       Result<std::unique_ptr<BranchMachine>> m =
-          BranchMachine::Create(proc->query_, sink);
+          BranchMachine::Create(proc->query_, machine_observer);
       if (!m.ok()) return m.status();
       proc->branch_ = std::move(m).value();
+      proc->branch_->set_instrumentation(instr);
+      proc->branch_->set_stream_offset(offset_slot);
       proc->machine_ = proc->branch_.get();
       break;
     }
     case EngineKind::kAuto:
     case EngineKind::kTwigM: {
       Result<std::unique_ptr<TwigMachine>> m =
-          TwigMachine::Create(proc->query_, sink, options.twig);
+          TwigMachine::Create(proc->query_, machine_observer, options.twig);
       if (!m.ok()) return m.status();
       proc->engine_kind_ = EngineKind::kTwigM;
       proc->twig_ = std::move(m).value();
+      proc->twig_->set_instrumentation(instr);
+      proc->twig_->set_stream_offset(offset_slot);
       proc->machine_ = proc->twig_.get();
       break;
     }
   }
 
-  proc->driver_ = std::make_unique<xml::EventDriver>(proc->machine_);
-  proc->parser_ =
-      std::make_unique<xml::SaxParser>(proc->driver_.get(), options.sax);
+  if (fragments) {
+    // Splice the recorder between driver and machine.
+    proc->recorder_->set_machine(proc->machine_);
+    proc->machine_ = proc->recorder_.get();
+  }
+  proc->WireStream();
   return proc;
 }
 
@@ -80,41 +149,46 @@ XPathStreamProcessor::CreateWithFragments(std::string_view query_text,
   if (fragments == nullptr) {
     return Status::InvalidArgument("fragment mode requires a fragment sink");
   }
-  auto recorder = std::make_unique<FragmentRecorder>(fragments, ids);
-  // Build the machine with the recorder as its result sink.
+  auto adapter = std::make_unique<LegacyFragmentAdapter>(fragments, ids);
   Result<std::unique_ptr<XPathStreamProcessor>> proc =
-      Create(query_text, recorder.get(), options);
+      Create(query_text, adapter.get(), options);
   if (!proc.ok()) return proc.status();
-  XPathStreamProcessor* p = proc.value().get();
-  // Splice the recorder between driver and machine, and subscribe it to
-  // candidate announcements.
-  recorder->set_machine(p->machine_);
-  if (p->twig_ != nullptr) p->twig_->set_candidate_observer(recorder.get());
-  if (p->path_ != nullptr) p->path_->set_candidate_observer(recorder.get());
-  if (p->branch_ != nullptr) {
-    p->branch_->set_candidate_observer(recorder.get());
-  }
-  p->recorder_ = std::move(recorder);
-  p->machine_ = p->recorder_.get();
-  p->driver_ = std::make_unique<xml::EventDriver>(p->machine_);
-  p->parser_ =
-      std::make_unique<xml::SaxParser>(p->driver_.get(), options.sax);
+  proc.value()->owned_observer_ = std::move(adapter);
   return proc;
 }
 
+void XPathStreamProcessor::WireStream() {
+  driver_ = std::make_unique<xml::EventDriver>(machine_);
+  driver_->set_instrumentation(options_.instrumentation);
+  parser_ = std::make_unique<xml::SaxParser>(driver_.get(), options_.sax);
+  parser_->set_offset_slot(options_.instrumentation != nullptr
+                               ? options_.instrumentation->byte_offset_slot()
+                               : &stream_offset_);
+}
+
 Status XPathStreamProcessor::Feed(std::string_view chunk) {
+  obs::TimerScope parse(options_.instrumentation != nullptr
+                            ? options_.instrumentation->stage_slot(
+                                  obs::Stage::kParse)
+                            : nullptr);
   return parser_->Feed(chunk);
 }
 
-Status XPathStreamProcessor::Finish() { return parser_->Finish(); }
+Status XPathStreamProcessor::Finish() {
+  obs::TimerScope parse(options_.instrumentation != nullptr
+                            ? options_.instrumentation->stage_slot(
+                                  obs::Stage::kParse)
+                            : nullptr);
+  return parser_->Finish();
+}
 
 void XPathStreamProcessor::Reset() {
   if (twig_ != nullptr) twig_->Reset();
   if (path_ != nullptr) path_->Reset();
   if (branch_ != nullptr) branch_->Reset();
   if (recorder_ != nullptr) recorder_->Reset();
-  driver_ = std::make_unique<xml::EventDriver>(machine_);
-  parser_ = std::make_unique<xml::SaxParser>(driver_.get(), options_.sax);
+  stream_offset_ = 0;
+  WireStream();
 }
 
 const EngineStats& XPathStreamProcessor::stats() const {
@@ -126,6 +200,53 @@ const EngineStats& XPathStreamProcessor::stats() const {
     default:
       return twig_->stats();
   }
+}
+
+void XPathStreamProcessor::ExportMetrics(obs::MetricsRegistry* registry) const {
+  // Re-register when given a different registry — or one whose instrument
+  // count shrank below what we registered (a fresh registry re-created at
+  // the same address; pointer equality alone would mistake it for the old).
+  if (export_ == nullptr || export_->registry != registry ||
+      registry->instrument_count() < export_->registered_count) {
+    export_ = std::make_unique<ExportHandles>();
+    export_->registry = registry;
+    export_->start_events = registry->RegisterCounter("engine.start_events");
+    export_->end_events = registry->RegisterCounter("engine.end_events");
+    export_->pushes = registry->RegisterCounter("engine.pushes");
+    export_->pops = registry->RegisterCounter("engine.pops");
+    export_->results = registry->RegisterCounter("engine.results");
+    export_->predicate_checks =
+        registry->RegisterCounter("engine.predicate_checks");
+    export_->candidate_unions =
+        registry->RegisterCounter("engine.candidate_unions");
+    export_->live_stack_entries =
+        registry->RegisterCounter("engine.live_stack_entries");
+    export_->peak_stack_entries =
+        registry->RegisterCounter("engine.peak_stack_entries");
+    export_->live_candidates =
+        registry->RegisterCounter("engine.live_candidates");
+    export_->peak_candidates =
+        registry->RegisterCounter("engine.peak_candidates");
+    export_->peak_state_bytes =
+        registry->RegisterCounter("engine.peak_state_bytes");
+    export_->fragment_peak_buffered_bytes =
+        registry->RegisterCounter("fragment.peak_buffered_bytes");
+    export_->registered_count = registry->instrument_count();
+  }
+  const EngineStats& s = stats();
+  export_->start_events->Set(s.start_events);
+  export_->end_events->Set(s.end_events);
+  export_->pushes->Set(s.pushes);
+  export_->pops->Set(s.pops);
+  export_->results->Set(s.results);
+  export_->predicate_checks->Set(s.predicate_checks);
+  export_->candidate_unions->Set(s.candidate_unions);
+  export_->live_stack_entries->Set(s.live_stack_entries);
+  export_->peak_stack_entries->Set(s.peak_stack_entries);
+  export_->live_candidates->Set(s.live_candidates);
+  export_->peak_candidates->Set(s.peak_candidates);
+  export_->peak_state_bytes->Set(s.peak_state_bytes);
+  export_->fragment_peak_buffered_bytes->Set(fragment_peak_buffered_bytes());
 }
 
 Result<std::vector<xml::NodeId>> EvaluateToIds(std::string_view query,

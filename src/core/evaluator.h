@@ -7,9 +7,15 @@
 //   proc.value()->Finish();
 //   // sink.ids() holds the pre-order ids of all result elements.
 //
-// Engine selection (EngineKind::kAuto) follows the paper's structure:
-// linear queries run on PathM, child-only queries with predicates on
-// BranchM, everything else on TwigM.
+// Everything optional hangs off EvaluatorOptions: engine selection
+// (EngineKind::kAuto follows the paper's structure — linear queries on
+// PathM, child-only queries with predicates on BranchM, everything else on
+// TwigM), fragment capture (an observer whose wants_fragments() returns
+// true, or capture_fragments = true, gets OnFragment deliveries), and
+// observability (instrumentation = an obs::Instrumentation* collects
+// per-stage wall time, registry metrics, per-query-node stack depth peaks
+// and trace events; null — the default — costs one predictable branch per
+// instrumented site).
 
 #ifndef TWIGM_CORE_EVALUATOR_H_
 #define TWIGM_CORE_EVALUATOR_H_
@@ -26,6 +32,7 @@
 #include "core/path_machine.h"
 #include "core/result_sink.h"
 #include "core/twig_machine.h"
+#include "obs/instrumentation.h"
 #include "xml/sax_event.h"
 #include "xml/sax_parser.h"
 #include "xpath/query_tree.h"
@@ -47,44 +54,69 @@ struct EvaluatorOptions {
   EngineKind engine = EngineKind::kAuto;
   TwigMachineOptions twig;
   xml::SaxParserOptions sax;
+  /// Force fragment capture even if the observer's wants_fragments() is
+  /// false (capture is always on when it is true).
+  bool capture_fragments = false;
+  /// Observability hook; may be null (near-zero overhead). Not owned; must
+  /// outlive the processor.
+  obs::Instrumentation* instrumentation = nullptr;
 };
 
-/// A compiled query bound to a result sink, consuming raw XML bytes.
+/// A compiled query bound to a match observer, consuming raw XML bytes.
 class XPathStreamProcessor {
  public:
-  /// Compiles `query` and builds the machine. `sink` must outlive the
-  /// processor; not owned.
+  /// Compiles `query` and builds the machine. `observer` must outlive the
+  /// processor; not owned. Fragment capture and instrumentation are
+  /// configured through `options` (see EvaluatorOptions).
   static Result<std::unique_ptr<XPathStreamProcessor>> Create(
-      std::string_view query, ResultSink* sink,
+      std::string_view query, MatchObserver* observer,
       EvaluatorOptions options = EvaluatorOptions());
 
-  /// Like Create, but results are delivered as serialized XML fragments
-  /// (footnote 3 of the paper). `fragments` must outlive the processor;
-  /// `ids` (optional) additionally receives the plain node ids.
+  /// DEPRECATED: use Create with an observer whose wants_fragments() is
+  /// true (results are delivered via MatchObserver::OnFragment). This shim
+  /// adapts the legacy FragmentSink/ResultSink pair onto the unified API.
+  [[deprecated(
+      "use Create(query, observer, options) with a fragment-capturing "
+      "MatchObserver")]]
   static Result<std::unique_ptr<XPathStreamProcessor>> CreateWithFragments(
       std::string_view query, FragmentSink* fragments,
       ResultSink* ids = nullptr, EvaluatorOptions options = EvaluatorOptions());
 
   XPathStreamProcessor(const XPathStreamProcessor&) = delete;
   XPathStreamProcessor& operator=(const XPathStreamProcessor&) = delete;
+  ~XPathStreamProcessor();  // out-of-line: ExportHandles is incomplete here
 
-  /// Feeds a chunk of the XML document. Results are emitted to the sink as
-  /// soon as they are proven.
+  /// Feeds a chunk of the XML document. Results are emitted to the observer
+  /// as soon as they are proven.
   Status Feed(std::string_view chunk);
 
   /// Declares end of input.
   Status Finish();
 
   /// Resets parser and machine state so another document can be processed
-  /// with the same compiled query.
+  /// with the same compiled query. Attached instrumentation keeps
+  /// accumulating (call Instrumentation::ResetValues() for per-document
+  /// metrics).
   void Reset();
 
   const EngineStats& stats() const;
   EngineKind engine_kind() const { return engine_kind_; }
   const xpath::QueryTree& query() const { return query_; }
+  /// Peak bytes buffered by fragment capture (0 when capture is off).
+  uint64_t fragment_peak_buffered_bytes() const {
+    return recorder_ != nullptr ? recorder_->peak_buffered_bytes() : 0;
+  }
+
+  /// Exports the engine's accounting into `registry` (prefix "engine.",
+  /// plus "fragment.peak_buffered_bytes" in fragment mode). Registers the
+  /// instruments on first call and refreshes their values on subsequent
+  /// calls, so snapshots can be taken per document.
+  void ExportMetrics(obs::MetricsRegistry* registry) const;
 
  private:
-  XPathStreamProcessor() = default;
+  XPathStreamProcessor();  // out-of-line: ExportHandles is incomplete here
+
+  void WireStream();
 
   xpath::QueryTree query_;
   EngineKind engine_kind_ = EngineKind::kTwigM;
@@ -97,8 +129,17 @@ class XPathStreamProcessor {
 
   xml::StreamEventSink* machine_ = nullptr;  // the active machine
   std::unique_ptr<FragmentRecorder> recorder_;  // set in fragment mode
+  std::unique_ptr<MatchObserver> owned_observer_;  // legacy-shim adapter
   std::unique_ptr<xml::EventDriver> driver_;
   std::unique_ptr<xml::SaxParser> parser_;
+
+  // Shared stream position: written by the parser before each construct,
+  // read by the machines when emitting (MatchInfo::byte_offset).
+  uint64_t stream_offset_ = 0;
+
+  // Lazily-registered export handles (see ExportMetrics).
+  struct ExportHandles;
+  mutable std::unique_ptr<ExportHandles> export_;
 };
 
 /// One-shot convenience: evaluates `query` over `document`, returning result

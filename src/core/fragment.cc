@@ -91,11 +91,13 @@ void FragmentRecorder::EndDocument() {
 }
 
 void FragmentRecorder::OnCandidate(xml::NodeId id) {
+  out_->OnCandidate(id);
   if (in_start_) announced_.push_back(id);
 }
 
-void FragmentRecorder::OnResult(xml::NodeId id) {
-  if (ids_out_ != nullptr) ids_out_->OnResult(id);
+void FragmentRecorder::OnResult(const MatchInfo& match) {
+  out_->OnResult(match);
+  const xml::NodeId id = match.id;
   auto it = completed_.find(id);
   if (it != completed_.end()) {
     buffered_bytes_ -= it->second.size();

@@ -3,17 +3,23 @@
 //
 // `FragmentRecorder` sits between the event driver and a query machine: it
 // forwards every modified-SAX event and, for each element the machine
-// reports as a *candidate*, re-serializes the element's subtree while it
-// streams past. When the machine later proves the candidate is a result,
-// the buffered fragment is handed to the `FragmentSink` — still
-// incrementally: a fragment is delivered at max(candidate subtree fully
-// parsed, membership proven).
+// reports as a *candidate* (MatchObserver::OnCandidate), re-serializes the
+// element's subtree while it streams past. The machine's candidate and
+// result callbacks pass through to the downstream observer unchanged; when
+// the machine proves a candidate is a result, the buffered fragment is
+// additionally handed to the observer via OnFragment — still incrementally:
+// a fragment is delivered at max(candidate subtree fully parsed, membership
+// proven).
+//
+// Fragment capture is enabled per processor: XPathStreamProcessor::Create
+// inserts a recorder when the observer's wants_fragments() returns true (or
+// EvaluatorOptions::capture_fragments is set).
 //
 // Memory note: buffering undecided candidates is inherent to returning
 // fragments from a stream (every fragment-producing engine pays it); the
-// recorder's footprint is included in its stats and fragments of
-// candidates that never become results are dropped as soon as that is
-// knowable (at the latest at end of document).
+// recorder's footprint is included in its stats and fragments of candidates
+// that never become results are dropped as soon as that is knowable (at the
+// latest at end of document).
 
 #ifndef TWIGM_CORE_FRAGMENT_H_
 #define TWIGM_CORE_FRAGMENT_H_
@@ -30,48 +36,45 @@
 
 namespace twigm::core {
 
-/// Receives serialized result fragments.
-class FragmentSink {
- public:
-  virtual ~FragmentSink() = default;
-
-  /// Called exactly once per result. `xml` is the re-serialized element
-  /// subtree (elements, attributes, character data; comments/PIs/CDATA
-  /// sectioning are not preserved — text is emitted escaped).
-  virtual void OnFragment(xml::NodeId id, std::string_view xml) = 0;
-};
-
-/// Collects fragments into a vector (test/demo convenience).
-class VectorFragmentSink : public FragmentSink {
+/// Collects result fragments (and their ids) into a vector — the common
+/// observer for fragment mode in tests and demos.
+class VectorFragmentSink : public MatchObserver {
  public:
   struct Item {
     xml::NodeId id;
     std::string xml;
   };
 
+  bool wants_fragments() const override { return true; }
+
+  void OnResult(const MatchInfo& match) override { ids_.push_back(match.id); }
+
   void OnFragment(xml::NodeId id, std::string_view xml) override {
     items_.push_back(Item{id, std::string(xml)});
   }
 
+  /// Completed fragments, in delivery order.
   const std::vector<Item>& items() const { return items_; }
+  /// Result ids, in emission order (emission may precede fragment
+  /// completion).
+  const std::vector<xml::NodeId>& ids() const { return ids_; }
 
  private:
   std::vector<Item> items_;
+  std::vector<xml::NodeId> ids_;
 };
 
 /// Event tee that records candidate subtrees and pairs them with results.
-/// Wire-up (done by XPathStreamProcessor::CreateWithFragments):
+/// Wire-up (done by XPathStreamProcessor::Create when fragment capture is
+/// on):
 ///   driver -> recorder (StreamEventSink) -> machine
-///   machine's ResultSink        = recorder
-///   machine's CandidateObserver = recorder
-class FragmentRecorder : public xml::StreamEventSink,
-                         public ResultSink,
-                         public CandidateObserver {
+///   machine's MatchObserver = recorder; recorder forwards to the user's
+///   observer and adds OnFragment deliveries.
+class FragmentRecorder : public xml::StreamEventSink, public MatchObserver {
  public:
-  /// `out` receives completed result fragments; `ids_out` (optional) also
-  /// receives plain result ids. Neither is owned.
-  explicit FragmentRecorder(FragmentSink* out, ResultSink* ids_out = nullptr)
-      : out_(out), ids_out_(ids_out) {}
+  /// `out` receives the pass-through candidate/result callbacks plus
+  /// completed fragments. Not owned.
+  explicit FragmentRecorder(MatchObserver* out) : out_(out) {}
 
   /// The machine events are forwarded to; must be set before streaming.
   void set_machine(xml::StreamEventSink* machine) { machine_ = machine; }
@@ -83,11 +86,9 @@ class FragmentRecorder : public xml::StreamEventSink,
   void Text(std::string_view text, int level) override;
   void EndDocument() override;
 
-  // ResultSink (from the machine):
-  void OnResult(xml::NodeId id) override;
-
-  // CandidateObserver (from the machine):
+  // MatchObserver (from the machine):
   void OnCandidate(xml::NodeId id) override;
+  void OnResult(const MatchInfo& match) override;
 
   /// Clears all buffered state for a new document.
   void Reset();
@@ -108,8 +109,7 @@ class FragmentRecorder : public xml::StreamEventSink,
   void NoteBuffered();
 
   xml::StreamEventSink* machine_ = nullptr;
-  FragmentSink* out_;
-  ResultSink* ids_out_;
+  MatchObserver* out_;
 
   // Candidate ids announced during the current StartElement call.
   std::vector<xml::NodeId> announced_;
@@ -124,6 +124,15 @@ class FragmentRecorder : public xml::StreamEventSink,
 
   uint64_t buffered_bytes_ = 0;
   uint64_t peak_buffered_bytes_ = 0;
+};
+
+/// DEPRECATED shim: the pre-MatchObserver fragment interface, kept only for
+/// out-of-tree callers of XPathStreamProcessor::CreateWithFragments.
+/// New code implements MatchObserver::OnFragment instead.
+class FragmentSink {
+ public:
+  virtual ~FragmentSink() = default;
+  virtual void OnFragment(xml::NodeId id, std::string_view xml) = 0;
 };
 
 }  // namespace twigm::core

@@ -42,12 +42,17 @@ Result<std::unique_ptr<MultiQueryProcessor>> MultiQueryProcessor::Create(
     entry.kind = options.engine == EngineKind::kAuto
                      ? PickEngineForTree(tree.value())
                      : options.engine;
+    obs::Instrumentation* instr = options.instrumentation;
+    uint64_t* offset_slot = instr != nullptr ? instr->byte_offset_slot()
+                                             : &proc->stream_offset_;
     switch (entry.kind) {
       case EngineKind::kPathM: {
         Result<std::unique_ptr<PathMachine>> m =
             PathMachine::Create(tree.value(), entry.tag_sink.get());
         if (!m.ok()) return m.status();
         entry.path = std::move(m).value();
+        entry.path->set_instrumentation(instr);
+        entry.path->set_stream_offset(offset_slot);
         entry.machine = entry.path.get();
         break;
       }
@@ -56,6 +61,8 @@ Result<std::unique_ptr<MultiQueryProcessor>> MultiQueryProcessor::Create(
             BranchMachine::Create(tree.value(), entry.tag_sink.get());
         if (!m.ok()) return m.status();
         entry.branch = std::move(m).value();
+        entry.branch->set_instrumentation(instr);
+        entry.branch->set_stream_offset(offset_slot);
         entry.machine = entry.branch.get();
         break;
       }
@@ -66,6 +73,8 @@ Result<std::unique_ptr<MultiQueryProcessor>> MultiQueryProcessor::Create(
         if (!m.ok()) return m.status();
         entry.kind = EngineKind::kTwigM;
         entry.twig = std::move(m).value();
+        entry.twig->set_instrumentation(instr);
+        entry.twig->set_stream_offset(offset_slot);
         entry.machine = entry.twig.get();
         break;
       }
@@ -75,16 +84,30 @@ Result<std::unique_ptr<MultiQueryProcessor>> MultiQueryProcessor::Create(
 
   proc->fan_out_ = std::make_unique<FanOut>(proc.get());
   proc->driver_ = std::make_unique<xml::EventDriver>(proc->fan_out_.get());
+  proc->driver_->set_instrumentation(options.instrumentation);
   proc->parser_ =
       std::make_unique<xml::SaxParser>(proc->driver_.get(), options.sax);
+  proc->parser_->set_offset_slot(options.instrumentation != nullptr
+                                     ? options.instrumentation->byte_offset_slot()
+                                     : &proc->stream_offset_);
   return proc;
 }
 
 Status MultiQueryProcessor::Feed(std::string_view chunk) {
+  obs::TimerScope parse(
+      options_.instrumentation != nullptr
+          ? options_.instrumentation->stage_slot(obs::Stage::kParse)
+          : nullptr);
   return parser_->Feed(chunk);
 }
 
-Status MultiQueryProcessor::Finish() { return parser_->Finish(); }
+Status MultiQueryProcessor::Finish() {
+  obs::TimerScope parse(
+      options_.instrumentation != nullptr
+          ? options_.instrumentation->stage_slot(obs::Stage::kParse)
+          : nullptr);
+  return parser_->Finish();
+}
 
 void MultiQueryProcessor::Reset() {
   for (Entry& e : entries_) {
@@ -93,8 +116,13 @@ void MultiQueryProcessor::Reset() {
     if (e.branch != nullptr) e.branch->Reset();
   }
   total_results_ = 0;
+  stream_offset_ = 0;
   driver_ = std::make_unique<xml::EventDriver>(fan_out_.get());
+  driver_->set_instrumentation(options_.instrumentation);
   parser_ = std::make_unique<xml::SaxParser>(driver_.get(), options_.sax);
+  parser_->set_offset_slot(options_.instrumentation != nullptr
+                               ? options_.instrumentation->byte_offset_slot()
+                               : &stream_offset_);
 }
 
 const EngineStats& MultiQueryProcessor::stats(size_t query_index) const {

@@ -31,11 +31,13 @@
 
 namespace twigm::core {
 
-/// Receives results tagged with the index of the matching query.
+/// Receives results tagged with the index of the matching query. The match
+/// carries the result node id plus byte offset / query node (MatchInfo),
+/// mirroring the single-query MatchObserver.
 class MultiQueryResultSink {
  public:
   virtual ~MultiQueryResultSink() = default;
-  virtual void OnResult(size_t query_index, xml::NodeId id) = 0;
+  virtual void OnResult(size_t query_index, const MatchInfo& match) = 0;
 };
 
 /// Collects (query, id) pairs (test/demo convenience).
@@ -46,8 +48,8 @@ class VectorMultiQuerySink : public MultiQueryResultSink {
     xml::NodeId id;
   };
 
-  void OnResult(size_t query_index, xml::NodeId id) override {
-    items_.push_back(Item{query_index, id});
+  void OnResult(size_t query_index, const MatchInfo& match) override {
+    items_.push_back(Item{query_index, match.id});
   }
 
   const std::vector<Item>& items() const { return items_; }
@@ -87,13 +89,13 @@ class MultiQueryProcessor {
 
  private:
   // Tags one machine's results with its query index.
-  class TaggingSink : public ResultSink {
+  class TaggingSink : public MatchObserver {
    public:
     TaggingSink(MultiQueryProcessor* owner, size_t index)
         : owner_(owner), index_(index) {}
-    void OnResult(xml::NodeId id) override {
+    void OnResult(const MatchInfo& match) override {
       ++owner_->total_results_;
-      owner_->sink_->OnResult(index_, id);
+      owner_->sink_->OnResult(index_, match);
     }
 
    private:
@@ -143,6 +145,8 @@ class MultiQueryProcessor {
   std::unique_ptr<xml::EventDriver> driver_;
   std::unique_ptr<xml::SaxParser> parser_;
   uint64_t total_results_ = 0;
+  // Shared stream position (see XPathStreamProcessor::stream_offset_).
+  uint64_t stream_offset_ = 0;
 };
 
 }  // namespace twigm::core

@@ -3,9 +3,9 @@
 namespace twigm::core {
 
 Result<std::unique_ptr<PathMachine>> PathMachine::Create(
-    const xpath::QueryTree& query, ResultSink* sink) {
-  if (sink == nullptr) {
-    return Status::InvalidArgument("PathMachine requires a result sink");
+    const xpath::QueryTree& query, MatchObserver* observer) {
+  if (observer == nullptr) {
+    return Status::InvalidArgument("PathMachine requires a match observer");
   }
   if (query.has_predicates() || query.has_value_tests()) {
     return Status::NotSupported(
@@ -15,11 +15,11 @@ Result<std::unique_ptr<PathMachine>> PathMachine::Create(
   Result<MachineGraph> graph = MachineGraph::Build(query);
   if (!graph.ok()) return graph.status();
   return std::unique_ptr<PathMachine>(
-      new PathMachine(std::move(graph).value(), sink));
+      new PathMachine(std::move(graph).value(), observer));
 }
 
-PathMachine::PathMachine(MachineGraph graph, ResultSink* sink)
-    : graph_(std::move(graph)), sink_(sink) {
+PathMachine::PathMachine(MachineGraph graph, MatchObserver* observer)
+    : graph_(std::move(graph)), sink_(observer) {
   // A linear query's machine graph is a chain from the root to the return
   // node.
   const MachineNode* node = graph_.root();
@@ -58,10 +58,24 @@ void PathMachine::StartElement(std::string_view tag, int level, xml::NodeId id,
     stacks_[i].push_back(level);
     ++stats_.pushes;
     ++live_entries_;
+    if (instr_ != nullptr) {
+      const uint64_t depth = stacks_[i].size();
+      instr_->NoteNodeDepth(v->id, depth);
+      instr_->Trace(obs::TraceEvent::Kind::kStackPush, v->id, level, id,
+                    depth);
+    }
     if (v->is_return) {
-      if (candidate_observer_ != nullptr) candidate_observer_->OnCandidate(id);
-      sink_->OnResult(id);
+      // Without predicates, candidacy and membership coincide: results are
+      // emitted at startElement, the earliest point possible.
+      sink_->OnCandidate(id);
+      obs::TimerScope emit_timer(
+          instr_ != nullptr ? instr_->stage_slot(obs::Stage::kEmit) : nullptr);
+      sink_->OnResult(MatchInfo{id, offset(), v->id});
       ++stats_.results;
+      if (instr_ != nullptr) {
+        instr_->Trace(obs::TraceEvent::Kind::kCandidate, v->id, level, id, 1);
+        instr_->Trace(obs::TraceEvent::Kind::kEmit, v->id, level, id, 0);
+      }
     }
   }
   stats_.NoteEntries(live_entries_);
@@ -78,6 +92,10 @@ void PathMachine::EndElement(std::string_view tag, int level) {
       stack.pop_back();
       ++stats_.pops;
       --live_entries_;
+      if (instr_ != nullptr) {
+        instr_->Trace(obs::TraceEvent::Kind::kStackPop, v->id, level, 0,
+                      stack.size());
+      }
     }
   }
   stats_.NoteEntries(live_entries_);

@@ -20,6 +20,7 @@
 #include "core/machine_builder.h"
 #include "core/machine_stats.h"
 #include "core/result_sink.h"
+#include "obs/instrumentation.h"
 #include "xml/sax_event.h"
 #include "xpath/query_tree.h"
 
@@ -30,7 +31,7 @@ class PathMachine : public xml::StreamEventSink {
  public:
   /// Fails with NotSupported if `query` has predicates or value tests.
   static Result<std::unique_ptr<PathMachine>> Create(
-      const xpath::QueryTree& query, ResultSink* sink);
+      const xpath::QueryTree& query, MatchObserver* observer);
 
   PathMachine(const PathMachine&) = delete;
   PathMachine& operator=(const PathMachine&) = delete;
@@ -44,21 +45,29 @@ class PathMachine : public xml::StreamEventSink {
   /// Clears runtime state and statistics.
   void Reset();
 
-  /// Optional: notified whenever an element becomes a candidate (for
-  /// PathM, candidates are immediately results).
-  void set_candidate_observer(CandidateObserver* observer) {
-    candidate_observer_ = observer;
+  /// Optional: attaches observability (see TwigMachine). Not owned.
+  void set_instrumentation(obs::Instrumentation* instr) {
+    instr_ = instr;
+    if (instr_ != nullptr) instr_->EnsureNodeSlots(graph_.node_count());
   }
+
+  /// Optional: source of the current stream byte offset (see TwigMachine).
+  void set_stream_offset(const uint64_t* offset) { stream_offset_ = offset; }
 
   const EngineStats& stats() const { return stats_; }
   const MachineGraph& graph() const { return graph_; }
 
  private:
-  PathMachine(MachineGraph graph, ResultSink* sink);
+  PathMachine(MachineGraph graph, MatchObserver* observer);
+
+  uint64_t offset() const {
+    return stream_offset_ != nullptr ? *stream_offset_ : 0;
+  }
 
   MachineGraph graph_;
-  ResultSink* sink_;
-  CandidateObserver* candidate_observer_ = nullptr;
+  MatchObserver* sink_;
+  obs::Instrumentation* instr_ = nullptr;
+  const uint64_t* stream_offset_ = nullptr;
   EngineStats stats_;
 
   // chain_[i] is the machine node at spine position i (root first);

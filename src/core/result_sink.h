@@ -1,53 +1,100 @@
-// Result delivery. Engines emit node ids incrementally, as soon as
-// membership is decided (the streaming requirement of section 1); callers
-// provide a sink. `VectorResultSink` is the common collect-everything sink.
+// Match delivery: the unified observer interface for query results.
+//
+// Engines report three things about a match's lifecycle, all through one
+// `MatchObserver`:
+//   * OnCandidate(id) — the element was just recorded as a *possible*
+//     result (pushed into the return node's candidate set), before its
+//     membership is decided;
+//   * OnResult(MatchInfo) — membership proven; carries the node id, the
+//     stream byte offset at which the proof happened, and the machine node
+//     that proved it. Engines emit as soon as membership is decided (the
+//     streaming requirement of section 1) and report each result exactly
+//     once. byte_offset - (the offset at OnCandidate time) is the result's
+//     emission latency in bytes;
+//   * OnFragment(id, xml) — only when the observer opts in via
+//     wants_fragments(): the re-serialized subtree of a result element
+//     (footnote 3 of the paper), delivered at max(subtree fully parsed,
+//     membership proven).
+//
+// `VectorResultSink` and `CountingResultSink` are the common adapters.
+// The pre-redesign `ResultSink` interface survives below as a deprecated
+// shim for out-of-tree callers; nothing in this repo uses it.
 
 #ifndef TWIGM_CORE_RESULT_SINK_H_
 #define TWIGM_CORE_RESULT_SINK_H_
 
+#include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "xml/sax_event.h"
 
 namespace twigm::core {
 
-/// Receives query results as they are proven.
-class ResultSink {
- public:
-  virtual ~ResultSink() = default;
+/// Everything an engine knows about a proven match.
+struct MatchInfo {
+  /// Pre-order node id of the result element.
+  xml::NodeId id = 0;
+  /// Byte offset (in the input stream) of the SAX construct whose
+  /// processing proved the match; 0 when the machine is fed events directly
+  /// without a stream position source.
+  uint64_t byte_offset = 0;
+  /// Dense MachineNode::id of the machine node that emitted (the query's
+  /// return node); -1 when not applicable.
+  int query_node = -1;
+};
 
-  /// `id` is the pre-order node id of a result element. Engines guarantee
-  /// each result id is reported exactly once.
-  virtual void OnResult(xml::NodeId id) = 0;
+/// Receives candidate announcements, proven results, and (optionally)
+/// result fragments. Only OnResult is mandatory.
+class MatchObserver {
+ public:
+  virtual ~MatchObserver() = default;
+
+  /// The element became a possible result; membership is not yet decided.
+  /// Called before OnResult for the same id (in the same event for PathM,
+  /// where candidacy and membership coincide).
+  virtual void OnCandidate(xml::NodeId id) { (void)id; }
+
+  /// Membership proven. Each result id is reported exactly once.
+  virtual void OnResult(const MatchInfo& match) = 0;
+
+  /// Return true to receive OnFragment calls. Checked once, at processor
+  /// construction: fragment capture costs buffering of undecided candidate
+  /// subtrees, so it is strictly opt-in.
+  virtual bool wants_fragments() const { return false; }
+
+  /// The re-serialized subtree of result `id` (elements, attributes,
+  /// escaped text; comments/PIs/CDATA sectioning are not preserved).
+  /// Called once per result, only when wants_fragments() returned true.
+  virtual void OnFragment(xml::NodeId id, std::string_view xml) {
+    (void)id;
+    (void)xml;
+  }
 };
 
 /// Collects results into a vector (in emission order).
-class VectorResultSink : public ResultSink {
+class VectorResultSink : public MatchObserver {
  public:
-  void OnResult(xml::NodeId id) override { ids_.push_back(id); }
+  void OnResult(const MatchInfo& match) override {
+    ids_.push_back(match.id);
+    matches_.push_back(match);
+  }
 
   const std::vector<xml::NodeId>& ids() const { return ids_; }
   std::vector<xml::NodeId> TakeIds() { return std::move(ids_); }
+  /// Full per-result info (byte offsets, emitting machine nodes).
+  const std::vector<MatchInfo>& matches() const { return matches_; }
 
  private:
   std::vector<xml::NodeId> ids_;
-};
-
-/// Observes candidate creation: called by a machine the moment an element
-/// is recorded as a *possible* result (pushed into the return node's
-/// candidate set), before its membership is decided. Used by the fragment
-/// recorder to start capturing the element's subtree.
-class CandidateObserver {
- public:
-  virtual ~CandidateObserver() = default;
-  virtual void OnCandidate(xml::NodeId id) = 0;
+  std::vector<MatchInfo> matches_;
 };
 
 /// Counts results without storing them (for benchmarks).
-class CountingResultSink : public ResultSink {
+class CountingResultSink : public MatchObserver {
  public:
-  void OnResult(xml::NodeId id) override {
-    (void)id;
+  void OnResult(const MatchInfo& match) override {
+    (void)match;
     ++count_;
   }
 
@@ -55,6 +102,17 @@ class CountingResultSink : public ResultSink {
 
  private:
   uint64_t count_ = 0;
+};
+
+/// DEPRECATED shim for the pre-MatchObserver interface: subclasses override
+/// the id-only OnResult. Kept so out-of-tree sinks keep compiling; new code
+/// should subclass MatchObserver directly.
+class ResultSink : public MatchObserver {
+ public:
+  /// Legacy callback.
+  virtual void OnResult(xml::NodeId id) = 0;
+
+  void OnResult(const MatchInfo& match) final { OnResult(match.id); }
 };
 
 }  // namespace twigm::core

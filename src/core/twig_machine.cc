@@ -29,20 +29,20 @@ size_t UnionSortedIds(const std::vector<xml::NodeId>& src,
 }
 
 Result<std::unique_ptr<TwigMachine>> TwigMachine::Create(
-    const xpath::QueryTree& query, ResultSink* sink,
+    const xpath::QueryTree& query, MatchObserver* observer,
     TwigMachineOptions options) {
-  if (sink == nullptr) {
-    return Status::InvalidArgument("TwigMachine requires a result sink");
+  if (observer == nullptr) {
+    return Status::InvalidArgument("TwigMachine requires a match observer");
   }
   Result<MachineGraph> graph = MachineGraph::Build(query);
   if (!graph.ok()) return graph.status();
   return std::unique_ptr<TwigMachine>(
-      new TwigMachine(std::move(graph).value(), sink, options));
+      new TwigMachine(std::move(graph).value(), observer, options));
 }
 
-TwigMachine::TwigMachine(MachineGraph graph, ResultSink* sink,
+TwigMachine::TwigMachine(MachineGraph graph, MatchObserver* observer,
                          TwigMachineOptions options)
-    : graph_(std::move(graph)), sink_(sink), options_(options) {
+    : graph_(std::move(graph)), sink_(observer), options_(options) {
   stacks_.resize(graph_.node_count());
   for (const auto& node : graph_.nodes()) {
     preorder_.push_back(node->id);
@@ -148,11 +148,21 @@ void TwigMachine::StartElement(std::string_view tag, int level, xml::NodeId id,
     if (v->is_return) {
       entry.candidates.push_back(id);
       ++live_candidates_;
-      if (candidate_observer_ != nullptr) candidate_observer_->OnCandidate(id);
+      sink_->OnCandidate(id);
+      if (instr_ != nullptr) {
+        instr_->Trace(obs::TraceEvent::Kind::kCandidate, node_id, level, id,
+                      1);
+      }
     }
     stacks_[node_id].push_back(std::move(entry));
     ++stats_.pushes;
     ++live_entries_;
+    if (instr_ != nullptr) {
+      const uint64_t depth = stacks_[node_id].size();
+      instr_->NoteNodeDepth(node_id, depth);
+      instr_->Trace(obs::TraceEvent::Kind::kStackPush, node_id, level, id,
+                    depth);
+    }
   };
 
   auto it = label_index_.find(tag);
@@ -194,6 +204,10 @@ void TwigMachine::EndElement(std::string_view tag, int level) {
     --live_entries_;
     live_candidates_ -= top.candidates.size();
     live_text_bytes_ -= top.text.size();
+    if (instr_ != nullptr) {
+      instr_->Trace(obs::TraceEvent::Kind::kStackPop, node_id, level, 0,
+                    stack.size());
+    }
 
     ++stats_.predicate_checks;
     bool satisfied = (top.branch & v->required_mask) == v->required_mask;
@@ -201,15 +215,30 @@ void TwigMachine::EndElement(std::string_view tag, int level) {
       satisfied =
           EvalValueTest(top.text, v->op, v->literal, v->literal_is_number);
     }
-    if (!satisfied) continue;  // prune: drop every match `top` was part of
+    if (!satisfied) {
+      // Prune: drop every match `top` was part of.
+      if (instr_ != nullptr) {
+        instr_->Trace(obs::TraceEvent::Kind::kPrune, node_id, level, 0,
+                      top.candidates.size());
+      }
+      continue;
+    }
 
     if (v->parent == nullptr) {
       // Root: output candidates. A candidate may have reached several root
       // entries on recursive data; emit each id once.
+      obs::TimerScope emit_timer(
+          instr_ != nullptr ? instr_->stage_slot(obs::Stage::kEmit) : nullptr);
+      const int return_node =
+          graph_.return_node() != nullptr ? graph_.return_node()->id : -1;
       for (xml::NodeId id : top.candidates) {
         if (emitted_.insert(id).second) {
-          sink_->OnResult(id);
+          sink_->OnResult(MatchInfo{id, offset(), return_node});
           ++stats_.results;
+          if (instr_ != nullptr) {
+            instr_->Trace(obs::TraceEvent::Kind::kEmit, return_node, level,
+                          id, 0);
+          }
         }
       }
       if (stack.empty()) emitted_.clear();

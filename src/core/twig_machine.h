@@ -37,6 +37,7 @@
 #include "core/machine_builder.h"
 #include "core/machine_stats.h"
 #include "core/result_sink.h"
+#include "obs/instrumentation.h"
 #include "xml/sax_event.h"
 #include "xpath/query_tree.h"
 
@@ -52,13 +53,14 @@ struct TwigMachineOptions {
 };
 
 /// The TwigM machine. Feed it modified SAX events (via xml::EventDriver or
-/// directly); results are emitted to the ResultSink incrementally.
+/// directly); candidates and results are reported to the MatchObserver
+/// incrementally.
 class TwigMachine : public xml::StreamEventSink {
  public:
-  /// Builds the machine for `query` (section 4.2 construction). `sink` must
-  /// outlive the machine; not owned.
+  /// Builds the machine for `query` (section 4.2 construction). `observer`
+  /// must outlive the machine; not owned.
   static Result<std::unique_ptr<TwigMachine>> Create(
-      const xpath::QueryTree& query, ResultSink* sink,
+      const xpath::QueryTree& query, MatchObserver* observer,
       TwigMachineOptions options = TwigMachineOptions());
 
   TwigMachine(const TwigMachine&) = delete;
@@ -75,11 +77,17 @@ class TwigMachine : public xml::StreamEventSink {
   /// machine can process another document.
   void Reset();
 
-  /// Optional: notified whenever an element becomes a candidate (not
-  /// owned; may be null).
-  void set_candidate_observer(CandidateObserver* observer) {
-    candidate_observer_ = observer;
+  /// Optional: attaches observability (metrics, per-node stack depth,
+  /// trace events, emit-stage timing). Null detaches; not owned.
+  void set_instrumentation(obs::Instrumentation* instr) {
+    instr_ = instr;
+    if (instr_ != nullptr) instr_->EnsureNodeSlots(graph_.node_count());
   }
+
+  /// Optional: source of the current stream byte offset (owned by the
+  /// XPathStreamProcessor, written by the parser before each event). Used
+  /// to stamp MatchInfo::byte_offset; null ⇒ offsets are 0.
+  void set_stream_offset(const uint64_t* offset) { stream_offset_ = offset; }
 
   /// Optional: anchors the machine's root to an external ancestor stack
   /// instead of the document root. When set, the root node pushes at level l
@@ -105,14 +113,20 @@ class TwigMachine : public xml::StreamEventSink {
     std::string text;
   };
 
-  TwigMachine(MachineGraph graph, ResultSink* sink,
+  TwigMachine(MachineGraph graph, MatchObserver* observer,
               TwigMachineOptions options);
 
   void UpdateMemoryStats();
 
+  /// Current stream offset, 0 without a source.
+  uint64_t offset() const {
+    return stream_offset_ != nullptr ? *stream_offset_ : 0;
+  }
+
   MachineGraph graph_;
-  ResultSink* sink_;
-  CandidateObserver* candidate_observer_ = nullptr;
+  MatchObserver* sink_;
+  obs::Instrumentation* instr_ = nullptr;
+  const uint64_t* stream_offset_ = nullptr;
   const std::vector<int>* root_context_ = nullptr;
   TwigMachineOptions options_;
   EngineStats stats_;

@@ -30,17 +30,18 @@ Result<std::vector<std::string>> SplitUnionQuery(std::string_view query) {
 }
 
 Result<std::unique_ptr<UnionQueryProcessor>> UnionQueryProcessor::Create(
-    std::string_view query, ResultSink* sink, EvaluatorOptions options) {
-  if (sink == nullptr) {
+    std::string_view query, MatchObserver* observer,
+    EvaluatorOptions options) {
+  if (observer == nullptr) {
     return Status::InvalidArgument(
-        "UnionQueryProcessor requires a result sink");
+        "UnionQueryProcessor requires a match observer");
   }
   Result<std::vector<std::string>> branches = SplitUnionQuery(query);
   if (!branches.ok()) return branches.status();
 
   auto proc =
       std::unique_ptr<UnionQueryProcessor>(new UnionQueryProcessor());
-  proc->dedup_.out = sink;
+  proc->dedup_.out = observer;
   Result<std::unique_ptr<MultiQueryProcessor>> multi =
       MultiQueryProcessor::Create(branches.value(), &proc->dedup_, options);
   if (!multi.ok()) return multi.status();

@@ -28,9 +28,9 @@ Result<std::vector<std::string>> SplitUnionQuery(std::string_view query);
 class UnionQueryProcessor {
  public:
   /// Compiles every branch of `query`. Also accepts branch-free queries
-  /// (degenerates to a single machine plus dedup). `sink` not owned.
+  /// (degenerates to a single machine plus dedup). `observer` not owned.
   static Result<std::unique_ptr<UnionQueryProcessor>> Create(
-      std::string_view query, ResultSink* sink,
+      std::string_view query, MatchObserver* observer,
       EvaluatorOptions options = EvaluatorOptions());
 
   UnionQueryProcessor(const UnionQueryProcessor&) = delete;
@@ -53,14 +53,14 @@ class UnionQueryProcessor {
  private:
   // Drops ids already reported by another branch.
   struct DedupSink : MultiQueryResultSink {
-    void OnResult(size_t query_index, xml::NodeId id) override {
+    void OnResult(size_t query_index, const MatchInfo& match) override {
       (void)query_index;
-      if (emitted.insert(id).second) {
-        out->OnResult(id);
+      if (emitted.insert(match.id).second) {
+        out->OnResult(match);
         ++results;
       }
     }
-    ResultSink* out = nullptr;
+    MatchObserver* out = nullptr;
     std::unordered_set<xml::NodeId> emitted;
     uint64_t results = 0;
   };

@@ -4,6 +4,25 @@
 
 namespace twigm::filter {
 
+// Registered-once export instruments; values are refreshed per call.
+struct FilterEngine::ExportHandles {
+  obs::MetricsRegistry* registry = nullptr;
+  size_t registered_count = 0;  // registry size right after registration
+  obs::Counter* start_events = nullptr;
+  obs::Counter* end_events = nullptr;
+  obs::Counter* trie_pushes = nullptr;
+  obs::Counter* trie_pops = nullptr;
+  obs::Counter* results = nullptr;
+  obs::Counter* sum_active_nodes = nullptr;
+  obs::Counter* peak_active_nodes = nullptr;
+  obs::Counter* peak_trie_entries = nullptr;
+  obs::Counter* peak_engaged_tails = nullptr;
+};
+
+FilterEngine::FilterEngine(FilterIndex index) : index_(std::move(index)) {}
+
+FilterEngine::~FilterEngine() = default;
+
 Result<std::unique_ptr<FilterEngine>> FilterEngine::Create(
     const std::vector<std::string>& queries, core::MultiQueryResultSink* sink,
     core::EvaluatorOptions options) {
@@ -17,6 +36,10 @@ Result<std::unique_ptr<FilterEngine>> FilterEngine::Create(
       std::unique_ptr<FilterEngine>(new FilterEngine(std::move(index).value()));
   engine->sink_ = sink;
   engine->options_ = options;
+  engine->instr_ = options.instrumentation;
+  engine->offset_slot_ = engine->instr_ != nullptr
+                             ? engine->instr_->byte_offset_slot()
+                             : &engine->stream_offset_;
 
   const size_t node_count = engine->index_.nodes().size();
   engine->stacks_.resize(node_count);
@@ -47,6 +70,7 @@ Result<std::unique_ptr<FilterEngine>> FilterEngine::Create(
       if (!m.ok()) return m.status();
       tail.branch = std::move(m).value();
       tail.branch->set_root_context(context);
+      tail.branch->set_stream_offset(engine->offset_slot_);
       tail.machine = tail.branch.get();
     } else {
       Result<std::unique_ptr<core::TwigMachine>> m = core::TwigMachine::Create(
@@ -54,6 +78,7 @@ Result<std::unique_ptr<FilterEngine>> FilterEngine::Create(
       if (!m.ok()) return m.status();
       tail.twig = std::move(m).value();
       tail.twig->set_root_context(context);
+      tail.twig->set_stream_offset(engine->offset_slot_);
       tail.machine = tail.twig.get();
     }
     const int tail_index = static_cast<int>(engine->tails_.size());
@@ -67,16 +92,29 @@ Result<std::unique_ptr<FilterEngine>> FilterEngine::Create(
 
   engine->event_sink_ = std::make_unique<EventSink>(engine.get());
   engine->driver_ = std::make_unique<xml::EventDriver>(engine->event_sink_.get());
+  engine->driver_->set_instrumentation(engine->instr_);
   engine->parser_ =
       std::make_unique<xml::SaxParser>(engine->driver_.get(), options.sax);
+  engine->parser_->set_offset_slot(engine->offset_slot_);
+  if (engine->instr_ != nullptr) {
+    engine->instr_->EnsureNodeSlots(node_count);
+  }
   return engine;
 }
 
 Status FilterEngine::Feed(std::string_view chunk) {
+  obs::TimerScope parse(instr_ != nullptr
+                            ? instr_->stage_slot(obs::Stage::kParse)
+                            : nullptr);
   return parser_->Feed(chunk);
 }
 
-Status FilterEngine::Finish() { return parser_->Finish(); }
+Status FilterEngine::Finish() {
+  obs::TimerScope parse(instr_ != nullptr
+                            ? instr_->stage_slot(obs::Stage::kParse)
+                            : nullptr);
+  return parser_->Finish();
+}
 
 void FilterEngine::Reset() {
   for (std::vector<int>& stack : stacks_) stack.clear();
@@ -90,8 +128,11 @@ void FilterEngine::Reset() {
   engaged_.clear();
   total_results_ = 0;
   rstats_ = FilterRuntimeStats();
+  stream_offset_ = 0;
   driver_ = std::make_unique<xml::EventDriver>(event_sink_.get());
+  driver_->set_instrumentation(instr_);
   parser_ = std::make_unique<xml::SaxParser>(driver_.get(), options_.sax);
+  parser_->set_offset_slot(offset_slot_);
 }
 
 void FilterEngine::Activate(int node) {
@@ -154,11 +195,19 @@ void FilterEngine::OnStartElement(std::string_view tag, int level,
     ++rstats_.trie_pushes;
     ++live_trie_entries_;
     if (stack.size() == 1) Activate(n);
+    if (instr_ != nullptr) {
+      instr_->NoteNodeDepth(n, stack.size());
+      instr_->Trace(obs::TraceEvent::Kind::kStackPush, n, level, id,
+                    stack.size());
+    }
     const StepTrieNode& node = nodes[n];
     for (size_t q : node.accept) {
       ++total_results_;
       ++rstats_.results;
-      sink_->OnResult(q, id);
+      sink_->OnResult(q, core::MatchInfo{id, *offset_slot_, n});
+      if (instr_ != nullptr) {
+        instr_->Trace(obs::TraceEvent::Kind::kEmit, n, level, id, q);
+      }
     }
     for (int t : tails_by_anchor_[n]) Engage(t);
   }
@@ -194,6 +243,10 @@ void FilterEngine::OnEndElement(std::string_view tag, int level) {
     stacks_[n].pop_back();
     ++rstats_.trie_pops;
     --live_trie_entries_;
+    if (instr_ != nullptr) {
+      instr_->Trace(obs::TraceEvent::Kind::kStackPop, n, level, 0,
+                    stacks_[n].size());
+    }
     if (stacks_[n].empty()) Deactivate(n);
   }
 
@@ -216,6 +269,38 @@ void FilterEngine::OnText(std::string_view text, int level) {
 
 void FilterEngine::OnEndDocument() {
   for (Tail& tail : tails_) tail.machine->EndDocument();
+}
+
+void FilterEngine::ExportMetrics(obs::MetricsRegistry* registry) const {
+  // See XPathStreamProcessor::ExportMetrics for the re-registration guard.
+  if (export_ == nullptr || export_->registry != registry ||
+      registry->instrument_count() < export_->registered_count) {
+    export_ = std::make_unique<ExportHandles>();
+    export_->registry = registry;
+    export_->start_events = registry->RegisterCounter("filter.start_events");
+    export_->end_events = registry->RegisterCounter("filter.end_events");
+    export_->trie_pushes = registry->RegisterCounter("filter.trie_pushes");
+    export_->trie_pops = registry->RegisterCounter("filter.trie_pops");
+    export_->results = registry->RegisterCounter("filter.results");
+    export_->sum_active_nodes =
+        registry->RegisterCounter("filter.sum_active_nodes");
+    export_->peak_active_nodes =
+        registry->RegisterCounter("filter.peak_active_nodes");
+    export_->peak_trie_entries =
+        registry->RegisterCounter("filter.peak_trie_entries");
+    export_->peak_engaged_tails =
+        registry->RegisterCounter("filter.peak_engaged_tails");
+    export_->registered_count = registry->instrument_count();
+  }
+  export_->start_events->Set(rstats_.start_events);
+  export_->end_events->Set(rstats_.end_events);
+  export_->trie_pushes->Set(rstats_.trie_pushes);
+  export_->trie_pops->Set(rstats_.trie_pops);
+  export_->results->Set(rstats_.results);
+  export_->sum_active_nodes->Set(rstats_.sum_active_nodes);
+  export_->peak_active_nodes->Set(rstats_.peak_active_nodes);
+  export_->peak_trie_entries->Set(rstats_.peak_trie_entries);
+  export_->peak_engaged_tails->Set(rstats_.peak_engaged_tails);
 }
 
 }  // namespace twigm::filter

@@ -59,6 +59,7 @@ class FilterEngine {
 
   FilterEngine(const FilterEngine&) = delete;
   FilterEngine& operator=(const FilterEngine&) = delete;
+  ~FilterEngine();  // out-of-line: ExportHandles is incomplete here
 
   /// Feeds a chunk of the document; results fan out to the sink tagged by
   /// query index, as soon as each query proves them.
@@ -76,6 +77,11 @@ class FilterEngine {
     return index_.plans()[query_index];
   }
   const FilterRuntimeStats& runtime_stats() const { return rstats_; }
+
+  /// Exports the runtime accounting into `registry` (prefix "filter.").
+  /// Registers instruments on first call, refreshes values on later calls
+  /// (same contract as XPathStreamProcessor::ExportMetrics).
+  void ExportMetrics(obs::MetricsRegistry* registry) const;
 
  private:
   // Routes modified-SAX events into the engine.
@@ -99,14 +105,14 @@ class FilterEngine {
   };
 
   // Tags one tail machine's results with its query index.
-  class TailSink : public core::ResultSink {
+  class TailSink : public core::MatchObserver {
    public:
     TailSink(FilterEngine* owner, size_t index)
         : owner_(owner), index_(index) {}
-    void OnResult(xml::NodeId id) override {
+    void OnResult(const core::MatchInfo& match) override {
       ++owner_->total_results_;
       ++owner_->rstats_.results;
-      owner_->sink_->OnResult(index_, id);
+      owner_->sink_->OnResult(index_, match);
     }
 
    private:
@@ -134,7 +140,7 @@ class FilterEngine {
     }
   };
 
-  explicit FilterEngine(FilterIndex index) : index_(std::move(index)) {}
+  explicit FilterEngine(FilterIndex index);  // out-of-line, see ~FilterEngine
 
   void OnStartElement(std::string_view tag, int level, xml::NodeId id,
                       const std::vector<xml::Attribute>& attrs);
@@ -171,6 +177,18 @@ class FilterEngine {
 
   uint64_t total_results_ = 0;
   FilterRuntimeStats rstats_;
+
+  // Observability (null ⇒ disabled). Trace events use the trie node index
+  // as query_node; tail-machine emissions keep their machine-local ids.
+  obs::Instrumentation* instr_ = nullptr;
+  // Shared stream position (see XPathStreamProcessor::stream_offset_);
+  // offset_slot_ points at the instrumentation's slot when attached.
+  uint64_t stream_offset_ = 0;
+  uint64_t* offset_slot_ = &stream_offset_;
+
+  // Lazily-registered export handles (see ExportMetrics).
+  struct ExportHandles;
+  mutable std::unique_ptr<ExportHandles> export_;
 };
 
 }  // namespace twigm::filter

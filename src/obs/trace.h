@@ -1,0 +1,83 @@
+// Structured engine trace events.
+//
+// A `TraceSink` receives one `TraceEvent` per interesting machine
+// transition: stack push/pop per query (machine) node, candidate creation,
+// prune, and result emission — each stamped with the stream byte offset at
+// which it happened and the document node id it concerns. Pairing a
+// result's kEmit offset with its kCandidate offset gives the per-result
+// *emission latency in bytes*: how much further the stream had to be read
+// before membership was proven (the earliest-query-answering quality metric
+// for streaming XPath).
+//
+// Node ids are plain uint64_t (== xml::NodeId) so this layer has no
+// dependency on the xml layer; query_node is the dense MachineNode::id
+// within the emitting machine's graph (or a trie-node id for the filter
+// engine), -1 when not applicable.
+
+#ifndef TWIGM_OBS_TRACE_H_
+#define TWIGM_OBS_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace twigm::obs {
+
+struct TraceEvent {
+  enum class Kind : uint8_t {
+    kStackPush,  // entry pushed for query_node (value = new stack depth)
+    kStackPop,   // entry popped from query_node (value = new stack depth)
+    kCandidate,  // node_id recorded as a possible result at query_node
+    kPrune,      // popped entry discarded: branch/value test failed
+    kEmit,       // node_id proven and emitted as a result
+  };
+
+  Kind kind = Kind::kStackPush;
+  int query_node = -1;       // MachineNode::id / trie node id
+  int level = 0;             // document level of the element involved
+  uint64_t node_id = 0;      // pre-order document node id (0 if n/a)
+  uint64_t byte_offset = 0;  // stream offset of the triggering SAX construct
+  uint64_t value = 0;        // kind-specific (stack depth, candidate count)
+};
+
+const char* TraceEventKindName(TraceEvent::Kind kind);
+
+/// Receives trace events. Implementations may allocate/do work — the engine
+/// only pays for tracing when a sink is attached.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void OnEvent(const TraceEvent& event) = 0;
+};
+
+/// Counts events per kind without storing them (overhead tests).
+class CountingTraceSink : public TraceSink {
+ public:
+  void OnEvent(const TraceEvent& event) override {
+    ++counts_[static_cast<size_t>(event.kind)];
+  }
+  uint64_t count(TraceEvent::Kind kind) const {
+    return counts_[static_cast<size_t>(kind)];
+  }
+  uint64_t total() const {
+    uint64_t t = 0;
+    for (uint64_t c : counts_) t += c;
+    return t;
+  }
+
+ private:
+  uint64_t counts_[5] = {0, 0, 0, 0, 0};
+};
+
+/// Stores every event (tests / small documents only).
+class VectorTraceSink : public TraceSink {
+ public:
+  void OnEvent(const TraceEvent& event) override { events_.push_back(event); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace twigm::obs
+
+#endif  // TWIGM_OBS_TRACE_H_

@@ -18,6 +18,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/instrumentation.h"
+
 namespace twigm::xml {
 
 /// A single element attribute, with its value already entity-decoded.
@@ -85,20 +87,45 @@ class EventDriver : public SaxHandler {
   /// `sink` must outlive the driver. Does not take ownership.
   explicit EventDriver(StreamEventSink* sink) : sink_(sink) {}
 
+  /// Optional observability: with an Instrumentation attached the driver
+  /// accumulates the kDrive stage (its whole dispatch, inclusive) and the
+  /// kMachine stage (the sink call, inclusive of emission). Null detaches.
+  void set_instrumentation(obs::Instrumentation* instr) { instr_ = instr; }
+
   void OnStartElement(std::string_view tag,
                       const std::vector<Attribute>& attrs) override {
+    obs::TimerScope drive(
+        instr_ != nullptr ? instr_->stage_slot(obs::Stage::kDrive) : nullptr);
     ++level_;
     ++next_id_;
+    obs::TimerScope machine(instr_ != nullptr
+                                ? instr_->stage_slot(obs::Stage::kMachine)
+                                : nullptr);
     sink_->StartElement(tag, level_, next_id_, attrs);
   }
 
   void OnEndElement(std::string_view tag) override {
-    sink_->EndElement(tag, level_);
+    obs::TimerScope drive(
+        instr_ != nullptr ? instr_->stage_slot(obs::Stage::kDrive) : nullptr);
+    {
+      obs::TimerScope machine(instr_ != nullptr
+                                  ? instr_->stage_slot(obs::Stage::kMachine)
+                                  : nullptr);
+      sink_->EndElement(tag, level_);
+    }
     --level_;
   }
 
   void OnCharacters(std::string_view text) override {
-    if (level_ > 0) sink_->Text(text, level_);
+    if (level_ > 0) {
+      obs::TimerScope drive(instr_ != nullptr
+                                ? instr_->stage_slot(obs::Stage::kDrive)
+                                : nullptr);
+      obs::TimerScope machine(instr_ != nullptr
+                                  ? instr_->stage_slot(obs::Stage::kMachine)
+                                  : nullptr);
+      sink_->Text(text, level_);
+    }
   }
 
   void OnEndDocument() override { sink_->EndDocument(); }
@@ -108,6 +135,7 @@ class EventDriver : public SaxHandler {
 
  private:
   StreamEventSink* sink_;
+  obs::Instrumentation* instr_ = nullptr;
   int level_ = 0;
   NodeId next_id_ = 0;
 };

@@ -75,6 +75,16 @@ Status SaxParser::Feed(std::string_view chunk) {
   }
   buffer_.append(chunk.data(), chunk.size());
   error_ = Drain();
+  if (error_.ok() && options_.max_buffer_bytes > 0 &&
+      buffer_.size() - pos_ > options_.max_buffer_bytes) {
+    // Everything complete was consumed by Drain, so whatever remains is one
+    // incomplete construct that keeps growing — an unterminated tag, CDATA
+    // section, comment or text run.
+    error_ = Status::ResourceExhausted(
+        "unterminated construct exceeds max_buffer_bytes=" +
+        std::to_string(options_.max_buffer_bytes) + " (line " +
+        std::to_string(line_) + ", column " + std::to_string(column_) + ")");
+  }
   return error_;
 }
 
@@ -101,6 +111,7 @@ Status SaxParser::Finish() {
   if (!seen_root_) {
     return ErrorHere("document contains no root element");
   }
+  if (offset_slot_ != nullptr) *offset_slot_ = bytes_consumed_;
   handler_->OnEndDocument();
   return Status::Ok();
 }
@@ -126,6 +137,8 @@ Status SaxParser::Drain() {
     }
   }
   while (pos_ < buffer_.size()) {
+    // Publish the construct-start offset before any handler fires for it.
+    if (offset_slot_ != nullptr) *offset_slot_ = bytes_consumed_;
     if (buffer_[pos_] == '<') {
       bool made_progress = false;
       TWIGM_RETURN_IF_ERROR(ConsumeMarkup(&made_progress));

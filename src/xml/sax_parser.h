@@ -34,6 +34,13 @@ struct SaxParserOptions {
   /// elements is still delivered via OnCharacters. Query machines ignore it
   /// either way; tests may want it suppressed.
   bool emit_whitespace_text = true;
+  /// Maximum bytes the parser may buffer for a single incomplete construct
+  /// (unterminated tag, CDATA section, comment, text run). A malicious or
+  /// broken stream that never closes a construct would otherwise grow the
+  /// internal buffer without bound; exceeding the limit is reported as an
+  /// error with line/column like other well-formedness failures. 0 disables
+  /// the limit.
+  uint64_t max_buffer_bytes = uint64_t{1} << 30;  // 1 GiB
 };
 
 /// Push-model SAX parser. Typical use:
@@ -70,6 +77,13 @@ class SaxParser {
   /// Total bytes consumed so far.
   size_t bytes_consumed() const { return bytes_consumed_; }
 
+  /// Optional: before firing the handler callbacks for a construct, the
+  /// parser stores the construct's starting byte offset into `*slot` (one
+  /// store per construct). XPathStreamProcessor points this at its shared
+  /// stream-offset word so machines can stamp MatchInfo::byte_offset and
+  /// trace events. Null (default) disables the store.
+  void set_offset_slot(uint64_t* slot) { offset_slot_ = slot; }
+
  private:
   // Consumes as many complete constructs from buffer_ as possible.
   Status Drain();
@@ -96,6 +110,7 @@ class SaxParser {
 
   std::string buffer_;   // unconsumed input
   size_t pos_ = 0;       // parse cursor within buffer_
+  uint64_t* offset_slot_ = nullptr;  // see set_offset_slot
   size_t line_ = 1;
   size_t column_ = 1;
   size_t bytes_consumed_ = 0;

@@ -71,18 +71,16 @@ TEST(FragmentPropertyTest, FragmentsMatchIdResults) {
     const std::string query = RandomQuery(&rng);
 
     core::VectorFragmentSink fragments;
-    core::VectorResultSink ids;
-    auto proc = core::XPathStreamProcessor::CreateWithFragments(
-        query, &fragments, &ids);
+    auto proc = core::XPathStreamProcessor::Create(query, &fragments);
     ASSERT_TRUE(proc.ok()) << query;
     ASSERT_TRUE(proc.value()->Feed(doc).ok());
     ASSERT_TRUE(proc.value()->Finish().ok());
 
     // One fragment per id result, same multiset of ids.
-    ASSERT_EQ(fragments.items().size(), ids.ids().size()) << query;
+    ASSERT_EQ(fragments.items().size(), fragments.ids().size()) << query;
     std::vector<xml::NodeId> frag_ids;
     for (const auto& item : fragments.items()) frag_ids.push_back(item.id);
-    std::vector<xml::NodeId> result_ids = ids.ids();
+    std::vector<xml::NodeId> result_ids = fragments.ids();
     std::sort(frag_ids.begin(), frag_ids.end());
     std::sort(result_ids.begin(), result_ids.end());
     EXPECT_EQ(frag_ids, result_ids) << query;

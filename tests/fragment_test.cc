@@ -16,7 +16,6 @@ namespace {
 using core::EngineKind;
 using core::EvaluatorOptions;
 using core::VectorFragmentSink;
-using core::VectorResultSink;
 using core::XPathStreamProcessor;
 
 struct FragmentRun {
@@ -27,13 +26,12 @@ struct FragmentRun {
 FragmentRun RunFragments(std::string_view query, std::string_view doc,
                          EngineKind engine = EngineKind::kAuto,
                          size_t chunk = 0) {
-  VectorFragmentSink fragments;
-  VectorResultSink ids;
+  // VectorFragmentSink::wants_fragments() turns fragment capture on — no
+  // separate creation path.
+  VectorFragmentSink sink;
   EvaluatorOptions options;
   options.engine = engine;
-  auto proc =
-      XPathStreamProcessor::CreateWithFragments(query, &fragments, &ids,
-                                                options);
+  auto proc = XPathStreamProcessor::Create(query, &sink, options);
   EXPECT_TRUE(proc.ok()) << proc.status().ToString();
   FragmentRun run;
   if (!proc.ok()) return run;
@@ -45,8 +43,8 @@ FragmentRun RunFragments(std::string_view query, std::string_view doc,
     }
   }
   EXPECT_TRUE(proc.value()->Finish().ok());
-  run.fragments = fragments.items();
-  run.ids = ids.TakeIds();
+  run.fragments = sink.items();
+  run.ids = sink.ids();
   return run;
 }
 
@@ -155,7 +153,7 @@ TEST(FragmentTest, ValueTestFragments) {
 
 TEST(FragmentTest, ResetAllowsReuse) {
   VectorFragmentSink fragments;
-  auto proc = XPathStreamProcessor::CreateWithFragments("//b", &fragments);
+  auto proc = XPathStreamProcessor::Create("//b", &fragments);
   ASSERT_TRUE(proc.ok());
   ASSERT_TRUE(proc.value()->Feed("<a><b>1</b></a>").ok());
   ASSERT_TRUE(proc.value()->Finish().ok());
@@ -166,10 +164,32 @@ TEST(FragmentTest, ResetAllowsReuse) {
   EXPECT_EQ(fragments.items()[1].xml, "<b>2</b>");
 }
 
-TEST(FragmentTest, NullFragmentSinkRejected) {
-  auto proc = XPathStreamProcessor::CreateWithFragments("//b", nullptr);
+TEST(FragmentTest, NullObserverRejected) {
+  auto proc = XPathStreamProcessor::Create("//b", nullptr);
   ASSERT_FALSE(proc.ok());
   EXPECT_EQ(proc.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FragmentTest, CaptureForcedByOption) {
+  // An observer without wants_fragments() still gets OnFragment when the
+  // option forces capture on.
+  class Capture : public core::MatchObserver {
+   public:
+    void OnResult(const core::MatchInfo&) override {}
+    void OnFragment(xml::NodeId, std::string_view xml) override {
+      fragments.emplace_back(xml);
+    }
+    std::vector<std::string> fragments;
+  };
+  Capture capture;
+  EvaluatorOptions options;
+  options.capture_fragments = true;
+  auto proc = XPathStreamProcessor::Create("//b", &capture, options);
+  ASSERT_TRUE(proc.ok());
+  ASSERT_TRUE(proc.value()->Feed("<a><b>x</b></a>").ok());
+  ASSERT_TRUE(proc.value()->Finish().ok());
+  ASSERT_EQ(capture.fragments.size(), 1u);
+  EXPECT_EQ(capture.fragments[0], "<b>x</b>");
 }
 
 TEST(FragmentTest, DeepRecursiveCandidates) {

@@ -340,5 +340,50 @@ TEST(SaxParserTest, LargeDocumentBufferCompaction) {
   EXPECT_EQ(parser.bytes_consumed(), doc.size());
 }
 
+TEST(SaxParserTest, MaxBufferBytesStopsUnterminatedConstruct) {
+  // A CDATA section that never closes would otherwise buffer forever.
+  SaxParserOptions options;
+  options.max_buffer_bytes = 1024;
+  TraceHandler handler;
+  SaxParser parser(&handler, options);
+  ASSERT_TRUE(parser.Feed("<r><![CDATA[").ok());
+  Status error;
+  for (int i = 0; i < 64 && error.ok(); ++i) {
+    error = parser.Feed(std::string(128, 'x'));
+  }
+  ASSERT_FALSE(error.ok());
+  EXPECT_EQ(error.code(), StatusCode::kResourceExhausted);
+  // Error carries a position like the other well-formedness failures.
+  EXPECT_NE(error.ToString().find("line"), std::string::npos);
+  // The error is sticky.
+  EXPECT_FALSE(parser.Feed("]]></r>").ok());
+}
+
+TEST(SaxParserTest, MaxBufferBytesAllowsCompletedConstructs) {
+  // Completed constructs drain the buffer, so a document much larger than
+  // the cap parses fine as long as no single construct exceeds it.
+  SaxParserOptions options;
+  options.max_buffer_bytes = 256;
+  TraceHandler handler;
+  SaxParser parser(&handler, options);
+  ASSERT_TRUE(parser.Feed("<r>").ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(parser.Feed("<item>abcdefgh</item>").ok()) << i;
+  }
+  ASSERT_TRUE(parser.Feed("</r>").ok());
+  ASSERT_TRUE(parser.Finish().ok());
+}
+
+TEST(SaxParserTest, MaxBufferBytesZeroDisablesLimit) {
+  SaxParserOptions options;
+  options.max_buffer_bytes = 0;
+  TraceHandler handler;
+  SaxParser parser(&handler, options);
+  ASSERT_TRUE(parser.Feed("<r><![CDATA[").ok());
+  ASSERT_TRUE(parser.Feed(std::string(1 << 20, 'x')).ok());
+  ASSERT_TRUE(parser.Feed("]]></r>").ok());
+  EXPECT_TRUE(parser.Finish().ok());
+}
+
 }  // namespace
 }  // namespace twigm::xml
