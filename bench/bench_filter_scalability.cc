@@ -14,10 +14,15 @@
 #include <string>
 #include <vector>
 
+#include "analysis/dtd_structure.h"
 #include "bench/bench_util.h"
 #include "common/random.h"
 #include "core/multi_query.h"
+#include "data/book.h"
+#include "dtd/dtd_parser.h"
+#include "filter/analyzed_engine.h"
 #include "filter/filter_engine.h"
+#include "obs/metrics.h"
 
 namespace twigm::bench {
 namespace {
@@ -77,6 +82,60 @@ std::vector<std::string> MakeWorkload(const Vocabulary& vocab, size_t count,
     out.push_back(std::move(q));
   }
   return out;
+}
+
+// Queries the static analyzer can prune on each dataset: provably
+// unsatisfiable under the Book DTD, equivalent pairs (branch order), and
+// redundant predicate branches. MakeAnalyzableWorkload mixes these in at
+// ~25% so the analyzed engine has something to show.
+std::vector<std::string> PrunableQueries(int dataset) {
+  if (dataset == 0) {
+    return {"//section/book",        "//title/author",
+            "//figure/p",            "//section[title][title]",
+            "//section[figure][p]",  "//section[p][figure]",
+            "//book[author][author]"};
+  }
+  // No DTD for Auction: only the rewrite passes (dedup/equivalence/
+  // minimization) can prune here.
+  return {"//person[name][name]",
+          "//open_auction[bidder][seller]",
+          "//open_auction[seller][bidder]",
+          "//site//item/description",
+          "//site//item/description"};
+}
+
+// Base workload diluted with ~25% deliberately analyzer-prunable queries.
+// Note that on Book the DTD proofs prune far more than that 25%: random
+// tag chains over a strict DTD are usually unsatisfiable (e.g.
+// //collection/title), which is exactly the publish/subscribe scenario
+// where static analysis pays off.
+std::vector<std::string> MakeAnalyzableWorkload(const Vocabulary& vocab,
+                                                size_t count, uint64_t seed,
+                                                int dataset) {
+  const std::vector<std::string> prunable = PrunableQueries(dataset);
+  std::vector<std::string> out = MakeWorkload(vocab, count - count / 4, seed);
+  for (size_t i = 0; i < count / 4; ++i) {
+    out.push_back(prunable[i % prunable.size()]);
+  }
+  return out;
+}
+
+// DTD summary for the Book dataset (the generator wraps multiple books in
+// a synthetic <collection> root, so declare it too). Null for Auction —
+// the repo carries no XMark DTD.
+const analysis::DtdStructure* StructureFor(int dataset) {
+  if (dataset != 0) return nullptr;
+  static const analysis::DtdStructure* kStructure = [] {
+    const std::string text =
+        std::string("<!ELEMENT collection (book*)>\n") + data::kBookDtd;
+    Result<dtd::Dtd> dtd = dtd::ParseDtd(text);
+    if (!dtd.ok()) return static_cast<analysis::DtdStructure*>(nullptr);
+    Result<analysis::DtdStructure> s =
+        analysis::DtdStructure::Build(dtd.value());
+    if (!s.ok()) return static_cast<analysis::DtdStructure*>(nullptr);
+    return new analysis::DtdStructure(std::move(s).value());
+  }();
+  return kStructure;
 }
 
 const Vocabulary& VocabularyFor(int dataset) {
@@ -176,9 +235,63 @@ void BM_ProductConstruction(benchmark::State& state) {
                           static_cast<int64_t>(doc.size()));
 }
 
+// FilterEngine behind the static analyzer: unsatisfiable and equivalent
+// queries are pruned before streaming, and (on Book, which has a DTD)
+// level windows suppress impossible stack pushes. The "analysis.*"
+// counters land in the JSON record via the metrics registry.
+void BM_AnalyzedFilter(benchmark::State& state) {
+  const size_t queries = static_cast<size_t>(state.range(0));
+  const int dataset = static_cast<int>(state.range(1));
+  const std::string& doc = DatasetFor(dataset);
+  const std::vector<std::string> query_set = MakeAnalyzableWorkload(
+      VocabularyFor(dataset), queries, 2006 + dataset, dataset);
+  for (auto _ : state) {
+    CountingSink sink;
+    filter::AnalyzedEngine::Options options;
+    options.dtd = StructureFor(dataset);
+    auto engine = filter::AnalyzedEngine::Create(query_set, &sink, options);
+    if (!engine.ok()) {
+      state.SkipWithError(engine.status().ToString().c_str());
+      return;
+    }
+    Stopwatch sw;
+    Status s = engine.value()->Feed(doc);
+    if (s.ok()) s = engine.value()->Finish();
+    const double wall_ms = sw.ElapsedSeconds() * 1e3;
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+    obs::MetricsRegistry registry;
+    engine.value()->ExportMetrics(&registry);
+    const auto& stats = engine.value()->analysis_stats();
+    state.counters["results"] =
+        benchmark::Counter(static_cast<double>(sink.count()));
+    state.counters["queries_pruned"] =
+        benchmark::Counter(static_cast<double>(stats.queries_pruned()));
+    BenchRecord record;
+    record.bench = "filter_scalability";
+    record.params = {{"system", "analyzed_filter"},
+                     {"queries", std::to_string(queries)},
+                     {"dataset", VocabularyFor(dataset).name}};
+    record.wall_ms = wall_ms;
+    record.metrics = {{"results", static_cast<double>(sink.count())}};
+    for (const obs::MetricValue& metric : registry.Snapshot()) {
+      if (metric.name.rfind("analysis.", 0) == 0) {
+        record.metrics.emplace_back(metric.name, metric.value);
+      }
+    }
+    BenchJson::Get().Add(std::move(record));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.size()));
+}
+
 void RegisterSweep() {
   for (auto* bench : {benchmark::RegisterBenchmark("BM_FilterEngine",
                                                    BM_FilterEngine),
+                      benchmark::RegisterBenchmark("BM_AnalyzedFilter",
+                                                   BM_AnalyzedFilter),
                       benchmark::RegisterBenchmark("BM_ProductConstruction",
                                                    BM_ProductConstruction)}) {
     bench->ArgNames({"queries", "dataset"});
@@ -220,6 +333,33 @@ bool SanityCheck() {
                    VocabularyFor(dataset).name,
                    static_cast<unsigned long long>(product_sink.count()),
                    static_cast<unsigned long long>(filter_sink.count()));
+      return false;
+    }
+    // The analyzed engine must agree with the product construction on the
+    // enriched workload despite pruning/minimizing queries.
+    const std::vector<std::string> analyzable = MakeAnalyzableWorkload(
+        VocabularyFor(dataset), 64, 2006 + dataset, dataset);
+    CountingSink base_sink;
+    auto base = core::MultiQueryProcessor::Create(analyzable, &base_sink);
+    filter::AnalyzedEngine::Options options;
+    options.dtd = StructureFor(dataset);
+    CountingSink analyzed_sink;
+    auto analyzed =
+        filter::AnalyzedEngine::Create(analyzable, &analyzed_sink, options);
+    if (!base.ok() || !base.value()->Feed(doc).ok() ||
+        !base.value()->Finish().ok() || !analyzed.ok() ||
+        !analyzed.value()->Feed(doc).ok() ||
+        !analyzed.value()->Finish().ok()) {
+      std::fprintf(stderr, "sanity: analyzed engine failed (%s)\n",
+                   VocabularyFor(dataset).name);
+      return false;
+    }
+    if (base_sink.count() != analyzed_sink.count()) {
+      std::fprintf(
+          stderr, "sanity: analyzed mismatch on %s: product=%llu analyzed=%llu\n",
+          VocabularyFor(dataset).name,
+          static_cast<unsigned long long>(base_sink.count()),
+          static_cast<unsigned long long>(analyzed_sink.count()));
       return false;
     }
   }

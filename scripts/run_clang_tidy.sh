@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over the first-party sources.
+#
+# Usage: scripts/run_clang_tidy.sh [build-dir]
+#
+# The build dir must have been configured with
+#   -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+# so compile_commands.json exists. Exits non-zero on any warning, which is
+# what the CI lint job keys off.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+if [[ ! -f "${ROOT}/${BUILD_DIR}/compile_commands.json" ]]; then
+  echo "error: ${BUILD_DIR}/compile_commands.json not found;" \
+       "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+TIDY="$(command -v clang-tidy || true)"
+if [[ -z "${TIDY}" ]]; then
+  echo "error: clang-tidy not installed" >&2
+  exit 2
+fi
+
+# run-clang-tidy parallelises across translation units when available.
+RUNNER="$(command -v run-clang-tidy || command -v run-clang-tidy.py || true)"
+cd "${ROOT}"
+FILES=$(find src -name '*.cc' | sort)
+
+if [[ -n "${RUNNER}" ]]; then
+  # shellcheck disable=SC2086
+  "${RUNNER}" -p "${BUILD_DIR}" -quiet ${FILES}
+else
+  # shellcheck disable=SC2086
+  "${TIDY}" -p "${BUILD_DIR}" --quiet ${FILES}
+fi

@@ -1,0 +1,283 @@
+#include "analysis/dtd_structure.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+namespace twigm::analysis {
+
+namespace {
+
+// Collects every element name referenced by a content model into `out`,
+// and notes whether character data is possible.
+void CollectContent(const dtd::ContentExpr& expr,
+                    std::vector<std::string>* out, bool* pcdata) {
+  switch (expr.kind) {
+    case dtd::ContentExpr::Kind::kElement:
+      out->push_back(expr.name);
+      break;
+    case dtd::ContentExpr::Kind::kPcdata:
+      *pcdata = true;
+      break;
+    case dtd::ContentExpr::Kind::kSequence:
+    case dtd::ContentExpr::Kind::kChoice:
+      for (const dtd::ContentExpr& child : expr.children) {
+        CollectContent(child, out, pcdata);
+      }
+      break;
+    case dtd::ContentExpr::Kind::kEmpty:
+      break;
+    case dtd::ContentExpr::Kind::kAny:
+      // Handled by the caller (needs the full element universe).
+      break;
+  }
+}
+
+bool ContainsAny(const dtd::ContentExpr& expr) {
+  if (expr.kind == dtd::ContentExpr::Kind::kAny) return true;
+  for (const dtd::ContentExpr& child : expr.children) {
+    if (ContainsAny(child)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<DtdStructure> DtdStructure::Build(const dtd::Dtd& dtd,
+                                         std::string_view root_element) {
+  DtdStructure s;
+  s.dtd_ = &dtd;
+
+  // Assign dense ids: declared elements first, then elements that are only
+  // referenced inside content models (treated as EMPTY leaves).
+  std::map<std::string, int, std::less<>> ids;
+  auto intern = [&](const std::string& name) {
+    auto [it, inserted] = ids.emplace(name, static_cast<int>(s.elements_.size()));
+    if (inserted) {
+      ElementInfo info;
+      info.name = name;
+      s.elements_.push_back(std::move(info));
+    }
+    return it->second;
+  };
+  for (const auto& [name, decl] : dtd.elements) intern(name);
+  for (const auto& [name, decl] : dtd.elements) {
+    std::vector<std::string> refs;
+    bool pcdata = decl.mixed;
+    CollectContent(decl.content, &refs, &pcdata);
+    for (const std::string& ref : refs) intern(ref);
+    const int id = ids.find(name)->second;
+    s.elements_[static_cast<size_t>(id)].has_pcdata = pcdata;
+  }
+
+  const size_t n = s.elements_.size();
+
+  // Child edges. ANY content points at the whole declared universe and
+  // admits text.
+  for (const auto& [name, decl] : dtd.elements) {
+    const int id = ids.find(name)->second;
+    ElementInfo& info = s.elements_[static_cast<size_t>(id)];
+    if (ContainsAny(decl.content)) {
+      info.has_pcdata = true;
+      info.children.resize(n);
+      for (size_t i = 0; i < n; ++i) info.children[i] = static_cast<int>(i);
+      continue;
+    }
+    std::vector<std::string> refs;
+    bool pcdata = false;
+    CollectContent(decl.content, &refs, &pcdata);
+    std::vector<int> child_ids;
+    child_ids.reserve(refs.size());
+    for (const std::string& ref : refs) child_ids.push_back(intern(ref));
+    std::sort(child_ids.begin(), child_ids.end());
+    child_ids.erase(std::unique(child_ids.begin(), child_ids.end()),
+                    child_ids.end());
+    info.children = std::move(child_ids);
+  }
+
+  // Root.
+  const std::string root_name =
+      root_element.empty() ? dtd.first_element : std::string(root_element);
+  auto root_it = ids.find(root_name);
+  if (root_name.empty() || root_it == ids.end()) {
+    return Status::InvalidArgument("DTD analysis: unknown root element '" +
+                                   root_name + "'");
+  }
+  s.root_ = root_it->second;
+
+  // Descendant closure: BFS from every element (N is small — DTDs have tens
+  // of elements, not thousands).
+  s.descendants_.assign(n, std::vector<bool>(n, false));
+  for (size_t from = 0; from < n; ++from) {
+    std::vector<bool>& reach = s.descendants_[from];
+    std::deque<int> queue(s.elements_[from].children.begin(),
+                          s.elements_[from].children.end());
+    for (int c : s.elements_[from].children) reach[static_cast<size_t>(c)] = true;
+    while (!queue.empty()) {
+      const int e = queue.front();
+      queue.pop_front();
+      for (int c : s.elements_[static_cast<size_t>(e)].children) {
+        if (!reach[static_cast<size_t>(c)]) {
+          reach[static_cast<size_t>(c)] = true;
+          queue.push_back(c);
+        }
+      }
+    }
+  }
+
+  // Reachability from the root + minimum depth (BFS, root at level 1).
+  {
+    ElementInfo& root_info = s.elements_[static_cast<size_t>(s.root_)];
+    root_info.reachable = true;
+    root_info.min_depth = 1;
+    std::deque<int> queue = {s.root_};
+    while (!queue.empty()) {
+      const int e = queue.front();
+      queue.pop_front();
+      for (int c : s.elements_[static_cast<size_t>(e)].children) {
+        ElementInfo& ci = s.elements_[static_cast<size_t>(c)];
+        if (!ci.reachable) {
+          ci.reachable = true;
+          ci.min_depth = s.elements_[static_cast<size_t>(e)].min_depth + 1;
+          queue.push_back(c);
+        }
+      }
+    }
+  }
+
+  // Maximum depth. An element is depth-unbounded iff some element on a
+  // content-model cycle (CanReach(v, v)) reaches it (or is it). The rest of
+  // the reachable graph is a DAG: longest path from the root by relaxation
+  // in <= n rounds.
+  {
+    std::vector<bool> unbounded(n, false);
+    for (size_t v = 0; v < n; ++v) {
+      if (!s.elements_[v].reachable) continue;
+      if (!s.descendants_[v][v]) continue;  // not on a cycle
+      unbounded[v] = true;
+      for (size_t u = 0; u < n; ++u) {
+        if (s.descendants_[v][u]) unbounded[u] = true;
+      }
+    }
+    for (size_t v = 0; v < n; ++v) {
+      if (s.elements_[v].reachable && !unbounded[v]) {
+        s.elements_[v].max_depth = s.elements_[v].min_depth;
+      }
+    }
+    bool changed = true;
+    for (size_t round = 0; round < n && changed; ++round) {
+      changed = false;
+      for (size_t v = 0; v < n; ++v) {
+        const ElementInfo& vi = s.elements_[v];
+        if (!vi.reachable || unbounded[v]) continue;
+        for (int c : vi.children) {
+          ElementInfo& ci = s.elements_[static_cast<size_t>(c)];
+          if (unbounded[static_cast<size_t>(c)] || !ci.reachable) continue;
+          if (vi.max_depth + 1 > ci.max_depth) {
+            ci.max_depth = vi.max_depth + 1;
+            changed = true;
+          }
+        }
+      }
+    }
+    s.max_document_depth_ = 0;
+    for (size_t v = 0; v < n; ++v) {
+      const ElementInfo& vi = s.elements_[v];
+      if (!vi.reachable) continue;
+      if (vi.max_depth == kUnboundedDepth) {
+        s.max_document_depth_ = kUnboundedDepth;
+        break;
+      }
+      s.max_document_depth_ = std::max(s.max_document_depth_, vi.max_depth);
+    }
+  }
+
+  return s;
+}
+
+int DtdStructure::Find(std::string_view name) const {
+  for (size_t i = 0; i < elements_.size(); ++i) {
+    if (elements_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool DtdStructure::HasAttribute(int element, std::string_view attr) const {
+  const std::vector<dtd::AttrDecl>* decls =
+      dtd_->FindAttlist(elements_[static_cast<size_t>(element)].name);
+  if (decls == nullptr) return false;
+  for (const dtd::AttrDecl& d : *decls) {
+    if (d.name == attr) return true;
+  }
+  return false;
+}
+
+const std::vector<std::string>* DtdStructure::EnumValues(
+    int element, std::string_view attr) const {
+  const std::vector<dtd::AttrDecl>* decls =
+      dtd_->FindAttlist(elements_[static_cast<size_t>(element)].name);
+  if (decls == nullptr) return nullptr;
+  for (const dtd::AttrDecl& d : *decls) {
+    if (d.name == attr) {
+      return d.enum_values.empty() ? nullptr : &d.enum_values;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<bool> DtdStructure::ReachableExact(int from, int k) const {
+  const size_t n = elements_.size();
+  std::vector<bool> frontier(n, false);
+  frontier[static_cast<size_t>(from)] = true;
+  for (int step = 0; step < k; ++step) {
+    std::vector<bool> next(n, false);
+    for (size_t v = 0; v < n; ++v) {
+      if (!frontier[v]) continue;
+      for (int c : elements_[v].children) next[static_cast<size_t>(c)] = true;
+    }
+    frontier = std::move(next);
+  }
+  return frontier;
+}
+
+std::vector<bool> DtdStructure::ReachableAtLeast(int from, int k) const {
+  // >= k steps == (k - 1 exact steps) then (>= 1 step, the closure).
+  const size_t n = elements_.size();
+  if (k <= 1) return descendants_[static_cast<size_t>(from)];
+  const std::vector<bool> mid = ReachableExact(from, k - 1);
+  std::vector<bool> out(n, false);
+  for (size_t v = 0; v < n; ++v) {
+    if (!mid[v]) continue;
+    for (size_t u = 0; u < n; ++u) {
+      if (descendants_[v][u]) out[u] = true;
+    }
+  }
+  return out;
+}
+
+std::vector<bool> DtdStructure::AtDepthExact(int k) const {
+  if (k == 1) {
+    std::vector<bool> out(elements_.size(), false);
+    out[static_cast<size_t>(root_)] = true;
+    return out;
+  }
+  return ReachableExact(root_, k - 1);
+}
+
+std::vector<bool> DtdStructure::AtDepthAtLeast(int k) const {
+  std::vector<bool> out = AtDepthExact(k);
+  if (k == 1) {
+    // Every reachable element sits at depth >= 1.
+    for (size_t v = 0; v < elements_.size(); ++v) {
+      if (elements_[v].reachable) out[v] = true;
+    }
+    return out;
+  }
+  const std::vector<bool> deeper = ReachableAtLeast(root_, k - 1);
+  for (size_t v = 0; v < elements_.size(); ++v) {
+    if (deeper[v]) out[v] = true;
+  }
+  return out;
+}
+
+}  // namespace twigm::analysis

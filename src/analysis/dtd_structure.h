@@ -1,0 +1,116 @@
+// Reachability / depth summary of a DTD, precomputed for query analysis.
+//
+// DtdStructure flattens the content models of a dtd::Dtd into a plain
+// element graph (who can be a direct child of whom), then closes it:
+// transitive descendant sets, per-element document-depth bounds (root at
+// level 1; elements on or below a content-model cycle are depth-unbounded),
+// exact- and at-least-k-step reachability, attribute presence, and
+// enumerated-attribute value sets. Every answer is *conservative for valid
+// documents*: if the DTD admits a document in which the configuration
+// occurs, the query returns true. Repetition counts (?, *, +) and particle
+// order are deliberately ignored — they only restrict siblings, never which
+// tags can nest, so dropping them keeps the summary sound and small.
+//
+// The analyzer (query_analysis.h) intersects query structure against this
+// summary; engines then skip work the summary proves impossible. All such
+// pruning assumes the streamed document is valid w.r.t. the DTD — on an
+// invalid document, pruned queries may silently miss matches (they can
+// never produce spurious ones).
+
+#ifndef TWIGM_ANALYSIS_DTD_STRUCTURE_H_
+#define TWIGM_ANALYSIS_DTD_STRUCTURE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "dtd/dtd_model.h"
+
+namespace twigm::analysis {
+
+/// Depth is counted in document levels: the root element is at level 1.
+/// `kUnboundedDepth` marks "no finite bound" (recursive content models).
+inline constexpr int kUnboundedDepth = -1;
+
+/// Flattened per-element facts. Indexed by dense element id.
+struct ElementInfo {
+  std::string name;
+  /// Direct-child element ids (deduplicated, ascending). ANY expands to
+  /// every declared element.
+  std::vector<int> children;
+  /// True if the element can carry direct character data (#PCDATA, mixed,
+  /// or ANY content).
+  bool has_pcdata = false;
+  /// True if the element can occur in a document rooted at the structure's
+  /// root element.
+  bool reachable = false;
+  /// Document-depth bounds over all valid documents (only meaningful when
+  /// `reachable`). max_depth == kUnboundedDepth when recursion allows
+  /// arbitrarily deep occurrences.
+  int min_depth = 0;
+  int max_depth = kUnboundedDepth;
+};
+
+/// The precomputed summary. Immutable once built.
+class DtdStructure {
+ public:
+  DtdStructure() = default;
+  DtdStructure(DtdStructure&&) = default;
+  DtdStructure& operator=(DtdStructure&&) = default;
+  DtdStructure(const DtdStructure&) = delete;
+  DtdStructure& operator=(const DtdStructure&) = delete;
+
+  /// Builds the summary with `root_element` (empty = the DTD's first
+  /// declared element) as the document root. Elements referenced in content
+  /// models but never declared are treated as EMPTY leaves. Fails if the
+  /// root element is unknown.
+  static Result<DtdStructure> Build(const dtd::Dtd& dtd,
+                                    std::string_view root_element = {});
+
+  size_t element_count() const { return elements_.size(); }
+  /// Dense id for `name`, -1 if the DTD never mentions it.
+  int Find(std::string_view name) const;
+  const ElementInfo& info(int id) const { return elements_[id]; }
+  int root() const { return root_; }
+
+  /// Greatest possible document depth, kUnboundedDepth when recursive.
+  int max_document_depth() const { return max_document_depth_; }
+
+  /// Can `to` occur strictly below `from` (at any depth >= 1)?
+  bool CanReach(int from, int to) const {
+    return descendants_[static_cast<size_t>(from)]
+                       [static_cast<size_t>(to)];
+  }
+
+  /// Does the element declare attribute `attr` (ANY-content elements
+  /// conservatively answer via their attlist only)?
+  bool HasAttribute(int element, std::string_view attr) const;
+  /// If `attr` on `element` is an enumerated type, returns its value set;
+  /// null otherwise (including unknown attributes).
+  const std::vector<std::string>* EnumValues(int element,
+                                             std::string_view attr) const;
+
+  /// Element-id characteristic vector of elements reachable from `from` in
+  /// exactly `k` child steps (k >= 1).
+  std::vector<bool> ReachableExact(int from, int k) const;
+  /// ... in at least `k` child steps (k >= 1).
+  std::vector<bool> ReachableAtLeast(int from, int k) const;
+
+  /// Elements that can occur at document depth exactly `k` (k >= 1).
+  std::vector<bool> AtDepthExact(int k) const;
+  /// ... at document depth >= `k` (k >= 1).
+  std::vector<bool> AtDepthAtLeast(int k) const;
+
+ private:
+  std::vector<ElementInfo> elements_;
+  /// descendants_[a][b]: b reachable from a in >= 1 child steps.
+  std::vector<std::vector<bool>> descendants_;
+  int root_ = -1;
+  int max_document_depth_ = kUnboundedDepth;
+  const dtd::Dtd* dtd_ = nullptr;  // for attlist lookups; must outlive us
+};
+
+}  // namespace twigm::analysis
+
+#endif  // TWIGM_ANALYSIS_DTD_STRUCTURE_H_

@@ -1,5 +1,6 @@
 #include "core/branch_machine.h"
 
+#include "core/invariants.h"
 #include "core/twig_machine.h"  // UnionSortedIds
 #include "core/value_test.h"
 
@@ -39,6 +40,10 @@ void BranchMachine::StartElement(std::string_view tag, int level,
   for (const auto& node : graph_.nodes()) {
     const MachineNode* v = node.get();
     if (v->label != tag) continue;
+    if (!level_bounds_.empty() &&
+        !level_bounds_[static_cast<size_t>(v->id)].Allows(level)) {
+      continue;
+    }
     // Qualification against the single parent state; with child-only axes
     // the edge is always (=, 1) against the parent's recorded level.
     bool qualified;
@@ -56,6 +61,13 @@ void BranchMachine::StartElement(std::string_view tag, int level,
     if (!qualified) continue;
 
     NodeState& state = states_[v->id];
+    // Single-state invariant (section 3.2): with child-only axes at most
+    // one element per machine node is ever active, so a fresh activation
+    // must be strictly deeper than the one it replaces (if any survives,
+    // it is an ancestor still open on the document stack).
+    TWIGM_INVARIANT(state.level == -1 || state.level < level,
+                    "BranchM state overwritten by a non-deeper element",
+                    offset());
     state.level = level;
     state.branch = 0;
     state.candidates.clear();

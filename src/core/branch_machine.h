@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/level_bounds.h"
 #include "core/machine_builder.h"
 #include "core/machine_stats.h"
 #include "core/result_sink.h"
@@ -63,6 +64,11 @@ class BranchMachine : public xml::StreamEventSink {
     root_context_ = levels;
   }
 
+  /// Optional: per-node level windows from static analysis, indexed by
+  /// machine-node id (see TwigMachine::set_level_bounds). Empty = no
+  /// pruning.
+  void set_level_bounds(LevelBounds bounds) { level_bounds_ = std::move(bounds); }
+
   const EngineStats& stats() const { return stats_; }
   const MachineGraph& graph() const { return graph_; }
 
@@ -87,6 +93,7 @@ class BranchMachine : public xml::StreamEventSink {
   obs::Instrumentation* instr_ = nullptr;
   const uint64_t* stream_offset_ = nullptr;
   const std::vector<int>* root_context_ = nullptr;
+  LevelBounds level_bounds_;
   EngineStats stats_;
   std::vector<NodeState> states_;  // indexed by machine-node id
   uint64_t live_entries_ = 0;

@@ -77,7 +77,8 @@ class XPathStreamProcessor {
   /// adapts the legacy FragmentSink/ResultSink pair onto the unified API.
   [[deprecated(
       "use Create(query, observer, options) with a fragment-capturing "
-      "MatchObserver")]]
+      "MatchObserver; no in-tree callers remain and this shim will be "
+      "removed in the next API cleanup")]]
   static Result<std::unique_ptr<XPathStreamProcessor>> CreateWithFragments(
       std::string_view query, FragmentSink* fragments,
       ResultSink* ids = nullptr, EvaluatorOptions options = EvaluatorOptions());

@@ -1,0 +1,17 @@
+#include "core/invariants.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace twigm::core {
+
+void InvariantFailure(const char* what, const char* file, int line,
+                      uint64_t byte_offset) {
+  std::fprintf(stderr,
+               "TWIGM invariant violated: %s\n  at %s:%d (stream offset "
+               "%llu)\n",
+               what, file, line, static_cast<unsigned long long>(byte_offset));
+  std::abort();
+}
+
+}  // namespace twigm::core

@@ -1,0 +1,49 @@
+// Debug-build invariant checker for the streaming machines.
+//
+// Configure with -DTWIGM_CHECK_INVARIANTS=ON to compile the machines with
+// assertions of the paper's structural lemmas at every stack transition:
+//
+//   * ancestor ordering (Lemma behind section 4.1's encoding): the levels
+//     in any one machine-node / trie-node stack are strictly increasing —
+//     every entry belongs to the chain of currently-open ancestors;
+//   * branch-boolean monotonicity (δe correctness): bits in an entry's
+//     branch-match array are only ever set, never cleared, and stay within
+//     the node's declared slot mask;
+//   * candidate-set ordering/distinctness (Theorem 4.4's dedup argument):
+//     each entry's candidate set is strictly ascending, so UnionSortedIds
+//     deduplicates and the R·B bound holds.
+//
+// A violation aborts with the site, the offending value, and the stream
+// byte offset, so a failing document pinpoints the transition. The checks
+// sit on the same sites as the TraceSink hooks (push/pop/propagate), making
+// a trace of a failing run line up 1:1 with the aborted invariant.
+//
+// When the option is OFF (default), TWIGM_INVARIANT compiles away entirely.
+
+#ifndef TWIGM_CORE_INVARIANTS_H_
+#define TWIGM_CORE_INVARIANTS_H_
+
+#include <cstdint>
+
+namespace twigm::core {
+
+/// Prints a diagnostic and aborts. Out-of-line so the macro stays cheap to
+/// instantiate; never returns.
+[[noreturn]] void InvariantFailure(const char* what, const char* file,
+                                   int line, uint64_t byte_offset);
+
+}  // namespace twigm::core
+
+#if defined(TWIGM_CHECK_INVARIANTS)
+#define TWIGM_INVARIANT(cond, what, byte_offset)                       \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::twigm::core::InvariantFailure((what), __FILE__, __LINE__,      \
+                                      (byte_offset));                  \
+    }                                                                  \
+  } while (false)
+#else
+#define TWIGM_INVARIANT(cond, what, byte_offset) ((void)0)
+#endif
+
+#endif  // TWIGM_CORE_INVARIANTS_H_

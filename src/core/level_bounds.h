@@ -1,0 +1,43 @@
+// Per-machine-node document-level windows, derived by static analysis.
+//
+// The analyzer (src/analysis/) proves, from a DTD, that a machine node can
+// only ever match elements within a level window [min_level, max_level];
+// machines then skip the push (the whole δs attempt) for events outside the
+// window. A window is advisory and must be *conservative*: on any document
+// valid w.r.t. the analyzed DTD it never excludes a real match. On invalid
+// documents pruned machines may miss matches — callers opt in via
+// set_level_bounds and own that contract.
+
+#ifndef TWIGM_CORE_LEVEL_BOUNDS_H_
+#define TWIGM_CORE_LEVEL_BOUNDS_H_
+
+#include <vector>
+
+namespace twigm::core {
+
+/// A closed level window. max_level < 0 means "no upper bound".
+struct LevelRange {
+  int min_level = 1;
+  int max_level = -1;
+
+  bool Allows(int level) const {
+    return level >= min_level && (max_level < 0 || level <= max_level);
+  }
+
+  /// True when the window excludes every level (an infeasible node).
+  bool empty() const { return max_level >= 0 && max_level < min_level; }
+
+  /// The window matching nothing — used for nodes the analysis proved can
+  /// never bind on a valid document.
+  static LevelRange Nothing() { return LevelRange{1, 0}; }
+  /// The window matching everything (the default / no analysis).
+  static LevelRange Everything() { return LevelRange{1, -1}; }
+};
+
+/// Windows indexed by dense machine-node id (or trie-node id in the filter
+/// engine). Empty vector = analysis not run, allow everything.
+using LevelBounds = std::vector<LevelRange>;
+
+}  // namespace twigm::core
+
+#endif  // TWIGM_CORE_LEVEL_BOUNDS_H_

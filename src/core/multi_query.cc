@@ -125,6 +125,34 @@ void MultiQueryProcessor::Reset() {
                                : &stream_offset_);
 }
 
+const MachineGraph& MultiQueryProcessor::graph(size_t query_index) const {
+  const Entry& e = entries_[query_index];
+  switch (e.kind) {
+    case EngineKind::kPathM:
+      return e.path->graph();
+    case EngineKind::kBranchM:
+      return e.branch->graph();
+    default:
+      return e.twig->graph();
+  }
+}
+
+void MultiQueryProcessor::set_level_bounds(size_t query_index,
+                                           LevelBounds bounds) {
+  Entry& e = entries_[query_index];
+  switch (e.kind) {
+    case EngineKind::kPathM:
+      e.path->set_level_bounds(std::move(bounds));
+      break;
+    case EngineKind::kBranchM:
+      e.branch->set_level_bounds(std::move(bounds));
+      break;
+    default:
+      e.twig->set_level_bounds(std::move(bounds));
+      break;
+  }
+}
+
 const EngineStats& MultiQueryProcessor::stats(size_t query_index) const {
   const Entry& e = entries_[query_index];
   switch (e.kind) {

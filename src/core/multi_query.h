@@ -24,6 +24,7 @@
 
 #include "common/status.h"
 #include "core/evaluator.h"
+#include "core/level_bounds.h"
 #include "core/machine_stats.h"
 #include "core/result_sink.h"
 #include "xml/sax_event.h"
@@ -83,6 +84,15 @@ class MultiQueryProcessor {
     return entries_[query_index].kind;
   }
   const EngineStats& stats(size_t query_index) const;
+
+  /// Machine graph of `query_index`'s compiled machine (for static
+  /// analysis over the running machines).
+  const MachineGraph& graph(size_t query_index) const;
+
+  /// Applies analyzer level windows (indexed by machine-node id, matching
+  /// graph(query_index)) to that query's machine; see
+  /// TwigMachine::set_level_bounds for the conservativeness contract.
+  void set_level_bounds(size_t query_index, LevelBounds bounds);
 
   /// Sum of results across queries so far.
   uint64_t total_results() const { return total_results_; }

@@ -1,5 +1,7 @@
 #include "core/path_machine.h"
 
+#include "core/invariants.h"
+
 namespace twigm::core {
 
 Result<std::unique_ptr<PathMachine>> PathMachine::Create(
@@ -43,6 +45,10 @@ void PathMachine::StartElement(std::string_view tag, int level, xml::NodeId id,
   for (size_t i = 0; i < chain_.size(); ++i) {
     const MachineNode* v = chain_[i];
     if (!v->MatchesTag(tag)) continue;
+    if (!level_bounds_.empty() &&
+        !level_bounds_[static_cast<size_t>(v->id)].Allows(level)) {
+      continue;
+    }
     bool qualified = false;
     if (i == 0) {
       qualified = v->edge.Satisfies(level);
@@ -55,6 +61,11 @@ void PathMachine::StartElement(std::string_view tag, int level, xml::NodeId id,
       }
     }
     if (!qualified) continue;
+    // Ancestor-ordering lemma: each stack holds levels of open ancestors,
+    // strictly increasing bottom to top.
+    TWIGM_INVARIANT(stacks_[i].empty() || stacks_[i].back() < level,
+                    "PathM stack levels not strictly increasing at push",
+                    offset());
     stacks_[i].push_back(level);
     ++stats_.pushes;
     ++live_entries_;

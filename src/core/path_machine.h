@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/level_bounds.h"
 #include "core/machine_builder.h"
 #include "core/machine_stats.h"
 #include "core/result_sink.h"
@@ -54,6 +55,11 @@ class PathMachine : public xml::StreamEventSink {
   /// Optional: source of the current stream byte offset (see TwigMachine).
   void set_stream_offset(const uint64_t* offset) { stream_offset_ = offset; }
 
+  /// Optional: per-node level windows from static analysis, indexed by
+  /// machine-node id (see TwigMachine::set_level_bounds). Empty = no
+  /// pruning.
+  void set_level_bounds(LevelBounds bounds) { level_bounds_ = std::move(bounds); }
+
   const EngineStats& stats() const { return stats_; }
   const MachineGraph& graph() const { return graph_; }
 
@@ -68,6 +74,7 @@ class PathMachine : public xml::StreamEventSink {
   MatchObserver* sink_;
   obs::Instrumentation* instr_ = nullptr;
   const uint64_t* stream_offset_ = nullptr;
+  LevelBounds level_bounds_;
   EngineStats stats_;
 
   // chain_[i] is the machine node at spine position i (root first);

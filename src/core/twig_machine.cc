@@ -1,7 +1,9 @@
 #include "core/twig_machine.h"
 
 #include <algorithm>
+#include <functional>
 
+#include "core/invariants.h"
 #include "core/value_test.h"
 
 namespace twigm::core {
@@ -78,6 +80,12 @@ void TwigMachine::StartElement(std::string_view tag, int level, xml::NodeId id,
   // (pre-order). Wildcard nodes match every tag.
   auto try_node = [&](int node_id) {
     const MachineNode* v = graph_.nodes()[node_id].get();
+    // Analyzer window: the DTD proves this node can never bind at this
+    // level — skip the whole δs attempt.
+    if (!level_bounds_.empty() &&
+        !level_bounds_[static_cast<size_t>(node_id)].Allows(level)) {
+      return;
+    }
     // Qualification: the root checks the element level directly (the
     // document root is at level 0); other nodes need a parent-stack entry
     // whose level difference satisfies ζ(v).
@@ -154,6 +162,15 @@ void TwigMachine::StartElement(std::string_view tag, int level, xml::NodeId id,
                       1);
       }
     }
+    // Ancestor-ordering lemma: stack levels stay strictly increasing —
+    // every entry belongs to the chain of currently-open ancestors.
+    TWIGM_INVARIANT(
+        stacks_[node_id].empty() || stacks_[node_id].back().level < level,
+        "stack levels not strictly increasing at push", offset());
+    // Attribute slots must stay within the node's declared branch slots.
+    TWIGM_INVARIANT(
+        v->num_slots >= 64 || entry.branch >> v->num_slots == 0,
+        "initial branch bits outside the node's slot range", offset());
     stacks_[node_id].push_back(std::move(entry));
     ++stats_.pushes;
     ++live_entries_;
@@ -200,6 +217,18 @@ void TwigMachine::EndElement(std::string_view tag, int level) {
 
     Entry top = std::move(stack.back());
     stack.pop_back();
+    // Candidate-set lemma (Theorem 4.4's dedup argument): candidates are
+    // kept strictly ascending, so unions deduplicate and the R·B bound
+    // holds.
+    TWIGM_INVARIANT(
+        std::is_sorted(top.candidates.begin(), top.candidates.end()) &&
+            std::adjacent_find(top.candidates.begin(), top.candidates.end()) ==
+                top.candidates.end(),
+        "popped candidate set not strictly ascending", offset());
+    // Branch bits never leave the node's declared slot range.
+    TWIGM_INVARIANT(v->num_slots >= 64 || top.branch >> v->num_slots == 0,
+                    "branch bits outside the node's slot range at pop",
+                    offset());
     ++stats_.pops;
     --live_entries_;
     live_candidates_ -= top.candidates.size();
@@ -251,10 +280,21 @@ void TwigMachine::EndElement(std::string_view tag, int level) {
     const uint64_t bit = uint64_t{1} << v->branch_slot;
     std::vector<Entry>& pstack = stacks_[v->parent->id];
     auto propagate = [&](Entry& e) {
+      // Branch-boolean monotonicity (δe correctness): propagation only
+      // sets bits, and only the child's own slot.
+      TWIGM_INVARIANT(v->parent->num_slots >= 64 ||
+                          (e.branch | bit) >> v->parent->num_slots == 0,
+                      "propagated branch bit outside parent's slot range",
+                      offset());
       e.branch |= bit;
       if (!top.candidates.empty()) {
         ++stats_.candidate_unions;
         live_candidates_ += UnionSortedIds(top.candidates, &e.candidates);
+        TWIGM_INVARIANT(
+            std::adjacent_find(e.candidates.begin(), e.candidates.end(),
+                               std::greater_equal<xml::NodeId>()) ==
+                e.candidates.end(),
+            "candidate union broke strict ordering", offset());
       }
     };
     const int max_level = top.level - v->edge.distance;

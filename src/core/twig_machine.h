@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/level_bounds.h"
 #include "core/machine_builder.h"
 #include "core/machine_stats.h"
 #include "core/result_sink.h"
@@ -100,6 +101,13 @@ class TwigMachine : public xml::StreamEventSink {
     root_context_ = levels;
   }
 
+  /// Optional: per-node document-level windows from static analysis
+  /// (analysis::ComputeMachineLevelBounds); indexed by machine-node id.
+  /// Events outside a node's window skip its push entirely. The windows
+  /// must be conservative for the streamed documents (they are, for
+  /// documents valid w.r.t. the analyzed DTD). Empty = no pruning.
+  void set_level_bounds(LevelBounds bounds) { level_bounds_ = std::move(bounds); }
+
   const EngineStats& stats() const { return stats_; }
   const MachineGraph& graph() const { return graph_; }
 
@@ -128,6 +136,7 @@ class TwigMachine : public xml::StreamEventSink {
   obs::Instrumentation* instr_ = nullptr;
   const uint64_t* stream_offset_ = nullptr;
   const std::vector<int>* root_context_ = nullptr;
+  LevelBounds level_bounds_;
   TwigMachineOptions options_;
   EngineStats stats_;
 

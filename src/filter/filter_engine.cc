@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/invariants.h"
+
 namespace twigm::filter {
 
 // Registered-once export instruments; values are refreshed per call.
@@ -166,9 +168,13 @@ void FilterEngine::OnStartElement(std::string_view tag, int level,
   // never enable another push at the same level (edge distances are ≥ 1),
   // and deferring keeps the active list stable while we scan it.
   scratch_.clear();
+  const bool bounded = !trie_level_bounds_.empty();
   for (int child : index_.root_children()) {
     const StepTrieNode& c = nodes[child];
     if (!c.is_wildcard && c.label != tag) continue;
+    if (bounded && !trie_level_bounds_[static_cast<size_t>(child)].Allows(level)) {
+      continue;
+    }
     if (c.edge.Satisfies(level)) scratch_.push_back(child);
   }
   for (int n : active_) {
@@ -176,6 +182,10 @@ void FilterEngine::OnStartElement(std::string_view tag, int level,
     for (int child : nodes[n].children) {
       const StepTrieNode& c = nodes[child];
       if (!c.is_wildcard && c.label != tag) continue;
+      if (bounded &&
+          !trie_level_bounds_[static_cast<size_t>(child)].Allows(level)) {
+        continue;
+      }
       // Stack levels are strictly increasing (open ancestors), so '≥'
       // edges test the shallowest entry and '=' edges binary-search.
       bool qualified;
@@ -191,6 +201,11 @@ void FilterEngine::OnStartElement(std::string_view tag, int level,
 
   for (int n : scratch_) {
     std::vector<int>& stack = stacks_[n];
+    // Ancestor-ordering lemma, trie form: a node's stack holds the levels
+    // of open matched elements, strictly increasing bottom to top.
+    TWIGM_INVARIANT(stack.empty() || stack.back() < level,
+                    "trie stack levels not strictly increasing at push",
+                    *offset_slot_);
     stack.push_back(level);
     ++rstats_.trie_pushes;
     ++live_trie_entries_;
@@ -269,6 +284,27 @@ void FilterEngine::OnText(std::string_view text, int level) {
 
 void FilterEngine::OnEndDocument() {
   for (Tail& tail : tails_) tail.machine->EndDocument();
+}
+
+const core::MachineGraph* FilterEngine::tail_graph(size_t query_index) const {
+  for (const Tail& tail : tails_) {
+    if (tail.query_index != query_index) continue;
+    return tail.twig != nullptr ? &tail.twig->graph() : &tail.branch->graph();
+  }
+  return nullptr;
+}
+
+void FilterEngine::set_tail_level_bounds(size_t query_index,
+                                         core::LevelBounds bounds) {
+  for (Tail& tail : tails_) {
+    if (tail.query_index != query_index) continue;
+    if (tail.twig != nullptr) {
+      tail.twig->set_level_bounds(std::move(bounds));
+    } else {
+      tail.branch->set_level_bounds(std::move(bounds));
+    }
+    return;
+  }
 }
 
 void FilterEngine::ExportMetrics(obs::MetricsRegistry* registry) const {

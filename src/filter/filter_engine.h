@@ -83,6 +83,24 @@ class FilterEngine {
   /// (same contract as XPathStreamProcessor::ExportMetrics).
   void ExportMetrics(obs::MetricsRegistry* registry) const;
 
+  /// Optional: per-trie-node level windows from static analysis, indexed by
+  /// trie node id. Events outside a node's window skip its push. Windows
+  /// must be conservative for the streamed documents (they are, for
+  /// documents valid w.r.t. the analyzed DTD). Empty = no pruning.
+  void set_trie_level_bounds(core::LevelBounds bounds) {
+    trie_level_bounds_ = std::move(bounds);
+  }
+
+  /// Machine graph of the demultiplexed tail for `query_index`; null when
+  /// the query is linear (fully absorbed by the trie) — such queries have
+  /// no tail machine to bound.
+  const core::MachineGraph* tail_graph(size_t query_index) const;
+
+  /// Applies analyzer level windows (indexed by machine-node id, matching
+  /// tail_graph(query_index)) to that query's tail machine. No-op for
+  /// linear queries.
+  void set_tail_level_bounds(size_t query_index, core::LevelBounds bounds);
+
  private:
   // Routes modified-SAX events into the engine.
   class EventSink : public xml::StreamEventSink {
@@ -162,6 +180,7 @@ class FilterEngine {
   std::vector<std::vector<int>> stacks_;
   std::vector<int> active_;
   std::vector<int> active_pos_;
+  core::LevelBounds trie_level_bounds_;
   uint64_t live_trie_entries_ = 0;
 
   std::vector<Tail> tails_;
