@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Gate the event hot path: throughput vs baseline and zero steady allocs.
+
+Reads a BENCH_hotpath.json produced by `bench_hotpath --json <path>` and
+compares it cell-by-cell against the committed baseline
+(bench/BENCH_hotpath_baseline.json by default). Fails when
+
+  * any cell's events_per_sec drops more than --threshold (default 5%)
+    below the baseline cell, or
+  * any cell performed a nonzero number of steady-state heap allocations
+    (steady_allocs after warm-up + Reset must be exactly 0).
+
+Cells present on only one side are reported but never gate, so adding or
+retiring a workload does not require touching this script.
+
+The committed baseline records each cell's *minimum* events/sec observed
+across several runs (a conservative noise-floor envelope) — single-run
+throughput jitters by several percent, and gating against a lucky run
+would flap. Refresh it by taking the cell-wise min over >= 3 fresh
+`bench_hotpath --json` runs on a quiet machine.
+
+Usage: check_hotpath.py BENCH_hotpath.json [--baseline path] [--threshold 0.05]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_cells(path):
+    with open(path) as f:
+        records = json.load(f)
+    cells = {}
+    for r in records:
+        if r.get("bench") != "hotpath":
+            continue
+        p = r.get("params", {})
+        key = (p.get("group"), p.get("dataset"), p.get("workload"))
+        cells[key] = {
+            "events_per_sec": r["events_per_sec"],
+            "steady_allocs": r["steady_allocs"],
+        }
+    return cells
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_path", help="BenchJson output of bench_hotpath")
+    parser.add_argument(
+        "--baseline",
+        default="bench/BENCH_hotpath_baseline.json",
+        help="committed baseline (default bench/BENCH_hotpath_baseline.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.05,
+        help="max allowed relative events/sec regression (default 0.05)",
+    )
+    args = parser.parse_args()
+
+    current = load_cells(args.json_path)
+    baseline = load_cells(args.baseline)
+    if not current:
+        print(f"error: no hotpath records in {args.json_path}", file=sys.stderr)
+        return 2
+    if not baseline:
+        print(f"error: no hotpath records in {args.baseline}", file=sys.stderr)
+        return 2
+
+    failures = []
+    for key in sorted(current):
+        name = "/".join(str(k) for k in key)
+        cell = current[key]
+        allocs = cell["steady_allocs"]
+        if allocs > 0:
+            failures.append(f"{name}: {allocs:.0f} steady-state allocations (must be 0)")
+        base = baseline.get(key)
+        if base is None:
+            print(f"note: {name} has no baseline cell (not gated)")
+            continue
+        ratio = cell["events_per_sec"] / base["events_per_sec"]
+        status = "ok"
+        if ratio < 1.0 - args.threshold:
+            failures.append(
+                f"{name}: events/sec {cell['events_per_sec']:.0f} is "
+                f"{1.0 - ratio:.2%} below baseline {base['events_per_sec']:.0f}"
+            )
+            status = "FAIL"
+        print(
+            f"{name:40s} {cell['events_per_sec']:14.0f} ev/s "
+            f"(x{ratio:.3f} vs baseline)  allocs={allocs:.0f}  {status}"
+        )
+    for key in sorted(set(baseline) - set(current)):
+        print(f"note: baseline cell {'/'.join(str(k) for k in key)} missing from run")
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nOK: all cells within {args.threshold:.2%} of baseline, 0 steady allocs")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,14 +17,15 @@ Result<std::unique_ptr<EosEngine>> EosEngine::Create(std::string_view query,
   return engine;
 }
 
-void EosEngine::StartElement(std::string_view tag, int level, xml::NodeId id,
+void EosEngine::StartElement(const xml::TagToken& tag, int level,
+                             xml::NodeId id,
                              const std::vector<xml::Attribute>& attrs) {
   (void)level;
   (void)id;
-  assembler_.StartElement(tag, attrs);
+  assembler_.StartElement(tag.text, attrs);
 }
 
-void EosEngine::EndElement(std::string_view tag, int level) {
+void EosEngine::EndElement(const xml::TagToken& tag, int level) {
   (void)tag;
   (void)level;
   assembler_.EndElement();

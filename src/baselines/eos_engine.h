@@ -42,9 +42,9 @@ class EosEngine : public xml::StreamEventSink {
   EosEngine& operator=(const EosEngine&) = delete;
 
   // StreamEventSink: buffers structure; emits nothing until EndDocument.
-  void StartElement(std::string_view tag, int level, xml::NodeId id,
+  void StartElement(const xml::TagToken& tag, int level, xml::NodeId id,
                     const std::vector<xml::Attribute>& attrs) override;
-  void EndElement(std::string_view tag, int level) override;
+  void EndElement(const xml::TagToken& tag, int level) override;
   void Text(std::string_view text, int level) override;
   void EndDocument() override;
 

@@ -85,12 +85,12 @@ int LazyDfaEngine::Step(int from, std::string_view tag) {
   return next;
 }
 
-void LazyDfaEngine::StartElement(std::string_view tag, int level,
+void LazyDfaEngine::StartElement(const xml::TagToken& tag, int level,
                                  xml::NodeId id,
                                  const std::vector<xml::Attribute>& attrs) {
   (void)level;
   (void)attrs;
-  const int next = Step(run_stack_.back(), tag);
+  const int next = Step(run_stack_.back(), tag.text);
   run_stack_.push_back(next);
   if (run_stack_.size() > stats_.peak_stack_depth) {
     stats_.peak_stack_depth = run_stack_.size();
@@ -101,7 +101,7 @@ void LazyDfaEngine::StartElement(std::string_view tag, int level,
   }
 }
 
-void LazyDfaEngine::EndElement(std::string_view tag, int level) {
+void LazyDfaEngine::EndElement(const xml::TagToken& tag, int level) {
   (void)tag;
   (void)level;
   run_stack_.pop_back();

@@ -48,9 +48,9 @@ class LazyDfaEngine : public xml::StreamEventSink {
   LazyDfaEngine& operator=(const LazyDfaEngine&) = delete;
 
   // StreamEventSink:
-  void StartElement(std::string_view tag, int level, xml::NodeId id,
+  void StartElement(const xml::TagToken& tag, int level, xml::NodeId id,
                     const std::vector<xml::Attribute>& attrs) override;
-  void EndElement(std::string_view tag, int level) override;
+  void EndElement(const xml::TagToken& tag, int level) override;
   void EndDocument() override;
 
   void Reset();

@@ -25,7 +25,7 @@ Result<std::unique_ptr<NaiveEnumEngine>> NaiveEnumEngine::Create(
   return engine;
 }
 
-void NaiveEnumEngine::StartElement(std::string_view tag, int level,
+void NaiveEnumEngine::StartElement(const xml::TagToken& tag, int level,
                                    xml::NodeId id,
                                    const std::vector<xml::Attribute>& attrs) {
   if (!status_.ok()) return;
@@ -53,16 +53,18 @@ void NaiveEnumEngine::StartElement(std::string_view tag, int level,
     // failing them can never exist.
     bool attrs_ok = true;
     for (const core::AttributeTest& test : v->attr_tests) {
-      const std::string* value = nullptr;
+      bool found = false;
+      std::string_view value;
       for (const xml::Attribute& a : attrs) {
         if (a.name == test.name) {
-          value = &a.value;
+          found = true;
+          value = a.value;
           break;
         }
       }
-      bool pass = value != nullptr;
+      bool pass = found;
       if (pass && test.has_value_test) {
-        pass = core::EvalValueTest(*value, test.op, test.literal,
+        pass = core::EvalValueTest(value, test.op, test.literal,
                                    test.literal_is_number);
       }
       if (!pass) {
@@ -122,7 +124,7 @@ void NaiveEnumEngine::StartElement(std::string_view tag, int level,
   active_ids_.push_back(id);
 }
 
-void NaiveEnumEngine::EndElement(std::string_view tag, int level) {
+void NaiveEnumEngine::EndElement(const xml::TagToken& tag, int level) {
   (void)tag;
   (void)level;
   if (!status_.ok()) return;

@@ -58,9 +58,9 @@ class NaiveEnumEngine : public xml::StreamEventSink {
   NaiveEnumEngine& operator=(const NaiveEnumEngine&) = delete;
 
   // StreamEventSink:
-  void StartElement(std::string_view tag, int level, xml::NodeId id,
+  void StartElement(const xml::TagToken& tag, int level, xml::NodeId id,
                     const std::vector<xml::Attribute>& attrs) override;
-  void EndElement(std::string_view tag, int level) override;
+  void EndElement(const xml::TagToken& tag, int level) override;
   void EndDocument() override;
 
   void Reset();

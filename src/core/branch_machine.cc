@@ -26,82 +26,117 @@ BranchMachine::BranchMachine(MachineGraph graph, MatchObserver* observer)
   states_.resize(graph_.node_count());
 }
 
+void BranchMachine::BindInterner(xml::TagInterner* interner) {
+  // BranchM's fragment has no wildcards, so every node has a label.
+  for (const auto& node : graph_.nodes()) {
+    node->symbol = interner->Intern(node->label);
+  }
+  postings_.assign(interner->size(), {});
+  for (const auto& node : graph_.nodes()) {
+    postings_[node->symbol].push_back(node->id);
+  }
+  bound_ = true;
+}
+
 void BranchMachine::Reset() {
-  for (NodeState& s : states_) s = NodeState();
+  // Field-wise so candidate/text capacity survives for the next document.
+  for (NodeState& s : states_) {
+    s.level = -1;
+    s.branch = 0;
+    s.candidates.clear();
+    s.text.clear();
+  }
   stats_ = EngineStats();
   live_entries_ = 0;
   live_candidates_ = 0;
 }
 
-void BranchMachine::StartElement(std::string_view tag, int level,
+void BranchMachine::TryStartNode(int node_id, int level, xml::NodeId id,
+                                 const std::vector<xml::Attribute>& attrs) {
+  const MachineNode* v = graph_.nodes()[node_id].get();
+  if (!level_bounds_.empty() &&
+      !level_bounds_[static_cast<size_t>(v->id)].Allows(level)) {
+    return;
+  }
+  // Qualification against the single parent state; with child-only axes
+  // the edge is always (=, 1) against the parent's recorded level.
+  bool qualified;
+  if (v->parent == nullptr) {
+    if (root_context_ == nullptr) {
+      qualified = v->edge.Satisfies(level);
+    } else {
+      qualified = !root_context_->empty() &&
+                  v->edge.Satisfies(level - root_context_->back());
+    }
+  } else {
+    const NodeState& parent = states_[v->parent->id];
+    qualified = parent.level != -1 && v->edge.Satisfies(level - parent.level);
+  }
+  if (!qualified) return;
+
+  NodeState& state = states_[v->id];
+  // Single-state invariant (section 3.2): with child-only axes at most
+  // one element per machine node is ever active, so a fresh activation
+  // must be strictly deeper than the one it replaces (if any survives,
+  // it is an ancestor still open on the document stack).
+  TWIGM_INVARIANT(state.level == -1 || state.level < level,
+                  "BranchM state overwritten by a non-deeper element",
+                  offset());
+  state.level = level;
+  state.branch = 0;
+  state.candidates.clear();
+  state.text.clear();
+  for (const AttributeTest& test : v->attr_tests) {
+    ++stats_.predicate_checks;
+    bool found = false;
+    std::string_view value;
+    for (const xml::Attribute& a : attrs) {
+      if (a.name == test.name) {
+        found = true;
+        value = a.value;
+        break;
+      }
+    }
+    bool pass = found;
+    if (pass && test.has_value_test) {
+      pass = EvalValueTest(value, test.op, test.literal,
+                           test.literal_is_number);
+    }
+    if (pass) state.branch |= uint64_t{1} << test.branch_slot;
+  }
+  if (v->is_return) {
+    state.candidates.push_back(id);
+    ++live_candidates_;
+    sink_->OnCandidate(id);
+    if (instr_ != nullptr) {
+      instr_->Trace(obs::TraceEvent::Kind::kCandidate, v->id, level, id, 1);
+    }
+  }
+  ++stats_.pushes;
+  ++live_entries_;
+  if (instr_ != nullptr) {
+    // BranchM keeps one state per node, so depth is at most 1.
+    instr_->NoteNodeDepth(v->id, 1);
+    instr_->Trace(obs::TraceEvent::Kind::kStackPush, v->id, level, id, 1);
+  }
+}
+
+void BranchMachine::StartElement(const xml::TagToken& tag, int level,
                                  xml::NodeId id,
                                  const std::vector<xml::Attribute>& attrs) {
   ++stats_.start_events;
-  for (const auto& node : graph_.nodes()) {
-    const MachineNode* v = node.get();
-    if (v->label != tag) continue;
-    if (!level_bounds_.empty() &&
-        !level_bounds_[static_cast<size_t>(v->id)].Allows(level)) {
-      continue;
-    }
-    // Qualification against the single parent state; with child-only axes
-    // the edge is always (=, 1) against the parent's recorded level.
-    bool qualified;
-    if (v->parent == nullptr) {
-      if (root_context_ == nullptr) {
-        qualified = v->edge.Satisfies(level);
-      } else {
-        qualified = !root_context_->empty() &&
-                    v->edge.Satisfies(level - root_context_->back());
-      }
-    } else {
-      const NodeState& parent = states_[v->parent->id];
-      qualified = parent.level != -1 && v->edge.Satisfies(level - parent.level);
-    }
-    if (!qualified) continue;
-
-    NodeState& state = states_[v->id];
-    // Single-state invariant (section 3.2): with child-only axes at most
-    // one element per machine node is ever active, so a fresh activation
-    // must be strictly deeper than the one it replaces (if any survives,
-    // it is an ancestor still open on the document stack).
-    TWIGM_INVARIANT(state.level == -1 || state.level < level,
-                    "BranchM state overwritten by a non-deeper element",
-                    offset());
-    state.level = level;
-    state.branch = 0;
-    state.candidates.clear();
-    state.text.clear();
-    for (const AttributeTest& test : v->attr_tests) {
-      ++stats_.predicate_checks;
-      const std::string* value = nullptr;
-      for (const xml::Attribute& a : attrs) {
-        if (a.name == test.name) {
-          value = &a.value;
-          break;
-        }
-      }
-      bool pass = value != nullptr;
-      if (pass && test.has_value_test) {
-        pass = EvalValueTest(*value, test.op, test.literal,
-                             test.literal_is_number);
-      }
-      if (pass) state.branch |= uint64_t{1} << test.branch_slot;
-    }
-    if (v->is_return) {
-      state.candidates.push_back(id);
-      ++live_candidates_;
-      sink_->OnCandidate(id);
-      if (instr_ != nullptr) {
-        instr_->Trace(obs::TraceEvent::Kind::kCandidate, v->id, level, id, 1);
+  // Same-event activations cannot enable each other (edge distances are
+  // ≥ 1), so postings order within the event does not matter.
+  if (bound_ && tag.symbol != xml::kNoSymbol) {
+    if (tag.symbol < postings_.size()) {
+      for (int node_id : postings_[tag.symbol]) {
+        TryStartNode(node_id, level, id, attrs);
       }
     }
-    ++stats_.pushes;
-    ++live_entries_;
-    if (instr_ != nullptr) {
-      // BranchM keeps one state per node, so depth is at most 1.
-      instr_->NoteNodeDepth(v->id, 1);
-      instr_->Trace(obs::TraceEvent::Kind::kStackPush, v->id, level, id, 1);
+  } else {
+    for (const auto& node : graph_.nodes()) {
+      if (node->label != tag.text) continue;
+      TryStartNode(node->id, level, id, attrs);
     }
   }
   stats_.NoteEntries(live_entries_);
@@ -118,64 +153,81 @@ void BranchMachine::Text(std::string_view text, int level) {
   }
 }
 
-void BranchMachine::EndElement(std::string_view tag, int level) {
+void BranchMachine::CloseNode(int node_id, int level) {
+  const MachineNode* v = graph_.nodes()[node_id].get();
+  NodeState& state = states_[v->id];
+  if (state.level != level) return;
+
+  ++stats_.predicate_checks;
+  bool satisfied = (state.branch & v->required_mask) == v->required_mask;
+  if (satisfied && v->has_value_test) {
+    satisfied =
+        EvalValueTest(state.text, v->op, v->literal, v->literal_is_number);
+  }
+  if (satisfied) {
+    if (v->parent == nullptr) {
+      obs::TimerScope emit_timer(instr_ != nullptr
+                                     ? instr_->stage_slot(obs::Stage::kEmit)
+                                     : nullptr);
+      const int return_node =
+          graph_.return_node() != nullptr ? graph_.return_node()->id : -1;
+      for (xml::NodeId id : state.candidates) {
+        sink_->OnResult(MatchInfo{id, offset(), return_node});
+        ++stats_.results;
+        if (instr_ != nullptr) {
+          instr_->Trace(obs::TraceEvent::Kind::kEmit, return_node, level, id,
+                        0);
+        }
+      }
+    } else {
+      NodeState& parent = states_[v->parent->id];
+      // The parent element is an ancestor of this one, so it is still
+      // active and its state is occupied.
+      parent.branch |= uint64_t{1} << v->branch_slot;
+      if (!state.candidates.empty()) {
+        ++stats_.candidate_unions;
+        live_candidates_ +=
+            UnionSortedIds(state.candidates, &parent.candidates);
+      }
+    }
+  }
+  // Reset to (L=-1, C=∅, B=<F..F>) field-wise: clear() keeps the
+  // candidate/text capacity pooled for the next activation.
+  live_candidates_ -= state.candidates.size();
+  if (instr_ != nullptr) {
+    if (!satisfied) {
+      instr_->Trace(obs::TraceEvent::Kind::kPrune, v->id, level, 0,
+                    state.candidates.size());
+    }
+    instr_->Trace(obs::TraceEvent::Kind::kStackPop, v->id, level, 0, 0);
+  }
+  state.level = -1;
+  state.branch = 0;
+  state.candidates.clear();
+  state.text.clear();
+  ++stats_.pops;
+  --live_entries_;
+}
+
+void BranchMachine::EndElement(const xml::TagToken& tag, int level) {
   ++stats_.end_events;
   // Children before parents (reverse pre-order): a child's propagation must
   // land in its parent's state before the parent itself is examined —
   // with child axes, parent and child end events are distinct, but several
   // machine nodes can share a tag.
-  const auto& nodes = graph_.nodes();
-  for (auto rit = nodes.rbegin(); rit != nodes.rend(); ++rit) {
-    const MachineNode* v = rit->get();
-    if (v->label != tag) continue;
-    NodeState& state = states_[v->id];
-    if (state.level != level) continue;
-
-    ++stats_.predicate_checks;
-    bool satisfied = (state.branch & v->required_mask) == v->required_mask;
-    if (satisfied && v->has_value_test) {
-      satisfied =
-          EvalValueTest(state.text, v->op, v->literal, v->literal_is_number);
-    }
-    if (satisfied) {
-      if (v->parent == nullptr) {
-        obs::TimerScope emit_timer(instr_ != nullptr
-                                       ? instr_->stage_slot(obs::Stage::kEmit)
-                                       : nullptr);
-        const int return_node =
-            graph_.return_node() != nullptr ? graph_.return_node()->id : -1;
-        for (xml::NodeId id : state.candidates) {
-          sink_->OnResult(MatchInfo{id, offset(), return_node});
-          ++stats_.results;
-          if (instr_ != nullptr) {
-            instr_->Trace(obs::TraceEvent::Kind::kEmit, return_node, level,
-                          id, 0);
-          }
-        }
-      } else {
-        NodeState& parent = states_[v->parent->id];
-        // The parent element is an ancestor of this one, so it is still
-        // active and its state is occupied.
-        parent.branch |= uint64_t{1} << v->branch_slot;
-        if (!state.candidates.empty()) {
-          ++stats_.candidate_unions;
-          live_candidates_ +=
-              UnionSortedIds(state.candidates, &parent.candidates);
-        }
+  if (bound_ && tag.symbol != xml::kNoSymbol) {
+    if (tag.symbol < postings_.size()) {
+      const std::vector<int>& list = postings_[tag.symbol];
+      for (auto rit = list.rbegin(); rit != list.rend(); ++rit) {
+        CloseNode(*rit, level);
       }
     }
-    // Reset to (L=-1, C=∅, B=<F..F>).
-    live_candidates_ -= state.candidates.size();
-    if (instr_ != nullptr) {
-      if (!satisfied) {
-        instr_->Trace(obs::TraceEvent::Kind::kPrune, v->id, level, 0,
-                      state.candidates.size());
-      }
-      instr_->Trace(obs::TraceEvent::Kind::kStackPop, v->id, level, 0, 0);
+  } else {
+    const auto& nodes = graph_.nodes();
+    for (auto rit = nodes.rbegin(); rit != nodes.rend(); ++rit) {
+      if ((*rit)->label != tag.text) continue;
+      CloseNode((*rit)->id, level);
     }
-    state = NodeState();
-    ++stats_.pops;
-    --live_entries_;
   }
   stats_.NoteEntries(live_entries_);
   stats_.NoteCandidates(live_candidates_);

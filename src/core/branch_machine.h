@@ -7,6 +7,11 @@
 // (L = -1 when empty), the branch-match boolean array, and the candidate
 // set — instead of a stack. Value and attribute tests are handled exactly
 // as in TwigM.
+//
+// After BindInterner(), events dispatch through per-symbol node postings
+// (no wildcards exist in this fragment); kNoSymbol tokens fall back to
+// byte comparison. State resets are field-wise so candidate/text capacity
+// is retained — the steady state per event allocates nothing.
 
 #ifndef TWIGM_CORE_BRANCH_MACHINE_H_
 #define TWIGM_CORE_BRANCH_MACHINE_H_
@@ -23,6 +28,7 @@
 #include "core/result_sink.h"
 #include "obs/instrumentation.h"
 #include "xml/sax_event.h"
+#include "xml/tag_interner.h"
 #include "xpath/query_tree.h"
 
 namespace twigm::core {
@@ -38,13 +44,17 @@ class BranchMachine : public xml::StreamEventSink {
   BranchMachine& operator=(const BranchMachine&) = delete;
 
   // StreamEventSink:
-  void StartElement(std::string_view tag, int level, xml::NodeId id,
+  void StartElement(const xml::TagToken& tag, int level, xml::NodeId id,
                     const std::vector<xml::Attribute>& attrs) override;
-  void EndElement(std::string_view tag, int level) override;
+  void EndElement(const xml::TagToken& tag, int level) override;
   void Text(std::string_view text, int level) override;
   void EndDocument() override;
 
-  /// Clears runtime state and statistics.
+  /// Resolves node labels to SymbolIds in `interner` and builds the
+  /// per-symbol node postings (see TwigMachine::BindInterner).
+  void BindInterner(xml::TagInterner* interner);
+
+  /// Clears runtime state and statistics. State capacity is retained.
   void Reset();
 
   /// Optional: attaches observability (see TwigMachine). Not owned.
@@ -84,6 +94,11 @@ class BranchMachine : public xml::StreamEventSink {
 
   BranchMachine(MachineGraph graph, MatchObserver* observer);
 
+  // δs / δe for one machine node.
+  void TryStartNode(int node_id, int level, xml::NodeId id,
+                    const std::vector<xml::Attribute>& attrs);
+  void CloseNode(int node_id, int level);
+
   uint64_t offset() const {
     return stream_offset_ != nullptr ? *stream_offset_ : 0;
   }
@@ -96,6 +111,12 @@ class BranchMachine : public xml::StreamEventSink {
   LevelBounds level_bounds_;
   EngineStats stats_;
   std::vector<NodeState> states_;  // indexed by machine-node id
+
+  // Symbol dispatch: postings_[s] lists machine-node ids with symbol s in
+  // pre-order (δe walks them reversed). Built by BindInterner.
+  bool bound_ = false;
+  std::vector<std::vector<int>> postings_;
+
   uint64_t live_entries_ = 0;
   uint64_t live_candidates_ = 0;
 };

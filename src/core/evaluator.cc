@@ -61,6 +61,8 @@ struct XPathStreamProcessor::ExportHandles {
   obs::Counter* peak_candidates = nullptr;
   obs::Counter* peak_state_bytes = nullptr;
   obs::Counter* fragment_peak_buffered_bytes = nullptr;
+  obs::Counter* hotpath_interner_symbols = nullptr;
+  obs::Counter* hotpath_pool_entries = nullptr;
 };
 
 XPathStreamProcessor::XPathStreamProcessor() = default;
@@ -164,6 +166,11 @@ void XPathStreamProcessor::WireStream() {
   parser_->set_offset_slot(options_.instrumentation != nullptr
                                ? options_.instrumentation->byte_offset_slot()
                                : &stream_offset_);
+  // Bind the machine's query labels to this parser's tag dictionary so
+  // per-event dispatch runs on SymbolIds (DESIGN.md §10).
+  if (twig_ != nullptr) twig_->BindInterner(parser_->interner());
+  if (path_ != nullptr) path_->BindInterner(parser_->interner());
+  if (branch_ != nullptr) branch_->BindInterner(parser_->interner());
 }
 
 Status XPathStreamProcessor::Feed(std::string_view chunk) {
@@ -188,7 +195,11 @@ void XPathStreamProcessor::Reset() {
   if (branch_ != nullptr) branch_->Reset();
   if (recorder_ != nullptr) recorder_->Reset();
   stream_offset_ = 0;
-  WireStream();
+  // Rewind the existing parser and driver in place rather than rebuilding
+  // them: the parser keeps its buffers and its interner (the machines'
+  // symbol bindings point at it), so repeat documents run allocation-free.
+  parser_->Reset();
+  driver_->Reset();
 }
 
 const EngineStats& XPathStreamProcessor::stats() const {
@@ -231,6 +242,10 @@ void XPathStreamProcessor::ExportMetrics(obs::MetricsRegistry* registry) const {
         registry->RegisterCounter("engine.peak_state_bytes");
     export_->fragment_peak_buffered_bytes =
         registry->RegisterCounter("fragment.peak_buffered_bytes");
+    export_->hotpath_interner_symbols =
+        registry->RegisterCounter("hotpath.interner_symbols");
+    export_->hotpath_pool_entries =
+        registry->RegisterCounter("hotpath.pool_entries");
     export_->registered_count = registry->instrument_count();
   }
   const EngineStats& s = stats();
@@ -247,6 +262,10 @@ void XPathStreamProcessor::ExportMetrics(obs::MetricsRegistry* registry) const {
   export_->peak_candidates->Set(s.peak_candidates);
   export_->peak_state_bytes->Set(s.peak_state_bytes);
   export_->fragment_peak_buffered_bytes->Set(fragment_peak_buffered_bytes());
+  export_->hotpath_interner_symbols->Set(
+      parser_ != nullptr ? parser_->interner()->size() : 0);
+  export_->hotpath_pool_entries->Set(twig_ != nullptr ? twig_->pool_entries()
+                                                      : 0);
 }
 
 Result<std::vector<xml::NodeId>> EvaluateToIds(std::string_view query,

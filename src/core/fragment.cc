@@ -18,7 +18,7 @@ void FragmentRecorder::NoteBuffered() {
   }
 }
 
-void FragmentRecorder::StartElement(std::string_view tag, int level,
+void FragmentRecorder::StartElement(const xml::TagToken& tag, int level,
                                     xml::NodeId id,
                                     const std::vector<xml::Attribute>& attrs) {
   // Let the machine decide candidacy first; OnCandidate lands in
@@ -40,11 +40,18 @@ void FragmentRecorder::StartElement(std::string_view tag, int level,
   announced_.clear();
 
   if (!active_.empty()) {
-    std::string open = "<" + std::string(tag);
+    std::string open;
+    open.reserve(tag.text.size() + 2);
+    open.push_back('<');
+    open.append(tag.text);
     for (const xml::Attribute& a : attrs) {
-      open += " " + a.name + "=\"" + xml::EscapeAttribute(a.value) + "\"";
+      open.push_back(' ');
+      open.append(a.name);
+      open.append("=\"");
+      open.append(xml::EscapeAttribute(a.value));
+      open.push_back('"');
     }
-    open += ">";
+    open.push_back('>');
     AppendToActive(open);
   }
 }
@@ -56,12 +63,17 @@ void FragmentRecorder::Text(std::string_view text, int level) {
   }
 }
 
-void FragmentRecorder::EndElement(std::string_view tag, int level) {
+void FragmentRecorder::EndElement(const xml::TagToken& tag, int level) {
   // Serialize the close tag and finalize any recording rooted here BEFORE
   // the machine runs: if the machine emits this element as a result during
   // the same event (root == return node), the fragment must be complete.
   if (!active_.empty()) {
-    AppendToActive("</" + std::string(tag) + ">");
+    std::string close;
+    close.reserve(tag.text.size() + 3);
+    close.append("</");
+    close.append(tag.text);
+    close.push_back('>');
+    AppendToActive(close);
     if (active_.back().level == level) {
       Recording rec = std::move(active_.back());
       active_.pop_back();

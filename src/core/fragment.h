@@ -80,9 +80,9 @@ class FragmentRecorder : public xml::StreamEventSink, public MatchObserver {
   void set_machine(xml::StreamEventSink* machine) { machine_ = machine; }
 
   // StreamEventSink (from the event driver):
-  void StartElement(std::string_view tag, int level, xml::NodeId id,
+  void StartElement(const xml::TagToken& tag, int level, xml::NodeId id,
                     const std::vector<xml::Attribute>& attrs) override;
-  void EndElement(std::string_view tag, int level) override;
+  void EndElement(const xml::TagToken& tag, int level) override;
   void Text(std::string_view text, int level) override;
   void EndDocument() override;
 

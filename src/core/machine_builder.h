@@ -22,6 +22,7 @@
 
 #include "common/status.h"
 #include "core/edge.h"
+#include "xml/sax_event.h"
 #include "xpath/ast.h"
 #include "xpath/query_tree.h"
 
@@ -68,8 +69,18 @@ struct MachineNode {
   /// Dense index into the graph's node array.
   int id = -1;
 
-  bool MatchesTag(std::string_view tag) const {
-    return is_wildcard || label == tag;
+  /// Interned id of `label`, stamped by the machine's BindInterner().
+  /// kNoSymbol until bound (and always for wildcards).
+  xml::SymbolId symbol = xml::kNoSymbol;
+
+  /// Tag match: symbol comparison when both sides carry one (one integer
+  /// compare), byte comparison otherwise.
+  bool MatchesTag(const xml::TagToken& tag) const {
+    if (is_wildcard) return true;
+    if (symbol != xml::kNoSymbol && tag.symbol != xml::kNoSymbol) {
+      return symbol == tag.symbol;
+    }
+    return label == tag.text;
   }
 };
 

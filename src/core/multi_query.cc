@@ -90,6 +90,15 @@ Result<std::unique_ptr<MultiQueryProcessor>> MultiQueryProcessor::Create(
   proc->parser_->set_offset_slot(options.instrumentation != nullptr
                                      ? options.instrumentation->byte_offset_slot()
                                      : &proc->stream_offset_);
+  // Bind every machine's labels to the shared parser's tag dictionary so
+  // the fan-out dispatches on SymbolIds (DESIGN.md §10).
+  for (Entry& e : proc->entries_) {
+    if (e.twig != nullptr) e.twig->BindInterner(proc->parser_->interner());
+    if (e.path != nullptr) e.path->BindInterner(proc->parser_->interner());
+    if (e.branch != nullptr) {
+      e.branch->BindInterner(proc->parser_->interner());
+    }
+  }
   return proc;
 }
 
@@ -117,12 +126,10 @@ void MultiQueryProcessor::Reset() {
   }
   total_results_ = 0;
   stream_offset_ = 0;
-  driver_ = std::make_unique<xml::EventDriver>(fan_out_.get());
-  driver_->set_instrumentation(options_.instrumentation);
-  parser_ = std::make_unique<xml::SaxParser>(driver_.get(), options_.sax);
-  parser_->set_offset_slot(options_.instrumentation != nullptr
-                               ? options_.instrumentation->byte_offset_slot()
-                               : &stream_offset_);
+  // Rewind the parser and driver in place: the parser's interner holds the
+  // machines' symbol bindings and its buffers stay warm across documents.
+  parser_->Reset();
+  driver_->Reset();
 }
 
 const MachineGraph& MultiQueryProcessor::graph(size_t query_index) const {

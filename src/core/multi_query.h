@@ -117,13 +117,13 @@ class MultiQueryProcessor {
   class FanOut : public xml::StreamEventSink {
    public:
     explicit FanOut(MultiQueryProcessor* owner) : owner_(owner) {}
-    void StartElement(std::string_view tag, int level, xml::NodeId id,
+    void StartElement(const xml::TagToken& tag, int level, xml::NodeId id,
                       const std::vector<xml::Attribute>& attrs) override {
       for (auto& e : owner_->entries_) {
         e.machine->StartElement(tag, level, id, attrs);
       }
     }
-    void EndElement(std::string_view tag, int level) override {
+    void EndElement(const xml::TagToken& tag, int level) override {
       for (auto& e : owner_->entries_) e.machine->EndElement(tag, level);
     }
     void Text(std::string_view text, int level) override {

@@ -30,6 +30,22 @@ PathMachine::PathMachine(MachineGraph graph, MatchObserver* observer)
     node = node->children.empty() ? nullptr : node->children.front();
   }
   stacks_.resize(chain_.size());
+  for (size_t i = 0; i < chain_.size(); ++i) {
+    if (chain_[i]->is_wildcard) wildcard_positions_.push_back(i);
+  }
+}
+
+void PathMachine::BindInterner(xml::TagInterner* interner) {
+  for (const auto& node : graph_.nodes()) {
+    if (!node->is_wildcard) node->symbol = interner->Intern(node->label);
+  }
+  postings_.assign(interner->size(), {});
+  for (size_t i = 0; i < chain_.size(); ++i) {
+    if (!chain_[i]->is_wildcard) {
+      postings_[chain_[i]->symbol].push_back(i);
+    }
+  }
+  bound_ = true;
 }
 
 void PathMachine::Reset() {
@@ -38,75 +54,96 @@ void PathMachine::Reset() {
   live_entries_ = 0;
 }
 
-void PathMachine::StartElement(std::string_view tag, int level, xml::NodeId id,
+void PathMachine::TryStartPosition(size_t i, int level, xml::NodeId id) {
+  const MachineNode* v = chain_[i];
+  if (!level_bounds_.empty() &&
+      !level_bounds_[static_cast<size_t>(v->id)].Allows(level)) {
+    return;
+  }
+  bool qualified = false;
+  if (i == 0) {
+    qualified = v->edge.Satisfies(level);
+  } else {
+    for (int parent_level : stacks_[i - 1]) {
+      if (v->edge.Satisfies(level - parent_level)) {
+        qualified = true;
+        break;
+      }
+    }
+  }
+  if (!qualified) return;
+  // Ancestor-ordering lemma: each stack holds levels of open ancestors,
+  // strictly increasing bottom to top.
+  TWIGM_INVARIANT(stacks_[i].empty() || stacks_[i].back() < level,
+                  "PathM stack levels not strictly increasing at push",
+                  offset());
+  stacks_[i].push_back(level);
+  ++stats_.pushes;
+  ++live_entries_;
+  if (instr_ != nullptr) {
+    const uint64_t depth = stacks_[i].size();
+    instr_->NoteNodeDepth(v->id, depth);
+    instr_->Trace(obs::TraceEvent::Kind::kStackPush, v->id, level, id, depth);
+  }
+  if (v->is_return) {
+    // Without predicates, candidacy and membership coincide: results are
+    // emitted at startElement, the earliest point possible.
+    sink_->OnCandidate(id);
+    obs::TimerScope emit_timer(
+        instr_ != nullptr ? instr_->stage_slot(obs::Stage::kEmit) : nullptr);
+    sink_->OnResult(MatchInfo{id, offset(), v->id});
+    ++stats_.results;
+    if (instr_ != nullptr) {
+      instr_->Trace(obs::TraceEvent::Kind::kCandidate, v->id, level, id, 1);
+      instr_->Trace(obs::TraceEvent::Kind::kEmit, v->id, level, id, 0);
+    }
+  }
+}
+
+void PathMachine::StartElement(const xml::TagToken& tag, int level,
+                               xml::NodeId id,
                                const std::vector<xml::Attribute>& attrs) {
   (void)attrs;
   ++stats_.start_events;
-  for (size_t i = 0; i < chain_.size(); ++i) {
-    const MachineNode* v = chain_[i];
-    if (!v->MatchesTag(tag)) continue;
-    if (!level_bounds_.empty() &&
-        !level_bounds_[static_cast<size_t>(v->id)].Allows(level)) {
-      continue;
+  if (bound_ && tag.symbol != xml::kNoSymbol) {
+    if (tag.symbol < postings_.size()) {
+      for (size_t i : postings_[tag.symbol]) TryStartPosition(i, level, id);
     }
-    bool qualified = false;
-    if (i == 0) {
-      qualified = v->edge.Satisfies(level);
-    } else {
-      for (int parent_level : stacks_[i - 1]) {
-        if (v->edge.Satisfies(level - parent_level)) {
-          qualified = true;
-          break;
-        }
-      }
-    }
-    if (!qualified) continue;
-    // Ancestor-ordering lemma: each stack holds levels of open ancestors,
-    // strictly increasing bottom to top.
-    TWIGM_INVARIANT(stacks_[i].empty() || stacks_[i].back() < level,
-                    "PathM stack levels not strictly increasing at push",
-                    offset());
-    stacks_[i].push_back(level);
-    ++stats_.pushes;
-    ++live_entries_;
-    if (instr_ != nullptr) {
-      const uint64_t depth = stacks_[i].size();
-      instr_->NoteNodeDepth(v->id, depth);
-      instr_->Trace(obs::TraceEvent::Kind::kStackPush, v->id, level, id,
-                    depth);
-    }
-    if (v->is_return) {
-      // Without predicates, candidacy and membership coincide: results are
-      // emitted at startElement, the earliest point possible.
-      sink_->OnCandidate(id);
-      obs::TimerScope emit_timer(
-          instr_ != nullptr ? instr_->stage_slot(obs::Stage::kEmit) : nullptr);
-      sink_->OnResult(MatchInfo{id, offset(), v->id});
-      ++stats_.results;
-      if (instr_ != nullptr) {
-        instr_->Trace(obs::TraceEvent::Kind::kCandidate, v->id, level, id, 1);
-        instr_->Trace(obs::TraceEvent::Kind::kEmit, v->id, level, id, 0);
-      }
+    for (size_t i : wildcard_positions_) TryStartPosition(i, level, id);
+  } else {
+    for (size_t i = 0; i < chain_.size(); ++i) {
+      if (chain_[i]->MatchesTag(tag)) TryStartPosition(i, level, id);
     }
   }
   stats_.NoteEntries(live_entries_);
   stats_.NoteBytes(live_entries_ * sizeof(int));
 }
 
-void PathMachine::EndElement(std::string_view tag, int level) {
+void PathMachine::PopPosition(size_t i, int level) {
+  std::vector<int>& stack = stacks_[i];
+  if (!stack.empty() && stack.back() == level) {
+    stack.pop_back();
+    ++stats_.pops;
+    --live_entries_;
+    if (instr_ != nullptr) {
+      instr_->Trace(obs::TraceEvent::Kind::kStackPop, chain_[i]->id, level, 0,
+                    stack.size());
+    }
+  }
+}
+
+void PathMachine::EndElement(const xml::TagToken& tag, int level) {
   ++stats_.end_events;
-  for (size_t i = 0; i < chain_.size(); ++i) {
-    const MachineNode* v = chain_[i];
-    if (!v->MatchesTag(tag)) continue;
-    std::vector<int>& stack = stacks_[i];
-    if (!stack.empty() && stack.back() == level) {
-      stack.pop_back();
-      ++stats_.pops;
-      --live_entries_;
-      if (instr_ != nullptr) {
-        instr_->Trace(obs::TraceEvent::Kind::kStackPop, v->id, level, 0,
-                      stack.size());
-      }
+  // Pops at different positions are independent (no propagation in PathM),
+  // so dispatch order does not matter.
+  if (bound_ && tag.symbol != xml::kNoSymbol) {
+    if (tag.symbol < postings_.size()) {
+      for (size_t i : postings_[tag.symbol]) PopPosition(i, level);
+    }
+    for (size_t i : wildcard_positions_) PopPosition(i, level);
+  } else {
+    for (size_t i = 0; i < chain_.size(); ++i) {
+      if (chain_[i]->MatchesTag(tag)) PopPosition(i, level);
     }
   }
   stats_.NoteEntries(live_entries_);

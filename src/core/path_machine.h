@@ -7,6 +7,12 @@
 // stack, so results are emitted immediately at startElement — the earliest
 // point possible (fully incremental, unlike TwigM which must wait for
 // predicate resolution).
+//
+// After BindInterner(), events dispatch through per-symbol postings of
+// chain positions (wildcard positions are always tried); kNoSymbol tokens
+// fall back to byte comparison. Same-event pushes cannot enable each other
+// (edge distances are ≥ 1), so the split dispatch order is equivalent to
+// the chain scan.
 
 #ifndef TWIGM_CORE_PATH_MACHINE_H_
 #define TWIGM_CORE_PATH_MACHINE_H_
@@ -23,6 +29,7 @@
 #include "core/result_sink.h"
 #include "obs/instrumentation.h"
 #include "xml/sax_event.h"
+#include "xml/tag_interner.h"
 #include "xpath/query_tree.h"
 
 namespace twigm::core {
@@ -38,12 +45,16 @@ class PathMachine : public xml::StreamEventSink {
   PathMachine& operator=(const PathMachine&) = delete;
 
   // StreamEventSink:
-  void StartElement(std::string_view tag, int level, xml::NodeId id,
+  void StartElement(const xml::TagToken& tag, int level, xml::NodeId id,
                     const std::vector<xml::Attribute>& attrs) override;
-  void EndElement(std::string_view tag, int level) override;
+  void EndElement(const xml::TagToken& tag, int level) override;
   void EndDocument() override;
 
-  /// Clears runtime state and statistics.
+  /// Resolves chain labels to SymbolIds in `interner` and builds the
+  /// per-symbol position postings (see TwigMachine::BindInterner).
+  void BindInterner(xml::TagInterner* interner);
+
+  /// Clears runtime state and statistics. Stack capacity is retained.
   void Reset();
 
   /// Optional: attaches observability (see TwigMachine). Not owned.
@@ -66,6 +77,10 @@ class PathMachine : public xml::StreamEventSink {
  private:
   PathMachine(MachineGraph graph, MatchObserver* observer);
 
+  // δs / δe for the node at chain position i.
+  void TryStartPosition(size_t i, int level, xml::NodeId id);
+  void PopPosition(size_t i, int level);
+
   uint64_t offset() const {
     return stream_offset_ != nullptr ? *stream_offset_ : 0;
   }
@@ -81,6 +96,13 @@ class PathMachine : public xml::StreamEventSink {
   // stacks_[i] its stack of levels.
   std::vector<const MachineNode*> chain_;
   std::vector<std::vector<int>> stacks_;
+
+  // Symbol dispatch: postings_[s] lists the chain positions whose label has
+  // symbol s; wildcard_positions_ is always tried. Built by BindInterner.
+  bool bound_ = false;
+  std::vector<std::vector<size_t>> postings_;
+  std::vector<size_t> wildcard_positions_;
+
   uint64_t live_entries_ = 0;
 };
 

@@ -1,0 +1,61 @@
+// A stack that never gives memory back: pop() only decrements the live
+// count, leaving the slot — and whatever heap blocks its members own
+// (candidate vectors, text buffers) — in place for the next push() to
+// reuse. After a short warm-up at each stack's high-water mark, pushes and
+// pops touch no allocator at all, which is what makes the per-event hot
+// path allocation-free (DESIGN.md §10).
+//
+// push() returns a reference to the (possibly recycled) slot; the caller
+// must reset every field it reads later — the slot still holds the previous
+// occupant's values.
+
+#ifndef TWIGM_CORE_POOLED_STACK_H_
+#define TWIGM_CORE_POOLED_STACK_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace twigm::core {
+
+template <typename T>
+class PooledStack {
+ public:
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  T& back() { return slots_[size_ - 1]; }
+  const T& back() const { return slots_[size_ - 1]; }
+
+  T& operator[](size_t i) { return slots_[i]; }
+  const T& operator[](size_t i) const { return slots_[i]; }
+
+  /// Exposes a (possibly dirty) slot as the new top and returns it. Grows
+  /// the pool only when the stack passes its previous high-water mark.
+  T& push() {
+    if (size_ == slots_.size()) slots_.emplace_back();
+    return slots_[size_++];
+  }
+
+  /// Retires the top slot into the pool. Its storage stays allocated.
+  void pop() { --size_; }
+
+  /// Drops every live entry; the pool keeps its slots and their storage.
+  void clear() { size_ = 0; }
+
+  /// High-water mark: slots ever allocated (≥ size()).
+  size_t pooled() const { return slots_.size(); }
+
+  // Iterates live entries bottom (oldest) to top.
+  T* begin() { return slots_.data(); }
+  T* end() { return slots_.data() + size_; }
+  const T* begin() const { return slots_.data(); }
+  const T* end() const { return slots_.data() + size_; }
+
+ private:
+  std::vector<T> slots_;  // [0, size_) live, [size_, slots_.size()) pooled
+  size_t size_ = 0;
+};
+
+}  // namespace twigm::core
+
+#endif  // TWIGM_CORE_POOLED_STACK_H_

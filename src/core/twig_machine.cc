@@ -1,6 +1,7 @@
 #include "core/twig_machine.h"
 
 #include <algorithm>
+#include <cstring>
 #include <functional>
 
 #include "core/invariants.h"
@@ -12,21 +13,46 @@ size_t UnionSortedIds(const std::vector<xml::NodeId>& src,
                       std::vector<xml::NodeId>* dst) {
   if (src.empty()) return 0;
   if (dst->empty()) {
-    *dst = src;
+    dst->assign(src.begin(), src.end());
     return src.size();
   }
   // Fast path: everything in src is larger than dst's back (common, because
   // ids increase in document order).
-  const size_t old_size = dst->size();
   if (src.front() > dst->back()) {
     dst->insert(dst->end(), src.begin(), src.end());
     return src.size();
   }
-  std::vector<xml::NodeId> merged;
-  merged.reserve(dst->size() + src.size());
-  std::set_union(dst->begin(), dst->end(), src.begin(), src.end(),
-                 std::back_inserter(merged));
-  *dst = std::move(merged);
+  // General case, in place and single-pass: grow dst by the upper bound
+  // (all of src new), merge backwards from largest to smallest, then close
+  // the gap duplicates leave. The write cursor stays strictly above the
+  // unread dst tail (w - j = i + 1 + duplicates-so-far ≥ 1), so nothing is
+  // clobbered and no temporary vector is needed.
+  const size_t old_size = dst->size();
+  dst->resize(old_size + src.size());
+  xml::NodeId* base = dst->data();
+  ptrdiff_t i = static_cast<ptrdiff_t>(src.size()) - 1;
+  ptrdiff_t j = static_cast<ptrdiff_t>(old_size) - 1;
+  ptrdiff_t w = static_cast<ptrdiff_t>(dst->size()) - 1;
+  while (i >= 0 && j >= 0) {
+    if (src[i] > base[j]) {
+      base[w--] = src[i--];
+    } else if (src[i] < base[j]) {
+      base[w--] = base[j--];
+    } else {
+      base[w--] = base[j--];
+      --i;
+    }
+  }
+  while (i >= 0) base[w--] = src[i--];
+  // Unread dst ids (indices ≤ j) are already in their final positions; the
+  // gap (j, w] is exactly the duplicate count.
+  const size_t gap = static_cast<size_t>(w - j);
+  if (gap > 0) {
+    std::memmove(base + j + 1, base + w + 1,
+                 (dst->size() - static_cast<size_t>(w + 1)) *
+                     sizeof(xml::NodeId));
+    dst->resize(dst->size() - gap);
+  }
   return dst->size() - old_size;
 }
 
@@ -57,13 +83,63 @@ TwigMachine::TwigMachine(MachineGraph graph, MatchObserver* observer,
   }
 }
 
+void TwigMachine::BindInterner(xml::TagInterner* interner) {
+  for (const auto& node : graph_.nodes()) {
+    if (!node->is_wildcard) node->symbol = interner->Intern(node->label);
+  }
+  start_postings_.assign(interner->size(), {});
+  end_postings_.assign(interner->size(), {});
+  for (const auto& node : graph_.nodes()) {
+    if (!node->is_wildcard) {
+      start_postings_[node->symbol].push_back(node->id);
+    }
+  }
+  // δe needs one reversible pre-order list per symbol that covers label AND
+  // wildcard nodes: machine-node ids are assigned in pre-order, so merging
+  // the two sorted id lists preserves it.
+  for (size_t s = 0; s < end_postings_.size(); ++s) {
+    std::merge(start_postings_[s].begin(), start_postings_[s].end(),
+               wildcard_nodes_.begin(), wildcard_nodes_.end(),
+               std::back_inserter(end_postings_[s]));
+  }
+  bound_ = true;
+}
+
+bool TwigMachine::MarkEmitted(xml::NodeId id) {
+  if (id >= emitted_stamp_.size()) {
+    // Doubling keeps growth amortized; ids are dense pre-order, so the
+    // array tops out near the document's element count and is reused for
+    // every later document.
+    size_t grown = std::max<size_t>(emitted_stamp_.size() * 2, 256);
+    if (grown <= id) grown = static_cast<size_t>(id) + 1;
+    emitted_stamp_.resize(grown, 0);
+  }
+  if (emitted_stamp_[id] == emitted_epoch_) return false;
+  emitted_stamp_[id] = emitted_epoch_;
+  return true;
+}
+
+void TwigMachine::ClearEmitted() {
+  if (++emitted_epoch_ == 0) {
+    // Epoch wrapped: stale stamps could collide, so wipe once and restart.
+    std::fill(emitted_stamp_.begin(), emitted_stamp_.end(), 0);
+    emitted_epoch_ = 1;
+  }
+}
+
 void TwigMachine::Reset() {
   for (auto& stack : stacks_) stack.clear();
-  emitted_.clear();
+  ClearEmitted();
   stats_ = EngineStats();
   live_entries_ = 0;
   live_candidates_ = 0;
   live_text_bytes_ = 0;
+}
+
+uint64_t TwigMachine::pool_entries() const {
+  uint64_t total = 0;
+  for (const auto& stack : stacks_) total += stack.pooled();
+  return total;
 }
 
 void TwigMachine::UpdateMemoryStats() {
@@ -73,120 +149,138 @@ void TwigMachine::UpdateMemoryStats() {
                    live_candidates_ * sizeof(xml::NodeId) + live_text_bytes_);
 }
 
-void TwigMachine::StartElement(std::string_view tag, int level, xml::NodeId id,
+void TwigMachine::TryStartNode(int node_id, int level, xml::NodeId id,
+                               const std::vector<xml::Attribute>& attrs) {
+  const MachineNode* v = graph_.nodes()[node_id].get();
+  // Analyzer window: the DTD proves this node can never bind at this
+  // level — skip the whole δs attempt.
+  if (!level_bounds_.empty() &&
+      !level_bounds_[static_cast<size_t>(node_id)].Allows(level)) {
+    return;
+  }
+  // Qualification: the root checks the element level directly (the
+  // document root is at level 0); other nodes need a parent-stack entry
+  // whose level difference satisfies ζ(v).
+  // Stack levels are strictly increasing (entries belong to the chain of
+  // active ancestors), so qualification needs no scan: for '≥' edges the
+  // bottom (shallowest) entry is the best witness; for '=' edges the
+  // required level is unique and found by binary search.
+  bool qualified = false;
+  if (v->parent == nullptr) {
+    if (root_context_ == nullptr) {
+      qualified = v->edge.Satisfies(level);
+    } else if (!root_context_->empty()) {
+      // Anchored root: qualify against the external ancestor stack, which
+      // is sorted ascending like a machine stack.
+      if (!v->edge.exact) {
+        qualified = level - root_context_->front() >= v->edge.distance;
+      } else {
+        qualified = std::binary_search(root_context_->begin(),
+                                       root_context_->end(),
+                                       level - v->edge.distance);
+      }
+    }
+  } else {
+    const PooledStack<Entry>& pstack = stacks_[v->parent->id];
+    if (!pstack.empty()) {
+      if (!v->edge.exact) {
+        qualified = level - pstack[0].level >= v->edge.distance;
+      } else {
+        const int want = level - v->edge.distance;
+        auto it = std::lower_bound(
+            pstack.begin(), pstack.end(), want,
+            [](const Entry& e, int l) { return e.level < l; });
+        qualified = it != pstack.end() && it->level == want;
+      }
+    }
+  }
+  if (!qualified) return;
+
+  // Resolve attribute tests now: attributes are fully known at
+  // startElement (footnote 2 of the paper).
+  uint64_t branch = 0;
+  bool attr_failed = false;
+  for (const AttributeTest& test : v->attr_tests) {
+    ++stats_.predicate_checks;
+    bool found = false;
+    std::string_view value;
+    for (const xml::Attribute& a : attrs) {
+      if (a.name == test.name) {
+        found = true;
+        value = a.value;
+        break;
+      }
+    }
+    bool pass = found;
+    if (pass && test.has_value_test) {
+      pass = EvalValueTest(value, test.op, test.literal,
+                           test.literal_is_number);
+    }
+    if (pass) {
+      branch |= uint64_t{1} << test.branch_slot;
+    } else {
+      attr_failed = true;
+    }
+  }
+  if (attr_failed && options_.prune_static_failures) return;
+
+  // Ancestor-ordering lemma: stack levels stay strictly increasing —
+  // every entry belongs to the chain of currently-open ancestors.
+  TWIGM_INVARIANT(
+      stacks_[node_id].empty() || stacks_[node_id].back().level < level,
+      "stack levels not strictly increasing at push", offset());
+  // Attribute slots must stay within the node's declared branch slots.
+  TWIGM_INVARIANT(v->num_slots >= 64 || branch >> v->num_slots == 0,
+                  "initial branch bits outside the node's slot range",
+                  offset());
+  // The pooled slot may hold a previous occupant's state: reset each field.
+  Entry& entry = stacks_[node_id].push();
+  entry.level = level;
+  entry.branch = branch;
+  entry.candidates.clear();
+  entry.text.clear();
+  if (v->is_return) {
+    entry.candidates.push_back(id);
+    ++live_candidates_;
+    sink_->OnCandidate(id);
+    if (instr_ != nullptr) {
+      instr_->Trace(obs::TraceEvent::Kind::kCandidate, node_id, level, id, 1);
+    }
+  }
+  ++stats_.pushes;
+  ++live_entries_;
+  if (instr_ != nullptr) {
+    const uint64_t depth = stacks_[node_id].size();
+    instr_->NoteNodeDepth(node_id, depth);
+    instr_->Trace(obs::TraceEvent::Kind::kStackPush, node_id, level, id,
+                  depth);
+  }
+}
+
+void TwigMachine::StartElement(const xml::TagToken& tag, int level,
+                               xml::NodeId id,
                                const std::vector<xml::Attribute>& attrs) {
   ++stats_.start_events;
   // δs: try every machine node whose label matches the tag, parents first
-  // (pre-order). Wildcard nodes match every tag.
-  auto try_node = [&](int node_id) {
-    const MachineNode* v = graph_.nodes()[node_id].get();
-    // Analyzer window: the DTD proves this node can never bind at this
-    // level — skip the whole δs attempt.
-    if (!level_bounds_.empty() &&
-        !level_bounds_[static_cast<size_t>(node_id)].Allows(level)) {
-      return;
-    }
-    // Qualification: the root checks the element level directly (the
-    // document root is at level 0); other nodes need a parent-stack entry
-    // whose level difference satisfies ζ(v).
-    // Stack levels are strictly increasing (entries belong to the chain of
-    // active ancestors), so qualification needs no scan: for '≥' edges the
-    // bottom (shallowest) entry is the best witness; for '=' edges the
-    // required level is unique and found by binary search.
-    bool qualified = false;
-    if (v->parent == nullptr) {
-      if (root_context_ == nullptr) {
-        qualified = v->edge.Satisfies(level);
-      } else if (!root_context_->empty()) {
-        // Anchored root: qualify against the external ancestor stack, which
-        // is sorted ascending like a machine stack.
-        if (!v->edge.exact) {
-          qualified = level - root_context_->front() >= v->edge.distance;
-        } else {
-          qualified = std::binary_search(root_context_->begin(),
-                                         root_context_->end(),
-                                         level - v->edge.distance);
-        }
-      }
-    } else {
-      const std::vector<Entry>& pstack = stacks_[v->parent->id];
-      if (!pstack.empty()) {
-        if (!v->edge.exact) {
-          qualified = level - pstack.front().level >= v->edge.distance;
-        } else {
-          const int want = level - v->edge.distance;
-          auto it = std::lower_bound(
-              pstack.begin(), pstack.end(), want,
-              [](const Entry& e, int l) { return e.level < l; });
-          qualified = it != pstack.end() && it->level == want;
-        }
+  // (pre-order). Wildcard nodes match every tag. Same-event pushes cannot
+  // enable each other (ζ distances are ≥ 1, so a just-pushed entry at
+  // `level` never qualifies another node at `level`), so dispatching the
+  // label group and the wildcard group separately is order-independent.
+  if (bound_ && tag.symbol != xml::kNoSymbol) {
+    if (tag.symbol < start_postings_.size()) {
+      for (int node_id : start_postings_[tag.symbol]) {
+        TryStartNode(node_id, level, id, attrs);
       }
     }
-    if (!qualified) return;
-
-    // Resolve attribute tests now: attributes are fully known at
-    // startElement (footnote 2 of the paper).
-    uint64_t branch = 0;
-    bool attr_failed = false;
-    for (const AttributeTest& test : v->attr_tests) {
-      ++stats_.predicate_checks;
-      const std::string* value = nullptr;
-      for (const xml::Attribute& a : attrs) {
-        if (a.name == test.name) {
-          value = &a.value;
-          break;
-        }
-      }
-      bool pass = value != nullptr;
-      if (pass && test.has_value_test) {
-        pass = EvalValueTest(*value, test.op, test.literal,
-                             test.literal_is_number);
-      }
-      if (pass) {
-        branch |= uint64_t{1} << test.branch_slot;
-      } else {
-        attr_failed = true;
-      }
+    // Symbols past the bound range are document tags that are no query
+    // label: only wildcards can match.
+  } else {
+    auto it = label_index_.find(tag.text);
+    if (it != label_index_.end()) {
+      for (int node_id : it->second) TryStartNode(node_id, level, id, attrs);
     }
-    if (attr_failed && options_.prune_static_failures) return;
-
-    Entry entry;
-    entry.level = level;
-    entry.branch = branch;
-    if (v->is_return) {
-      entry.candidates.push_back(id);
-      ++live_candidates_;
-      sink_->OnCandidate(id);
-      if (instr_ != nullptr) {
-        instr_->Trace(obs::TraceEvent::Kind::kCandidate, node_id, level, id,
-                      1);
-      }
-    }
-    // Ancestor-ordering lemma: stack levels stay strictly increasing —
-    // every entry belongs to the chain of currently-open ancestors.
-    TWIGM_INVARIANT(
-        stacks_[node_id].empty() || stacks_[node_id].back().level < level,
-        "stack levels not strictly increasing at push", offset());
-    // Attribute slots must stay within the node's declared branch slots.
-    TWIGM_INVARIANT(
-        v->num_slots >= 64 || entry.branch >> v->num_slots == 0,
-        "initial branch bits outside the node's slot range", offset());
-    stacks_[node_id].push_back(std::move(entry));
-    ++stats_.pushes;
-    ++live_entries_;
-    if (instr_ != nullptr) {
-      const uint64_t depth = stacks_[node_id].size();
-      instr_->NoteNodeDepth(node_id, depth);
-      instr_->Trace(obs::TraceEvent::Kind::kStackPush, node_id, level, id,
-                    depth);
-    }
-  };
-
-  auto it = label_index_.find(tag);
-  if (it != label_index_.end()) {
-    for (int node_id : it->second) try_node(node_id);
   }
-  for (int node_id : wildcard_nodes_) try_node(node_id);
+  for (int node_id : wildcard_nodes_) TryStartNode(node_id, level, id, attrs);
   UpdateMemoryStats();
 }
 
@@ -194,7 +288,7 @@ void TwigMachine::Text(std::string_view text, int level) {
   // Only nodes with value tests accumulate text, and only for the element
   // currently on top of their stack (direct character data).
   for (int node_id : value_test_nodes_) {
-    std::vector<Entry>& stack = stacks_[node_id];
+    PooledStack<Entry>& stack = stacks_[node_id];
     if (!stack.empty() && stack.back().level == level) {
       stack.back().text.append(text);
       live_text_bytes_ += text.size();
@@ -202,112 +296,129 @@ void TwigMachine::Text(std::string_view text, int level) {
   }
 }
 
-void TwigMachine::EndElement(std::string_view tag, int level) {
+void TwigMachine::PopNode(int node_id, int level) {
+  const MachineNode* v = graph_.nodes()[node_id].get();
+  PooledStack<Entry>& stack = stacks_[node_id];
+  if (stack.empty() || stack.back().level != level) return;
+
+  // Pop by reference: the slot stays valid (and pooled) until the next push
+  // onto this stack, which cannot happen inside δe.
+  Entry& top = stack.back();
+  stack.pop();
+  // Candidate-set lemma (Theorem 4.4's dedup argument): candidates are
+  // kept strictly ascending, so unions deduplicate and the R·B bound
+  // holds.
+  TWIGM_INVARIANT(
+      std::is_sorted(top.candidates.begin(), top.candidates.end()) &&
+          std::adjacent_find(top.candidates.begin(), top.candidates.end()) ==
+              top.candidates.end(),
+      "popped candidate set not strictly ascending", offset());
+  // Branch bits never leave the node's declared slot range.
+  TWIGM_INVARIANT(v->num_slots >= 64 || top.branch >> v->num_slots == 0,
+                  "branch bits outside the node's slot range at pop",
+                  offset());
+  ++stats_.pops;
+  --live_entries_;
+  live_candidates_ -= top.candidates.size();
+  live_text_bytes_ -= top.text.size();
+  if (instr_ != nullptr) {
+    instr_->Trace(obs::TraceEvent::Kind::kStackPop, node_id, level, 0,
+                  stack.size());
+  }
+
+  ++stats_.predicate_checks;
+  bool satisfied = (top.branch & v->required_mask) == v->required_mask;
+  if (satisfied && v->has_value_test) {
+    satisfied =
+        EvalValueTest(top.text, v->op, v->literal, v->literal_is_number);
+  }
+  if (!satisfied) {
+    // Prune: drop every match `top` was part of.
+    if (instr_ != nullptr) {
+      instr_->Trace(obs::TraceEvent::Kind::kPrune, node_id, level, 0,
+                    top.candidates.size());
+    }
+    return;
+  }
+
+  if (v->parent == nullptr) {
+    // Root: output candidates. A candidate may have reached several root
+    // entries on recursive data; the epoch-stamped id array emits each id
+    // once at O(1) per candidate.
+    obs::TimerScope emit_timer(
+        instr_ != nullptr ? instr_->stage_slot(obs::Stage::kEmit) : nullptr);
+    const int return_node =
+        graph_.return_node() != nullptr ? graph_.return_node()->id : -1;
+    for (xml::NodeId id : top.candidates) {
+      if (!MarkEmitted(id)) continue;
+      sink_->OnResult(MatchInfo{id, offset(), return_node});
+      ++stats_.results;
+      if (instr_ != nullptr) {
+        instr_->Trace(obs::TraceEvent::Kind::kEmit, return_node, level, id,
+                      0);
+      }
+    }
+    if (stack.empty()) ClearEmitted();
+    return;
+  }
+
+  // Propagate to qualifying parent entries. Levels are strictly
+  // increasing, so '≥' edges match a prefix of the stack and '=' edges
+  // match at most one entry.
+  const uint64_t bit = uint64_t{1} << v->branch_slot;
+  PooledStack<Entry>& pstack = stacks_[v->parent->id];
+  auto propagate = [&](Entry& e) {
+    // Branch-boolean monotonicity (δe correctness): propagation only
+    // sets bits, and only the child's own slot.
+    TWIGM_INVARIANT(v->parent->num_slots >= 64 ||
+                        (e.branch | bit) >> v->parent->num_slots == 0,
+                    "propagated branch bit outside parent's slot range",
+                    offset());
+    e.branch |= bit;
+    if (!top.candidates.empty()) {
+      ++stats_.candidate_unions;
+      live_candidates_ += UnionSortedIds(top.candidates, &e.candidates);
+      TWIGM_INVARIANT(
+          std::adjacent_find(e.candidates.begin(), e.candidates.end(),
+                             std::greater_equal<xml::NodeId>()) ==
+              e.candidates.end(),
+          "candidate union broke strict ordering", offset());
+    }
+  };
+  const int max_level = top.level - v->edge.distance;
+  if (!v->edge.exact) {
+    for (Entry& e : pstack) {
+      if (e.level > max_level) break;
+      propagate(e);
+    }
+  } else {
+    auto it = std::lower_bound(
+        pstack.begin(), pstack.end(), max_level,
+        [](const Entry& e, int l) { return e.level < l; });
+    if (it != pstack.end() && it->level == max_level) propagate(*it);
+  }
+}
+
+void TwigMachine::EndElement(const xml::TagToken& tag, int level) {
   ++stats_.end_events;
   // δe: pop every machine node whose top entry has this level. Processed in
   // reverse pre-order so that a child's propagation into parent entries is
   // complete before any code inspects them; entries popped in this event
   // can never be propagation targets of this event (ζ distances are ≥ 1).
-  for (auto rit = preorder_.rbegin(); rit != preorder_.rend(); ++rit) {
-    const int node_id = *rit;
-    const MachineNode* v = graph_.nodes()[node_id].get();
-    if (!v->MatchesTag(tag)) continue;
-    std::vector<Entry>& stack = stacks_[node_id];
-    if (stack.empty() || stack.back().level != level) continue;
-
-    Entry top = std::move(stack.back());
-    stack.pop_back();
-    // Candidate-set lemma (Theorem 4.4's dedup argument): candidates are
-    // kept strictly ascending, so unions deduplicate and the R·B bound
-    // holds.
-    TWIGM_INVARIANT(
-        std::is_sorted(top.candidates.begin(), top.candidates.end()) &&
-            std::adjacent_find(top.candidates.begin(), top.candidates.end()) ==
-                top.candidates.end(),
-        "popped candidate set not strictly ascending", offset());
-    // Branch bits never leave the node's declared slot range.
-    TWIGM_INVARIANT(v->num_slots >= 64 || top.branch >> v->num_slots == 0,
-                    "branch bits outside the node's slot range at pop",
-                    offset());
-    ++stats_.pops;
-    --live_entries_;
-    live_candidates_ -= top.candidates.size();
-    live_text_bytes_ -= top.text.size();
-    if (instr_ != nullptr) {
-      instr_->Trace(obs::TraceEvent::Kind::kStackPop, node_id, level, 0,
-                    stack.size());
+  // The per-symbol end postings merge label and wildcard nodes into one
+  // pre-order list precisely so this reverse walk stays child-before-parent
+  // across both kinds.
+  if (bound_ && tag.symbol != xml::kNoSymbol) {
+    const std::vector<int>& list = tag.symbol < end_postings_.size()
+                                       ? end_postings_[tag.symbol]
+                                       : wildcard_nodes_;
+    for (auto rit = list.rbegin(); rit != list.rend(); ++rit) {
+      PopNode(*rit, level);
     }
-
-    ++stats_.predicate_checks;
-    bool satisfied = (top.branch & v->required_mask) == v->required_mask;
-    if (satisfied && v->has_value_test) {
-      satisfied =
-          EvalValueTest(top.text, v->op, v->literal, v->literal_is_number);
-    }
-    if (!satisfied) {
-      // Prune: drop every match `top` was part of.
-      if (instr_ != nullptr) {
-        instr_->Trace(obs::TraceEvent::Kind::kPrune, node_id, level, 0,
-                      top.candidates.size());
-      }
-      continue;
-    }
-
-    if (v->parent == nullptr) {
-      // Root: output candidates. A candidate may have reached several root
-      // entries on recursive data; emit each id once.
-      obs::TimerScope emit_timer(
-          instr_ != nullptr ? instr_->stage_slot(obs::Stage::kEmit) : nullptr);
-      const int return_node =
-          graph_.return_node() != nullptr ? graph_.return_node()->id : -1;
-      for (xml::NodeId id : top.candidates) {
-        if (emitted_.insert(id).second) {
-          sink_->OnResult(MatchInfo{id, offset(), return_node});
-          ++stats_.results;
-          if (instr_ != nullptr) {
-            instr_->Trace(obs::TraceEvent::Kind::kEmit, return_node, level,
-                          id, 0);
-          }
-        }
-      }
-      if (stack.empty()) emitted_.clear();
-      continue;
-    }
-
-    // Propagate to qualifying parent entries. Levels are strictly
-    // increasing, so '≥' edges match a prefix of the stack and '=' edges
-    // match at most one entry.
-    const uint64_t bit = uint64_t{1} << v->branch_slot;
-    std::vector<Entry>& pstack = stacks_[v->parent->id];
-    auto propagate = [&](Entry& e) {
-      // Branch-boolean monotonicity (δe correctness): propagation only
-      // sets bits, and only the child's own slot.
-      TWIGM_INVARIANT(v->parent->num_slots >= 64 ||
-                          (e.branch | bit) >> v->parent->num_slots == 0,
-                      "propagated branch bit outside parent's slot range",
-                      offset());
-      e.branch |= bit;
-      if (!top.candidates.empty()) {
-        ++stats_.candidate_unions;
-        live_candidates_ += UnionSortedIds(top.candidates, &e.candidates);
-        TWIGM_INVARIANT(
-            std::adjacent_find(e.candidates.begin(), e.candidates.end(),
-                               std::greater_equal<xml::NodeId>()) ==
-                e.candidates.end(),
-            "candidate union broke strict ordering", offset());
-      }
-    };
-    const int max_level = top.level - v->edge.distance;
-    if (!v->edge.exact) {
-      for (Entry& e : pstack) {
-        if (e.level > max_level) break;
-        propagate(e);
-      }
-    } else {
-      auto it = std::lower_bound(
-          pstack.begin(), pstack.end(), max_level,
-          [](const Entry& e, int l) { return e.level < l; });
-      if (it != pstack.end() && it->level == max_level) propagate(*it);
+  } else {
+    for (auto rit = preorder_.rbegin(); rit != preorder_.rend(); ++rit) {
+      if (!graph_.nodes()[*rit]->MatchesTag(tag)) continue;
+      PopNode(*rit, level);
     }
   }
   UpdateMemoryStats();

@@ -22,6 +22,14 @@
 //    in each parent entry satisfying ζ(v) and uploads its candidates there.
 //    A top with an F bit is simply discarded — pruning, without enumeration,
 //    every pattern match it participated in.
+//
+// Hot path: after BindInterner() the machine resolves its query labels to
+// the parser's SymbolIds once, and per-event dispatch indexes a per-symbol
+// postings vector instead of hashing the tag bytes. Stack entries live in
+// PooledStacks and candidate sets merge in place, so the steady state per
+// event performs zero heap allocations (DESIGN.md §10). Events whose
+// TagToken carries kNoSymbol (interning off, or a hand-fed machine) take
+// the legacy byte-comparing path and produce identical results.
 
 #ifndef TWIGM_CORE_TWIG_MACHINE_H_
 #define TWIGM_CORE_TWIG_MACHINE_H_
@@ -30,16 +38,17 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
 #include "core/level_bounds.h"
 #include "core/machine_builder.h"
 #include "core/machine_stats.h"
+#include "core/pooled_stack.h"
 #include "core/result_sink.h"
 #include "obs/instrumentation.h"
 #include "xml/sax_event.h"
+#include "xml/tag_interner.h"
 #include "xpath/query_tree.h"
 
 namespace twigm::core {
@@ -68,14 +77,23 @@ class TwigMachine : public xml::StreamEventSink {
   TwigMachine& operator=(const TwigMachine&) = delete;
 
   // StreamEventSink:
-  void StartElement(std::string_view tag, int level, xml::NodeId id,
+  void StartElement(const xml::TagToken& tag, int level, xml::NodeId id,
                     const std::vector<xml::Attribute>& attrs) override;
-  void EndElement(std::string_view tag, int level) override;
+  void EndElement(const xml::TagToken& tag, int level) override;
   void Text(std::string_view text, int level) override;
   void EndDocument() override;
 
+  /// Resolves every query label to a SymbolId in `interner` (interning on
+  /// first sight) and builds the per-symbol postings vectors used for
+  /// dispatch. Call once, with the interner of the parser that will feed
+  /// this machine, before streaming. `interner` must outlive the machine;
+  /// not owned. Events carrying symbols from any other interner would
+  /// dispatch incorrectly.
+  void BindInterner(xml::TagInterner* interner);
+
   /// Clears all runtime state (stacks, emitted set) and statistics so the
-  /// machine can process another document.
+  /// machine can process another document. Pooled stack capacity and the
+  /// interner binding are retained.
   void Reset();
 
   /// Optional: attaches observability (metrics, per-node stack depth,
@@ -111,6 +129,10 @@ class TwigMachine : public xml::StreamEventSink {
   const EngineStats& stats() const { return stats_; }
   const MachineGraph& graph() const { return graph_; }
 
+  /// Total stack slots ever allocated across all machine nodes (pool
+  /// high-water mark). Exported as hotpath.pool_entries.
+  uint64_t pool_entries() const;
+
  private:
   // One stack entry: <level, branch match, candidates> (+ text buffer for
   // value-test nodes).
@@ -125,6 +147,12 @@ class TwigMachine : public xml::StreamEventSink {
               TwigMachineOptions options);
 
   void UpdateMemoryStats();
+
+  // δs for one machine node (the push attempt of Algorithm 1).
+  void TryStartNode(int node_id, int level, xml::NodeId id,
+                    const std::vector<xml::Attribute>& attrs);
+  // δe for one machine node (pop / verify / propagate).
+  void PopNode(int node_id, int level);
 
   /// Current stream offset, 0 without a source.
   uint64_t offset() const {
@@ -141,10 +169,11 @@ class TwigMachine : public xml::StreamEventSink {
   EngineStats stats_;
 
   // stacks_[node->id] is ξ(v).
-  std::vector<std::vector<Entry>> stacks_;
+  std::vector<PooledStack<Entry>> stacks_;
 
   // Heterogeneous string hashing so event tags (string_view) probe the
-  // label index without allocating.
+  // label index without allocating. Legacy dispatch path, used only for
+  // kNoSymbol tokens.
   struct StringHash {
     using is_transparent = void;
     size_t operator()(std::string_view s) const {
@@ -160,19 +189,40 @@ class TwigMachine : public xml::StreamEventSink {
   // Pre-order list of ids used for δe (processed in reverse: leaves first).
   std::vector<int> preorder_;
 
+  // Symbol dispatch (built by BindInterner). start_postings_[s] holds the
+  // label nodes for symbol s in pre-order; end_postings_[s] additionally
+  // merges in the wildcard nodes (still pre-order) because δe iterates one
+  // list in reverse and child-before-parent must hold across label and
+  // wildcard nodes alike. Symbols interned after binding (document tags
+  // that are no query label) fall outside both vectors: δs tries only
+  // wildcards, δe walks wildcard_nodes_ reversed.
+  bool bound_ = false;
+  std::vector<std::vector<int>> start_postings_;
+  std::vector<std::vector<int>> end_postings_;
+
   // Already-output results: guards against re-emission when a candidate
   // reached several root entries (recursive data matching the query root).
-  // Cleared whenever the root stack empties — after that point no live
-  // entry can still hold an already-emitted candidate.
-  std::unordered_set<xml::NodeId> emitted_;
+  // Document node ids are dense pre-order integers, so the guard is an
+  // epoch-stamped array indexed by id: emitted iff stamp == current epoch.
+  // O(1) per candidate, cleared in O(1) by bumping the epoch (whenever the
+  // root stack empties — after that point no live entry can still hold an
+  // already-emitted candidate), and its capacity survives Reset() so
+  // steady-state passes never allocate here.
+  std::vector<uint32_t> emitted_stamp_;
+  uint32_t emitted_epoch_ = 1;
+
+  /// Stamps `id` emitted; returns false when it already was this epoch.
+  bool MarkEmitted(xml::NodeId id);
+  void ClearEmitted();
 
   uint64_t live_entries_ = 0;
   uint64_t live_candidates_ = 0;
   uint64_t live_text_bytes_ = 0;
 };
 
-/// Merges sorted id vector `src` into sorted `dst`, dropping duplicates.
-/// Exposed for reuse by BranchM and tests. Returns how many ids were added.
+/// Merges sorted id vector `src` into sorted `dst` in place (no temporary),
+/// dropping duplicates. Exposed for reuse by BranchM and tests. Returns how
+/// many ids were added.
 size_t UnionSortedIds(const std::vector<xml::NodeId>& src,
                       std::vector<xml::NodeId>* dst);
 

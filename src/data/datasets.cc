@@ -26,19 +26,19 @@ class FeatureHandler : public xml::SaxHandler {
  public:
   explicit FeatureHandler(DatasetFeatures* out) : out_(out) {}
 
-  void OnStartElement(std::string_view tag,
+  void OnStartElement(const xml::TagToken& tag,
                       const std::vector<xml::Attribute>& attrs) override {
     ++out_->elements;
     out_->attributes += attrs.size();
     ++depth_;
     if (depth_ > out_->max_depth) out_->max_depth = depth_;
-    auto [it, inserted] = open_counts_.try_emplace(std::string(tag), 0);
+    auto [it, inserted] = open_counts_.try_emplace(std::string(tag.text), 0);
     if (++it->second > 1) out_->recursive = true;
     (void)inserted;
     path_.emplace_back(it->first);
   }
 
-  void OnEndElement(std::string_view tag) override {
+  void OnEndElement(const xml::TagToken& tag) override {
     (void)tag;
     --depth_;
     --open_counts_[path_.back()];

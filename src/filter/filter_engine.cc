@@ -19,6 +19,8 @@ struct FilterEngine::ExportHandles {
   obs::Counter* peak_active_nodes = nullptr;
   obs::Counter* peak_trie_entries = nullptr;
   obs::Counter* peak_engaged_tails = nullptr;
+  obs::Counter* hotpath_interner_symbols = nullptr;
+  obs::Counter* hotpath_pool_entries = nullptr;
 };
 
 FilterEngine::FilterEngine(FilterIndex index) : index_(std::move(index)) {}
@@ -98,6 +100,28 @@ Result<std::unique_ptr<FilterEngine>> FilterEngine::Create(
   engine->parser_ =
       std::make_unique<xml::SaxParser>(engine->driver_.get(), options.sax);
   engine->parser_->set_offset_slot(engine->offset_slot_);
+
+  // Bind every trie label and tail machine to the parser's tag dictionary,
+  // then build the root-children postings so each start event resolves its
+  // candidate first steps by one indexed lookup instead of scanning (and
+  // byte-comparing) the whole root fan-out.
+  xml::TagInterner* interner = engine->parser_->interner();
+  engine->index_.BindInterner(interner);
+  for (Tail& tail : engine->tails_) {
+    if (tail.twig != nullptr) tail.twig->BindInterner(interner);
+    if (tail.branch != nullptr) tail.branch->BindInterner(interner);
+  }
+  engine->root_postings_.assign(interner->size(), {});
+  for (int child : engine->index_.root_children()) {
+    const StepTrieNode& c = engine->index_.nodes()[child];
+    if (c.is_wildcard) {
+      engine->root_wildcards_.push_back(child);
+    } else {
+      engine->root_postings_[c.symbol].push_back(child);
+    }
+  }
+  engine->trie_bound_ = true;
+
   if (engine->instr_ != nullptr) {
     engine->instr_->EnsureNodeSlots(node_count);
   }
@@ -131,10 +155,11 @@ void FilterEngine::Reset() {
   total_results_ = 0;
   rstats_ = FilterRuntimeStats();
   stream_offset_ = 0;
-  driver_ = std::make_unique<xml::EventDriver>(event_sink_.get());
-  driver_->set_instrumentation(instr_);
-  parser_ = std::make_unique<xml::SaxParser>(driver_.get(), options_.sax);
-  parser_->set_offset_slot(offset_slot_);
+  // Rewind the parser and driver in place: the parser's interner carries
+  // the trie's and tail machines' symbol bindings, and its buffers (plus
+  // every trie stack's capacity) stay warm across documents.
+  parser_->Reset();
+  driver_->Reset();
 }
 
 void FilterEngine::Activate(int node) {
@@ -158,7 +183,28 @@ void FilterEngine::Engage(int tail) {
   engaged_.push_back(tail);
 }
 
-void FilterEngine::OnStartElement(std::string_view tag, int level,
+void FilterEngine::ConsiderChild(int child, const std::vector<int>* stack,
+                                 int level) {
+  const StepTrieNode& c = index_.nodes()[child];
+  if (!trie_level_bounds_.empty() &&
+      !trie_level_bounds_[static_cast<size_t>(child)].Allows(level)) {
+    return;
+  }
+  bool qualified;
+  if (stack == nullptr) {
+    qualified = c.edge.Satisfies(level);
+  } else if (!c.edge.exact) {
+    // Stack levels are strictly increasing (open ancestors), so '≥' edges
+    // test the shallowest entry and '=' edges binary-search.
+    qualified = level - stack->front() >= c.edge.distance;
+  } else {
+    qualified = std::binary_search(stack->begin(), stack->end(),
+                                   level - c.edge.distance);
+  }
+  if (qualified) scratch_.push_back(child);
+}
+
+void FilterEngine::OnStartElement(const xml::TagToken& tag, int level,
                                   xml::NodeId id,
                                   const std::vector<xml::Attribute>& attrs) {
   ++rstats_.start_events;
@@ -168,34 +214,33 @@ void FilterEngine::OnStartElement(std::string_view tag, int level,
   // never enable another push at the same level (edge distances are ≥ 1),
   // and deferring keeps the active list stable while we scan it.
   scratch_.clear();
-  const bool bounded = !trie_level_bounds_.empty();
-  for (int child : index_.root_children()) {
-    const StepTrieNode& c = nodes[child];
-    if (!c.is_wildcard && c.label != tag) continue;
-    if (bounded && !trie_level_bounds_[static_cast<size_t>(child)].Allows(level)) {
-      continue;
+  const bool have_symbol = trie_bound_ && tag.symbol != xml::kNoSymbol;
+  if (have_symbol) {
+    // Postings dispatch: a symbol past the bind-time range names a tag no
+    // query mentions, so only wildcard first steps can match it.
+    if (tag.symbol < root_postings_.size()) {
+      for (int child : root_postings_[tag.symbol]) {
+        ConsiderChild(child, nullptr, level);
+      }
     }
-    if (c.edge.Satisfies(level)) scratch_.push_back(child);
+    for (int child : root_wildcards_) ConsiderChild(child, nullptr, level);
+  } else {
+    for (int child : index_.root_children()) {
+      const StepTrieNode& c = nodes[child];
+      if (!c.is_wildcard && c.label != tag.text) continue;
+      ConsiderChild(child, nullptr, level);
+    }
   }
   for (int n : active_) {
     const std::vector<int>& stack = stacks_[n];
     for (int child : nodes[n].children) {
       const StepTrieNode& c = nodes[child];
-      if (!c.is_wildcard && c.label != tag) continue;
-      if (bounded &&
-          !trie_level_bounds_[static_cast<size_t>(child)].Allows(level)) {
-        continue;
+      if (!c.is_wildcard) {
+        if (have_symbol ? c.symbol != tag.symbol : c.label != tag.text) {
+          continue;
+        }
       }
-      // Stack levels are strictly increasing (open ancestors), so '≥'
-      // edges test the shallowest entry and '=' edges binary-search.
-      bool qualified;
-      if (!c.edge.exact) {
-        qualified = level - stack.front() >= c.edge.distance;
-      } else {
-        qualified = std::binary_search(stack.begin(), stack.end(),
-                                       level - c.edge.distance);
-      }
-      if (qualified) scratch_.push_back(child);
+      ConsiderChild(child, &stack, level);
     }
   }
 
@@ -239,7 +284,7 @@ void FilterEngine::OnStartElement(std::string_view tag, int level,
       rstats_.peak_engaged_tails, engaged_.size() + always_on_.size());
 }
 
-void FilterEngine::OnEndElement(std::string_view tag, int level) {
+void FilterEngine::OnEndElement(const xml::TagToken& tag, int level) {
   ++rstats_.end_events;
 
   // Tails first: their entries are strictly deeper in the pattern than the
@@ -326,6 +371,10 @@ void FilterEngine::ExportMetrics(obs::MetricsRegistry* registry) const {
         registry->RegisterCounter("filter.peak_trie_entries");
     export_->peak_engaged_tails =
         registry->RegisterCounter("filter.peak_engaged_tails");
+    export_->hotpath_interner_symbols =
+        registry->RegisterCounter("hotpath.interner_symbols");
+    export_->hotpath_pool_entries =
+        registry->RegisterCounter("hotpath.pool_entries");
     export_->registered_count = registry->instrument_count();
   }
   export_->start_events->Set(rstats_.start_events);
@@ -337,6 +386,13 @@ void FilterEngine::ExportMetrics(obs::MetricsRegistry* registry) const {
   export_->peak_active_nodes->Set(rstats_.peak_active_nodes);
   export_->peak_trie_entries->Set(rstats_.peak_trie_entries);
   export_->peak_engaged_tails->Set(rstats_.peak_engaged_tails);
+  export_->hotpath_interner_symbols->Set(
+      parser_ != nullptr ? parser_->interner()->size() : 0);
+  uint64_t pool = 0;
+  for (const Tail& tail : tails_) {
+    if (tail.twig != nullptr) pool += tail.twig->pool_entries();
+  }
+  export_->hotpath_pool_entries->Set(pool);
 }
 
 }  // namespace twigm::filter

@@ -106,11 +106,11 @@ class FilterEngine {
   class EventSink : public xml::StreamEventSink {
    public:
     explicit EventSink(FilterEngine* owner) : owner_(owner) {}
-    void StartElement(std::string_view tag, int level, xml::NodeId id,
+    void StartElement(const xml::TagToken& tag, int level, xml::NodeId id,
                       const std::vector<xml::Attribute>& attrs) override {
       owner_->OnStartElement(tag, level, id, attrs);
     }
-    void EndElement(std::string_view tag, int level) override {
+    void EndElement(const xml::TagToken& tag, int level) override {
       owner_->OnEndElement(tag, level);
     }
     void Text(std::string_view text, int level) override {
@@ -160,9 +160,9 @@ class FilterEngine {
 
   explicit FilterEngine(FilterIndex index);  // out-of-line, see ~FilterEngine
 
-  void OnStartElement(std::string_view tag, int level, xml::NodeId id,
+  void OnStartElement(const xml::TagToken& tag, int level, xml::NodeId id,
                       const std::vector<xml::Attribute>& attrs);
-  void OnEndElement(std::string_view tag, int level);
+  void OnEndElement(const xml::TagToken& tag, int level);
   void OnText(std::string_view text, int level);
   void OnEndDocument();
 
@@ -170,9 +170,23 @@ class FilterEngine {
   void Deactivate(int node);
   void Engage(int tail);
 
+  /// Pushes `child` if its edge/level-window tests pass; `stack` is the
+  /// parent's stack (null for the virtual root).
+  void ConsiderChild(int child, const std::vector<int>* stack, int level);
+
   FilterIndex index_;
   core::MultiQueryResultSink* sink_ = nullptr;
   core::EvaluatorOptions options_;
+
+  // Symbol dispatch (DESIGN.md §10): the trie's labels are interned into
+  // the parser's tag dictionary at Create. root_postings_[sym] lists the
+  // labeled root children for that symbol (a tag interned later — i.e. one
+  // appearing in no query — indexes past the vector and matches only
+  // wildcards); root_wildcards_ is scanned on every event. Deeper children
+  // match by SymbolId compare. trie_bound_ false ⇒ byte-compare fallback.
+  bool trie_bound_ = false;
+  std::vector<std::vector<int>> root_postings_;
+  std::vector<int> root_wildcards_;
 
   // Runtime trie state: stacks_[n] holds the (ascending) levels of open
   // elements matched at trie node n; active_ lists nodes with non-empty

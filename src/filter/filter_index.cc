@@ -63,6 +63,12 @@ int FilterIndex::Intern(int parent, const xpath::QueryNode& step) {
   return id;
 }
 
+void FilterIndex::BindInterner(xml::TagInterner* interner) {
+  for (StepTrieNode& node : nodes_) {
+    if (!node.is_wildcard) node.symbol = interner->Intern(node.label);
+  }
+}
+
 Result<FilterIndex> FilterIndex::Build(
     const std::vector<std::string>& queries) {
   if (queries.empty()) {

@@ -27,6 +27,8 @@
 #include "core/edge.h"
 #include "core/evaluator.h"
 #include "filter/filter_stats.h"
+#include "xml/sax_event.h"
+#include "xml/tag_interner.h"
 #include "xpath/query_tree.h"
 
 namespace twigm::filter {
@@ -41,6 +43,10 @@ struct StepTrieNode {
   std::vector<int> children;
   /// Linear queries whose last step is this node: a push here is a result.
   std::vector<size_t> accept;
+  /// `label` interned in the bound parser's tag dictionary (kNoSymbol for
+  /// wildcards or before FilterIndex::BindInterner runs). Lets the engine
+  /// match children by integer compare instead of byte compare.
+  xml::SymbolId symbol = xml::kNoSymbol;
 };
 
 /// How one query of the set is evaluated.
@@ -62,7 +68,9 @@ struct QueryPlan {
   core::EngineKind tail_kind = core::EngineKind::kTwigM;
 };
 
-/// The compiled index: trie + per-query plans. Immutable once built.
+/// The compiled index: trie + per-query plans. Structurally immutable once
+/// built; BindInterner only stamps each node's label with its SymbolId in
+/// the stream's tag dictionary.
 class FilterIndex {
  public:
   FilterIndex() = default;  // empty index (Result<T> requires this)
@@ -74,6 +82,12 @@ class FilterIndex {
   /// Compiles every query; fails on the first bad one (the error message
   /// names its index, like MultiQueryProcessor::Create).
   static Result<FilterIndex> Build(const std::vector<std::string>& queries);
+
+  /// Interns every non-wildcard node label into `interner` (the parser's
+  /// dictionary) and records the SymbolId on the node, so per-event child
+  /// matching dispatches on dense ids (DESIGN.md §10). Idempotent; symbols
+  /// stay valid for the interner's lifetime.
+  void BindInterner(xml::TagInterner* interner);
 
   const std::vector<StepTrieNode>& nodes() const { return nodes_; }
   const std::vector<int>& root_children() const { return root_children_; }

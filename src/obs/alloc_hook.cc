@@ -1,0 +1,128 @@
+// Counting replacements for the global allocation functions. Keeping the
+// operators and the accessors in one translation unit guarantees that any
+// binary calling an accessor links the operators too (a static-library
+// object is only pulled in when something in it is referenced).
+
+#include "obs/alloc_hook.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<uint64_t> g_new_calls{0};
+std::atomic<uint64_t> g_delete_calls{0};
+std::atomic<uint64_t> g_new_bytes{0};
+
+void* CountedAlloc(std::size_t size) noexcept {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  g_new_bytes.fetch_add(size, std::memory_order_relaxed);
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t align) noexcept {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  g_new_bytes.fetch_add(size, std::memory_order_relaxed);
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  return std::aligned_alloc(align, rounded != 0 ? rounded : align);
+}
+
+void CountedFree(void* ptr) noexcept {
+  if (ptr != nullptr) g_delete_calls.fetch_add(1, std::memory_order_relaxed);
+  std::free(ptr);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* ptr = CountedAlloc(size);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* operator new[](std::size_t size) {
+  void* ptr = CountedAlloc(size);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* ptr = CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* ptr = CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* ptr) noexcept { CountedFree(ptr); }
+void operator delete[](void* ptr) noexcept { CountedFree(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { CountedFree(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { CountedFree(ptr); }
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  CountedFree(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  CountedFree(ptr);
+}
+void operator delete(void* ptr, std::align_val_t) noexcept {
+  CountedFree(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t) noexcept {
+  CountedFree(ptr);
+}
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+  CountedFree(ptr);
+}
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
+  CountedFree(ptr);
+}
+void operator delete(void* ptr, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  CountedFree(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  CountedFree(ptr);
+}
+
+namespace twigm::obs {
+
+bool AllocHookActive() { return true; }
+
+uint64_t AllocHookNewCalls() {
+  return g_new_calls.load(std::memory_order_relaxed);
+}
+
+uint64_t AllocHookDeleteCalls() {
+  return g_delete_calls.load(std::memory_order_relaxed);
+}
+
+uint64_t AllocHookNewBytes() {
+  return g_new_bytes.load(std::memory_order_relaxed);
+}
+
+}  // namespace twigm::obs

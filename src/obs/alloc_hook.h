@@ -1,0 +1,39 @@
+// Heap-allocation counting for hot-path tests and benchmarks.
+//
+// Linking `twigm_alloc_hook` into a binary replaces the global operator
+// new/delete family with malloc-backed versions that bump process-wide
+// atomic counters. The accessors below then report cumulative counts, so a
+// test can assert that a measured region performed zero allocations:
+//
+//   const uint64_t before = obs::AllocHookNewCalls();
+//   ... steady-state work ...
+//   EXPECT_EQ(obs::AllocHookNewCalls(), before);
+//
+// Only link the hook into binaries whose purpose is allocation measurement
+// (hotpath_alloc_test, bench_hotpath); everything else keeps the default
+// allocator. Binaries that do not link the hook must not call these
+// accessors — they are defined in the same translation unit as the
+// replacement operators, so referencing them is what pulls the hook in.
+
+#ifndef TWIGM_OBS_ALLOC_HOOK_H_
+#define TWIGM_OBS_ALLOC_HOOK_H_
+
+#include <cstdint>
+
+namespace twigm::obs {
+
+/// True when the counting replacements are linked into this binary.
+bool AllocHookActive();
+
+/// Cumulative operator-new calls (all variants) since process start.
+uint64_t AllocHookNewCalls();
+
+/// Cumulative operator-delete calls on non-null pointers.
+uint64_t AllocHookDeleteCalls();
+
+/// Cumulative bytes requested through operator new.
+uint64_t AllocHookNewBytes();
+
+}  // namespace twigm::obs
+
+#endif  // TWIGM_OBS_ALLOC_HOOK_H_

@@ -9,7 +9,11 @@ DomNode* DomAssembler::StartElement(std::string_view tag,
   doc_.nodes_.emplace_back();
   DomNode* node = &doc_.nodes_.back();
   node->tag.assign(tag);
-  node->attributes = attrs;
+  node->attributes.reserve(attrs.size());
+  for (const Attribute& a : attrs) {
+    node->attributes.push_back(
+        OwnedAttribute{std::string(a.name), std::string(a.value)});
+  }
   node->level = static_cast<int>(stack_.size()) + 1;
   node->id = ++next_id_;
   if (stack_.empty()) {
@@ -37,12 +41,12 @@ DomDocument DomAssembler::TakeDocument() {
   return out;
 }
 
-void DomBuilder::OnStartElement(std::string_view tag,
+void DomBuilder::OnStartElement(const TagToken& tag,
                                 const std::vector<Attribute>& attrs) {
-  assembler_.StartElement(tag, attrs);
+  assembler_.StartElement(tag.text, attrs);
 }
 
-void DomBuilder::OnEndElement(std::string_view tag) {
+void DomBuilder::OnEndElement(const TagToken& tag) {
   (void)tag;  // the parser already verified tag matching
   assembler_.EndElement();
 }
@@ -68,8 +72,8 @@ size_t DomDocument::ApproximateMemoryBytes() const {
     total += n.tag.capacity();
     total += n.text.capacity();
     total += n.children.capacity() * sizeof(DomNode*);
-    for (const Attribute& a : n.attributes) {
-      total += sizeof(Attribute) + a.name.capacity() + a.value.capacity();
+    for (const OwnedAttribute& a : n.attributes) {
+      total += sizeof(OwnedAttribute) + a.name.capacity() + a.value.capacity();
     }
   }
   return total;

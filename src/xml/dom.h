@@ -21,12 +21,20 @@
 
 namespace twigm::xml {
 
+/// An attribute owned by the tree. The streaming xml::Attribute carries
+/// borrowed views into the parser's buffers (valid only for the callback);
+/// the DOM is the one place that keeps attributes, so it copies here.
+struct OwnedAttribute {
+  std::string name;
+  std::string value;
+};
+
 /// One element node. Text content is accumulated per-node (concatenation of
 /// all directly contained character data), which is what value predicates
 /// compare against.
 struct DomNode {
   std::string tag;
-  std::vector<Attribute> attributes;
+  std::vector<OwnedAttribute> attributes;
   std::string text;          // direct character data, concatenated
   int level = 0;             // root = 1
   NodeId id = 0;             // pre-order, first element = 1
@@ -35,7 +43,7 @@ struct DomNode {
 
   /// Returns the attribute value, or nullptr if absent.
   const std::string* FindAttribute(std::string_view name) const {
-    for (const Attribute& a : attributes) {
+    for (const OwnedAttribute& a : attributes) {
       if (a.name == name) return &a.value;
     }
     return nullptr;
@@ -113,9 +121,9 @@ class DomBuilder : public SaxHandler {
  public:
   DomBuilder() = default;
 
-  void OnStartElement(std::string_view tag,
+  void OnStartElement(const TagToken& tag,
                       const std::vector<Attribute>& attrs) override;
-  void OnEndElement(std::string_view tag) override;
+  void OnEndElement(const TagToken& tag) override;
   void OnCharacters(std::string_view text) override;
 
   /// Returns the finished document. Call after parsing succeeds.

@@ -9,6 +9,12 @@
 //     where `level` is the node's depth in the XML tree (root = 1) and `id`
 //     is a unique identifier assigned in document order (pre-order). All
 //     query machines consume this layer.
+//
+// Tags travel as `TagToken`: the tag bytes plus the dense `SymbolId` the
+// parser's TagInterner assigned to that tag name (kNoSymbol when interning
+// is off). Machines that bound their query labels to the same interner
+// dispatch on the symbol — one integer compare or postings-vector lookup
+// per event instead of hashing the tag bytes (see DESIGN.md §10).
 
 #ifndef TWIGM_XML_SAX_EVENT_H_
 #define TWIGM_XML_SAX_EVENT_H_
@@ -22,10 +28,48 @@
 
 namespace twigm::xml {
 
-/// A single element attribute, with its value already entity-decoded.
+/// Dense id of an interned tag name (see xml::TagInterner). Stable for the
+/// interner's lifetime: the same tag bytes always map to the same symbol.
+using SymbolId = uint32_t;
+
+/// "No symbol attached": the event producer did not intern this name.
+inline constexpr SymbolId kNoSymbol = ~SymbolId{0};
+
+/// A tag name as it travels through the event layer: the bytes plus the
+/// producer's interned symbol. Implicitly constructible from the plain
+/// string types so call sites that only have bytes keep working (they
+/// produce kNoSymbol tokens, which consumers treat as "compare by bytes").
+struct TagToken {
+  std::string_view text;
+  SymbolId symbol = kNoSymbol;
+
+  constexpr TagToken() = default;
+  constexpr TagToken(std::string_view t) : text(t) {}                // NOLINT
+  constexpr TagToken(const char* t) : text(t) {}                     // NOLINT
+  TagToken(const std::string& t) : text(t) {}                        // NOLINT
+  constexpr TagToken(std::string_view t, SymbolId s) : text(t), symbol(s) {}
+};
+
+/// A single element attribute, with its value already entity-decoded. The
+/// views point into the producer's buffers and are valid only for the
+/// duration of the callback — consumers that keep attributes copy them
+/// (see xml::OwnedAttribute in dom.h).
 struct Attribute {
-  std::string name;
-  std::string value;
+  std::string_view name;
+  std::string_view value;
+
+  [[deprecated(
+      "copying accessor; keep the string_view or copy explicitly at the "
+      "call site")]]
+  std::string name_copy() const {
+    return std::string(name);
+  }
+  [[deprecated(
+      "copying accessor; keep the string_view or copy explicitly at the "
+      "call site")]]
+  std::string value_copy() const {
+    return std::string(value);
+  }
 };
 
 /// Raw SAX callbacks. Default implementations ignore every event so
@@ -36,13 +80,13 @@ class SaxHandler {
 
   virtual void OnStartDocument() {}
   virtual void OnEndDocument() {}
-  /// `attrs` is only valid for the duration of the call.
-  virtual void OnStartElement(std::string_view tag,
+  /// `tag` and `attrs` are only valid for the duration of the call.
+  virtual void OnStartElement(const TagToken& tag,
                               const std::vector<Attribute>& attrs) {
     (void)tag;
     (void)attrs;
   }
-  virtual void OnEndElement(std::string_view tag) { (void)tag; }
+  virtual void OnEndElement(const TagToken& tag) { (void)tag; }
   /// Character data (entity-decoded). May be delivered in multiple pieces.
   virtual void OnCharacters(std::string_view text) { (void)text; }
   virtual void OnComment(std::string_view text) { (void)text; }
@@ -65,11 +109,11 @@ class StreamEventSink {
   /// startElement(tag, level, id). `attrs` carries the element's attributes
   /// so attribute predicates can be evaluated immediately (footnote 2 of the
   /// paper: the implementation supports attributes as well as elements).
-  virtual void StartElement(std::string_view tag, int level, NodeId id,
+  virtual void StartElement(const TagToken& tag, int level, NodeId id,
                             const std::vector<Attribute>& attrs) = 0;
 
   /// endElement(tag, level).
-  virtual void EndElement(std::string_view tag, int level) = 0;
+  virtual void EndElement(const TagToken& tag, int level) = 0;
 
   /// Character data of the current node, used by value predicates.
   /// `level` is the level of the innermost open element.
@@ -92,7 +136,7 @@ class EventDriver : public SaxHandler {
   /// kMachine stage (the sink call, inclusive of emission). Null detaches.
   void set_instrumentation(obs::Instrumentation* instr) { instr_ = instr; }
 
-  void OnStartElement(std::string_view tag,
+  void OnStartElement(const TagToken& tag,
                       const std::vector<Attribute>& attrs) override {
     obs::TimerScope drive(
         instr_ != nullptr ? instr_->stage_slot(obs::Stage::kDrive) : nullptr);
@@ -104,7 +148,7 @@ class EventDriver : public SaxHandler {
     sink_->StartElement(tag, level_, next_id_, attrs);
   }
 
-  void OnEndElement(std::string_view tag) override {
+  void OnEndElement(const TagToken& tag) override {
     obs::TimerScope drive(
         instr_ != nullptr ? instr_->stage_slot(obs::Stage::kDrive) : nullptr);
     {
@@ -132,6 +176,13 @@ class EventDriver : public SaxHandler {
 
   /// Number of elements seen so far.
   NodeId element_count() const { return next_id_; }
+
+  /// Rewinds level/id assignment for a new document. The attached sink and
+  /// instrumentation stay bound.
+  void Reset() {
+    level_ = 0;
+    next_id_ = 0;
+  }
 
  private:
   StreamEventSink* sink_;

@@ -1,6 +1,7 @@
 #include "xml/sax_parser.h"
 
 #include <cctype>
+#include <cstring>
 
 namespace twigm::xml {
 
@@ -24,6 +25,14 @@ bool IsAllWhitespace(std::string_view s) {
     if (!IsWhitespace(c)) return false;
   }
   return true;
+}
+
+// memchr wrapper over a [from, to) window of `s`; returns npos if absent.
+size_t FindByte(std::string_view s, char byte, size_t from, size_t to) {
+  if (from >= to) return std::string_view::npos;
+  const void* p = std::memchr(s.data() + from, byte, to - from);
+  if (p == nullptr) return std::string_view::npos;
+  return static_cast<size_t>(static_cast<const char*>(p) - s.data());
 }
 
 // Appends the UTF-8 encoding of `cp` to `out`. Returns false for invalid
@@ -62,6 +71,25 @@ bool IsValidXmlName(std::string_view name) {
 
 SaxParser::SaxParser(SaxHandler* handler, SaxParserOptions options)
     : handler_(handler), options_(options) {}
+
+void SaxParser::Reset() {
+  buffer_.clear();  // clear() keeps capacity
+  pos_ = 0;
+  line_ = 1;
+  column_ = 1;
+  bytes_consumed_ = 0;
+  open_tags_.clear();
+  seen_root_ = false;
+  started_ = false;
+  finished_ = false;
+  error_ = Status::Ok();
+  text_scratch_.clear();
+  attr_decode_buf_.clear();
+  attr_scratch_.clear();
+  attr_fixups_.clear();
+  // interner_ deliberately untouched: symbols are stable for the parser's
+  // lifetime so machine label bindings survive across documents.
+}
 
 Status SaxParser::Feed(std::string_view chunk) {
   if (!error_.ok()) return error_;
@@ -106,7 +134,7 @@ Status SaxParser::Finish() {
   }
   if (!open_tags_.empty()) {
     return ErrorHere("document ended with unclosed element <" +
-                     open_tags_.back() + ">");
+                     std::string(interner_.name(open_tags_.back())) + ">");
   }
   if (!seen_root_) {
     return ErrorHere("document contains no root element");
@@ -144,8 +172,8 @@ Status SaxParser::Drain() {
       TWIGM_RETURN_IF_ERROR(ConsumeMarkup(&made_progress));
       if (!made_progress) break;  // construct incomplete; wait for more input
     } else {
-      const size_t lt = buffer_.find('<', pos_);
-      if (lt == std::string::npos) {
+      const size_t lt = FindByte(buffer_, '<', pos_, buffer_.size());
+      if (lt == std::string_view::npos) {
         // Text may continue into the next chunk; emit nothing yet unless we
         // can prove there is no entity split across the boundary. We simply
         // wait — text runs are bounded by the next tag in practice.
@@ -170,6 +198,12 @@ Status SaxParser::EmitText(size_t lt) {
       if (!IsAllWhitespace(raw)) {
         return ErrorHere("character data outside the root element");
       }
+    } else if (std::memchr(raw.data(), '&', raw.size()) == nullptr) {
+      // Fast path: no entity references, so the raw bytes are the decoded
+      // text — emit the buffer view directly, no copy.
+      if (options_.emit_whitespace_text || !IsAllWhitespace(raw)) {
+        handler_->OnCharacters(raw);
+      }
     } else {
       text_scratch_.clear();
       TWIGM_RETURN_IF_ERROR(
@@ -185,20 +219,22 @@ Status SaxParser::EmitText(size_t lt) {
 }
 
 size_t SaxParser::FindTagEnd(size_t start) const {
-  char quote = 0;
-  for (size_t i = start; i < buffer_.size(); ++i) {
-    const char c = buffer_[i];
-    if (quote != 0) {
-      if (c == quote) quote = 0;
-    } else if (c == '"' || c == '\'') {
-      quote = c;
-    } else if (c == '>') {
-      return i;
-    } else if (c == '<') {
-      return std::string::npos - 1;  // sentinel: error, '<' inside tag
+  const std::string_view buf(buffer_);
+  size_t i = start;
+  while (i < buf.size()) {
+    const char c = buf[i];
+    if (c == '"' || c == '\'') {
+      // Skip the quoted value wholesale: memchr straight to the close quote.
+      const size_t close = FindByte(buf, c, i + 1, buf.size());
+      if (close == std::string_view::npos) return std::string_view::npos;
+      i = close + 1;
+      continue;
     }
+    if (c == '>') return i;
+    if (c == '<') return std::string_view::npos - 1;  // error: '<' inside tag
+    ++i;
   }
-  return std::string::npos;
+  return std::string_view::npos;
 }
 
 Status SaxParser::ConsumeMarkup(bool* made_progress) {
@@ -346,6 +382,8 @@ Status SaxParser::ConsumeStartTag(size_t gt) {
   }
 
   attr_scratch_.clear();
+  attr_fixups_.clear();
+  attr_decode_buf_.clear();
   bool self_closing = false;
   while (i < gt) {
     // Skip whitespace.
@@ -380,15 +418,16 @@ Status SaxParser::ConsumeStartTag(size_t gt) {
     const char quote = buffer_[i];
     ++i;
     const size_t val_begin = i;
-    while (i < gt && buffer_[i] != quote) {
-      if (buffer_[i] == '<') {
-        return ErrorHere("'<' is not allowed in an attribute value");
-      }
-      ++i;
+    const size_t val_end = FindByte(buffer_, quote, i, gt);
+    if (val_end == std::string_view::npos) {
+      return ErrorHere("unterminated attribute value");
     }
-    if (i >= gt) return ErrorHere("unterminated attribute value");
-    std::string_view raw_value(buffer_.data() + val_begin, i - val_begin);
-    ++i;  // closing quote
+    if (FindByte(buffer_, '<', val_begin, val_end) != std::string_view::npos) {
+      return ErrorHere("'<' is not allowed in an attribute value");
+    }
+    std::string_view raw_value(buffer_.data() + val_begin,
+                               val_end - val_begin);
+    i = val_end + 1;  // past the closing quote
     for (const Attribute& existing : attr_scratch_) {
       if (existing.name == attr_name) {
         return ErrorHere("duplicate attribute '" + std::string(attr_name) +
@@ -396,18 +435,35 @@ Status SaxParser::ConsumeStartTag(size_t gt) {
       }
     }
     Attribute attr;
-    attr.name.assign(attr_name);
-    TWIGM_RETURN_IF_ERROR(
-        DecodeEntities(raw_value, "attribute value", &attr.value));
-    attr_scratch_.push_back(std::move(attr));
+    attr.name = attr_name;
+    if (std::memchr(raw_value.data(), '&', raw_value.size()) == nullptr) {
+      // Fast path: no entities, the raw bytes are the value.
+      attr.value = raw_value;
+    } else {
+      // Decode into the shared side buffer; it may reallocate as later
+      // values append, so park an (index, offset, length) fixup and patch
+      // the view in after the loop.
+      const size_t off = attr_decode_buf_.size();
+      TWIGM_RETURN_IF_ERROR(
+          DecodeEntities(raw_value, "attribute value", &attr_decode_buf_));
+      attr_fixups_.push_back(
+          {attr_scratch_.size(), off, attr_decode_buf_.size() - off});
+    }
+    attr_scratch_.push_back(attr);
+  }
+  for (const AttrFixup& fx : attr_fixups_) {
+    attr_scratch_[fx.attr_index].value =
+        std::string_view(attr_decode_buf_.data() + fx.offset, fx.length);
   }
 
   seen_root_ = true;
-  handler_->OnStartElement(name, attr_scratch_);
+  const SymbolId sym = interner_.Intern(name);
+  const TagToken tag(name, options_.intern_tags ? sym : kNoSymbol);
+  handler_->OnStartElement(tag, attr_scratch_);
   if (self_closing) {
-    handler_->OnEndElement(name);
+    handler_->OnEndElement(tag);
   } else {
-    open_tags_.emplace_back(name);
+    open_tags_.push_back(sym);
   }
   AdvancePosition(pos_, gt + 1);
   pos_ = gt + 1;
@@ -428,12 +484,15 @@ Status SaxParser::ConsumeEndTag(size_t gt) {
     return ErrorHere("end tag </" + std::string(name) +
                      "> with no open element");
   }
-  if (open_tags_.back() != name) {
-    return ErrorHere("mismatched end tag: expected </" + open_tags_.back() +
-                     ">, found </" + std::string(name) + ">");
+  const SymbolId sym = open_tags_.back();
+  if (interner_.name(sym) != name) {
+    return ErrorHere("mismatched end tag: expected </" +
+                     std::string(interner_.name(sym)) + ">, found </" +
+                     std::string(name) + ">");
   }
   open_tags_.pop_back();
-  handler_->OnEndElement(name);
+  handler_->OnEndElement(
+      TagToken(name, options_.intern_tags ? sym : kNoSymbol));
   AdvancePosition(pos_, gt + 1);
   pos_ = gt + 1;
   return Status::Ok();
@@ -512,14 +571,17 @@ Status SaxParser::DecodeEntities(std::string_view raw, const char* context,
 }
 
 void SaxParser::AdvancePosition(size_t from, size_t to) {
-  for (size_t i = from; i < to; ++i) {
-    if (buffer_[i] == '\n') {
-      ++line_;
-      column_ = 1;
-    } else {
-      ++column_;
-    }
+  // memchr for newlines instead of testing every byte: typical runs (tag
+  // bodies, text) contain none or few.
+  size_t i = from;
+  while (true) {
+    const size_t nl = FindByte(buffer_, '\n', i, to);
+    if (nl == std::string_view::npos) break;
+    ++line_;
+    column_ = 1;
+    i = nl + 1;
   }
+  column_ += to - i;
   bytes_consumed_ += to - from;
 }
 

@@ -12,6 +12,12 @@
 // and enforces the well-formedness rules a streaming processor needs:
 // matching tags, a single root element, no markup outside the root, valid
 // names, and no duplicate attributes. Errors carry line/column positions.
+//
+// Hot path: every element name is interned into a TagInterner and events
+// carry the resulting SymbolId (TagToken). Attribute names and values are
+// delivered as string_views into the parse buffer (or, for values with
+// entity references, into a reused decode buffer) — no per-event string
+// copies. The steady state per event is allocation-free; see DESIGN.md §10.
 
 #ifndef TWIGM_XML_SAX_PARSER_H_
 #define TWIGM_XML_SAX_PARSER_H_
@@ -23,6 +29,7 @@
 
 #include "common/status.h"
 #include "xml/sax_event.h"
+#include "xml/tag_interner.h"
 
 namespace twigm::xml {
 
@@ -41,6 +48,12 @@ struct SaxParserOptions {
   /// error with line/column like other well-formedness failures. 0 disables
   /// the limit.
   uint64_t max_buffer_bytes = uint64_t{1} << 30;  // 1 GiB
+  /// When true (default), emitted TagTokens carry the SymbolId assigned by
+  /// this parser's TagInterner. When false, tokens carry kNoSymbol and
+  /// consumers fall back to byte comparison (the parser still interns
+  /// internally for its own open-tag bookkeeping). Exists so differential
+  /// tests can exercise the legacy dispatch path.
+  bool intern_tags = true;
 };
 
 /// Push-model SAX parser. Typical use:
@@ -70,12 +83,26 @@ class SaxParser {
   /// Convenience: Feed(doc) then Finish() on a fresh document.
   Status ParseAll(std::string_view doc);
 
+  /// Rewinds the parser for a new document: clears parse state (position,
+  /// open tags, sticky error) while *retaining* allocated capacity — the
+  /// input buffer, scratch buffers and open-tag stack keep their storage,
+  /// and the tag interner keeps every symbol it has assigned (machines bind
+  /// label symbols once at Create; they must survive Reset).
+  void Reset();
+
   /// 1-based position of the next unconsumed byte (for error reporting).
   size_t line() const { return line_; }
   size_t column() const { return column_; }
 
   /// Total bytes consumed so far.
   size_t bytes_consumed() const { return bytes_consumed_; }
+
+  /// The tag dictionary this parser stamps into its TagTokens. Query
+  /// machines intern their label strings here at bind time so per-event
+  /// dispatch is symbol comparison. Valid for the parser's lifetime; never
+  /// cleared, not even by Reset().
+  TagInterner* interner() { return &interner_; }
+  const TagInterner* interner() const { return &interner_; }
 
   /// Optional: before firing the handler callbacks for a construct, the
   /// parser stores the construct's starting byte offset into `*slot` (one
@@ -107,6 +134,7 @@ class SaxParser {
 
   SaxHandler* handler_;
   SaxParserOptions options_;
+  TagInterner interner_;
 
   std::string buffer_;   // unconsumed input
   size_t pos_ = 0;       // parse cursor within buffer_
@@ -115,14 +143,25 @@ class SaxParser {
   size_t column_ = 1;
   size_t bytes_consumed_ = 0;
 
-  std::vector<std::string> open_tags_;
+  std::vector<SymbolId> open_tags_;  // interned names of open elements
   bool seen_root_ = false;
   bool started_ = false;
   bool finished_ = false;
   Status error_;  // sticky error state
 
-  std::string text_scratch_;             // reused decode buffer
+  std::string text_scratch_;             // reused text decode buffer
+  std::string attr_decode_buf_;          // reused attr-value decode buffer
   std::vector<Attribute> attr_scratch_;  // reused attribute list
+  // Attribute values that needed entity decoding are parked in
+  // attr_decode_buf_ during the attribute loop; because that buffer may
+  // reallocate while later values append to it, the final string_views are
+  // patched in afterwards from these (attr index, offset, length) records.
+  struct AttrFixup {
+    size_t attr_index;
+    size_t offset;
+    size_t length;
+  };
+  std::vector<AttrFixup> attr_fixups_;
 };
 
 /// Returns true iff `name` is a valid XML element/attribute name under this

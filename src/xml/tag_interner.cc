@@ -1,0 +1,84 @@
+#include "xml/tag_interner.h"
+
+#include <cstring>
+
+namespace twigm::xml {
+
+namespace {
+
+constexpr size_t kInitialSlots = 64;       // power of two
+constexpr size_t kArenaChunkBytes = 4096;
+
+uint64_t HashName(std::string_view name) {
+  // FNV-1a.
+  uint64_t h = 14695981039346656037ull;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+TagInterner::TagInterner() : table_(kInitialSlots, 0) {}
+
+const char* TagInterner::ArenaCopy(std::string_view name) {
+  if (arena_used_ + name.size() > arena_cap_) {
+    arena_cap_ = name.size() > kArenaChunkBytes ? name.size()
+                                                : kArenaChunkBytes;
+    arena_.push_back(std::make_unique<char[]>(arena_cap_));
+    arena_used_ = 0;
+  }
+  char* dst = arena_.back().get() + arena_used_;
+  std::memcpy(dst, name.data(), name.size());
+  arena_used_ += name.size();
+  return dst;
+}
+
+void TagInterner::Grow() {
+  std::vector<uint32_t> bigger(table_.size() * 2, 0);
+  const size_t mask = bigger.size() - 1;
+  for (uint32_t slot : table_) {
+    if (slot == 0) continue;
+    size_t i = hashes_[slot - 1] & mask;
+    while (bigger[i] != 0) i = (i + 1) & mask;
+    bigger[i] = slot;
+  }
+  table_ = std::move(bigger);
+}
+
+SymbolId TagInterner::Intern(std::string_view name) {
+  const uint64_t hash = HashName(name);
+  const size_t mask = table_.size() - 1;
+  size_t i = hash & mask;
+  while (true) {
+    const uint32_t slot = table_[i];
+    if (slot == 0) break;
+    const SymbolId sym = slot - 1;
+    if (hashes_[sym] == hash && names_[sym] == name) return sym;
+    i = (i + 1) & mask;
+  }
+  const SymbolId sym = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(ArenaCopy(name), name.size());
+  hashes_.push_back(hash);
+  table_[i] = sym + 1;
+  // Keep load factor under ~70%.
+  if (names_.size() * 10 >= table_.size() * 7) Grow();
+  return sym;
+}
+
+SymbolId TagInterner::Find(std::string_view name) const {
+  const uint64_t hash = HashName(name);
+  const size_t mask = table_.size() - 1;
+  size_t i = hash & mask;
+  while (true) {
+    const uint32_t slot = table_[i];
+    if (slot == 0) return kNoSymbol;
+    const SymbolId sym = slot - 1;
+    if (hashes_[sym] == hash && names_[sym] == name) return sym;
+    i = (i + 1) & mask;
+  }
+}
+
+}  // namespace twigm::xml

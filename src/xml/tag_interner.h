@@ -1,0 +1,68 @@
+// Tag-name dictionary: maps tag bytes to dense, stable SymbolIds.
+//
+// The SAX parser interns every element name it sees and stamps the symbol
+// into the TagToken it emits; query machines intern their label strings
+// into the same dictionary once at bind time. From then on, per-event
+// dispatch is integer comparison (or a postings-vector lookup) instead of
+// string hashing — see DESIGN.md §10.
+//
+// Implementation: open-addressing hash table (power-of-two sized, linear
+// probing) over name views that point into a chunked character arena, so
+// views returned by name() stay valid for the interner's lifetime and
+// across parse-buffer compaction. Symbols are never reused or reordered;
+// the table only grows. A streaming document's distinct-tag count is small
+// (tens to hundreds), so the steady state is all hits: one hash, one probe,
+// one byte-compare per start tag, zero allocations.
+
+#ifndef TWIGM_XML_TAG_INTERNER_H_
+#define TWIGM_XML_TAG_INTERNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "xml/sax_event.h"
+
+namespace twigm::xml {
+
+class TagInterner {
+ public:
+  TagInterner();
+  TagInterner(const TagInterner&) = delete;
+  TagInterner& operator=(const TagInterner&) = delete;
+
+  /// Returns the symbol for `name`, creating one on first sight. The bytes
+  /// are copied into the interner's arena, so `name` may point anywhere
+  /// (e.g. into a parse buffer about to be compacted).
+  SymbolId Intern(std::string_view name);
+
+  /// Returns the symbol for `name`, or kNoSymbol if it was never interned.
+  SymbolId Find(std::string_view name) const;
+
+  /// The interned bytes for `id`. Valid for the interner's lifetime.
+  std::string_view name(SymbolId id) const { return names_[id]; }
+
+  /// Number of distinct names interned. Symbols are 0..size()-1.
+  size_t size() const { return names_.size(); }
+
+  // There is deliberately no Clear(): symbols must stay stable across
+  // documents because machines bind their query labels once at Create and
+  // Reset() paths retain the binding.
+
+ private:
+  void Grow();
+  const char* ArenaCopy(std::string_view name);
+
+  // Slot values are symbol+1 so 0 means empty. Power-of-two sized.
+  std::vector<uint32_t> table_;
+  std::vector<std::string_view> names_;   // indexed by SymbolId, into arena
+  std::vector<uint64_t> hashes_;          // cached per symbol, for rehashing
+  std::vector<std::unique_ptr<char[]>> arena_;
+  size_t arena_used_ = 0;   // bytes used in the current (last) chunk
+  size_t arena_cap_ = 0;    // capacity of the current chunk
+};
+
+}  // namespace twigm::xml
+
+#endif  // TWIGM_XML_TAG_INTERNER_H_

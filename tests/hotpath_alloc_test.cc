@@ -1,0 +1,177 @@
+// Proves the zero-allocation steady state: after one warm pass, streaming
+// the same document again through a Reset() processor performs no heap
+// allocations at all — the parser buffers, interner, pooled stacks and
+// candidate vectors all reuse their capacity. Links twigm_alloc_hook, which
+// replaces operator new/delete with counting versions (this is why these
+// assertions live in their own binary).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/multi_query.h"
+#include "core/result_sink.h"
+#include "dtd/dtd_generator.h"
+#include "dtd/dtd_parser.h"
+#include "filter/filter_engine.h"
+#include "gtest/gtest.h"
+#include "obs/alloc_hook.h"
+
+namespace twigm {
+namespace {
+
+std::string MakeDocument(uint64_t seed) {
+  Result<dtd::Dtd> dtd = dtd::ParseDtd(R"(
+    <!ELEMENT book (title, section*)>
+    <!ELEMENT section (title?, (section | p | figure)*)>
+    <!ELEMENT title (#PCDATA)>
+    <!ELEMENT p (#PCDATA)>
+    <!ELEMENT figure EMPTY>
+    <!ATTLIST figure id CDATA #REQUIRED>
+  )");
+  EXPECT_TRUE(dtd.ok()) << dtd.status().ToString();
+  dtd::GeneratorOptions options;
+  options.seed = seed;
+  options.number_levels = 12;
+  options.max_repeats = 4;
+  Result<std::string> doc = dtd::GenerateDocument(dtd.value(), "book",
+                                                  options);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return doc.value();
+}
+
+TEST(HotpathAllocTest, HookIsLinked) {
+  ASSERT_TRUE(obs::AllocHookActive())
+      << "hotpath_alloc_test must link twigm_alloc_hook";
+}
+
+TEST(HotpathAllocTest, TwigMachineSteadyStateAllocatesNothing) {
+  const std::string doc = MakeDocument(7);
+  core::CountingResultSink sink;
+  core::EvaluatorOptions options;
+  options.engine = core::EngineKind::kTwigM;
+  Result<std::unique_ptr<core::XPathStreamProcessor>> proc =
+      core::XPathStreamProcessor::Create("//section[title]//figure", &sink,
+                                         options);
+  ASSERT_TRUE(proc.ok()) << proc.status().ToString();
+  core::XPathStreamProcessor& p = *proc.value();
+
+  auto stream_once = [&]() {
+    Status s = p.Feed(doc);
+    if (s.ok()) s = p.Finish();
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  };
+
+  stream_once();  // warm: pools, interner, stacks grow here
+  const uint64_t warm_results = sink.count();
+  for (int pass = 0; pass < 3; ++pass) {
+    p.Reset();
+    const uint64_t before = obs::AllocHookNewCalls();
+    stream_once();
+    EXPECT_EQ(obs::AllocHookNewCalls() - before, 0u) << "pass " << pass;
+  }
+  // Reset + re-stream also reproduced the results each pass.
+  EXPECT_EQ(sink.count(), warm_results * 4);
+}
+
+TEST(HotpathAllocTest, MultiQuerySteadyStateAllocatesNothing) {
+  const std::string doc = MakeDocument(11);
+  class CountSink : public core::MultiQueryResultSink {
+   public:
+    void OnResult(size_t, const core::MatchInfo&) override { ++count; }
+    uint64_t count = 0;
+  };
+  CountSink sink;
+  const std::vector<std::string> queries = {
+      "//section/title", "//section[p]//figure", "/book//section[figure]"};
+  Result<std::unique_ptr<core::MultiQueryProcessor>> proc =
+      core::MultiQueryProcessor::Create(queries, &sink);
+  ASSERT_TRUE(proc.ok()) << proc.status().ToString();
+  core::MultiQueryProcessor& p = *proc.value();
+
+  auto stream_once = [&]() {
+    Status s = p.Feed(doc);
+    if (s.ok()) s = p.Finish();
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  };
+
+  stream_once();
+  for (int pass = 0; pass < 3; ++pass) {
+    p.Reset();
+    const uint64_t before = obs::AllocHookNewCalls();
+    stream_once();
+    EXPECT_EQ(obs::AllocHookNewCalls() - before, 0u) << "pass " << pass;
+  }
+}
+
+TEST(HotpathAllocTest, FilterEngineSteadyStateAllocatesNothing) {
+  const std::string doc = MakeDocument(13);
+  class CountSink : public core::MultiQueryResultSink {
+   public:
+    void OnResult(size_t, const core::MatchInfo&) override { ++count; }
+    uint64_t count = 0;
+  };
+  CountSink sink;
+  const std::vector<std::string> queries = {
+      "//section/title", "//section//figure", "/book/section",
+      "//*/figure",      "//section[p]",      "/book//p"};
+  Result<std::unique_ptr<filter::FilterEngine>> engine =
+      filter::FilterEngine::Create(queries, &sink);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  filter::FilterEngine& e = *engine.value();
+
+  auto stream_once = [&]() {
+    Status s = e.Feed(doc);
+    if (s.ok()) s = e.Finish();
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  };
+
+  stream_once();
+  for (int pass = 0; pass < 3; ++pass) {
+    e.Reset();
+    const uint64_t before = obs::AllocHookNewCalls();
+    stream_once();
+    EXPECT_EQ(obs::AllocHookNewCalls() - before, 0u) << "pass " << pass;
+  }
+}
+
+// Capacity survives document *switches*, not just re-streams of the same
+// bytes: after warming on the largest document, streaming a mix of smaller
+// documents allocates nothing either (same tag vocabulary, smaller shapes).
+TEST(HotpathAllocTest, ResetRetainsCapacityAcrossDocuments) {
+  std::vector<std::string> docs;
+  for (uint64_t seed : {21, 22, 23, 24}) docs.push_back(MakeDocument(seed));
+
+  core::CountingResultSink sink;
+  core::EvaluatorOptions options;
+  options.engine = core::EngineKind::kTwigM;
+  Result<std::unique_ptr<core::XPathStreamProcessor>> proc =
+      core::XPathStreamProcessor::Create("//section[title]//figure", &sink,
+                                         options);
+  ASSERT_TRUE(proc.ok()) << proc.status().ToString();
+  core::XPathStreamProcessor& p = *proc.value();
+
+  auto stream = [&](const std::string& doc) {
+    Status s = p.Feed(doc);
+    if (s.ok()) s = p.Finish();
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  };
+
+  // Warm on every document once: each may have the deepest recursion or the
+  // longest text run, any of which can grow a buffer.
+  for (const std::string& doc : docs) {
+    p.Reset();
+    stream(doc);
+  }
+  // Second cycle through all documents: everything is at capacity.
+  for (size_t i = 0; i < docs.size(); ++i) {
+    p.Reset();
+    const uint64_t before = obs::AllocHookNewCalls();
+    stream(docs[i]);
+    EXPECT_EQ(obs::AllocHookNewCalls() - before, 0u) << "doc " << i;
+  }
+}
+
+}  // namespace
+}  // namespace twigm

@@ -1,0 +1,208 @@
+// Differential test for the interned-tag dispatch path: every engine must
+// produce the identical match set — (query, node id, proof byte offset)
+// triples — whether events carry SymbolIds (postings-vector dispatch) or
+// kNoSymbol (legacy byte-comparing dispatch, SaxParserOptions::intern_tags
+// = false). Documents are randomized recursive instances generated from a
+// DTD, so the same tag appears at many levels and the dedup/propagation
+// machinery is exercised, not just simple matches.
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/multi_query.h"
+#include "core/result_sink.h"
+#include "dtd/dtd_generator.h"
+#include "dtd/dtd_parser.h"
+#include "filter/filter_engine.h"
+#include "gtest/gtest.h"
+
+namespace twigm {
+namespace {
+
+constexpr int kDocuments = 100;
+
+// A recursive document grammar: <section> nests under itself, so generated
+// instances are recursive to the generator's level limit.
+const char kDtd[] = R"(
+  <!ELEMENT book (title, author*, section*)>
+  <!ELEMENT section (title?, (section | p | figure)*)>
+  <!ELEMENT title (#PCDATA)>
+  <!ELEMENT author (#PCDATA)>
+  <!ELEMENT p (#PCDATA)>
+  <!ELEMENT figure EMPTY>
+  <!ATTLIST figure id CDATA #REQUIRED>
+  <!ATTLIST section difficulty CDATA #IMPLIED>
+)";
+
+std::vector<std::string> GenerateDocuments() {
+  Result<dtd::Dtd> parsed = dtd::ParseDtd(kDtd);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::vector<std::string> docs;
+  docs.reserve(kDocuments);
+  for (int i = 0; i < kDocuments; ++i) {
+    dtd::GeneratorOptions options;
+    options.seed = 1000 + static_cast<uint64_t>(i);
+    options.number_levels = 10;
+    options.max_repeats = 3;
+    Result<std::string> doc = dtd::GenerateDocument(parsed.value(), "book",
+                                                    options);
+    EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+    docs.push_back(std::move(doc.value()));
+  }
+  return docs;
+}
+
+// (query index, node id, proof byte offset) — sorted before comparison
+// because dispatch order within one event may differ between the symbol
+// and legacy paths (label vs wildcard interleaving) without changing the
+// match set.
+using Hit = std::tuple<size_t, xml::NodeId, uint64_t>;
+
+class CollectingMultiSink : public core::MultiQueryResultSink {
+ public:
+  void OnResult(size_t query_index, const core::MatchInfo& match) override {
+    hits.push_back({query_index, match.id, match.byte_offset});
+  }
+  std::vector<Hit> hits;
+};
+
+class CollectingObserver : public core::MatchObserver {
+ public:
+  void OnResult(const core::MatchInfo& match) override {
+    hits.push_back({0, match.id, match.byte_offset});
+  }
+  std::vector<Hit> hits;
+};
+
+std::vector<Hit> Sorted(std::vector<Hit> hits) {
+  std::sort(hits.begin(), hits.end());
+  return hits;
+}
+
+const std::vector<std::string>& TwigQueries() {
+  static const std::vector<std::string>* queries = new std::vector<std::string>{
+      "//section[title]//figure",
+      "/book//section[p][figure]",
+      "//section//section/title",
+      "//section[@difficulty]",
+      "//*[figure]/p",
+      "/book/section//section[section]",
+  };
+  return *queries;
+}
+
+std::vector<Hit> RunSingleQuery(const std::string& query,
+                                const std::string& doc, bool intern) {
+  CollectingObserver observer;
+  core::EvaluatorOptions options;
+  options.engine = core::EngineKind::kTwigM;
+  options.sax.intern_tags = intern;
+  Result<std::unique_ptr<core::XPathStreamProcessor>> proc =
+      core::XPathStreamProcessor::Create(query, &observer, options);
+  EXPECT_TRUE(proc.ok()) << query << ": " << proc.status().ToString();
+  Status s = proc.value()->Feed(doc);
+  if (s.ok()) s = proc.value()->Finish();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return Sorted(std::move(observer.hits));
+}
+
+TEST(HotpathDifferentialTest, TwigMachineMatchesLegacyDispatch) {
+  const std::vector<std::string> docs = GenerateDocuments();
+  for (size_t d = 0; d < docs.size(); ++d) {
+    for (const std::string& query : TwigQueries()) {
+      const std::vector<Hit> interned = RunSingleQuery(query, docs[d], true);
+      const std::vector<Hit> legacy = RunSingleQuery(query, docs[d], false);
+      ASSERT_EQ(interned, legacy) << "doc seed " << (1000 + d) << " query "
+                                  << query;
+    }
+  }
+}
+
+std::vector<Hit> RunMultiQuery(const std::vector<std::string>& queries,
+                               const std::string& doc, bool intern) {
+  CollectingMultiSink sink;
+  core::EvaluatorOptions options;
+  options.sax.intern_tags = intern;
+  Result<std::unique_ptr<core::MultiQueryProcessor>> proc =
+      core::MultiQueryProcessor::Create(queries, &sink, options);
+  EXPECT_TRUE(proc.ok()) << proc.status().ToString();
+  Status s = proc.value()->Feed(doc);
+  if (s.ok()) s = proc.value()->Finish();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return Sorted(std::move(sink.hits));
+}
+
+TEST(HotpathDifferentialTest, MultiQueryProcessorMatchesLegacyDispatch) {
+  const std::vector<std::string> docs = GenerateDocuments();
+  for (size_t d = 0; d < docs.size(); ++d) {
+    const std::vector<Hit> interned = RunMultiQuery(TwigQueries(), docs[d],
+                                                    true);
+    const std::vector<Hit> legacy = RunMultiQuery(TwigQueries(), docs[d],
+                                                  false);
+    ASSERT_EQ(interned, legacy) << "doc seed " << (1000 + d);
+  }
+}
+
+std::vector<Hit> RunFilter(const std::vector<std::string>& queries,
+                           const std::string& doc, bool intern) {
+  CollectingMultiSink sink;
+  core::EvaluatorOptions options;
+  options.sax.intern_tags = intern;
+  Result<std::unique_ptr<filter::FilterEngine>> engine =
+      filter::FilterEngine::Create(queries, &sink, options);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  Status s = engine.value()->Feed(doc);
+  if (s.ok()) s = engine.value()->Finish();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return Sorted(std::move(sink.hits));
+}
+
+TEST(HotpathDifferentialTest, FilterEngineMatchesLegacyDispatch) {
+  // Shared prefixes on purpose: the trie collapses these, so the symbol
+  // dispatch at the trie root and at active trie nodes both get exercised.
+  const std::vector<std::string> queries = {
+      "//section/title",
+      "//section/figure",
+      "//section//figure",
+      "/book/section",
+      "/book//p",
+      "//*/figure",
+      "//section[p]/title",
+      "//section[@difficulty]//figure",
+  };
+  const std::vector<std::string> docs = GenerateDocuments();
+  for (size_t d = 0; d < docs.size(); ++d) {
+    const std::vector<Hit> interned = RunFilter(queries, docs[d], true);
+    const std::vector<Hit> legacy = RunFilter(queries, docs[d], false);
+    ASSERT_EQ(interned, legacy) << "doc seed " << (1000 + d);
+  }
+}
+
+// Reset + re-stream with interning on must also agree with a fresh legacy
+// run: pooled state from the previous document must not leak into results.
+TEST(HotpathDifferentialTest, ResetReuseMatchesLegacyDispatch) {
+  const std::vector<std::string> docs = GenerateDocuments();
+  CollectingMultiSink sink;
+  core::EvaluatorOptions options;
+  Result<std::unique_ptr<core::MultiQueryProcessor>> proc =
+      core::MultiQueryProcessor::Create(TwigQueries(), &sink, options);
+  ASSERT_TRUE(proc.ok()) << proc.status().ToString();
+  for (size_t d = 0; d < 20 && d < docs.size(); ++d) {
+    sink.hits.clear();
+    proc.value()->Reset();
+    Status s = proc.value()->Feed(docs[d]);
+    if (s.ok()) s = proc.value()->Finish();
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    const std::vector<Hit> reused = Sorted(sink.hits);
+    const std::vector<Hit> fresh = RunMultiQuery(TwigQueries(), docs[d],
+                                                 false);
+    ASSERT_EQ(reused, fresh) << "doc seed " << (1000 + d);
+  }
+}
+
+}  // namespace
+}  // namespace twigm

@@ -15,16 +15,16 @@ class TraceHandler : public SaxHandler {
  public:
   void OnStartDocument() override { trace_ += "D+ "; }
   void OnEndDocument() override { trace_ += "D- "; }
-  void OnStartElement(std::string_view tag,
+  void OnStartElement(const TagToken& tag,
                       const std::vector<Attribute>& attrs) override {
-    trace_ += "<" + std::string(tag);
+    trace_ += "<" + std::string(tag.text);
     for (const Attribute& a : attrs) {
-      trace_ += " " + a.name + "='" + a.value + "'";
+      trace_ += " " + std::string(a.name) + "='" + std::string(a.value) + "'";
     }
     trace_ += "> ";
   }
-  void OnEndElement(std::string_view tag) override {
-    trace_ += "</" + std::string(tag) + "> ";
+  void OnEndElement(const TagToken& tag) override {
+    trace_ += "</" + std::string(tag.text) + "> ";
   }
   void OnCharacters(std::string_view text) override {
     trace_ += "T(" + std::string(text) + ") ";

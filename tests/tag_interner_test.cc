@@ -1,0 +1,189 @@
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "xml/sax_event.h"
+#include "xml/sax_parser.h"
+#include "xml/tag_interner.h"
+
+namespace twigm::xml {
+namespace {
+
+TEST(TagInternerTest, AssignsDenseStableIds) {
+  TagInterner interner;
+  EXPECT_EQ(interner.size(), 0u);
+  const SymbolId a = interner.Intern("a");
+  const SymbolId b = interner.Intern("b");
+  const SymbolId c = interner.Intern("c");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(c, 2u);
+  EXPECT_EQ(interner.size(), 3u);
+  // Re-interning is idempotent and does not grow the dictionary.
+  EXPECT_EQ(interner.Intern("b"), b);
+  EXPECT_EQ(interner.Intern("a"), a);
+  EXPECT_EQ(interner.size(), 3u);
+}
+
+TEST(TagInternerTest, FindDoesNotIntern) {
+  TagInterner interner;
+  EXPECT_EQ(interner.Find("ghost"), kNoSymbol);
+  EXPECT_EQ(interner.size(), 0u);
+  const SymbolId id = interner.Intern("ghost");
+  EXPECT_EQ(interner.Find("ghost"), id);
+  EXPECT_EQ(interner.Find("other"), kNoSymbol);
+}
+
+TEST(TagInternerTest, NameRoundTrips) {
+  TagInterner interner;
+  const SymbolId id = interner.Intern("chapter");
+  EXPECT_EQ(interner.name(id), "chapter");
+}
+
+TEST(TagInternerTest, InternCopiesTheBytes) {
+  TagInterner interner;
+  std::string volatile_name = "section";
+  const SymbolId id = interner.Intern(volatile_name);
+  // Clobber the source: the interner must have copied into its arena.
+  volatile_name.assign("XXXXXXX");
+  EXPECT_EQ(interner.name(id), "section");
+  EXPECT_EQ(interner.Find("section"), id);
+}
+
+TEST(TagInternerTest, ViewsStayValidAcrossGrowth) {
+  TagInterner interner;
+  const SymbolId first = interner.Intern("first-symbol");
+  const std::string_view early_view = interner.name(first);
+  // Force many rehashes and arena chunks.
+  std::vector<SymbolId> ids;
+  for (int i = 0; i < 10000; ++i) {
+    ids.push_back(interner.Intern("tag_" + std::to_string(i)));
+  }
+  EXPECT_EQ(interner.size(), 10001u);
+  // The early view still points at live arena bytes.
+  EXPECT_EQ(early_view, "first-symbol");
+  EXPECT_EQ(interner.name(first), "first-symbol");
+  // Every symbol is distinct and still resolvable.
+  for (int i = 0; i < 10000; ++i) {
+    const std::string name = "tag_" + std::to_string(i);
+    EXPECT_EQ(interner.Find(name), ids[i]) << name;
+    EXPECT_EQ(interner.name(ids[i]), name);
+  }
+}
+
+TEST(TagInternerTest, DistinguishesPrefixes) {
+  TagInterner interner;
+  const SymbolId a = interner.Intern("ab");
+  const SymbolId b = interner.Intern("abc");
+  const SymbolId c = interner.Intern("a");
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(interner.Find("ab"), a);
+  EXPECT_EQ(interner.Find("abc"), b);
+  EXPECT_EQ(interner.Find("a"), c);
+}
+
+// ---------------------------------------------------------------------------
+// Chunk-split fuzz: the symbols a parser stamps into its TagTokens must not
+// depend on how the input bytes were split across Feed() calls, even when a
+// split lands mid-tag-name and the buffer compacts between chunks.
+
+// Records "tag:symbol" per element event.
+class SymbolRecorder : public SaxHandler {
+ public:
+  void OnStartElement(const TagToken& tag,
+                      const std::vector<Attribute>&) override {
+    log_ += "+" + std::string(tag.text) + ":" + std::to_string(tag.symbol) +
+            " ";
+  }
+  void OnEndElement(const TagToken& tag) override {
+    log_ += "-" + std::string(tag.text) + ":" + std::to_string(tag.symbol) +
+            " ";
+  }
+  void OnCharacters(std::string_view) override {}
+  void OnEndDocument() override { log_ += "."; }
+
+  const std::string& log() const { return log_; }
+
+ private:
+  std::string log_;
+};
+
+std::string ParseInChunks(std::string_view doc, size_t chunk) {
+  SymbolRecorder recorder;
+  SaxParser parser(&recorder);
+  for (size_t pos = 0; pos < doc.size(); pos += chunk) {
+    const size_t len = std::min(chunk, doc.size() - pos);
+    EXPECT_TRUE(parser.Feed(doc.substr(pos, len)).ok());
+  }
+  EXPECT_TRUE(parser.Finish().ok());
+  return recorder.log();
+}
+
+TEST(TagInternerChunkFuzzTest, SymbolsIndependentOfChunking) {
+  const std::string doc =
+      "<catalog><book id=\"1\"><title>T&amp;A</title><author>x</author>"
+      "<book id=\"2\"><title><![CDATA[raw <stuff>]]></title></book></book>"
+      "<!-- note --><misc/><longtagname attr='v'>text</longtagname>"
+      "</catalog>";
+  const std::string whole = ParseInChunks(doc, doc.size());
+  // Every chunk size from 1 byte up, so each boundary eventually lands
+  // inside every construct (tag names, attributes, CDATA, comment).
+  for (size_t chunk = 1; chunk <= 17; ++chunk) {
+    EXPECT_EQ(ParseInChunks(doc, chunk), whole) << "chunk=" << chunk;
+  }
+}
+
+TEST(TagInternerChunkFuzzTest, SplitAtEveryPosition) {
+  const std::string doc = "<aa><bb x=\"1\"/><aa><cc>t</cc></aa></aa>";
+  const std::string whole = ParseInChunks(doc, doc.size());
+  for (size_t split = 1; split < doc.size(); ++split) {
+    SymbolRecorder recorder;
+    SaxParser parser(&recorder);
+    ASSERT_TRUE(parser.Feed(std::string_view(doc).substr(0, split)).ok());
+    ASSERT_TRUE(parser.Feed(std::string_view(doc).substr(split)).ok());
+    ASSERT_TRUE(parser.Finish().ok());
+    EXPECT_EQ(recorder.log(), whole) << "split=" << split;
+  }
+}
+
+TEST(TagInternerChunkFuzzTest, ResetKeepsSymbolsStable) {
+  SymbolRecorder recorder;
+  SaxParser parser(&recorder);
+  ASSERT_TRUE(parser.ParseAll("<a><b/></a>").ok());
+  const SymbolId a = parser.interner()->Find("a");
+  const SymbolId b = parser.interner()->Find("b");
+  ASSERT_NE(a, kNoSymbol);
+  ASSERT_NE(b, kNoSymbol);
+  parser.Reset();
+  // Second document reuses the dictionary: same names, same symbols.
+  ASSERT_TRUE(parser.ParseAll("<b><a/><c/></b>").ok());
+  EXPECT_EQ(parser.interner()->Find("a"), a);
+  EXPECT_EQ(parser.interner()->Find("b"), b);
+  EXPECT_NE(parser.interner()->Find("c"), kNoSymbol);
+}
+
+TEST(TagInternerChunkFuzzTest, InternTagsOffEmitsNoSymbol) {
+  SaxParserOptions options;
+  options.intern_tags = false;
+  class Check : public SaxHandler {
+   public:
+    void OnStartElement(const TagToken& tag,
+                        const std::vector<Attribute>&) override {
+      EXPECT_EQ(tag.symbol, kNoSymbol);
+    }
+    void OnEndElement(const TagToken& tag) override {
+      EXPECT_EQ(tag.symbol, kNoSymbol);
+    }
+    void OnCharacters(std::string_view) override {}
+    void OnEndDocument() override {}
+  };
+  Check check;
+  SaxParser parser(&check, options);
+  EXPECT_TRUE(parser.ParseAll("<a><b>t</b></a>").ok());
+}
+
+}  // namespace
+}  // namespace twigm::xml

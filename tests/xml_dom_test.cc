@@ -133,13 +133,13 @@ TEST(DomTest, MemoryEstimatePositive) {
 TEST(EventDriverTest, AssignsLevelsAndPreOrderIds) {
   struct Recorder : StreamEventSink {
     std::string log;
-    void StartElement(std::string_view tag, int level, NodeId id,
+    void StartElement(const TagToken& tag, int level, NodeId id,
                       const std::vector<Attribute>&) override {
-      log += "+" + std::string(tag) + "/" + std::to_string(level) + "#" +
+      log += "+" + std::string(tag.text) + "/" + std::to_string(level) + "#" +
              std::to_string(id) + " ";
     }
-    void EndElement(std::string_view tag, int level) override {
-      log += "-" + std::string(tag) + "/" + std::to_string(level) + " ";
+    void EndElement(const TagToken& tag, int level) override {
+      log += "-" + std::string(tag.text) + "/" + std::to_string(level) + " ";
     }
     void Text(std::string_view text, int level) override {
       log += "t" + std::to_string(level) + "(" + std::string(text) + ") ";
