@@ -5,13 +5,21 @@
 // in the number of queries; the filter's is bounded by the number of
 // distinct active location steps, so the gap widens with the set size.
 //
+// BM_ShardedServe extends the sweep to 1M queries through the multi-core
+// subscription service (src/serve/), with the shard count as a second
+// dimension (1/2/4/8): the query set is partitioned across shard workers,
+// so aggregate events/sec scales with cores on multi-core hardware.
+//
 // Run with `--json BENCH_filter_scalability.json` for machine-readable
-// records (wall time, peak RSS, result counts, trie sharing stats).
+// records (wall time, peak RSS, result counts, trie sharing stats; the
+// sharded records add aggregate events/sec and per-shard utilization).
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/dtd_structure.h"
@@ -23,6 +31,7 @@
 #include "filter/analyzed_engine.h"
 #include "filter/filter_engine.h"
 #include "obs/metrics.h"
+#include "serve/server.h"
 
 namespace twigm::bench {
 namespace {
@@ -287,6 +296,136 @@ void BM_AnalyzedFilter(benchmark::State& state) {
                           static_cast<int64_t>(doc.size()));
 }
 
+// Subscription workload for the sharded service: ~90% linear, and the
+// first step is always a *named* tag — a wildcard first step would mark its
+// shard take-all and defeat the per-symbol routing this benchmark measures
+// (real publish/subscribe workloads are anchored the same way). Longer
+// chains (3-5 steps) keep per-query selectivity low so the measurement is
+// dominated by per-event trie work, not delivery fan-out.
+std::vector<std::string> MakeServeWorkload(const Vocabulary& vocab,
+                                           size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const int steps = 3 + static_cast<int>(rng.Below(3));  // 3..5
+    std::string q;
+    for (int s = 0; s < steps; ++s) {
+      q += (s == 0 || rng.Below(100) < 35) ? "//" : "/";
+      if (s > 0 && rng.Below(100) < 10) {
+        q += "*";
+      } else {
+        q += vocab.tags[rng.Below(vocab.tags.size())];
+      }
+    }
+    if (rng.Below(100) >= 90) {
+      if (rng.Below(2) == 0) {
+        q += "[@" + vocab.attrs[rng.Below(vocab.attrs.size())] + "]";
+      } else {
+        q += "[" + vocab.tags[rng.Below(vocab.tags.size())] + "]";
+      }
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+// The sharded subscription service: the same workload partitioned across
+// N shard workers, fed through one routing session. Aggregate events/sec =
+// modified-SAX events processed across all shards per second of wall time;
+// on multi-core hardware it scales with the shard count (per-shard
+// utilization in the JSON record shows the partition balance). Notification
+// delivery runs in callback mode so the measurement excludes Poll()
+// contention.
+void BM_ShardedServe(benchmark::State& state) {
+  const size_t queries = static_cast<size_t>(state.range(0));
+  const int shards = static_cast<int>(state.range(1));
+  const std::string& doc = DatasetFor(0);  // Book
+  const std::vector<std::string> query_set =
+      MakeServeWorkload(BookVocabulary(), queries, 2006);
+  constexpr int kTimedDocs = 3;
+  for (auto _ : state) {
+    serve::SubscriptionServer::Options options;
+    options.num_shards = shards;
+    options.ring_capacity = 4096;
+    std::atomic<uint64_t> delivered{0};
+    options.on_batch = [&delivered](std::vector<serve::Notification>&& batch) {
+      delivered.fetch_add(batch.size(), std::memory_order_relaxed);
+    };
+    auto server = serve::SubscriptionServer::Create(options);
+    if (!server.ok()) {
+      state.SkipWithError(server.status().ToString().c_str());
+      return;
+    }
+    for (const std::string& q : query_set) {
+      auto id = server.value()->Subscribe(q);
+      if (!id.ok()) {
+        state.SkipWithError(id.status().ToString().c_str());
+        return;
+      }
+    }
+    auto stream = server.value()->OpenStream();
+    // Warm-up document: shard engines fold (compile) outside the timing.
+    if (!stream->FeedDocument(doc).ok()) {
+      state.SkipWithError("warm-up document failed");
+      return;
+    }
+    std::vector<uint64_t> events_before(static_cast<size_t>(shards));
+    for (int s = 0; s < shards; ++s) {
+      events_before[static_cast<size_t>(s)] =
+          server.value()->shard(s).counters().events.load();
+    }
+    const uint64_t delivered_before = delivered.load();
+    Stopwatch sw;
+    for (int k = 0; k < kTimedDocs; ++k) {
+      if (!stream->FeedDocument(doc).ok()) {
+        state.SkipWithError("timed document failed");
+        return;
+      }
+    }
+    const double seconds = sw.ElapsedSeconds();
+    uint64_t total_events = 0;
+    std::vector<uint64_t> shard_events(static_cast<size_t>(shards));
+    for (int s = 0; s < shards; ++s) {
+      shard_events[static_cast<size_t>(s)] =
+          server.value()->shard(s).counters().events.load() -
+          events_before[static_cast<size_t>(s)];
+      total_events += shard_events[static_cast<size_t>(s)];
+    }
+    const double events_per_sec =
+        seconds > 0 ? static_cast<double>(total_events) / seconds : 0;
+    state.counters["events_per_sec"] = benchmark::Counter(events_per_sec);
+    state.counters["deliveries"] = benchmark::Counter(
+        static_cast<double>(delivered.load() - delivered_before));
+    BenchRecord record;
+    record.bench = "filter_scalability";
+    record.params = {{"system", "sharded_serve"},
+                     {"queries", std::to_string(queries)},
+                     {"shards", std::to_string(shards)},
+                     {"dataset", "book"}};
+    record.wall_ms = seconds * 1e3;
+    record.metrics = {
+        {"events_per_sec", events_per_sec},
+        {"aggregate_events", static_cast<double>(total_events)},
+        {"deliveries",
+         static_cast<double>(delivered.load() - delivered_before)},
+        {"documents", static_cast<double>(kTimedDocs)},
+        {"host_cpus",
+         static_cast<double>(std::thread::hardware_concurrency())}};
+    for (int s = 0; s < shards; ++s) {
+      const double ev = static_cast<double>(shard_events[static_cast<size_t>(s)]);
+      record.metrics.emplace_back("shard" + std::to_string(s) + ".events", ev);
+      record.metrics.emplace_back(
+          "shard" + std::to_string(s) + ".utilization",
+          total_events ? ev / static_cast<double>(total_events) : 0);
+    }
+    BenchJson::Get().Add(std::move(record));
+    stream.reset();  // close the session before the server goes down
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.size()) * kTimedDocs);
+}
+
 void RegisterSweep() {
   for (auto* bench : {benchmark::RegisterBenchmark("BM_FilterEngine",
                                                    BM_FilterEngine),
@@ -302,6 +441,15 @@ void RegisterSweep() {
     }
     bench->Unit(benchmark::kMillisecond)->Iterations(1);
   }
+  auto* sharded =
+      benchmark::RegisterBenchmark("BM_ShardedServe", BM_ShardedServe);
+  sharded->ArgNames({"queries", "shards"});
+  for (int queries : {4096, 65536, 262144, 1048576}) {
+    for (int shards : {1, 2, 4, 8}) {
+      sharded->Args({queries, shards});
+    }
+  }
+  sharded->Unit(benchmark::kMillisecond)->Iterations(1);
 }
 
 // Cross-checks the two systems before the timed runs: they must emit the

@@ -1,63 +1,53 @@
-// Large-scale publish/subscribe routing with the shared-prefix filter
-// engine (src/filter/). Where feed_router.cpp runs a handful of
-// subscriptions through the product construction, this example registers
-// hundreds of generated subscriptions and routes one stream through the
-// step-trie: queries with common location-step prefixes share work, so the
-// per-event cost depends on the number of distinct steps, not subscribers.
+// Large-scale publish/subscribe routing, now as a long-running daemon on
+// the sharded subscription service (src/serve/): several generated feed
+// streams are fed concurrently through serve::SubscriptionServer while
+// subscriptions churn (periodic subscribe/unsubscribe) with no
+// stop-the-world rebuild, and per-shard statistics are printed at the end.
+//
+// Flags:
+//   --single-thread     route everything through one FilterEngine on the
+//                       caller thread (the legacy mode of this example)
+//   --shards=N          worker shards (default 4)
+//   --streams=N         concurrent document streams (default 2)
+//   --rounds=N          documents per stream (default 6)
+//   --subscribers=N     initial subscriptions (default 500)
+//   --churn=N           per round: unsubscribe N and subscribe N (default 8)
+//
+// Defaults are small enough that the example doubles as a ctest smoke test
+// (both modes run in CI).
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/random.h"
 #include "filter/filter_engine.h"
+#include "obs/metrics.h"
+#include "serve/server.h"
 #include "xml/xml_writer.h"
 
 namespace {
 
 // Subscriptions over the feed vocabulary. The small vocabulary means heavy
-// prefix overlap — exactly the sharing the trie exploits.
-std::vector<std::string> MakeSubscriptions(int count, uint64_t seed) {
-  twigm::Rng rng(seed);
+// prefix overlap — exactly the sharing the trie exploits — and the shared
+// first-step names keep whole query families on the same shard.
+std::string MakeSubscription(twigm::Rng* rng) {
   const char* sections[] = {"sports", "finance", "politics", "science"};
-  std::vector<std::string> queries;
-  queries.reserve(count);
-  for (int i = 0; i < count; ++i) {
-    std::string q;
-    switch (rng.Below(5)) {
-      case 0: q = "//item/headline"; break;
-      case 1: q = "//item/body/p"; break;
-      case 2: q = "/feed/item[@priority]/headline"; break;
-      case 3:
-        q = "/feed/item[category=\"" + std::string(sections[rng.Below(4)]) +
-            "\"]/headline";
-        break;
-      case 4: q = "//item//link"; break;
-    }
-    queries.push_back(std::move(q));
+  switch (rng->Below(5)) {
+    case 0: return "//item/headline";
+    case 1: return "//item/body/p";
+    case 2: return "/feed/item[@priority]/headline";
+    case 3:
+      return "/feed/item[category=\"" + std::string(sections[rng->Below(4)]) +
+             "\"]/headline";
+    default: return "//item//link";
   }
-  return queries;
 }
-
-class Router : public twigm::core::MultiQueryResultSink {
- public:
-  explicit Router(size_t queries) : counts_(queries) {}
-  void OnResult(size_t query_index,
-                const twigm::core::MatchInfo&) override {
-    ++counts_[query_index];
-    ++total_;
-  }
-  uint64_t total() const { return total_; }
-  uint64_t matched_subscribers() const {
-    uint64_t n = 0;
-    for (uint64_t c : counts_) n += c > 0 ? 1 : 0;
-    return n;
-  }
-
- private:
-  std::vector<uint64_t> counts_;
-  uint64_t total_ = 0;
-};
 
 std::string MakeFeed(int items, uint64_t seed) {
   twigm::Rng rng(seed);
@@ -81,13 +71,42 @@ std::string MakeFeed(int items, uint64_t seed) {
   return std::move(w).TakeString();
 }
 
-}  // namespace
+struct Config {
+  bool single_thread = false;
+  int shards = 4;
+  int streams = 2;
+  int rounds = 6;
+  int subscribers = 500;
+  int churn = 8;
+};
 
-int main() {
-  constexpr int kSubscribers = 500;
-  const std::vector<std::string> queries = MakeSubscriptions(kSubscribers, 7);
+int IntFlag(const char* arg, const char* name, int fallback) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    return std::atoi(arg + len + 1);
+  }
+  return fallback;
+}
 
-  Router router(queries.size());
+// Legacy mode: one FilterEngine, one thread, one stream.
+int RunSingleThread(const Config& cfg) {
+  twigm::Rng rng(7);
+  std::vector<std::string> queries;
+  for (int i = 0; i < cfg.subscribers; ++i) {
+    queries.push_back(MakeSubscription(&rng));
+  }
+
+  class Router : public twigm::core::MultiQueryResultSink {
+   public:
+    void OnResult(size_t, const twigm::core::MatchInfo&) override {
+      ++total_;
+    }
+    uint64_t total() const { return total_; }
+
+   private:
+    uint64_t total_ = 0;
+  };
+  Router router;
   auto engine = twigm::filter::FilterEngine::Create(queries, &router);
   if (!engine.ok()) {
     std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
@@ -96,38 +115,158 @@ int main() {
 
   const twigm::filter::FilterIndexStats& istats =
       engine.value()->index().stats();
-  std::printf("compiled %zu subscriptions into a step trie:\n",
-              istats.query_count);
-  std::printf("  location steps across all queries: %llu\n",
-              static_cast<unsigned long long>(istats.total_steps));
-  std::printf("  distinct trie nodes after sharing: %llu\n",
-              static_cast<unsigned long long>(istats.trie_node_count));
-  std::printf("  fully shared (linear) queries:     %zu\n",
-              istats.linear_query_count);
-  std::printf("  trunk + per-query predicate tail:  %zu\n",
-              istats.tail_query_count);
-  std::printf("  unshared (predicate at step 1):    %zu\n",
-              istats.unshared_query_count);
+  std::printf("single-thread: %zu subscriptions, %llu steps -> %llu trie "
+              "nodes (%zu linear, %zu tails)\n",
+              istats.query_count,
+              static_cast<unsigned long long>(istats.total_steps),
+              static_cast<unsigned long long>(istats.trie_node_count),
+              istats.linear_query_count, istats.tail_query_count);
 
-  const std::string feed = MakeFeed(5000, 1234);
-  for (size_t pos = 0; pos < feed.size(); pos += 4096) {
-    if (!engine.value()->Feed(std::string_view(feed).substr(pos, 4096)).ok()) {
+  uint64_t bytes = 0;
+  for (int round = 0; round < cfg.rounds; ++round) {
+    const std::string feed = MakeFeed(2000, 1234 + round);
+    bytes += feed.size();
+    for (size_t pos = 0; pos < feed.size(); pos += 4096) {
+      if (!engine.value()
+               ->Feed(std::string_view(feed).substr(pos, 4096))
+               .ok()) {
+        return 1;
+      }
+    }
+    if (!engine.value()->Finish().ok()) return 1;
+    engine.value()->Reset();
+  }
+  std::printf("routed %llu KB over %d documents: %llu deliveries\n",
+              static_cast<unsigned long long>(bytes / 1024), cfg.rounds,
+              static_cast<unsigned long long>(router.total()));
+  return 0;
+}
+
+int RunServer(const Config& cfg) {
+  twigm::serve::SubscriptionServer::Options options;
+  options.num_shards = cfg.shards;
+  auto server = twigm::serve::SubscriptionServer::Create(options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "error: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+
+  twigm::Rng rng(7);
+  std::vector<twigm::serve::SubscriptionId> live;
+  for (int i = 0; i < cfg.subscribers; ++i) {
+    auto id = server.value()->Subscribe(MakeSubscription(&rng));
+    if (!id.ok()) {
+      std::fprintf(stderr, "subscribe: %s\n", id.status().ToString().c_str());
       return 1;
     }
+    live.push_back(id.value());
   }
-  if (!engine.value()->Finish().ok()) return 1;
+  std::printf("serving %zu subscriptions on %d shards, %d streams\n",
+              live.size(), cfg.shards, cfg.streams);
 
-  const twigm::filter::FilterRuntimeStats& rstats =
-      engine.value()->runtime_stats();
-  std::printf("\nrouted %zu KB in one parse:\n", feed.size() / 1024);
-  std::printf("  deliveries:                 %llu\n",
-              static_cast<unsigned long long>(router.total()));
-  std::printf("  subscribers matched:        %llu / %d\n",
-              static_cast<unsigned long long>(router.matched_subscribers()),
-              kSubscribers);
-  std::printf("  peak simultaneously active trie nodes: %llu\n",
-              static_cast<unsigned long long>(rstats.peak_active_nodes));
-  std::printf("  peak engaged predicate tails:          %llu\n",
-              static_cast<unsigned long long>(rstats.peak_engaged_tails));
+  // Feeder threads: each owns one stream and pushes `rounds` documents.
+  std::atomic<uint64_t> bytes{0};
+  std::atomic<bool> feed_failed{false};
+  std::vector<std::unique_ptr<twigm::serve::ServerStream>> streams;
+  for (int i = 0; i < cfg.streams; ++i) {
+    streams.push_back(server.value()->OpenStream());
+  }
+  std::vector<std::thread> feeders;
+  for (int i = 0; i < cfg.streams; ++i) {
+    feeders.emplace_back([&, i] {
+      for (int round = 0; round < cfg.rounds; ++round) {
+        const std::string feed =
+            MakeFeed(2000, 1234 + static_cast<uint64_t>(i * 1000 + round));
+        bytes += feed.size();
+        if (!streams[static_cast<size_t>(i)]->FeedDocument(feed).ok()) {
+          feed_failed = true;
+          return;
+        }
+      }
+    });
+  }
+
+  // Control loop: churn subscriptions while documents are in flight and
+  // drain notifications. Churn lands at each stream's next document.
+  uint64_t delivered = 0;
+  uint64_t churned = 0;
+  std::vector<twigm::serve::Notification> batch;
+  auto drain = [&] {
+    batch.clear();
+    delivered += server.value()->Poll(&batch);
+  };
+  for (int round = 0; round < cfg.rounds; ++round) {
+    for (int c = 0; c < cfg.churn && !live.empty(); ++c) {
+      const size_t victim = rng.Below(live.size());
+      if (server.value()->Unsubscribe(live[victim]).ok()) ++churned;
+      live.erase(live.begin() + static_cast<ptrdiff_t>(victim));
+      auto id = server.value()->Subscribe(MakeSubscription(&rng));
+      if (id.ok()) live.push_back(id.value());
+    }
+    drain();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (std::thread& t : feeders) t.join();
+  drain();
+  streams.clear();  // close the sessions before the server goes down
+  drain();          // matches flushed by the close handshake
+
+  if (feed_failed.load()) {
+    std::fprintf(stderr, "error: a feeder stream failed\n");
+    return 1;
+  }
+
+  std::printf("routed %llu KB over %d documents x %d streams "
+              "(%llu churn ops): %llu deliveries\n",
+              static_cast<unsigned long long>(bytes.load() / 1024),
+              cfg.rounds, cfg.streams,
+              static_cast<unsigned long long>(churned),
+              static_cast<unsigned long long>(delivered));
+
+  // Per-stage statistics through the obs export.
+  twigm::obs::MetricsRegistry registry;
+  server.value()->ExportMetrics(&registry);
+  uint64_t total_events = 0;
+  for (int s = 0; s < cfg.shards; ++s) {
+    const twigm::serve::ShardCounters& c = server.value()->shard(s).counters();
+    total_events += c.events.load();
+  }
+  for (int s = 0; s < cfg.shards; ++s) {
+    const twigm::serve::ShardCounters& c = server.value()->shard(s).counters();
+    std::printf("  shard %d: %8llu events (%4.1f%%), %7llu matches, "
+                "%3llu rebuilds, ring depth peak %llu\n",
+                s, static_cast<unsigned long long>(c.events.load()),
+                total_events ? 100.0 * static_cast<double>(c.events.load()) /
+                                   static_cast<double>(total_events)
+                             : 0.0,
+                static_cast<unsigned long long>(c.matches.load()),
+                static_cast<unsigned long long>(c.engine_rebuilds.load()),
+                static_cast<unsigned long long>(c.ring_depth_peak.load()));
+  }
+  for (const twigm::obs::MetricValue& mv : registry.Snapshot()) {
+    if (mv.name == "serve.batch_size.count" ||
+        mv.name == "serve.batch_size.sum" ||
+        mv.name == "serve.notify_latency_us.max") {
+      std::printf("  %s = %.0f\n", mv.name.c_str(), mv.value);
+    }
+  }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--single-thread") == 0) {
+      cfg.single_thread = true;
+      continue;
+    }
+    cfg.shards = IntFlag(argv[i], "--shards", cfg.shards);
+    cfg.streams = IntFlag(argv[i], "--streams", cfg.streams);
+    cfg.rounds = IntFlag(argv[i], "--rounds", cfg.rounds);
+    cfg.subscribers = IntFlag(argv[i], "--subscribers", cfg.subscribers);
+    cfg.churn = IntFlag(argv[i], "--churn", cfg.churn);
+  }
+  return cfg.single_thread ? RunSingleThread(cfg) : RunServer(cfg);
 }

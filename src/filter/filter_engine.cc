@@ -30,6 +30,22 @@ FilterEngine::~FilterEngine() = default;
 Result<std::unique_ptr<FilterEngine>> FilterEngine::Create(
     const std::vector<std::string>& queries, core::MultiQueryResultSink* sink,
     core::EvaluatorOptions options) {
+  return Build(queries, sink, options, nullptr);
+}
+
+Result<std::unique_ptr<FilterEngine>> FilterEngine::CreateEventFed(
+    const std::vector<std::string>& queries, core::MultiQueryResultSink* sink,
+    xml::TagInterner* interner, core::EvaluatorOptions options) {
+  if (interner == nullptr) {
+    return Status::InvalidArgument(
+        "FilterEngine::CreateEventFed requires a tag interner");
+  }
+  return Build(queries, sink, options, interner);
+}
+
+Result<std::unique_ptr<FilterEngine>> FilterEngine::Build(
+    const std::vector<std::string>& queries, core::MultiQueryResultSink* sink,
+    core::EvaluatorOptions options, xml::TagInterner* external_interner) {
   if (sink == nullptr) {
     return Status::InvalidArgument("FilterEngine requires a result sink");
   }
@@ -95,17 +111,21 @@ Result<std::unique_ptr<FilterEngine>> FilterEngine::Create(
   }
 
   engine->event_sink_ = std::make_unique<EventSink>(engine.get());
-  engine->driver_ = std::make_unique<xml::EventDriver>(engine->event_sink_.get());
-  engine->driver_->set_instrumentation(engine->instr_);
-  engine->parser_ =
-      std::make_unique<xml::SaxParser>(engine->driver_.get(), options.sax);
-  engine->parser_->set_offset_slot(engine->offset_slot_);
+  xml::TagInterner* interner = external_interner;
+  if (external_interner == nullptr) {
+    engine->driver_ =
+        std::make_unique<xml::EventDriver>(engine->event_sink_.get());
+    engine->driver_->set_instrumentation(engine->instr_);
+    engine->parser_ =
+        std::make_unique<xml::SaxParser>(engine->driver_.get(), options.sax);
+    engine->parser_->set_offset_slot(engine->offset_slot_);
+    interner = engine->parser_->interner();
+  }
 
-  // Bind every trie label and tail machine to the parser's tag dictionary,
+  // Bind every trie label and tail machine to the stream's tag dictionary,
   // then build the root-children postings so each start event resolves its
   // candidate first steps by one indexed lookup instead of scanning (and
   // byte-comparing) the whole root fan-out.
-  xml::TagInterner* interner = engine->parser_->interner();
   engine->index_.BindInterner(interner);
   for (Tail& tail : engine->tails_) {
     if (tail.twig != nullptr) tail.twig->BindInterner(interner);
@@ -129,6 +149,10 @@ Result<std::unique_ptr<FilterEngine>> FilterEngine::Create(
 }
 
 Status FilterEngine::Feed(std::string_view chunk) {
+  if (parser_ == nullptr) {
+    return Status::InvalidArgument(
+        "event-fed FilterEngine has no parser; dispatch via event_input()");
+  }
   obs::TimerScope parse(instr_ != nullptr
                             ? instr_->stage_slot(obs::Stage::kParse)
                             : nullptr);
@@ -136,6 +160,10 @@ Status FilterEngine::Feed(std::string_view chunk) {
 }
 
 Status FilterEngine::Finish() {
+  if (parser_ == nullptr) {
+    return Status::InvalidArgument(
+        "event-fed FilterEngine has no parser; dispatch via event_input()");
+  }
   obs::TimerScope parse(instr_ != nullptr
                             ? instr_->stage_slot(obs::Stage::kParse)
                             : nullptr);
@@ -157,9 +185,10 @@ void FilterEngine::Reset() {
   stream_offset_ = 0;
   // Rewind the parser and driver in place: the parser's interner carries
   // the trie's and tail machines' symbol bindings, and its buffers (plus
-  // every trie stack's capacity) stay warm across documents.
-  parser_->Reset();
-  driver_->Reset();
+  // every trie stack's capacity) stay warm across documents. Event-fed
+  // engines own neither; their external interner outlives them.
+  if (parser_ != nullptr) parser_->Reset();
+  if (driver_ != nullptr) driver_->Reset();
 }
 
 void FilterEngine::Activate(int node) {

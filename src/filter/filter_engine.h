@@ -57,6 +57,19 @@ class FilterEngine {
       core::MultiQueryResultSink* sink,
       core::EvaluatorOptions options = core::EvaluatorOptions());
 
+  /// Event-fed mode (the sharded subscription service, src/serve/): builds
+  /// the engine WITHOUT an internal parser/driver. The caller delivers
+  /// modified-SAX events directly through event_input(); trie and tail
+  /// labels are bound to `interner` (not owned; must outlive the engine).
+  /// The engine is single-threaded as ever — all event_input() calls,
+  /// Intern calls on `interner`, and Reset() must come from one thread at a
+  /// time (handoff between threads is fine, see the cross-thread Reset
+  /// test). Feed/Finish error out in this mode; `options.sax` is ignored.
+  static Result<std::unique_ptr<FilterEngine>> CreateEventFed(
+      const std::vector<std::string>& queries,
+      core::MultiQueryResultSink* sink, xml::TagInterner* interner,
+      core::EvaluatorOptions options = core::EvaluatorOptions());
+
   FilterEngine(const FilterEngine&) = delete;
   FilterEngine& operator=(const FilterEngine&) = delete;
   ~FilterEngine();  // out-of-line: ExportHandles is incomplete here
@@ -66,8 +79,19 @@ class FilterEngine {
   Status Feed(std::string_view chunk);
   Status Finish();
 
-  /// Clears all runtime state and the parser for a new document.
+  /// Clears all runtime state (and the parser, when the engine owns one)
+  /// for a new document.
   void Reset();
+
+  /// Modified-SAX entry point. In parser mode the internal driver feeds it;
+  /// event-fed callers (src/serve/ shard workers) dispatch events here with
+  /// levels and pre-order ids already assigned (EventDriver semantics).
+  xml::StreamEventSink* event_input() { return event_sink_.get(); }
+
+  /// The stream-offset word match emissions are stamped from. Event-fed
+  /// callers store each event's byte offset here before dispatching it so
+  /// MatchInfo::byte_offset matches the parser-owned flow.
+  uint64_t* offset_slot() { return offset_slot_; }
 
   size_t query_count() const { return index_.plans().size(); }
   uint64_t total_results() const { return total_results_; }
@@ -159,6 +183,13 @@ class FilterEngine {
   };
 
   explicit FilterEngine(FilterIndex index);  // out-of-line, see ~FilterEngine
+
+  // Shared construction. `external_interner` null => build and own a
+  // parser/driver; non-null => event-fed mode bound to that interner.
+  static Result<std::unique_ptr<FilterEngine>> Build(
+      const std::vector<std::string>& queries,
+      core::MultiQueryResultSink* sink, core::EvaluatorOptions options,
+      xml::TagInterner* external_interner);
 
   void OnStartElement(const xml::TagToken& tag, int level, xml::NodeId id,
                       const std::vector<xml::Attribute>& attrs);

@@ -1,0 +1,69 @@
+// The unit shipped through the session → shard rings: one modified-SAX
+// event with owning storage. The parser's TagToken/Attribute views die with
+// the callback, so the routing session copies the bytes into the ring slot;
+// slots are reused in place (SpscRing), so the copies amortize to zero
+// allocations once every string has grown to its working size.
+
+#ifndef TWIGM_SERVE_EVENT_RECORD_H_
+#define TWIGM_SERVE_EVENT_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xml/sax_event.h"
+
+namespace twigm::serve {
+
+/// One owned attribute (the ring cannot carry parse-buffer views).
+struct OwnedAttribute {
+  std::string name;
+  std::string value;
+};
+
+struct EventRecord {
+  enum class Kind : uint8_t {
+    /// Document boundary: the shard folds pending subscriptions whose epoch
+    /// is <= route_epoch into its engine, then resets runtime state.
+    kStartDocument,
+    kStartElement,
+    kEndElement,
+    kText,
+    /// End of the current document; the shard flushes its notification
+    /// batch and acknowledges via the channel's docs_finished counter.
+    kEndDocument,
+    /// The stream is gone; the shard drops its per-session state.
+    kCloseSession,
+  };
+
+  Kind kind = Kind::kStartDocument;
+  int level = 0;
+  xml::NodeId id = 0;
+  /// Symbol in the *session parser's* dictionary; shards translate it into
+  /// their engine-local dictionary through a dense map.
+  xml::SymbolId symbol = xml::kNoSymbol;
+  /// Byte offset of the construct (parser offset slot at event time), so
+  /// shard-side MatchInfo::byte_offset matches the single-threaded flow.
+  uint64_t byte_offset = 0;
+  /// kStartDocument only: the registry epoch this document routes under.
+  uint64_t route_epoch = 0;
+
+  std::string tag;   // kStartElement / kEndElement
+  std::string text;  // kText
+  /// First `attr_count` entries are live; the rest keep their capacity.
+  size_t attr_count = 0;
+  std::vector<OwnedAttribute> attrs;
+
+  void SetAttributes(const std::vector<xml::Attribute>& in) {
+    if (attrs.size() < in.size()) attrs.resize(in.size());
+    for (size_t i = 0; i < in.size(); ++i) {
+      attrs[i].name.assign(in[i].name);
+      attrs[i].value.assign(in[i].value);
+    }
+    attr_count = in.size();
+  }
+};
+
+}  // namespace twigm::serve
+
+#endif  // TWIGM_SERVE_EVENT_RECORD_H_

@@ -1,0 +1,26 @@
+// What the service delivers: one proven match, tagged with the
+// subscription that owns the query and the stream it matched on.
+
+#ifndef TWIGM_SERVE_NOTIFICATION_H_
+#define TWIGM_SERVE_NOTIFICATION_H_
+
+#include <cstdint>
+
+#include "core/result_sink.h"
+#include "serve/subscription_registry.h"
+
+namespace twigm::serve {
+
+struct Notification {
+  SubscriptionId subscription = 0;
+  /// ServerStream::stream_id() of the document stream that matched.
+  uint64_t stream = 0;
+  /// MatchInfo::query_node is engine-local (the shard's trie id) and not
+  /// comparable across shard layouts; id and byte_offset are stream-global
+  /// and identical to the single-threaded FilterEngine flow.
+  core::MatchInfo match;
+};
+
+}  // namespace twigm::serve
+
+#endif  // TWIGM_SERVE_NOTIFICATION_H_

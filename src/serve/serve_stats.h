@@ -1,0 +1,76 @@
+// Cross-thread accounting for the subscription service. Shard workers and
+// routing sessions update these with relaxed atomics; the control thread
+// reads them at any time through SubscriptionServer::ExportMetrics, which
+// copies the values into an obs::MetricsRegistry (the registry itself is
+// single-threaded, so it never sees the worker threads directly).
+
+#ifndef TWIGM_SERVE_SERVE_STATS_H_
+#define TWIGM_SERVE_SERVE_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace twigm::serve {
+
+/// Relaxed-max update (peak trackers).
+inline void AtomicMax(std::atomic<uint64_t>* slot, uint64_t value) {
+  uint64_t cur = slot->load(std::memory_order_relaxed);
+  while (cur < value &&
+         !slot->compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+/// Fixed-bucket histogram over atomics: the multi-threaded sibling of
+/// obs::Histogram (same cumulative-upper-bound layout, same snapshot names
+/// once exported). Observe is wait-free; readers see a consistent-enough
+/// view for monitoring (counts are monotone).
+class AtomicHistogram {
+ public:
+  /// `bounds` must be strictly increasing and non-empty.
+  explicit AtomicHistogram(std::vector<uint64_t> bounds)
+      : bounds_(std::move(bounds)),
+        counts_(bounds_.size() + 1) {}
+
+  void Observe(uint64_t x) {
+    size_t i = 0;
+    while (i < bounds_.size() && x > bounds_[i]) ++i;
+    counts_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(x, std::memory_order_relaxed);
+    AtomicMax(&max_, x);
+  }
+
+  const std::vector<uint64_t>& bounds() const { return bounds_; }
+  uint64_t bucket(size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<uint64_t> bounds_;
+  std::vector<std::atomic<uint64_t>> counts_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Per-shard counters, updated only by that shard's worker (single writer,
+/// so relaxed increments suffice) and read by the control thread.
+struct ShardCounters {
+  std::atomic<uint64_t> events{0};        // ring records dispatched
+  std::atomic<uint64_t> start_events{0};  // element starts among them
+  std::atomic<uint64_t> matches{0};       // engine emissions
+  std::atomic<uint64_t> batches{0};       // notification batches flushed
+  std::atomic<uint64_t> engine_rebuilds{0};
+  std::atomic<uint64_t> documents{0};     // end-of-document markers seen
+  std::atomic<uint64_t> ring_depth_peak{0};
+
+  void NoteRingDepth(uint64_t depth) { AtomicMax(&ring_depth_peak, depth); }
+};
+
+}  // namespace twigm::serve
+
+#endif  // TWIGM_SERVE_SERVE_STATS_H_

@@ -1,0 +1,351 @@
+#include "serve/server.h"
+
+#include <bit>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace twigm::serve {
+
+// ---------------------------------------------------------------------------
+// ServerStream
+
+ServerStream::ServerStream(SubscriptionServer* server, uint64_t stream_id)
+    : server_(server),
+      stream_id_(stream_id),
+      driver_(this),
+      parser_(&driver_, [&] {
+        // The router needs symbols on every token for its mask cache.
+        xml::SaxParserOptions sax = server->options_.engine_options.sax;
+        sax.intern_tags = true;
+        return sax;
+      }()) {
+  parser_.set_offset_slot(&offset_);
+  channels_.reserve(server_->shards_.size());
+  for (std::unique_ptr<Shard>& shard : server_->shards_) {
+    auto chan = std::make_shared<SessionChannel>(
+        stream_id_, server_->options_.ring_capacity);
+    shard->Attach(chan);
+    channels_.push_back(std::move(chan));
+  }
+}
+
+ServerStream::~ServerStream() {
+  for (size_t s = 0; s < channels_.size(); ++s) {
+    EventRecord* rec = BlockingBeginPush(static_cast<int>(s));
+    rec->kind = EventRecord::Kind::kCloseSession;
+    channels_[s]->ring.CommitPush();
+    server_->shards_[s]->Wake();
+  }
+  server_->hub_.WaitBarrier([this] {
+    for (const std::shared_ptr<SessionChannel>& chan : channels_) {
+      if (!chan->closed.load(std::memory_order_acquire)) return false;
+    }
+    return true;
+  });
+}
+
+Status ServerStream::Feed(std::string_view chunk) {
+  if (!doc_open_) BeginDocument();
+  return parser_.Feed(chunk);
+}
+
+Status ServerStream::FinishDocument() {
+  if (!doc_open_) {
+    return Status::InvalidArgument("no document in progress on this stream");
+  }
+  Status finish = parser_.Finish();  // fires EndDocument through the driver
+  if (!finish.ok()) {
+    // Poisoned document: shards never see an end marker for it, so close
+    // the window explicitly to keep the barrier accounting in step.
+    PushToAll(EventRecord::Kind::kEndDocument, 0);
+    open_masks_.clear();
+  }
+  ++docs_;
+  server_->hub_.WaitBarrier([this] {
+    for (const std::shared_ptr<SessionChannel>& chan : channels_) {
+      if (chan->docs_finished.load(std::memory_order_acquire) < docs_) {
+        return false;
+      }
+    }
+    return true;
+  });
+  parser_.Reset();
+  driver_.Reset();
+  doc_open_ = false;
+  return finish;
+}
+
+Status ServerStream::FeedDocument(std::string_view doc) {
+  Status s = Feed(doc);
+  if (!s.ok()) {
+    // Still run the boundary so the stream is reusable afterwards.
+    (void)FinishDocument();
+    return s;
+  }
+  return FinishDocument();
+}
+
+void ServerStream::BeginDocument() {
+  route_epoch_ = server_->registry_.CurrentEpoch();
+  take_all_mask_ = server_->registry_.TakeAllMask(route_epoch_);
+  ++doc_gen_;
+  PushToAll(EventRecord::Kind::kStartDocument, route_epoch_);
+  doc_open_ = true;
+}
+
+uint64_t ServerStream::MaskFor(const xml::TagToken& tag) {
+  if (tag.symbol == xml::kNoSymbol) {
+    return take_all_mask_ |
+           server_->registry_.MaskForTag(tag.text, route_epoch_);
+  }
+  if (mask_cache_.size() <= tag.symbol) {
+    mask_cache_.resize(tag.symbol + 1);
+  }
+  MaskCacheEntry& entry = mask_cache_[tag.symbol];
+  if (entry.doc_gen != doc_gen_) {
+    entry.mask = server_->registry_.MaskForTag(tag.text, route_epoch_);
+    entry.doc_gen = doc_gen_;
+  }
+  return take_all_mask_ | entry.mask;
+}
+
+EventRecord* ServerStream::BlockingBeginPush(int shard) {
+  SpscRing<EventRecord>& ring = channels_[shard]->ring;
+  EventRecord* rec;
+  while ((rec = ring.BeginPush()) == nullptr) {
+    // Full ring: the worker is behind (or parked in the instant before the
+    // ring filled) — ring the doorbell and give it the core.
+    server_->shards_[shard]->Wake();
+    std::this_thread::yield();
+  }
+  return rec;
+}
+
+void ServerStream::PushToAll(EventRecord::Kind kind, uint64_t route_epoch) {
+  for (size_t s = 0; s < channels_.size(); ++s) {
+    EventRecord* rec = BlockingBeginPush(static_cast<int>(s));
+    rec->kind = kind;
+    rec->route_epoch = route_epoch;
+    rec->byte_offset = offset_;
+    channels_[s]->ring.CommitPush();
+    server_->shards_[s]->Wake();
+  }
+}
+
+void ServerStream::StartElement(const xml::TagToken& tag, int level,
+                                xml::NodeId id,
+                                const std::vector<xml::Attribute>& attrs) {
+  const uint64_t parent = open_masks_.empty() ? 0 : open_masks_.back();
+  const uint64_t mask = parent | MaskFor(tag);
+  open_masks_.push_back(mask);
+  for (uint64_t rest = mask; rest != 0; rest &= rest - 1) {
+    const int s = std::countr_zero(rest);
+    EventRecord* rec = BlockingBeginPush(s);
+    rec->kind = EventRecord::Kind::kStartElement;
+    rec->level = level;
+    rec->id = id;
+    rec->symbol = tag.symbol;
+    rec->byte_offset = offset_;
+    rec->tag.assign(tag.text);
+    rec->SetAttributes(attrs);
+    channels_[s]->ring.CommitPush();
+    server_->shards_[s]->Wake();
+  }
+}
+
+void ServerStream::EndElement(const xml::TagToken& tag, int level) {
+  const uint64_t mask = open_masks_.back();
+  open_masks_.pop_back();
+  for (uint64_t rest = mask; rest != 0; rest &= rest - 1) {
+    const int s = std::countr_zero(rest);
+    EventRecord* rec = BlockingBeginPush(s);
+    rec->kind = EventRecord::Kind::kEndElement;
+    rec->level = level;
+    rec->symbol = tag.symbol;
+    rec->byte_offset = offset_;
+    rec->tag.assign(tag.text);
+    channels_[s]->ring.CommitPush();
+    server_->shards_[s]->Wake();
+  }
+}
+
+void ServerStream::Text(std::string_view text, int level) {
+  const uint64_t mask = open_masks_.empty() ? 0 : open_masks_.back();
+  for (uint64_t rest = mask; rest != 0; rest &= rest - 1) {
+    const int s = std::countr_zero(rest);
+    EventRecord* rec = BlockingBeginPush(s);
+    rec->kind = EventRecord::Kind::kText;
+    rec->level = level;
+    rec->byte_offset = offset_;
+    rec->text.assign(text);
+    channels_[s]->ring.CommitPush();
+    server_->shards_[s]->Wake();
+  }
+}
+
+void ServerStream::EndDocument() {
+  PushToAll(EventRecord::Kind::kEndDocument, 0);
+}
+
+// ---------------------------------------------------------------------------
+// SubscriptionServer
+
+SubscriptionServer::SubscriptionServer(Options options)
+    : options_(std::move(options)),
+      registry_(options_.num_shards),
+      hub_(options_.notify_batch) {
+  hub_.on_batch = options_.on_batch;
+  for (int i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(i, &registry_, &hub_,
+                                              options_.engine_options));
+  }
+  for (std::unique_ptr<Shard>& shard : shards_) shard->Start();
+}
+
+Result<std::unique_ptr<SubscriptionServer>> SubscriptionServer::Create(
+    Options options) {
+  if (options.num_shards < 1 || options.num_shards > 64) {
+    return Status::InvalidArgument(
+        "SubscriptionServer: num_shards must be in [1, 64]");
+  }
+  if (options.ring_capacity < 2) options.ring_capacity = 2;
+  return std::unique_ptr<SubscriptionServer>(
+      new SubscriptionServer(std::move(options)));
+}
+
+SubscriptionServer::~SubscriptionServer() {
+  for (std::unique_ptr<Shard>& shard : shards_) shard->Stop();
+}
+
+Result<SubscriptionId> SubscriptionServer::Subscribe(
+    const std::string& query) {
+  return registry_.Subscribe(query);
+}
+
+Status SubscriptionServer::Unsubscribe(SubscriptionId id) {
+  return registry_.Unsubscribe(id);
+}
+
+std::unique_ptr<ServerStream> SubscriptionServer::OpenStream() {
+  streams_opened_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t id = next_stream_id_.fetch_add(1, std::memory_order_relaxed);
+  return std::unique_ptr<ServerStream>(new ServerStream(this, id));
+}
+
+size_t SubscriptionServer::Poll(std::vector<Notification>* out) {
+  std::lock_guard<std::mutex> lock(hub_.mu);
+  const size_t n = hub_.pending.size();
+  if (n == 0) return 0;
+  if (out->empty()) {
+    out->swap(hub_.pending);
+  } else {
+    out->insert(out->end(), hub_.pending.begin(), hub_.pending.end());
+    hub_.pending.clear();
+  }
+  return n;
+}
+
+// Registered-once export instruments; values refreshed per call.
+struct SubscriptionServer::ExportHandles {
+  obs::MetricsRegistry* registry = nullptr;
+  size_t registered_count = 0;
+  obs::Counter* subscribes = nullptr;
+  obs::Counter* unsubscribes = nullptr;
+  obs::Counter* active = nullptr;
+  obs::Counter* streams_opened = nullptr;
+  struct PerShard {
+    obs::Counter* events = nullptr;
+    obs::Counter* start_events = nullptr;
+    obs::Counter* matches = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Counter* rebuilds = nullptr;
+    obs::Counter* documents = nullptr;
+    obs::Counter* ring_depth_peak = nullptr;
+  };
+  std::vector<PerShard> shards;
+  struct Hist {
+    obs::Counter* count = nullptr;
+    obs::Counter* sum = nullptr;
+    obs::Counter* max = nullptr;
+    std::vector<obs::Counter*> buckets;
+  };
+  Hist batch_size;
+  Hist latency;
+
+  static void RegisterHist(obs::MetricsRegistry* registry,
+                           const std::string& prefix,
+                           const AtomicHistogram& hist, Hist* out) {
+    out->count = registry->RegisterCounter(prefix + ".count");
+    out->sum = registry->RegisterCounter(prefix + ".sum");
+    out->max = registry->RegisterCounter(prefix + ".max");
+    out->buckets.clear();
+    for (uint64_t bound : hist.bounds()) {
+      out->buckets.push_back(
+          registry->RegisterCounter(prefix + ".le." + std::to_string(bound)));
+    }
+    out->buckets.push_back(registry->RegisterCounter(prefix + ".le.inf"));
+  }
+
+  static void RefreshHist(const AtomicHistogram& hist, Hist* out) {
+    out->count->Set(hist.count());
+    out->sum->Set(hist.sum());
+    out->max->Set(hist.max());
+    for (size_t i = 0; i < out->buckets.size(); ++i) {
+      out->buckets[i]->Set(hist.bucket(i));
+    }
+  }
+};
+
+void SubscriptionServer::ExportMetrics(obs::MetricsRegistry* registry) const {
+  if (export_ == nullptr || export_->registry != registry ||
+      registry->instrument_count() < export_->registered_count) {
+    export_ = std::make_unique<ExportHandles>();
+    export_->registry = registry;
+    export_->subscribes = registry->RegisterCounter("serve.subscribes");
+    export_->unsubscribes = registry->RegisterCounter("serve.unsubscribes");
+    export_->active = registry->RegisterCounter("serve.active_subscriptions");
+    export_->streams_opened =
+        registry->RegisterCounter("serve.streams_opened");
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      const std::string prefix = "serve.shard" + std::to_string(i);
+      ExportHandles::PerShard handles;
+      handles.events = registry->RegisterCounter(prefix + ".events");
+      handles.start_events =
+          registry->RegisterCounter(prefix + ".start_events");
+      handles.matches = registry->RegisterCounter(prefix + ".matches");
+      handles.batches = registry->RegisterCounter(prefix + ".batches");
+      handles.rebuilds =
+          registry->RegisterCounter(prefix + ".engine_rebuilds");
+      handles.documents = registry->RegisterCounter(prefix + ".documents");
+      handles.ring_depth_peak =
+          registry->RegisterCounter(prefix + ".ring_depth_peak");
+      export_->shards.push_back(handles);
+    }
+    ExportHandles::RegisterHist(registry, "serve.batch_size", hub_.batch_size,
+                                &export_->batch_size);
+    ExportHandles::RegisterHist(registry, "serve.notify_latency_us",
+                                hub_.notify_latency_us, &export_->latency);
+    export_->registered_count = registry->instrument_count();
+  }
+  export_->subscribes->Set(registry_.subscribe_count());
+  export_->unsubscribes->Set(registry_.unsubscribe_count());
+  export_->active->Set(registry_.active_count());
+  export_->streams_opened->Set(
+      streams_opened_.load(std::memory_order_relaxed));
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const ShardCounters& c = shards_[i]->counters();
+    ExportHandles::PerShard& h = export_->shards[i];
+    h.events->Set(c.events.load(std::memory_order_relaxed));
+    h.start_events->Set(c.start_events.load(std::memory_order_relaxed));
+    h.matches->Set(c.matches.load(std::memory_order_relaxed));
+    h.batches->Set(c.batches.load(std::memory_order_relaxed));
+    h.rebuilds->Set(c.engine_rebuilds.load(std::memory_order_relaxed));
+    h.documents->Set(c.documents.load(std::memory_order_relaxed));
+    h.ring_depth_peak->Set(c.ring_depth_peak.load(std::memory_order_relaxed));
+  }
+  ExportHandles::RefreshHist(hub_.batch_size, &export_->batch_size);
+  ExportHandles::RefreshHist(hub_.notify_latency_us, &export_->latency);
+}
+
+}  // namespace twigm::serve

@@ -1,0 +1,107 @@
+// Fixed-capacity single-producer / single-consumer ring for the sharded
+// subscription service (DESIGN.md §11): the stream's routing session is the
+// producer, one shard worker is the consumer.
+//
+// Lock-free in the classic two-counter style: the producer owns `tail_`,
+// the consumer owns `head_`, and each side caches the other's counter so
+// the steady state touches one shared cache line only when its cached view
+// runs out. Slots are default-constructed once and *reused in place* —
+// BeginPush hands the producer a slot whose strings/vectors keep their
+// capacity from earlier laps, so steady-state pushes are allocation-free
+// (the same discipline as the parser's scratch buffers, DESIGN.md §10).
+//
+// Blocking policy lives with the callers: BeginPush returns null when full
+// and Front returns null when empty; the session spins/yields on full rings
+// and pokes the shard's parked-worker doorbell after a push.
+
+#ifndef TWIGM_SERVE_SPSC_RING_H_
+#define TWIGM_SERVE_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace twigm::serve {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit SpscRing(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_ = std::vector<T>(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  // --- Producer side ----------------------------------------------------
+
+  /// Slot to fill for the next push, or null when the ring is full. The
+  /// slot's previous contents are intact (reuse its buffers). Publish with
+  /// CommitPush; until then the consumer cannot see it.
+  T* BeginPush() {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) return nullptr;
+    }
+    return &slots_[tail & mask_];
+  }
+
+  /// Publishes the slot handed out by the latest BeginPush.
+  void CommitPush() {
+    tail_.store(tail_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_release);
+  }
+
+  // --- Consumer side ----------------------------------------------------
+
+  /// Oldest unconsumed slot, or null when the ring is empty. The slot stays
+  /// owned by the consumer until Pop.
+  T* Front() {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return nullptr;
+    }
+    return &slots_[head & mask_];
+  }
+
+  /// Releases the slot returned by Front back to the producer.
+  void Pop() {
+    head_.store(head_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_release);
+  }
+
+  // --- Either side ------------------------------------------------------
+
+  /// Approximate occupancy (exact when called by either endpoint's thread
+  /// between its own operations).
+  size_t SizeApprox() const {
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    return static_cast<size_t>(tail - head);
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<T> slots_;
+  uint64_t mask_ = 0;
+
+  // Producer-owned line: its counter plus its cached view of the consumer.
+  alignas(64) std::atomic<uint64_t> tail_{0};
+  uint64_t head_cache_ = 0;
+
+  // Consumer-owned line.
+  alignas(64) std::atomic<uint64_t> head_{0};
+  uint64_t tail_cache_ = 0;
+};
+
+}  // namespace twigm::serve
+
+#endif  // TWIGM_SERVE_SPSC_RING_H_

@@ -1,0 +1,121 @@
+// Shared registry of standing subscriptions for the sharded service.
+//
+// Partitioning rule (DESIGN.md §11): a query lives on exactly one shard,
+// chosen by its *first location step*. All queries whose first step carries
+// the same name test share a shard (so their trie trunks keep sharing), and
+// a fresh first-step name is assigned to the least-loaded shard. Queries
+// whose first step is a wildcard ('//*...') are round-robined and mark
+// their shard take-all: every event must reach it.
+//
+// Epochs: every Subscribe/Unsubscribe bumps a global sequence number. A
+// routing session samples the sequence once per document (its
+// *route epoch*); a subscription is active for that document iff
+//   sub_epoch <= route_epoch < unsub_epoch.
+// Both the session's routing masks and the shard's fold at the
+// kStartDocument marker evaluate this same predicate, so churn lands at
+// document boundaries deterministically and with no stop-the-world rebuild
+// — each shard folds its own pending changes, between documents, while the
+// other shards keep streaming.
+//
+// Thread safety: every method is safe to call from any thread (one mutex;
+// all calls are off the per-event hot path — sessions cache mask lookups
+// per distinct tag per document).
+
+#ifndef TWIGM_SERVE_SUBSCRIPTION_REGISTRY_H_
+#define TWIGM_SERVE_SUBSCRIPTION_REGISTRY_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace twigm::serve {
+
+/// Stable handle for one registered query. Ids are never reused.
+using SubscriptionId = uint64_t;
+
+/// Epoch value meaning "never unsubscribed".
+inline constexpr uint64_t kNeverEpoch = ~uint64_t{0};
+
+class SubscriptionRegistry {
+ public:
+  /// `num_shards` in [1, 64] (shard sets travel as 64-bit masks).
+  explicit SubscriptionRegistry(int num_shards);
+
+  /// Validates the query (it must parse into the supported fragment),
+  /// assigns its shard, and stamps its subscribe epoch.
+  Result<SubscriptionId> Subscribe(const std::string& query);
+
+  /// Stamps the unsubscribe epoch; the subscription stays active through
+  /// the end of any document already routing under an older epoch.
+  Status Unsubscribe(SubscriptionId id);
+
+  /// Samples the current epoch — called by a session at document start; the
+  /// returned value becomes the document's route epoch.
+  uint64_t CurrentEpoch() const;
+
+  /// Bitmask of shards that must see *every* event of a document routed at
+  /// `epoch` (shards holding wildcard-first-step queries).
+  uint64_t TakeAllMask(uint64_t epoch) const;
+
+  /// Bitmask of shards interested in elements named `tag` as a *first*
+  /// step, at `epoch`. Conservative across unsubscribes (a shard keeps its
+  /// interest bit until re-registration policy changes; extra events are
+  /// harmless, missed events are not).
+  uint64_t MaskForTag(std::string_view tag, uint64_t epoch) const;
+
+  struct ShardQuery {
+    SubscriptionId id = 0;
+    std::string query;
+  };
+
+  /// The queries active on `shard` at `epoch`, in subscription order (shard
+  /// workers rebuild their engine from this at a fold).
+  std::vector<ShardQuery> ShardSet(int shard, uint64_t epoch) const;
+
+  /// Epoch of the latest subscribe/unsubscribe affecting `shard` that is
+  /// <= `epoch` (0 if none). A shard engine built at fold F can be reused
+  /// for route epoch E iff ShardLastChange(shard, F) == ShardLastChange(
+  /// shard, E) — i.e. nothing relevant changed in between.
+  uint64_t ShardLastChange(int shard, uint64_t epoch) const;
+
+  int num_shards() const { return num_shards_; }
+  size_t active_count() const;
+  uint64_t subscribe_count() const;
+  uint64_t unsubscribe_count() const;
+
+ private:
+  struct Sub {
+    std::string query;
+    int shard = 0;
+    uint64_t sub_epoch = 0;
+    uint64_t unsub_epoch = kNeverEpoch;
+  };
+
+  const int num_shards_;
+
+  mutable std::mutex mu_;
+  uint64_t epoch_ = 0;       // bumped per subscribe/unsubscribe
+  uint64_t unsubs_ = 0;
+  std::vector<Sub> subs_;    // SubscriptionId = index + 1
+  // First-step name -> (shard, epoch of first subscription with that name).
+  struct NameEntry {
+    int shard = 0;
+    uint64_t first_epoch = 0;
+  };
+  std::unordered_map<std::string, NameEntry> name_shards_;
+  // Shards holding wildcard-first-step queries, with first such epoch.
+  std::vector<uint64_t> take_all_first_epoch_;  // 0 = none; per shard
+  std::vector<uint64_t> shard_query_counts_;    // load, for assignment
+  // Change epochs per shard, ascending (push order).
+  std::vector<std::vector<uint64_t>> shard_changes_;
+  int round_robin_ = 0;
+};
+
+}  // namespace twigm::serve
+
+#endif  // TWIGM_SERVE_SUBSCRIPTION_REGISTRY_H_

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/random.h"
@@ -307,6 +308,37 @@ TEST(FilterEngineDifferentialTest, MatchesIndependentProcessorsAndProduct) {
   }
   // The generators must actually exercise matching queries.
   EXPECT_GT(nonempty, 100);
+}
+
+// An engine is not thread-*safe*, but it is thread-*agnostic*: Reset() and
+// re-Feed must work from a different thread than the one that constructed
+// it (the serve/ shard workers rely on this — engines are built on the
+// control thread and run on workers).
+TEST(FilterEngineTest, ResetAndFeedFromDifferentThreads) {
+  const std::vector<std::string> queries = {"//a/b", "//b[d]", "//a//d"};
+  const std::string doc = "<a><b><d/></b><b/><d/></a>";
+  VectorMultiQuerySink sink;
+  auto engine = FilterEngine::Create(queries, &sink);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  auto run_on_thread = [&engine, &doc] {
+    std::thread t([&engine, &doc] {
+      ASSERT_TRUE(engine.value()->Feed(doc).ok());
+      ASSERT_TRUE(engine.value()->Finish().ok());
+      engine.value()->Reset();
+    });
+    t.join();
+  };
+  run_on_thread();  // thread A
+  const std::vector<VectorMultiQuerySink::Item> first = sink.items();
+  EXPECT_FALSE(first.empty());
+  run_on_thread();  // thread B, after A's Reset
+  ASSERT_EQ(sink.items().size(), first.size() * 2);
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(sink.items()[first.size() + i].query_index,
+              first[i].query_index);
+    EXPECT_EQ(sink.items()[first.size() + i].id, first[i].id);
+  }
 }
 
 // Results are emitted exactly once per (query, id) pair.
