@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Gate the structural-scan kernel: SIMD speedup and throughput vs baseline.
+
+Reads a BENCH_rawscan.json produced by `bench_rawscan --json <path>` and
+checks, per dataset cell:
+
+  * when the build's fast path is real SIMD (is_simd == 1), the speedup of
+    ScanStructural over the scalar byte loop must be >= --min-speedup
+    (default 2.0) — the headline claim of the structural-index PR;
+  * fast_gb_per_sec must not drop more than --threshold (default 0.25)
+    below the committed baseline cell (bench/BENCH_rawscan_baseline.json).
+    Raw-scan throughput is memory-bound and jitters more than the event
+    hot path, hence the wider envelope.
+
+Cells present on only one side are reported but never gate. SWAR-only
+builds (is_simd == 0, e.g. -DTWIGM_FORCE_SCALAR_SCAN=ON) skip the speedup
+gate entirely: the SWAR kernel typically beats the byte loop, but by a
+word-width factor the gate should not encode.
+
+The committed baseline records each cell's *minimum* fast_gb_per_sec over
+>= 3 fresh runs on a quiet machine (a conservative noise floor). Refresh
+it the same way.
+
+Usage: check_rawscan.py BENCH_rawscan.json [--baseline path]
+                        [--threshold 0.25] [--min-speedup 2.0]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_cells(path):
+    with open(path) as f:
+        records = json.load(f)
+    cells = {}
+    for r in records:
+        if r.get("bench") != "rawscan":
+            continue
+        cells[r.get("params", {}).get("dataset")] = {
+            "fast_gb_per_sec": r["fast_gb_per_sec"],
+            "scalar_gb_per_sec": r["scalar_gb_per_sec"],
+            "speedup": r["speedup"],
+            "is_simd": r.get("is_simd", 0),
+            "scan_kind": r.get("params", {}).get("scan_kind", "?"),
+        }
+    return cells
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_path", help="BenchJson output of bench_rawscan")
+    parser.add_argument(
+        "--baseline",
+        default="bench/BENCH_rawscan_baseline.json",
+        help="committed baseline (default bench/BENCH_rawscan_baseline.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="max allowed relative fast-GB/s regression (default 0.25)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.0,
+        help="required fast/scalar ratio on SIMD builds (default 2.0)",
+    )
+    args = parser.parse_args()
+
+    current = load_cells(args.json_path)
+    baseline = load_cells(args.baseline)
+    if not current:
+        print(f"error: no rawscan records in {args.json_path}", file=sys.stderr)
+        return 2
+    if not baseline:
+        print(f"error: no rawscan records in {args.baseline}", file=sys.stderr)
+        return 2
+
+    failures = []
+    for name in sorted(current):
+        cell = current[name]
+        simd = cell["is_simd"] >= 1
+        status = "ok"
+        if simd and cell["speedup"] < args.min_speedup:
+            failures.append(
+                f"{name}: {cell['scan_kind']} speedup {cell['speedup']:.2f}x "
+                f"below required {args.min_speedup:.1f}x"
+            )
+            status = "FAIL"
+        base = baseline.get(name)
+        ratio_note = "no baseline (not gated)"
+        if base is not None:
+            ratio = cell["fast_gb_per_sec"] / base["fast_gb_per_sec"]
+            ratio_note = f"x{ratio:.3f} vs baseline"
+            if ratio < 1.0 - args.threshold:
+                failures.append(
+                    f"{name}: fast scan {cell['fast_gb_per_sec']:.3f} GB/s is "
+                    f"{1.0 - ratio:.2%} below baseline "
+                    f"{base['fast_gb_per_sec']:.3f} GB/s"
+                )
+                status = "FAIL"
+        print(
+            f"{name:12s} {cell['scan_kind']:5s} "
+            f"fast={cell['fast_gb_per_sec']:7.3f} GB/s "
+            f"scalar={cell['scalar_gb_per_sec']:7.3f} GB/s "
+            f"speedup={cell['speedup']:6.2f}x  ({ratio_note})  {status}"
+        )
+    for name in sorted(set(baseline) - set(current)):
+        print(f"note: baseline cell {name} missing from run")
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    speedup_gate = (
+        f">= {args.min_speedup:.1f}x speedup"
+        if any(c["is_simd"] >= 1 for c in current.values())
+        else "speedup gate skipped (SWAR build)"
+    )
+    print(f"\nOK: all cells within {args.threshold:.2%} of baseline, {speedup_gate}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

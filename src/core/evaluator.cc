@@ -22,26 +22,6 @@ EngineKind PickEngine(const xpath::QueryTree& query) {
   return EngineKind::kTwigM;
 }
 
-// Adapts the pre-redesign FragmentSink/ResultSink pair onto MatchObserver
-// for the deprecated CreateWithFragments shim.
-class LegacyFragmentAdapter : public MatchObserver {
- public:
-  LegacyFragmentAdapter(FragmentSink* fragments, MatchObserver* ids)
-      : fragments_(fragments), ids_(ids) {}
-
-  bool wants_fragments() const override { return true; }
-  void OnResult(const MatchInfo& match) override {
-    if (ids_ != nullptr) ids_->OnResult(match);
-  }
-  void OnFragment(xml::NodeId id, std::string_view xml) override {
-    fragments_->OnFragment(id, xml);
-  }
-
- private:
-  FragmentSink* fragments_;
-  MatchObserver* ids_;
-};
-
 }  // namespace
 
 // Registered-once export instruments; values are refreshed per call.
@@ -143,22 +123,6 @@ Result<std::unique_ptr<XPathStreamProcessor>> XPathStreamProcessor::Create(
   return proc;
 }
 
-Result<std::unique_ptr<XPathStreamProcessor>>
-XPathStreamProcessor::CreateWithFragments(std::string_view query_text,
-                                          FragmentSink* fragments,
-                                          ResultSink* ids,
-                                          EvaluatorOptions options) {
-  if (fragments == nullptr) {
-    return Status::InvalidArgument("fragment mode requires a fragment sink");
-  }
-  auto adapter = std::make_unique<LegacyFragmentAdapter>(fragments, ids);
-  Result<std::unique_ptr<XPathStreamProcessor>> proc =
-      Create(query_text, adapter.get(), options);
-  if (!proc.ok()) return proc.status();
-  proc.value()->owned_observer_ = std::move(adapter);
-  return proc;
-}
-
 void XPathStreamProcessor::WireStream() {
   driver_ = std::make_unique<xml::EventDriver>(machine_);
   driver_->set_instrumentation(options_.instrumentation);
@@ -173,20 +137,20 @@ void XPathStreamProcessor::WireStream() {
   if (branch_ != nullptr) branch_->BindInterner(parser_->interner());
 }
 
-Status XPathStreamProcessor::Feed(std::string_view chunk) {
+Status XPathStreamProcessor::Consume(const xml::InputChunk& chunk) {
   obs::TimerScope parse(options_.instrumentation != nullptr
                             ? options_.instrumentation->stage_slot(
                                   obs::Stage::kParse)
                             : nullptr);
-  return parser_->Feed(chunk);
+  return parser_->Consume(chunk);
 }
 
-Status XPathStreamProcessor::Finish() {
-  obs::TimerScope parse(options_.instrumentation != nullptr
-                            ? options_.instrumentation->stage_slot(
-                                  obs::Stage::kParse)
-                            : nullptr);
-  return parser_->Finish();
+Status XPathStreamProcessor::Pump(xml::ByteSource* source) {
+  xml::InputChunk chunk;
+  while (source->Next(&chunk)) {
+    TWIGM_RETURN_IF_ERROR(Consume(chunk));
+  }
+  return Status::Ok();
 }
 
 void XPathStreamProcessor::Reset() {
@@ -275,9 +239,7 @@ Result<std::vector<xml::NodeId>> EvaluateToIds(std::string_view query,
   Result<std::unique_ptr<XPathStreamProcessor>> proc =
       XPathStreamProcessor::Create(query, &sink, options);
   if (!proc.ok()) return proc.status();
-  Status s = proc.value()->Feed(document);
-  if (!s.ok()) return s;
-  s = proc.value()->Finish();
+  Status s = proc.value()->Consume({document, /*last=*/true});
   if (!s.ok()) return s;
   return sink.TakeIds();
 }

@@ -3,9 +3,13 @@
 //
 //   VectorResultSink sink;
 //   auto proc = XPathStreamProcessor::Create("//a[d]//b[e]//c", &sink);
-//   for (chunk : stream) proc.value()->Feed(chunk);
-//   proc.value()->Finish();
+//   for (chunk : stream) proc.value()->Consume({chunk, /*last=*/false});
+//   proc.value()->Consume({{}, /*last=*/true});
 //   // sink.ids() holds the pre-order ids of all result elements.
+//
+// Bytes enter through the unified xml::ByteSource API (push one InputChunk
+// at a time with Consume, or pull a whole source with Pump); Feed/Finish
+// remain as thin wrappers for one release.
 //
 // Everything optional hangs off EvaluatorOptions: engine selection
 // (EngineKind::kAuto follows the paper's structure — linear queries on
@@ -33,6 +37,7 @@
 #include "core/result_sink.h"
 #include "core/twig_machine.h"
 #include "obs/instrumentation.h"
+#include "xml/byte_source.h"
 #include "xml/sax_event.h"
 #include "xml/sax_parser.h"
 #include "xpath/query_tree.h"
@@ -72,27 +77,22 @@ class XPathStreamProcessor {
       std::string_view query, MatchObserver* observer,
       EvaluatorOptions options = EvaluatorOptions());
 
-  /// DEPRECATED: use Create with an observer whose wants_fragments() is
-  /// true (results are delivered via MatchObserver::OnFragment). This shim
-  /// adapts the legacy FragmentSink/ResultSink pair onto the unified API.
-  [[deprecated(
-      "use Create(query, observer, options) with a fragment-capturing "
-      "MatchObserver; no in-tree callers remain and this shim will be "
-      "removed in the next API cleanup")]]
-  static Result<std::unique_ptr<XPathStreamProcessor>> CreateWithFragments(
-      std::string_view query, FragmentSink* fragments,
-      ResultSink* ids = nullptr, EvaluatorOptions options = EvaluatorOptions());
-
   XPathStreamProcessor(const XPathStreamProcessor&) = delete;
   XPathStreamProcessor& operator=(const XPathStreamProcessor&) = delete;
   ~XPathStreamProcessor();  // out-of-line: ExportHandles is incomplete here
 
-  /// Feeds a chunk of the XML document. Results are emitted to the observer
-  /// as soon as they are proven.
-  Status Feed(std::string_view chunk);
+  /// Consumes one chunk of the XML document (chunk.last declares end of
+  /// input). Results are emitted to the observer as soon as they are proven.
+  Status Consume(const xml::InputChunk& chunk);
 
-  /// Declares end of input.
-  Status Finish();
+  /// Pulls chunks from `source` until it is exhausted or a chunk fails.
+  Status Pump(xml::ByteSource* source);
+
+  /// Compatibility wrapper: Consume({chunk, last=false}).
+  Status Feed(std::string_view chunk) { return Consume({chunk, false}); }
+
+  /// Compatibility wrapper: Consume({empty, last=true}).
+  Status Finish() { return Consume({std::string_view(), true}); }
 
   /// Resets parser and machine state so another document can be processed
   /// with the same compiled query. Attached instrumentation keeps
@@ -130,7 +130,6 @@ class XPathStreamProcessor {
 
   xml::StreamEventSink* machine_ = nullptr;  // the active machine
   std::unique_ptr<FragmentRecorder> recorder_;  // set in fragment mode
-  std::unique_ptr<MatchObserver> owned_observer_;  // legacy-shim adapter
   std::unique_ptr<xml::EventDriver> driver_;
   std::unique_ptr<xml::SaxParser> parser_;
 

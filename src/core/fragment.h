@@ -126,15 +126,6 @@ class FragmentRecorder : public xml::StreamEventSink, public MatchObserver {
   uint64_t peak_buffered_bytes_ = 0;
 };
 
-/// DEPRECATED shim: the pre-MatchObserver fragment interface, kept only for
-/// out-of-tree callers of XPathStreamProcessor::CreateWithFragments.
-/// New code implements MatchObserver::OnFragment instead.
-class FragmentSink {
- public:
-  virtual ~FragmentSink() = default;
-  virtual void OnFragment(xml::NodeId id, std::string_view xml) = 0;
-};
-
 }  // namespace twigm::core
 
 #endif  // TWIGM_CORE_FRAGMENT_H_

@@ -17,8 +17,6 @@
 //     membership proven).
 //
 // `VectorResultSink` and `CountingResultSink` are the common adapters.
-// The pre-redesign `ResultSink` interface survives below as a deprecated
-// shim for out-of-tree callers; nothing in this repo uses it.
 
 #ifndef TWIGM_CORE_RESULT_SINK_H_
 #define TWIGM_CORE_RESULT_SINK_H_
@@ -102,17 +100,6 @@ class CountingResultSink : public MatchObserver {
 
  private:
   uint64_t count_ = 0;
-};
-
-/// DEPRECATED shim for the pre-MatchObserver interface: subclasses override
-/// the id-only OnResult. Kept so out-of-tree sinks keep compiling; new code
-/// should subclass MatchObserver directly.
-class ResultSink : public MatchObserver {
- public:
-  /// Legacy callback.
-  virtual void OnResult(xml::NodeId id) = 0;
-
-  void OnResult(const MatchInfo& match) final { OnResult(match.id); }
 };
 
 }  // namespace twigm::core

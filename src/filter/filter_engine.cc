@@ -148,7 +148,7 @@ Result<std::unique_ptr<FilterEngine>> FilterEngine::Build(
   return engine;
 }
 
-Status FilterEngine::Feed(std::string_view chunk) {
+Status FilterEngine::Consume(const xml::InputChunk& chunk) {
   if (parser_ == nullptr) {
     return Status::InvalidArgument(
         "event-fed FilterEngine has no parser; dispatch via event_input()");
@@ -156,18 +156,15 @@ Status FilterEngine::Feed(std::string_view chunk) {
   obs::TimerScope parse(instr_ != nullptr
                             ? instr_->stage_slot(obs::Stage::kParse)
                             : nullptr);
-  return parser_->Feed(chunk);
+  return parser_->Consume(chunk);
 }
 
-Status FilterEngine::Finish() {
-  if (parser_ == nullptr) {
-    return Status::InvalidArgument(
-        "event-fed FilterEngine has no parser; dispatch via event_input()");
+Status FilterEngine::Pump(xml::ByteSource* source) {
+  xml::InputChunk chunk;
+  while (source->Next(&chunk)) {
+    TWIGM_RETURN_IF_ERROR(Consume(chunk));
   }
-  obs::TimerScope parse(instr_ != nullptr
-                            ? instr_->stage_slot(obs::Stage::kParse)
-                            : nullptr);
-  return parser_->Finish();
+  return Status::Ok();
 }
 
 void FilterEngine::Reset() {

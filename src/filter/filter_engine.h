@@ -23,7 +23,8 @@
 //
 //   VectorMultiQuerySink sink;
 //   auto engine = filter::FilterEngine::Create(queries, &sink);
-//   engine.value()->Feed(chunk); ...; engine.value()->Finish();
+//   for (chunk : stream) engine.value()->Consume({chunk, /*last=*/false});
+//   engine.value()->Consume({{}, /*last=*/true});
 
 #ifndef TWIGM_FILTER_FILTER_ENGINE_H_
 #define TWIGM_FILTER_FILTER_ENGINE_H_
@@ -40,13 +41,14 @@
 #include "core/twig_machine.h"
 #include "filter/filter_index.h"
 #include "filter/filter_stats.h"
+#include "xml/byte_source.h"
 #include "xml/sax_event.h"
 #include "xml/sax_parser.h"
 
 namespace twigm::filter {
 
 /// A compiled query set bound to one input stream. Drop-in replacement for
-/// MultiQueryProcessor: same sink, same Feed/Finish/Reset surface.
+/// MultiQueryProcessor: same sink, same Consume/Pump/Reset surface.
 class FilterEngine {
  public:
   /// Compiles the index and tail machines. `sink` must outlive the engine;
@@ -64,7 +66,7 @@ class FilterEngine {
   /// The engine is single-threaded as ever — all event_input() calls,
   /// Intern calls on `interner`, and Reset() must come from one thread at a
   /// time (handoff between threads is fine, see the cross-thread Reset
-  /// test). Feed/Finish error out in this mode; `options.sax` is ignored.
+  /// test). Consume/Pump error out in this mode; `options.sax` is ignored.
   static Result<std::unique_ptr<FilterEngine>> CreateEventFed(
       const std::vector<std::string>& queries,
       core::MultiQueryResultSink* sink, xml::TagInterner* interner,
@@ -74,10 +76,19 @@ class FilterEngine {
   FilterEngine& operator=(const FilterEngine&) = delete;
   ~FilterEngine();  // out-of-line: ExportHandles is incomplete here
 
-  /// Feeds a chunk of the document; results fan out to the sink tagged by
-  /// query index, as soon as each query proves them.
-  Status Feed(std::string_view chunk);
-  Status Finish();
+  /// Consumes one chunk of the document (chunk.last declares end of input);
+  /// results fan out to the sink tagged by query index, as soon as each
+  /// query proves them. Errors out in event-fed mode.
+  Status Consume(const xml::InputChunk& chunk);
+
+  /// Pulls chunks from `source` until it is exhausted or a chunk fails.
+  Status Pump(xml::ByteSource* source);
+
+  /// Compatibility wrapper: Consume({chunk, last=false}).
+  Status Feed(std::string_view chunk) { return Consume({chunk, false}); }
+
+  /// Compatibility wrapper: Consume({empty, last=true}).
+  Status Finish() { return Consume({std::string_view(), true}); }
 
   /// Clears all runtime state (and the parser, when the engine owns one)
   /// for a new document.

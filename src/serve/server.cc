@@ -45,9 +45,26 @@ ServerStream::~ServerStream() {
   });
 }
 
-Status ServerStream::Feed(std::string_view chunk) {
+Status ServerStream::Consume(const xml::InputChunk& chunk) {
   if (!doc_open_) BeginDocument();
-  return parser_.Feed(chunk);
+  if (!chunk.last) return parser_.Consume(chunk);
+  // A last chunk is the document boundary: deliver its bytes, then run the
+  // FinishDocument barrier (which consumes the end-of-input marker itself).
+  Status s = parser_.Consume({chunk.bytes, false});
+  if (!s.ok()) {
+    // Still run the boundary so the stream is reusable afterwards.
+    (void)FinishDocument();
+    return s;
+  }
+  return FinishDocument();
+}
+
+Status ServerStream::Pump(xml::ByteSource* source) {
+  xml::InputChunk chunk;
+  while (source->Next(&chunk)) {
+    TWIGM_RETURN_IF_ERROR(Consume(chunk));
+  }
+  return Status::Ok();
 }
 
 Status ServerStream::FinishDocument() {
@@ -74,16 +91,6 @@ Status ServerStream::FinishDocument() {
   driver_.Reset();
   doc_open_ = false;
   return finish;
-}
-
-Status ServerStream::FeedDocument(std::string_view doc) {
-  Status s = Feed(doc);
-  if (!s.ok()) {
-    // Still run the boundary so the stream is reusable afterwards.
-    (void)FinishDocument();
-    return s;
-  }
-  return FinishDocument();
 }
 
 void ServerStream::BeginDocument() {

@@ -56,18 +56,26 @@ class ServerStream : private xml::StreamEventSink {
   ServerStream(const ServerStream&) = delete;
   ServerStream& operator=(const ServerStream&) = delete;
 
-  /// Feeds a chunk of the current document (the first Feed after creation
-  /// or after FinishDocument starts a new document and fixes its route
-  /// epoch). Parse errors are sticky for the document.
-  Status Feed(std::string_view chunk);
+  /// Consumes one chunk of the current document (the first chunk after
+  /// creation or after a document boundary starts a new document and fixes
+  /// its route epoch). A chunk with last = true ends the document — the
+  /// same barrier as FinishDocument. Parse errors are sticky for the
+  /// document.
+  Status Consume(const xml::InputChunk& chunk);
+
+  /// Pulls chunks from `source` until it is exhausted or a chunk fails.
+  Status Pump(xml::ByteSource* source);
+
+  /// Compatibility wrapper: Consume({chunk, last=false}).
+  Status Feed(std::string_view chunk) { return Consume({chunk, false}); }
 
   /// Ends the current document and blocks until every shard has processed
   /// it — afterwards all its matches are Poll()-visible and the stream is
   /// ready for the next document.
   Status FinishDocument();
 
-  /// Convenience: Feed(doc) + FinishDocument().
-  Status FeedDocument(std::string_view doc);
+  /// Convenience: Consume({doc, last=true}).
+  Status FeedDocument(std::string_view doc) { return Consume({doc, true}); }
 
   uint64_t stream_id() const { return stream_id_; }
   uint64_t documents_finished() const { return docs_; }

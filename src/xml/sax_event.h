@@ -57,19 +57,6 @@ struct TagToken {
 struct Attribute {
   std::string_view name;
   std::string_view value;
-
-  [[deprecated(
-      "copying accessor; keep the string_view or copy explicitly at the "
-      "call site")]]
-  std::string name_copy() const {
-    return std::string(name);
-  }
-  [[deprecated(
-      "copying accessor; keep the string_view or copy explicitly at the "
-      "call site")]]
-  std::string value_copy() const {
-    return std::string(value);
-  }
 };
 
 /// Raw SAX callbacks. Default implementations ignore every event so

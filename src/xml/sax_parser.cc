@@ -27,12 +27,15 @@ bool IsAllWhitespace(std::string_view s) {
   return true;
 }
 
-// memchr wrapper over a [from, to) window of `s`; returns npos if absent.
-size_t FindByte(std::string_view s, char byte, size_t from, size_t to) {
-  if (from >= to) return std::string_view::npos;
-  const void* p = std::memchr(s.data() + from, byte, to - from);
-  if (p == nullptr) return std::string_view::npos;
-  return static_cast<size_t>(static_cast<const char*>(p) - s.data());
+// True iff `cp` is an XML 1.0 Char: #x9 | #xA | #xD | [#x20-#xD7FF] |
+// [#xE000-#xFFFD] | [#x10000-#x10FFFF]. Character references outside this
+// set (NUL, other C0 controls, surrogates, #xFFFE/#xFFFF) are malformed.
+bool IsXmlChar(uint32_t cp) {
+  if (cp == 0x9 || cp == 0xA || cp == 0xD) return true;
+  if (cp < 0x20) return false;
+  if (cp >= 0xD800 && cp <= 0xDFFF) return false;
+  if (cp == 0xFFFE || cp == 0xFFFF) return false;
+  return cp <= 0x10FFFF;
 }
 
 // Appends the UTF-8 encoding of `cp` to `out`. Returns false for invalid
@@ -77,7 +80,16 @@ void SaxParser::Reset() {
   pos_ = 0;
   line_ = 1;
   column_ = 1;
+  loc_pos_ = 0;
   bytes_consumed_ = 0;
+  index_.Clear();  // keeps capacity
+  scanned_end_ = 0;
+  mark_cursor_ = 0;
+  first_nul_ = StructuralIndex::npos;
+  encoding_ = Encoding::kUnknown;
+  sniff_len_ = 0;
+  have_pending_u16_byte_ = false;
+  pending_high_surrogate_ = 0;
   open_tags_.clear();
   seen_root_ = false;
   started_ = false;
@@ -91,39 +103,62 @@ void SaxParser::Reset() {
   // lifetime so machine label bindings survive across documents.
 }
 
-Status SaxParser::Feed(std::string_view chunk) {
+// ---------------------------------------------------------------------------
+// ByteSource front door
+
+Status SaxParser::Consume(const InputChunk& chunk) {
   if (!error_.ok()) return error_;
   if (finished_) {
-    error_ = Status::InvalidArgument("Feed() after Finish()");
+    // A bare end-of-input marker after the document already finished is the
+    // idempotent Finish() of old; actual bytes are an error.
+    if (chunk.bytes.empty() && chunk.last) return Status::Ok();
+    error_ = Status::InvalidArgument("Consume() after end of document");
     return error_;
   }
   if (!started_) {
     started_ = true;
     handler_->OnStartDocument();
   }
-  buffer_.append(chunk.data(), chunk.size());
+  error_ = Ingest(chunk.bytes, chunk.last);
+  if (!error_.ok()) return error_;
   error_ = Drain();
-  if (error_.ok() && options_.max_buffer_bytes > 0 &&
+  if (!error_.ok()) return error_;
+  if (first_nul_ != StructuralIndex::npos && pos_ >= first_nul_) {
+    // Everything up to the NUL wall has been consumed; the NUL is next.
+    error_ = NulError();
+    return error_;
+  }
+  if (options_.max_buffer_bytes > 0 &&
       buffer_.size() - pos_ > options_.max_buffer_bytes) {
     // Everything complete was consumed by Drain, so whatever remains is one
     // incomplete construct that keeps growing — an unterminated tag, CDATA
-    // section, comment or text run.
+    // section, comment or text run. buffer_ is the canonical buffer, so the
+    // cap binds after BOM stripping and UTF-16→UTF-8 expansion.
+    SyncLocation(pos_);
     error_ = Status::ResourceExhausted(
         "unterminated construct exceeds max_buffer_bytes=" +
         std::to_string(options_.max_buffer_bytes) + " (line " +
         std::to_string(line_) + ", column " + std::to_string(column_) + ")");
+    return error_;
   }
+  if (chunk.last) error_ = FinishInput();
   return error_;
 }
 
-Status SaxParser::Finish() {
-  if (!error_.ok()) return error_;
-  if (finished_) return Status::Ok();
-  if (!started_) {
-    started_ = true;
-    handler_->OnStartDocument();
+Status SaxParser::Pump(ByteSource* source) {
+  InputChunk chunk;
+  while (source->Next(&chunk)) {
+    TWIGM_RETURN_IF_ERROR(Consume(chunk));
   }
+  return Status::Ok();
+}
+
+Status SaxParser::FinishInput() {
   finished_ = true;
+  if (have_pending_u16_byte_ || pending_high_surrogate_ != 0) {
+    return ErrorHere("truncated UTF-16 input (document ends mid-character)");
+  }
+  if (first_nul_ != StructuralIndex::npos) return NulError();
   // Whatever remains must be trailing whitespace; anything else means the
   // document was truncated.
   std::string_view rest(buffer_.data() + pos_, buffer_.size() - pos_);
@@ -144,27 +179,203 @@ Status SaxParser::Finish() {
   return Status::Ok();
 }
 
-Status SaxParser::ParseAll(std::string_view doc) {
-  TWIGM_RETURN_IF_ERROR(Feed(doc));
-  return Finish();
+Status SaxParser::Ingest(std::string_view bytes, bool last) {
+  if (encoding_ == Encoding::kUnknown) {
+    // Sniff the byte order mark one byte at a time; chunks may split inside
+    // it. Decided as soon as the prefix can no longer be (or definitely is)
+    // a BOM: EF BB BF → UTF-8 (dropped), FE FF → UTF-16BE, FF FE → UTF-16LE,
+    // anything else → UTF-8 with the sniffed bytes as content.
+    size_t consumed = 0;
+    while (encoding_ == Encoding::kUnknown) {
+      if (sniff_len_ == 3) {
+        if (sniff_[0] == 0xEF && sniff_[1] == 0xBB && sniff_[2] == 0xBF) {
+          sniff_len_ = 0;  // drop the UTF-8 BOM
+        }
+        encoding_ = Encoding::kUtf8;
+      } else if (sniff_len_ == 2 && sniff_[0] == 0xFE && sniff_[1] == 0xFF) {
+        encoding_ = Encoding::kUtf16Be;
+        sniff_len_ = 0;
+      } else if (sniff_len_ == 2 && sniff_[0] == 0xFF && sniff_[1] == 0xFE) {
+        encoding_ = Encoding::kUtf16Le;
+        sniff_len_ = 0;
+      } else if (sniff_len_ == 2 &&
+                 !(sniff_[0] == 0xEF && sniff_[1] == 0xBB)) {
+        encoding_ = Encoding::kUtf8;
+      } else if (sniff_len_ == 1 && sniff_[0] != 0xEF && sniff_[0] != 0xFE &&
+                 sniff_[0] != 0xFF) {
+        encoding_ = Encoding::kUtf8;
+      } else if (consumed < bytes.size()) {
+        sniff_[sniff_len_++] = static_cast<unsigned char>(bytes[consumed++]);
+      } else if (last) {
+        encoding_ = Encoding::kUtf8;  // partial-BOM-looking bytes: content
+      } else {
+        return Status::Ok();  // still a proper BOM prefix; wait for bytes
+      }
+    }
+    // Sniffed bytes that turned out to be content lead the canonical stream.
+    if (sniff_len_ > 0) {
+      buffer_.append(reinterpret_cast<const char*>(sniff_), sniff_len_);
+      sniff_len_ = 0;
+    }
+    bytes.remove_prefix(consumed);
+  }
+  Status s = Status::Ok();
+  if (encoding_ == Encoding::kUtf8) {
+    buffer_.append(bytes.data(), bytes.size());
+  } else {
+    s = DecodeUtf16(bytes);
+  }
+  ScanAppended();
+  return s;
 }
 
-Status SaxParser::Drain() {
-  // A UTF-8 byte-order mark at the very start of the document is consumed
-  // silently (common in real-world files).
-  if (bytes_consumed_ == 0 && pos_ == 0) {
-    constexpr std::string_view kBom = "\xEF\xBB\xBF";
-    if (buffer_.size() < kBom.size()) {
-      if (std::string_view(buffer_).substr(0, buffer_.size()) ==
-          kBom.substr(0, buffer_.size())) {
-        return Status::Ok();  // may still be a BOM prefix; wait
+Status SaxParser::DecodeUtf16(std::string_view bytes) {
+  const bool le = encoding_ == Encoding::kUtf16Le;
+  size_t i = 0;
+  while (i < bytes.size()) {
+    unsigned char first, second;
+    if (have_pending_u16_byte_) {
+      first = pending_u16_byte_;
+      second = static_cast<unsigned char>(bytes[i]);
+      ++i;
+      have_pending_u16_byte_ = false;
+    } else if (i + 1 < bytes.size()) {
+      first = static_cast<unsigned char>(bytes[i]);
+      second = static_cast<unsigned char>(bytes[i + 1]);
+      i += 2;
+    } else {
+      // A code unit split across chunks; carry its first byte.
+      pending_u16_byte_ = static_cast<unsigned char>(bytes[i]);
+      have_pending_u16_byte_ = true;
+      break;
+    }
+    const uint32_t unit = le
+                              ? (static_cast<uint32_t>(first) |
+                                 (static_cast<uint32_t>(second) << 8))
+                              : ((static_cast<uint32_t>(first) << 8) |
+                                 static_cast<uint32_t>(second));
+    if (pending_high_surrogate_ != 0) {
+      if (unit < 0xDC00 || unit > 0xDFFF) {
+        return ErrorHere("unpaired UTF-16 high surrogate");
       }
-    } else if (std::string_view(buffer_).substr(0, kBom.size()) == kBom) {
-      pos_ = kBom.size();
-      bytes_consumed_ = kBom.size();
+      const uint32_t cp = 0x10000 +
+                          ((pending_high_surrogate_ - 0xD800) << 10) +
+                          (unit - 0xDC00);
+      pending_high_surrogate_ = 0;
+      AppendUtf8(cp, &buffer_);  // cannot fail: cp <= 0x10FFFF, no surrogate
+    } else if (unit >= 0xD800 && unit <= 0xDBFF) {
+      pending_high_surrogate_ = unit;  // may pair across a chunk split
+    } else if (unit >= 0xDC00 && unit <= 0xDFFF) {
+      return ErrorHere("unpaired UTF-16 low surrogate");
+    } else {
+      // U+0000 encodes to a NUL byte, which the structural scan rejects
+      // like any other NUL in the canonical stream.
+      AppendUtf8(unit, &buffer_);
     }
   }
-  while (pos_ < buffer_.size()) {
+  return Status::Ok();
+}
+
+void SaxParser::ScanAppended() {
+  if (scanned_end_ >= buffer_.size()) return;
+  if (options_.force_scalar_scan) {
+    ScanStructuralScalar(buffer_, scanned_end_, buffer_.size(), &index_);
+  } else {
+    ScanStructural(buffer_, scanned_end_, buffer_.size(), &index_);
+  }
+  if (first_nul_ == StructuralIndex::npos) {
+    first_nul_ =
+        index_.Next(StructClass::kNul, scanned_end_, buffer_.size());
+  }
+  scanned_end_ = buffer_.size();
+}
+
+Status SaxParser::NulError() {
+  bytes_consumed_ += first_nul_ - pos_;
+  pos_ = first_nul_;
+  return ErrorHere("NUL (0x00) byte in document");
+}
+
+// ---------------------------------------------------------------------------
+// Structural-index walks
+//
+// The parse cursor only moves forward, so mark_cursor_ tracks the first
+// mark at or after pos_ and every lookup walks linearly from there —
+// amortized O(total marks) over the document, no binary searches on the
+// hot path.
+
+size_t SaxParser::MarkFrom(size_t from) const {
+  const std::vector<uint64_t>& marks = index_.marks;
+  const uint64_t key = static_cast<uint64_t>(from) << 3;
+  size_t k = mark_cursor_;
+  while (k < marks.size() && marks[k] < key) ++k;
+  return k;
+}
+
+size_t SaxParser::NextMark(StructClass cls, size_t from, size_t to) const {
+  const std::vector<uint64_t>& marks = index_.marks;
+  const uint64_t limit = static_cast<uint64_t>(to) << 3;
+  for (size_t k = MarkFrom(from); k < marks.size() && marks[k] < limit; ++k) {
+    if (StructuralIndex::ClassOf(marks[k]) == cls) {
+      return StructuralIndex::PosOf(marks[k]);
+    }
+  }
+  return StructuralIndex::npos;
+}
+
+size_t SaxParser::FindTagEnd(size_t start) const {
+  const std::vector<uint64_t>& marks = index_.marks;
+  const size_t end = parse_limit();
+  size_t k = MarkFrom(start);
+  while (k < marks.size() && StructuralIndex::PosOf(marks[k]) < end) {
+    const StructClass cls = StructuralIndex::ClassOf(marks[k]);
+    if (cls == StructClass::kGt) return StructuralIndex::PosOf(marks[k]);
+    if (cls == StructClass::kLt) {
+      return StructuralIndex::npos - 1;  // error: '<' inside tag
+    }
+    if (cls == StructClass::kDQuote || cls == StructClass::kSQuote) {
+      // Skip the quoted value wholesale: walk to the matching close quote.
+      ++k;
+      while (k < marks.size() && StructuralIndex::PosOf(marks[k]) < end &&
+             StructuralIndex::ClassOf(marks[k]) != cls) {
+        ++k;
+      }
+      if (k >= marks.size() || StructuralIndex::PosOf(marks[k]) >= end) {
+        return StructuralIndex::npos;  // close quote not yet buffered
+      }
+    }
+    ++k;
+  }
+  return StructuralIndex::npos;
+}
+
+size_t SaxParser::FindMarkupEnd(size_t from, std::string_view prefix) const {
+  const std::vector<uint64_t>& marks = index_.marks;
+  const size_t end = parse_limit();
+  const std::string_view buf(buffer_);
+  for (size_t k = MarkFrom(from + prefix.size()); k < marks.size(); ++k) {
+    const size_t p = StructuralIndex::PosOf(marks[k]);
+    if (p >= end) break;
+    if (StructuralIndex::ClassOf(marks[k]) != StructClass::kGt) continue;
+    if (buf.substr(p - prefix.size(), prefix.size()) == prefix) return p;
+  }
+  return StructuralIndex::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+
+Status SaxParser::Drain() {
+  while (pos_ < parse_limit()) {
+    // Keep the mark cursor caught up with the parse cursor (amortized
+    // linear; see MarkFrom).
+    {
+      const std::vector<uint64_t>& marks = index_.marks;
+      const uint64_t key = static_cast<uint64_t>(pos_) << 3;
+      while (mark_cursor_ < marks.size() && marks[mark_cursor_] < key) {
+        ++mark_cursor_;
+      }
+    }
     // Publish the construct-start offset before any handler fires for it.
     if (offset_slot_ != nullptr) *offset_slot_ = bytes_consumed_;
     if (buffer_[pos_] == '<') {
@@ -172,25 +383,44 @@ Status SaxParser::Drain() {
       TWIGM_RETURN_IF_ERROR(ConsumeMarkup(&made_progress));
       if (!made_progress) break;  // construct incomplete; wait for more input
     } else {
-      const size_t lt = FindByte(buffer_, '<', pos_, buffer_.size());
-      if (lt == std::string_view::npos) {
-        // Text may continue into the next chunk; emit nothing yet unless we
-        // can prove there is no entity split across the boundary. We simply
-        // wait — text runs are bounded by the next tag in practice.
+      // One walk finds both the terminating '<' and whether the run has
+      // any '&' (selecting the entity-decode path in EmitText).
+      const std::vector<uint64_t>& marks = index_.marks;
+      const uint64_t limit = static_cast<uint64_t>(parse_limit()) << 3;
+      size_t lt = StructuralIndex::npos;
+      bool has_amp = false;
+      for (size_t k = mark_cursor_; k < marks.size() && marks[k] < limit;
+           ++k) {
+        const StructClass cls = StructuralIndex::ClassOf(marks[k]);
+        if (cls == StructClass::kLt) {
+          lt = StructuralIndex::PosOf(marks[k]);
+          break;
+        }
+        if (cls == StructClass::kAmp) has_amp = true;
+      }
+      if (lt == StructuralIndex::npos) {
+        // Text may continue into the next chunk; wait — text runs are
+        // bounded by the next tag in practice.
         break;
       }
-      TWIGM_RETURN_IF_ERROR(EmitText(lt));
+      TWIGM_RETURN_IF_ERROR(EmitText(lt, has_amp));
     }
   }
   // Compact the buffer occasionally so long documents do not accumulate.
   if (pos_ > 65536 && pos_ > buffer_.size() / 2) {
+    SyncLocation(pos_);  // the bytes below pos_ are about to disappear
     buffer_.erase(0, pos_);
+    index_.DropBelowAndRebase(pos_);
+    scanned_end_ -= pos_;
+    if (first_nul_ != StructuralIndex::npos) first_nul_ -= pos_;
+    mark_cursor_ = 0;
+    loc_pos_ = 0;
     pos_ = 0;
   }
   return Status::Ok();
 }
 
-Status SaxParser::EmitText(size_t lt) {
+Status SaxParser::EmitText(size_t lt, bool has_amp) {
   std::string_view raw(buffer_.data() + pos_, lt - pos_);
   if (!raw.empty()) {
     if (open_tags_.empty()) {
@@ -198,7 +428,7 @@ Status SaxParser::EmitText(size_t lt) {
       if (!IsAllWhitespace(raw)) {
         return ErrorHere("character data outside the root element");
       }
-    } else if (std::memchr(raw.data(), '&', raw.size()) == nullptr) {
+    } else if (!has_amp) {
       // Fast path: no entity references, so the raw bytes are the decoded
       // text — emit the buffer view directly, no copy.
       if (options_.emit_whitespace_text || !IsAllWhitespace(raw)) {
@@ -213,28 +443,9 @@ Status SaxParser::EmitText(size_t lt) {
       }
     }
   }
-  AdvancePosition(pos_, lt);
+  bytes_consumed_ += lt - pos_;
   pos_ = lt;
   return Status::Ok();
-}
-
-size_t SaxParser::FindTagEnd(size_t start) const {
-  const std::string_view buf(buffer_);
-  size_t i = start;
-  while (i < buf.size()) {
-    const char c = buf[i];
-    if (c == '"' || c == '\'') {
-      // Skip the quoted value wholesale: memchr straight to the close quote.
-      const size_t close = FindByte(buf, c, i + 1, buf.size());
-      if (close == std::string_view::npos) return std::string_view::npos;
-      i = close + 1;
-      continue;
-    }
-    if (c == '>') return i;
-    if (c == '<') return std::string_view::npos - 1;  // error: '<' inside tag
-    ++i;
-  }
-  return std::string_view::npos;
 }
 
 Status SaxParser::ConsumeMarkup(bool* made_progress) {
@@ -246,15 +457,15 @@ Status SaxParser::ConsumeMarkup(bool* made_progress) {
   if (view.substr(0, 4) == "<!--" ||
       (avail < 4 && std::string_view("<!--").substr(0, avail) == view)) {
     if (avail < 4) return Status::Ok();  // prefix only; need more input
-    const size_t end = buffer_.find("-->", pos_ + 4);
-    if (end == std::string::npos) return Status::Ok();
-    std::string_view body(buffer_.data() + pos_ + 4, end - pos_ - 4);
+    const size_t gt = FindMarkupEnd(pos_ + 4, "--");
+    if (gt == StructuralIndex::npos) return Status::Ok();
+    std::string_view body(buffer_.data() + pos_ + 4, gt - 2 - (pos_ + 4));
     if (body.find("--") != std::string_view::npos) {
       return ErrorHere("'--' is not allowed inside a comment");
     }
     handler_->OnComment(body);
-    AdvancePosition(pos_, end + 3);
-    pos_ = end + 3;
+    bytes_consumed_ += gt + 1 - pos_;
+    pos_ = gt + 1;
     *made_progress = true;
     return Status::Ok();
   }
@@ -264,16 +475,16 @@ Status SaxParser::ConsumeMarkup(bool* made_progress) {
   if (view.substr(0, kCdataOpen.size()) == kCdataOpen ||
       (avail < kCdataOpen.size() && kCdataOpen.substr(0, avail) == view)) {
     if (avail < kCdataOpen.size()) return Status::Ok();
-    const size_t end = buffer_.find("]]>", pos_ + kCdataOpen.size());
-    if (end == std::string::npos) return Status::Ok();
+    const size_t gt = FindMarkupEnd(pos_ + kCdataOpen.size(), "]]");
+    if (gt == StructuralIndex::npos) return Status::Ok();
     if (open_tags_.empty()) {
       return ErrorHere("CDATA section outside the root element");
     }
     std::string_view body(buffer_.data() + pos_ + kCdataOpen.size(),
-                          end - pos_ - kCdataOpen.size());
+                          gt - 2 - (pos_ + kCdataOpen.size()));
     handler_->OnCharacters(body);
-    AdvancePosition(pos_, end + 3);
-    pos_ = end + 3;
+    bytes_consumed_ += gt + 1 - pos_;
+    pos_ = gt + 1;
     *made_progress = true;
     return Status::Ok();
   }
@@ -287,14 +498,14 @@ Status SaxParser::ConsumeMarkup(bool* made_progress) {
       return ErrorHere("DOCTYPE must precede the root element");
     }
     int bracket_depth = 0;
-    for (size_t i = pos_ + kDoctype.size(); i < buffer_.size(); ++i) {
+    for (size_t i = pos_ + kDoctype.size(); i < parse_limit(); ++i) {
       const char c = buffer_[i];
       if (c == '[') {
         ++bracket_depth;
       } else if (c == ']') {
         --bracket_depth;
       } else if (c == '>' && bracket_depth == 0) {
-        AdvancePosition(pos_, i + 1);
+        bytes_consumed_ += i + 1 - pos_;
         pos_ = i + 1;
         *made_progress = true;
         return Status::Ok();
@@ -307,9 +518,9 @@ Status SaxParser::ConsumeMarkup(bool* made_progress) {
   if (view.substr(0, 2) == "<?" || (avail == 1)) {
     if (avail < 2) return Status::Ok();
     if (view.substr(0, 2) == "<?") {
-      const size_t end = buffer_.find("?>", pos_ + 2);
-      if (end == std::string::npos) return Status::Ok();
-      std::string_view body(buffer_.data() + pos_ + 2, end - pos_ - 2);
+      const size_t gt = FindMarkupEnd(pos_ + 2, "?");
+      if (gt == StructuralIndex::npos) return Status::Ok();
+      std::string_view body(buffer_.data() + pos_ + 2, gt - 1 - (pos_ + 2));
       size_t name_end = 0;
       while (name_end < body.size() &&
              !IsWhitespace(body[name_end])) {
@@ -321,15 +532,18 @@ Status SaxParser::ConsumeMarkup(bool* made_progress) {
       if (target.empty() || !IsValidXmlName(target)) {
         return ErrorHere("invalid processing-instruction target");
       }
-      // The XML declaration is consumed silently.
+      // The XML declaration is consumed silently. It must be the first
+      // bytes of the canonical stream — right after the BOM, if any
+      // (bytes_consumed_ counts canonical bytes, so a stripped BOM does
+      // not forfeit the position).
       if (target != "xml") {
         handler_->OnProcessingInstruction(target, data);
       } else if (seen_root_ || !open_tags_.empty() || bytes_consumed_ != 0 ||
                  pos_ != 0) {
         return ErrorHere("XML declaration must be at the start of the document");
       }
-      AdvancePosition(pos_, end + 2);
-      pos_ = end + 2;
+      bytes_consumed_ += gt + 1 - pos_;
+      pos_ = gt + 1;
       *made_progress = true;
       return Status::Ok();
     }
@@ -347,8 +561,8 @@ Status SaxParser::ConsumeMarkup(bool* made_progress) {
 
   // End tag: </name>
   if (view.size() >= 2 && view[1] == '/') {
-    const size_t gt = buffer_.find('>', pos_ + 2);
-    if (gt == std::string::npos) return Status::Ok();
+    const size_t gt = NextMark(StructClass::kGt, pos_ + 2, parse_limit());
+    if (gt == StructuralIndex::npos) return Status::Ok();
     TWIGM_RETURN_IF_ERROR(ConsumeEndTag(gt));
     *made_progress = true;
     return Status::Ok();
@@ -356,8 +570,8 @@ Status SaxParser::ConsumeMarkup(bool* made_progress) {
 
   // Start tag: <name attr="v" ...> or empty element <name ... />
   const size_t gt = FindTagEnd(pos_ + 1);
-  if (gt == std::string::npos) return Status::Ok();
-  if (gt == std::string::npos - 1) {
+  if (gt == StructuralIndex::npos) return Status::Ok();
+  if (gt == StructuralIndex::npos - 1) {
     return ErrorHere("'<' is not allowed inside a tag");
   }
   TWIGM_RETURN_IF_ERROR(ConsumeStartTag(gt));
@@ -384,6 +598,25 @@ Status SaxParser::ConsumeStartTag(size_t gt) {
   attr_scratch_.clear();
   attr_fixups_.clear();
   attr_decode_buf_.clear();
+
+  // Local mark cursor for the attribute walk. It only moves forward, so
+  // each mark inside the tag is visited O(1) times even with many
+  // attributes (NextMark would re-walk from the tag's first mark for
+  // every attribute).
+  const std::vector<uint64_t>& marks = index_.marks;
+  size_t mk = mark_cursor_;
+  auto next_mark = [&](StructClass cls, size_t from, size_t to) -> size_t {
+    const uint64_t key = static_cast<uint64_t>(from) << 3;
+    const uint64_t limit = static_cast<uint64_t>(to) << 3;
+    while (mk < marks.size() && marks[mk] < key) ++mk;
+    for (size_t j = mk; j < marks.size() && marks[j] < limit; ++j) {
+      if (StructuralIndex::ClassOf(marks[j]) == cls) {
+        return StructuralIndex::PosOf(marks[j]);
+      }
+    }
+    return StructuralIndex::npos;
+  };
+
   bool self_closing = false;
   while (i < gt) {
     // Skip whitespace.
@@ -416,13 +649,16 @@ Status SaxParser::ConsumeStartTag(size_t gt) {
       return ErrorHere("attribute value must be quoted");
     }
     const char quote = buffer_[i];
+    const StructClass quote_cls =
+        quote == '"' ? StructClass::kDQuote : StructClass::kSQuote;
     ++i;
     const size_t val_begin = i;
-    const size_t val_end = FindByte(buffer_, quote, i, gt);
-    if (val_end == std::string_view::npos) {
+    const size_t val_end = next_mark(quote_cls, i, gt);
+    if (val_end == StructuralIndex::npos) {
       return ErrorHere("unterminated attribute value");
     }
-    if (FindByte(buffer_, '<', val_begin, val_end) != std::string_view::npos) {
+    if (next_mark(StructClass::kLt, val_begin, val_end) !=
+        StructuralIndex::npos) {
       return ErrorHere("'<' is not allowed in an attribute value");
     }
     std::string_view raw_value(buffer_.data() + val_begin,
@@ -436,7 +672,8 @@ Status SaxParser::ConsumeStartTag(size_t gt) {
     }
     Attribute attr;
     attr.name = attr_name;
-    if (std::memchr(raw_value.data(), '&', raw_value.size()) == nullptr) {
+    if (next_mark(StructClass::kAmp, val_begin, val_end) ==
+        StructuralIndex::npos) {
       // Fast path: no entities, the raw bytes are the value.
       attr.value = raw_value;
     } else {
@@ -465,7 +702,7 @@ Status SaxParser::ConsumeStartTag(size_t gt) {
   } else {
     open_tags_.push_back(sym);
   }
-  AdvancePosition(pos_, gt + 1);
+  bytes_consumed_ += gt + 1 - pos_;
   pos_ = gt + 1;
   return Status::Ok();
 }
@@ -493,7 +730,7 @@ Status SaxParser::ConsumeEndTag(size_t gt) {
   open_tags_.pop_back();
   handler_->OnEndElement(
       TagToken(name, options_.intern_tags ? sym : kNoSymbol));
-  AdvancePosition(pos_, gt + 1);
+  bytes_consumed_ += gt + 1 - pos_;
   pos_ = gt + 1;
   return Status::Ok();
 }
@@ -557,7 +794,10 @@ Status SaxParser::DecodeEntities(std::string_view raw, const char* context,
           if (cp > 0x10FFFF) valid = false;
         }
       }
-      if (!valid || !AppendUtf8(cp, out)) {
+      // References to non-XML characters (NUL, other C0 controls,
+      // surrogates, #xFFFE/#xFFFF) are malformed, not just unusual: they
+      // could smuggle bytes the canonical-stream checks already rejected.
+      if (!valid || !IsXmlChar(cp) || !AppendUtf8(cp, out)) {
         return ErrorHere(std::string("invalid character reference in ") +
                          context);
       }
@@ -570,22 +810,22 @@ Status SaxParser::DecodeEntities(std::string_view raw, const char* context,
   return Status::Ok();
 }
 
-void SaxParser::AdvancePosition(size_t from, size_t to) {
-  // memchr for newlines instead of testing every byte: typical runs (tag
-  // bodies, text) contain none or few.
-  size_t i = from;
-  while (true) {
-    const size_t nl = FindByte(buffer_, '\n', i, to);
-    if (nl == std::string_view::npos) break;
+void SaxParser::SyncLocation(size_t to) {
+  const char* base = buffer_.data();
+  size_t i = loc_pos_;
+  while (i < to) {
+    const void* nl = std::memchr(base + i, '\n', to - i);
+    if (nl == nullptr) break;
     ++line_;
     column_ = 1;
-    i = nl + 1;
+    i = static_cast<size_t>(static_cast<const char*>(nl) - base) + 1;
   }
   column_ += to - i;
-  bytes_consumed_ += to - from;
+  loc_pos_ = to;
 }
 
 Status SaxParser::ErrorHere(const std::string& msg) {
+  SyncLocation(pos_);
   return Status::ParseError(msg + " (line " + std::to_string(line_) +
                             ", column " + std::to_string(column_) + ")");
 }

@@ -13,6 +13,22 @@
 // matching tags, a single root element, no markup outside the root, valid
 // names, and no duplicate attributes. Errors carry line/column positions.
 //
+// Input front door (DESIGN.md §12): bytes enter through the unified
+// ByteSource API — Consume(InputChunk) or Pump(ByteSource*); Feed/Finish/
+// ParseAll survive as thin wrappers. The front end makes the stream
+// *canonical* before the tokenizer sees it: UTF-8 and UTF-16 (LE/BE) byte
+// order marks are detected, UTF-16 input is transcoded to UTF-8, NUL bytes
+// and character references to non-XML characters are rejected, and an XML
+// declaration anywhere but the (post-BOM) start of the document is an
+// error. Chunks may split anywhere — mid-tag, mid-BOM, mid-UTF-16 unit.
+//
+// Scanning: a SIMD/SWAR structural pass (xml/structural_scan.h) classifies
+// each appended region once, producing a sparse index of '<', '>', '&',
+// quotes and newlines; the tokenizer walks that index instead of
+// re-scanning bytes. Build-time ISA dispatch; -DTWIGM_FORCE_SCALAR_SCAN
+// forces the portable SWAR path, and SaxParserOptions::force_scalar_scan
+// selects the byte-loop reference scanner at runtime (differential tests).
+//
 // Hot path: every element name is interned into a TagInterner and events
 // carry the resulting SymbolId (TagToken). Attribute names and values are
 // delivered as string_views into the parse buffer (or, for values with
@@ -28,7 +44,9 @@
 #include <vector>
 
 #include "common/status.h"
+#include "xml/byte_source.h"
 #include "xml/sax_event.h"
+#include "xml/structural_scan.h"
 #include "xml/tag_interner.h"
 
 namespace twigm::xml {
@@ -45,8 +63,10 @@ struct SaxParserOptions {
   /// (unterminated tag, CDATA section, comment, text run). A malicious or
   /// broken stream that never closes a construct would otherwise grow the
   /// internal buffer without bound; exceeding the limit is reported as an
-  /// error with line/column like other well-formedness failures. 0 disables
-  /// the limit.
+  /// error with line/column like other well-formedness failures. Enforced
+  /// on the *canonical* buffer — after BOM stripping and UTF-16→UTF-8
+  /// transcoding, which can expand input by up to 1.5× — so a transcoded
+  /// stream cannot smuggle past the cap. 0 disables the limit.
   uint64_t max_buffer_bytes = uint64_t{1} << 30;  // 1 GiB
   /// When true (default), emitted TagTokens carry the SymbolId assigned by
   /// this parser's TagInterner. When false, tokens carry kNoSymbol and
@@ -54,14 +74,23 @@ struct SaxParserOptions {
   /// internally for its own open-tag bookkeeping). Exists so differential
   /// tests can exercise the legacy dispatch path.
   bool intern_tags = true;
+  /// When true, structural scanning uses the one-byte-at-a-time reference
+  /// loop instead of the build-selected SIMD/SWAR kernel. The two must be
+  /// indistinguishable through the event stream (asserted by the
+  /// conformance differential fuzz); exists only for those tests and for
+  /// bench_rawscan's baseline.
+  bool force_scalar_scan = false;
 };
 
 /// Push-model SAX parser. Typical use:
 ///
 ///   MyHandler handler;
 ///   SaxParser parser(&handler);
-///   while (have more bytes) TWIGM_RETURN_IF_ERROR(parser.Feed(chunk));
-///   TWIGM_RETURN_IF_ERROR(parser.Finish());
+///   while (have more bytes)
+///     TWIGM_RETURN_IF_ERROR(parser.Consume({chunk, /*last=*/false}));
+///   TWIGM_RETURN_IF_ERROR(parser.Consume({{}, /*last=*/true}));
+///
+/// or, pulling from a ByteSource: TWIGM_RETURN_IF_ERROR(parser.Pump(&src));
 class SaxParser {
  public:
   /// `handler` must outlive the parser. Does not take ownership.
@@ -71,30 +100,49 @@ class SaxParser {
   SaxParser(const SaxParser&) = delete;
   SaxParser& operator=(const SaxParser&) = delete;
 
-  /// Appends a chunk of the document and processes every construct that is
-  /// now complete. Returns the first error encountered; after an error the
-  /// parser is poisoned and further calls return the same error.
-  Status Feed(std::string_view chunk);
+  /// THE byte entry point: appends one chunk of the document (through the
+  /// encoding front end), processes every construct that is now complete,
+  /// and — when chunk.last — verifies the document ended cleanly (all tags
+  /// closed, a root element present) and fires OnEndDocument. Returns the
+  /// first error encountered; after an error the parser is poisoned and
+  /// further calls return the same error.
+  Status Consume(const InputChunk& chunk);
 
-  /// Declares end-of-input: verifies the document ended cleanly (all tags
-  /// closed, a root element present) and fires OnEndDocument.
-  Status Finish();
+  /// Pulls chunks from `source` until it is exhausted or a chunk fails.
+  Status Pump(ByteSource* source);
 
-  /// Convenience: Feed(doc) then Finish() on a fresh document.
-  Status ParseAll(std::string_view doc);
+  /// Compatibility wrapper: Consume({chunk, last=false}).
+  Status Feed(std::string_view chunk) { return Consume({chunk, false}); }
+
+  /// Compatibility wrapper: Consume({empty, last=true}).
+  Status Finish() { return Consume({std::string_view(), true}); }
+
+  /// Compatibility wrapper: Consume({doc, last=true}) on a fresh document.
+  Status ParseAll(std::string_view doc) { return Consume({doc, true}); }
 
   /// Rewinds the parser for a new document: clears parse state (position,
-  /// open tags, sticky error) while *retaining* allocated capacity — the
-  /// input buffer, scratch buffers and open-tag stack keep their storage,
-  /// and the tag interner keeps every symbol it has assigned (machines bind
-  /// label symbols once at Create; they must survive Reset).
+  /// open tags, encoding detection, structural index, sticky error) while
+  /// *retaining* allocated capacity — the input buffer, scratch buffers,
+  /// index and open-tag stack keep their storage, and the tag interner
+  /// keeps every symbol it has assigned (machines bind label symbols once
+  /// at Create; they must survive Reset).
   void Reset();
 
   /// 1-based position of the next unconsumed byte (for error reporting).
-  size_t line() const { return line_; }
-  size_t column() const { return column_; }
+  /// Positions are in the canonical (UTF-8, post-BOM) stream. Line/column
+  /// tracking is lazy — these accessors (like error formatting) catch up
+  /// on demand, which is why they are non-const.
+  size_t line() {
+    SyncLocation(pos_);
+    return line_;
+  }
+  size_t column() {
+    SyncLocation(pos_);
+    return column_;
+  }
 
-  /// Total bytes consumed so far.
+  /// Total canonical bytes consumed so far (BOM excluded; UTF-16 input is
+  /// counted after transcoding to UTF-8).
   size_t bytes_consumed() const { return bytes_consumed_; }
 
   /// The tag dictionary this parser stamps into its TagTokens. Query
@@ -112,13 +160,35 @@ class SaxParser {
   void set_offset_slot(uint64_t* slot) { offset_slot_ = slot; }
 
  private:
+  enum class Encoding : uint8_t { kUnknown, kUtf8, kUtf16Le, kUtf16Be };
+
+  // --- encoding front end ---------------------------------------------
+  // Routes raw chunk bytes into the canonical buffer_: BOM sniffing,
+  // UTF-16 transcoding (with cross-chunk code-unit/surrogate carry), then
+  // structural-scans whatever was appended.
+  Status Ingest(std::string_view bytes, bool last);
+  Status DecodeUtf16(std::string_view bytes);
+  // Scans buffer_[scanned_end_, size) into index_ and tracks first_nul_.
+  void ScanAppended();
+  // Error at the first NUL byte (advances position to it first).
+  Status NulError();
+
+  // --- tokenizer -------------------------------------------------------
+  // Bytes the tokenizer may look at: the canonical buffer, walled at the
+  // first NUL (whose consumption is the error of NulError()).
+  size_t parse_limit() const {
+    return first_nul_ < buffer_.size() ? first_nul_ : buffer_.size();
+  }
+  // End-of-document checks + OnEndDocument (consuming a last=true chunk).
+  Status FinishInput();
   // Consumes as many complete constructs from buffer_ as possible.
   Status Drain();
   // Handles one markup construct starting at buffer_[pos_] == '<'.
   // Sets *made_progress to false if the construct is still incomplete.
   Status ConsumeMarkup(bool* made_progress);
-  // Emits the text run [pos_, lt) as character data (entity-decoded).
-  Status EmitText(size_t lt);
+  // Emits the text run [pos_, lt) as character data. `has_amp` (from the
+  // caller's index walk) selects the entity-decoding slow path.
+  Status EmitText(size_t lt, bool has_amp);
   Status ConsumeStartTag(size_t gt);
   Status ConsumeEndTag(size_t gt);
   // Decodes entities/char-refs in `raw` into `out`. `context` names the
@@ -126,22 +196,52 @@ class SaxParser {
   Status DecodeEntities(std::string_view raw, const char* context,
                         std::string* out);
   Status ErrorHere(const std::string& msg);
-  // Advances line_/column_ over buffer_[from, to).
-  void AdvancePosition(size_t from, size_t to);
-  // Scans for the '>' ending a tag, honoring quoted attribute values.
-  // Returns npos if not yet complete.
+  // Brings line_/column_ up to buffer position `to` (>= loc_pos_),
+  // counting newlines with memchr. Lazy: runs only for error messages,
+  // the line()/column() accessors and buffer compaction — never on the
+  // per-construct hot path.
+  void SyncLocation(size_t to);
+  // Scans the structural index for the '>' ending a tag, skipping quoted
+  // attribute values wholesale. Returns npos if not yet complete.
   size_t FindTagEnd(size_t start) const;
+  // First '>' at position p >= from + prefix.size() (within parse_limit)
+  // whose preceding bytes equal `prefix` starting at >= from; npos if
+  // none. Implements the "-->", "]]>" and "?>" terminator searches as
+  // walks over '>' marks.
+  size_t FindMarkupEnd(size_t from, std::string_view prefix) const;
+  // Index of the first mark at position >= from. The parse cursor only
+  // moves forward, so lookups walk linearly from mark_cursor_ (which Drain
+  // keeps caught up with pos_) — amortized O(total marks), no binary
+  // searches on the hot path. Requires from >= pos_.
+  size_t MarkFrom(size_t from) const;
+  // Position of the first mark of class `cls` in [from, to); npos if none.
+  size_t NextMark(StructClass cls, size_t from, size_t to) const;
 
   SaxHandler* handler_;
   SaxParserOptions options_;
   TagInterner interner_;
 
-  std::string buffer_;   // unconsumed input
+  std::string buffer_;   // canonical (UTF-8) unconsumed input
   size_t pos_ = 0;       // parse cursor within buffer_
   uint64_t* offset_slot_ = nullptr;  // see set_offset_slot
   size_t line_ = 1;
   size_t column_ = 1;
+  size_t loc_pos_ = 0;  // buffer position line_/column_ refer to
   size_t bytes_consumed_ = 0;
+
+  // Structural index over buffer_[0, scanned_end_).
+  StructuralIndex index_;
+  size_t scanned_end_ = 0;
+  size_t mark_cursor_ = 0;  // first mark at position >= pos_ (see MarkFrom)
+  size_t first_nul_ = StructuralIndex::npos;  // buffer pos of first NUL
+
+  // Encoding front end state.
+  Encoding encoding_ = Encoding::kUnknown;
+  unsigned char sniff_[3] = {};  // undecided potential-BOM prefix bytes
+  size_t sniff_len_ = 0;
+  bool have_pending_u16_byte_ = false;
+  unsigned char pending_u16_byte_ = 0;   // half of a split UTF-16 unit
+  uint32_t pending_high_surrogate_ = 0;  // 0 = none
 
   std::vector<SymbolId> open_tags_;  // interned names of open elements
   bool seen_root_ = false;
