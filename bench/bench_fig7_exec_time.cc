@@ -109,8 +109,8 @@ void BM_OverheadHandwired(benchmark::State& state) {
     xml::EventDriver driver(machine.value().get());
     xml::SaxParser parser(&driver);
     Stopwatch sw;
-    Status s = parser.Feed(doc);
-    if (s.ok()) s = parser.Finish();
+    Status s = parser.Consume({doc, false});
+    if (s.ok()) s = parser.Consume({std::string_view(), true});
     const double wall_ms = sw.ElapsedSeconds() * 1e3;
     if (!s.ok()) {
       state.SkipWithError(s.ToString().c_str());
@@ -137,8 +137,8 @@ void BM_OverheadProcessor(benchmark::State& state, bool instrumented) {
       return;
     }
     Stopwatch sw;
-    Status s = proc.value()->Feed(doc);
-    if (s.ok()) s = proc.value()->Finish();
+    Status s = proc.value()->Consume({doc, false});
+    if (s.ok()) s = proc.value()->Consume({std::string_view(), true});
     const double wall_ms = sw.ElapsedSeconds() * 1e3;
     if (!s.ok()) {
       state.SkipWithError(s.ToString().c_str());

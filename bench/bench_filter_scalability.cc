@@ -178,8 +178,8 @@ void BM_FilterEngine(benchmark::State& state) {
       return;
     }
     Stopwatch sw;
-    Status s = engine.value()->Feed(doc);
-    if (s.ok()) s = engine.value()->Finish();
+    Status s = engine.value()->Consume({doc, false});
+    if (s.ok()) s = engine.value()->Consume({std::string_view(), true});
     const double wall_ms = sw.ElapsedSeconds() * 1e3;
     if (!s.ok()) {
       state.SkipWithError(s.ToString().c_str());
@@ -222,8 +222,8 @@ void BM_ProductConstruction(benchmark::State& state) {
       return;
     }
     Stopwatch sw;
-    Status s = proc.value()->Feed(doc);
-    if (s.ok()) s = proc.value()->Finish();
+    Status s = proc.value()->Consume({doc, false});
+    if (s.ok()) s = proc.value()->Consume({std::string_view(), true});
     const double wall_ms = sw.ElapsedSeconds() * 1e3;
     if (!s.ok()) {
       state.SkipWithError(s.ToString().c_str());
@@ -247,8 +247,11 @@ void BM_ProductConstruction(benchmark::State& state) {
 // FilterEngine behind the static analyzer: unsatisfiable and equivalent
 // queries are pruned before streaming, and (on Book, which has a DTD)
 // level windows suppress impossible stack pushes. The "analysis.*"
-// counters land in the JSON record via the metrics registry.
-void BM_AnalyzedFilter(benchmark::State& state) {
+// counters land in the JSON record via the metrics registry. With
+// `mode` = kOn ("analyzed_filter_early"), earliest-decision tables are
+// compiled too and the record adds the filter.* skip counters.
+void RunAnalyzedFilter(benchmark::State& state, core::EarlyDecisionMode mode,
+                       const char* system_name) {
   const size_t queries = static_cast<size_t>(state.range(0));
   const int dataset = static_cast<int>(state.range(1));
   const std::string& doc = DatasetFor(dataset);
@@ -258,14 +261,15 @@ void BM_AnalyzedFilter(benchmark::State& state) {
     CountingSink sink;
     filter::AnalyzedEngine::Options options;
     options.dtd = StructureFor(dataset);
+    options.evaluator.enable_early_decisions = mode;
     auto engine = filter::AnalyzedEngine::Create(query_set, &sink, options);
     if (!engine.ok()) {
       state.SkipWithError(engine.status().ToString().c_str());
       return;
     }
     Stopwatch sw;
-    Status s = engine.value()->Feed(doc);
-    if (s.ok()) s = engine.value()->Finish();
+    Status s = engine.value()->Consume({doc, false});
+    if (s.ok()) s = engine.value()->Consume({std::string_view(), true});
     const double wall_ms = sw.ElapsedSeconds() * 1e3;
     if (!s.ok()) {
       state.SkipWithError(s.ToString().c_str());
@@ -280,13 +284,15 @@ void BM_AnalyzedFilter(benchmark::State& state) {
         benchmark::Counter(static_cast<double>(stats.queries_pruned()));
     BenchRecord record;
     record.bench = "filter_scalability";
-    record.params = {{"system", "analyzed_filter"},
+    record.params = {{"system", system_name},
                      {"queries", std::to_string(queries)},
                      {"dataset", VocabularyFor(dataset).name}};
     record.wall_ms = wall_ms;
     record.metrics = {{"results", static_cast<double>(sink.count())}};
     for (const obs::MetricValue& metric : registry.Snapshot()) {
-      if (metric.name.rfind("analysis.", 0) == 0) {
+      if (metric.name.rfind("analysis.", 0) == 0 ||
+          (mode != core::EarlyDecisionMode::kOff &&
+           metric.name.rfind("filter.", 0) == 0)) {
         record.metrics.emplace_back(metric.name, metric.value);
       }
     }
@@ -294,6 +300,15 @@ void BM_AnalyzedFilter(benchmark::State& state) {
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(doc.size()));
+}
+
+void BM_AnalyzedFilter(benchmark::State& state) {
+  RunAnalyzedFilter(state, core::EarlyDecisionMode::kOff, "analyzed_filter");
+}
+
+void BM_AnalyzedFilterEarly(benchmark::State& state) {
+  RunAnalyzedFilter(state, core::EarlyDecisionMode::kOn,
+                    "analyzed_filter_early");
 }
 
 // Subscription workload for the sharded service: ~90% linear, and the
@@ -431,6 +446,8 @@ void RegisterSweep() {
                                                    BM_FilterEngine),
                       benchmark::RegisterBenchmark("BM_AnalyzedFilter",
                                                    BM_AnalyzedFilter),
+                      benchmark::RegisterBenchmark("BM_AnalyzedFilterEarly",
+                                                   BM_AnalyzedFilterEarly),
                       benchmark::RegisterBenchmark("BM_ProductConstruction",
                                                    BM_ProductConstruction)}) {
     bench->ArgNames({"queries", "dataset"});
@@ -461,16 +478,16 @@ bool SanityCheck() {
     const std::string& doc = DatasetFor(dataset);
     CountingSink product_sink;
     auto proc = core::MultiQueryProcessor::Create(query_set, &product_sink);
-    if (!proc.ok() || !proc.value()->Feed(doc).ok() ||
-        !proc.value()->Finish().ok()) {
+    if (!proc.ok() || !proc.value()->Consume({doc, false}).ok() ||
+        !proc.value()->Consume({std::string_view(), true}).ok()) {
       std::fprintf(stderr, "sanity: product construction failed (%s)\n",
                    VocabularyFor(dataset).name);
       return false;
     }
     CountingSink filter_sink;
     auto engine = filter::FilterEngine::Create(query_set, &filter_sink);
-    if (!engine.ok() || !engine.value()->Feed(doc).ok() ||
-        !engine.value()->Finish().ok()) {
+    if (!engine.ok() || !engine.value()->Consume({doc, false}).ok() ||
+        !engine.value()->Consume({std::string_view(), true}).ok()) {
       std::fprintf(stderr, "sanity: filter engine failed (%s)\n",
                    VocabularyFor(dataset).name);
       return false;
@@ -494,10 +511,10 @@ bool SanityCheck() {
     CountingSink analyzed_sink;
     auto analyzed =
         filter::AnalyzedEngine::Create(analyzable, &analyzed_sink, options);
-    if (!base.ok() || !base.value()->Feed(doc).ok() ||
-        !base.value()->Finish().ok() || !analyzed.ok() ||
-        !analyzed.value()->Feed(doc).ok() ||
-        !analyzed.value()->Finish().ok()) {
+    if (!base.ok() || !base.value()->Consume({doc, false}).ok() ||
+        !base.value()->Consume({std::string_view(), true}).ok() || !analyzed.ok() ||
+        !analyzed.value()->Consume({doc, false}).ok() ||
+        !analyzed.value()->Consume({std::string_view(), true}).ok()) {
       std::fprintf(stderr, "sanity: analyzed engine failed (%s)\n",
                    VocabularyFor(dataset).name);
       return false;
@@ -508,6 +525,26 @@ bool SanityCheck() {
           VocabularyFor(dataset).name,
           static_cast<unsigned long long>(base_sink.count()),
           static_cast<unsigned long long>(analyzed_sink.count()));
+      return false;
+    }
+    // Earliest decisions must not change result counts (the documents are
+    // DTD-valid by construction, so the static proofs are sound here).
+    options.evaluator.enable_early_decisions = core::EarlyDecisionMode::kOn;
+    CountingSink early_sink;
+    auto early =
+        filter::AnalyzedEngine::Create(analyzable, &early_sink, options);
+    if (!early.ok() || !early.value()->Consume({doc, false}).ok() ||
+        !early.value()->Consume({std::string_view(), true}).ok()) {
+      std::fprintf(stderr, "sanity: early-decision engine failed (%s)\n",
+                   VocabularyFor(dataset).name);
+      return false;
+    }
+    if (base_sink.count() != early_sink.count()) {
+      std::fprintf(
+          stderr, "sanity: early mismatch on %s: product=%llu early=%llu\n",
+          VocabularyFor(dataset).name,
+          static_cast<unsigned long long>(base_sink.count()),
+          static_cast<unsigned long long>(early_sink.count()));
       return false;
     }
   }

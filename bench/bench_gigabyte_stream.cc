@@ -54,13 +54,13 @@ int Main() {
   const ProcessMemory before = ReadProcessMemory();
   Stopwatch sw;
   uint64_t fed = 0;
-  Status s = proc.value()->Feed("<stream>");
+  Status s = proc.value()->Consume({"<stream>", false});
   while (s.ok() && fed < target_bytes) {
-    s = proc.value()->Feed(chunk);
+    s = proc.value()->Consume({chunk, false});
     fed += chunk.size();
   }
-  if (s.ok()) s = proc.value()->Feed("</stream>");
-  if (s.ok()) s = proc.value()->Finish();
+  if (s.ok()) s = proc.value()->Consume({"</stream>", false});
+  if (s.ok()) s = proc.value()->Consume({std::string_view(), true});
   if (!s.ok()) {
     std::fprintf(stderr, "stream error: %s\n", s.ToString().c_str());
     return 1;

@@ -17,12 +17,16 @@
 #include <string>
 #include <vector>
 
+#include "analysis/decision_analysis.h"
+#include "analysis/dtd_structure.h"
 #include "bench/bench_util.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "core/evaluator.h"
 #include "core/multi_query.h"
+#include "data/book.h"
 #include "data/datasets.h"
+#include "dtd/dtd_parser.h"
 #include "filter/filter_engine.h"
 #include "obs/alloc_hook.h"
 #include "xml/sax_event.h"
@@ -66,8 +70,8 @@ uint64_t CountDocumentEvents(const std::string& doc) {
   Counter counter;
   xml::EventDriver driver(&counter);
   xml::SaxParser parser(&driver);
-  Status s = parser.Feed(doc);
-  if (s.ok()) s = parser.Finish();
+  Status s = parser.Consume({doc, false});
+  if (s.ok()) s = parser.Consume({std::string_view(), true});
   if (!s.ok()) {
     std::fprintf(stderr, "event count parse failed: %s\n",
                  s.ToString().c_str());
@@ -131,8 +135,8 @@ bool RunTwigCell(const DatasetRef& dataset, const data::QuerySpec& query,
   core::XPathStreamProcessor& p = *proc.value();
 
   auto stream_once = [&]() -> Status {
-    Status s = p.Feed(doc);
-    if (s.ok()) s = p.Finish();
+    Status s = p.Consume({doc, false});
+    if (s.ok()) s = p.Consume({std::string_view(), true});
     return s;
   };
 
@@ -161,6 +165,156 @@ bool RunTwigCell(const DatasetRef& dataset, const data::QuerySpec& query,
   out->events = p.stats().start_events + p.stats().end_events;
   out->results = p.stats().results;
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Earliest-query-answering cells: TwigM over the predicate-heavy Book
+// queries in each EarlyDecisionMode, with decision tables compiled from the
+// Book DTD. Reports the emission-gap counters alongside throughput so
+// scripts/check_emission_gap.py can gate the gap reduction and the live
+// candidate high-water mark.
+
+struct EarlyStats {
+  double gap_mean_bytes = 0;
+  uint64_t gap_max_bytes = 0;
+  uint64_t early_emitted = 0;
+  uint64_t early_dropped = 0;
+  uint64_t states_skipped = 0;
+  uint64_t peak_candidates = 0;
+};
+
+const char* ModeName(core::EarlyDecisionMode mode) {
+  switch (mode) {
+    case core::EarlyDecisionMode::kOff: return "off";
+    case core::EarlyDecisionMode::kObserve: return "observe";
+    case core::EarlyDecisionMode::kOn: return "on";
+  }
+  return "?";
+}
+
+bool RunEarlyCell(const analysis::DtdStructure& dtds,
+                  core::EarlyDecisionMode mode, const data::QuerySpec& query,
+                  const std::string& doc, CellResult* out, EarlyStats* extra) {
+  core::CountingResultSink sink;
+  core::EvaluatorOptions options;
+  options.engine = core::EngineKind::kTwigM;
+  options.enable_early_decisions = mode;
+  Result<std::unique_ptr<core::XPathStreamProcessor>> proc =
+      core::XPathStreamProcessor::Create(query.text, &sink, options);
+  if (!proc.ok()) {
+    std::fprintf(stderr, "skip early/%s: %s\n", query.name.c_str(),
+                 proc.status().ToString().c_str());
+    return false;
+  }
+  core::XPathStreamProcessor& p = *proc.value();
+  if (mode != core::EarlyDecisionMode::kOff) {
+    analysis::EnableEarlyDecisions(&p, dtds);
+  }
+
+  auto stream_once = [&]() -> Status {
+    Status s = p.Consume({doc, false});
+    if (s.ok()) s = p.Consume({std::string_view(), true});
+    return s;
+  };
+
+  Status s = stream_once();
+  for (int i = 0; s.ok() && i < kTimedPasses; ++i) {
+    p.Reset();
+    Stopwatch sw;
+    s = stream_once();
+    const double seconds = sw.ElapsedSeconds();
+    if (out->best_seconds == 0 || seconds < out->best_seconds) {
+      out->best_seconds = seconds;
+    }
+  }
+  if (s.ok()) {
+    p.Reset();
+    const uint64_t before = obs::AllocHookNewCalls();
+    s = stream_once();
+    out->steady_allocs = obs::AllocHookNewCalls() - before;
+  }
+  if (!s.ok()) {
+    std::fprintf(stderr, "run early/%s/%s failed: %s\n", query.name.c_str(),
+                 ModeName(mode), s.ToString().c_str());
+    return false;
+  }
+  const core::EngineStats& stats = p.stats();
+  out->events = stats.start_events + stats.end_events;
+  out->results = stats.results;
+  extra->gap_mean_bytes =
+      stats.gap_count > 0 ? static_cast<double>(stats.gap_sum_bytes) /
+                                static_cast<double>(stats.gap_count)
+                          : 0;
+  extra->gap_max_bytes = stats.gap_max_bytes;
+  extra->early_emitted = stats.early_emitted;
+  extra->early_dropped = stats.early_dropped;
+  extra->states_skipped = stats.states_skipped;
+  extra->peak_candidates = stats.peak_candidates;
+  return true;
+}
+
+void RunEarlyGroup() {
+  const std::string collection_dtd =
+      std::string("<!ELEMENT collection (book*)>\n") + data::kBookDtd;
+  Result<dtd::Dtd> dtd = dtd::ParseDtd(collection_dtd);
+  if (!dtd.ok()) {
+    std::fprintf(stderr, "early group: DTD parse failed: %s\n",
+                 dtd.status().ToString().c_str());
+    return;
+  }
+  Result<analysis::DtdStructure> dtds =
+      analysis::DtdStructure::Build(dtd.value());
+  if (!dtds.ok()) {
+    std::fprintf(stderr, "early group: DTD summary failed: %s\n",
+                 dtds.status().ToString().c_str());
+    return;
+  }
+  const std::string& doc = BookDataset();
+  constexpr core::EarlyDecisionMode kModes[] = {
+      core::EarlyDecisionMode::kOff, core::EarlyDecisionMode::kObserve,
+      core::EarlyDecisionMode::kOn};
+  for (const data::QuerySpec& query : data::BookQueries()) {
+    if (query.language == "XP{/,//,*}") continue;  // predicate-heavy only
+    for (core::EarlyDecisionMode mode : kModes) {
+      CellResult cell;
+      EarlyStats extra;
+      if (!RunEarlyCell(dtds.value(), mode, query, doc, &cell, &extra)) {
+        continue;
+      }
+      const std::string workload = query.name + "/" + ModeName(mode);
+      BenchRecord record;
+      record.bench = "hotpath";
+      record.params = {{"group", "early"},
+                       {"dataset", "Book"},
+                       {"workload", workload},
+                       {"query", query.name},
+                       {"mode", ModeName(mode)}};
+      record.wall_ms = cell.best_seconds * 1e3;
+      record.metrics = {
+          {"events", static_cast<double>(cell.events)},
+          {"events_per_sec", cell.events_per_sec()},
+          {"results", static_cast<double>(cell.results)},
+          {"steady_allocs", static_cast<double>(cell.steady_allocs)},
+          {"allocs_per_event", cell.allocs_per_event()},
+          {"gap_mean_bytes", extra.gap_mean_bytes},
+          {"gap_max_bytes", static_cast<double>(extra.gap_max_bytes)},
+          {"early_emitted", static_cast<double>(extra.early_emitted)},
+          {"early_dropped", static_cast<double>(extra.early_dropped)},
+          {"states_skipped", static_cast<double>(extra.states_skipped)},
+          {"peak_candidates", static_cast<double>(extra.peak_candidates)}};
+      BenchJson::Get().Add(std::move(record));
+      PrintCell("early", "Book", workload, cell);
+      std::printf(
+          "%-7s %-9s %-28s gap mean %8.0f B  max %8llu B  early %llu  "
+          "dropped %llu  skipped %llu  peak-cand %llu\n",
+          "", "", "", extra.gap_mean_bytes,
+          static_cast<unsigned long long>(extra.gap_max_bytes),
+          static_cast<unsigned long long>(extra.early_emitted),
+          static_cast<unsigned long long>(extra.early_dropped),
+          static_cast<unsigned long long>(extra.states_skipped),
+          static_cast<unsigned long long>(extra.peak_candidates));
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -220,8 +374,8 @@ bool RunFilterCell(const char* dataset_name, const std::string& doc,
   filter::FilterEngine& e = *engine.value();
 
   auto stream_once = [&]() -> Status {
-    Status s = e.Feed(doc);
-    if (s.ok()) s = e.Finish();
+    Status s = e.Consume({doc, false});
+    if (s.ok()) s = e.Consume({std::string_view(), true});
     return s;
   };
 
@@ -300,6 +454,8 @@ int Main() {
     AddRecord("filter", fc.dataset, workload, cell);
     PrintCell("filter", fc.dataset, workload, cell);
   }
+
+  RunEarlyGroup();
   return 0;
 }
 

@@ -74,8 +74,8 @@ LatencyResult TwigLatency(const std::string& query, const std::string& doc) {
   if (!proc.ok()) return LatencyResult{};
   return Drive(
       doc, &sink,
-      [&](std::string_view chunk) { return proc.value()->Feed(chunk); },
-      [&] { return proc.value()->Finish(); });
+      [&](std::string_view chunk) { return proc.value()->Consume({chunk, false}); },
+      [&] { return proc.value()->Consume({std::string_view(), true}); });
 }
 
 LatencyResult EosLatency(const std::string& query, const std::string& doc) {
@@ -86,8 +86,8 @@ LatencyResult EosLatency(const std::string& query, const std::string& doc) {
   xml::SaxParser parser(&driver);
   return Drive(
       doc, &sink,
-      [&](std::string_view chunk) { return parser.Feed(chunk); },
-      [&] { return parser.Finish(); });
+      [&](std::string_view chunk) { return parser.Consume({chunk, false}); },
+      [&] { return parser.Consume({std::string_view(), true}); });
 }
 
 int Main() {

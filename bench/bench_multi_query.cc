@@ -58,8 +58,8 @@ void BM_MultiQuery(benchmark::State& state) {
       return;
     }
     Stopwatch sw;
-    Status s = proc.value()->Feed(doc);
-    if (s.ok()) s = proc.value()->Finish();
+    Status s = proc.value()->Consume({doc, false});
+    if (s.ok()) s = proc.value()->Consume({std::string_view(), true});
     const double wall_ms = sw.ElapsedSeconds() * 1e3;
     if (!s.ok()) {
       state.SkipWithError(s.ToString().c_str());

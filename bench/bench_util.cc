@@ -178,8 +178,8 @@ RunResult RunSystem(System system, const std::string& query,
         return out;
       }
       Stopwatch sw;
-      Status s = proc.value()->Feed(doc);
-      if (s.ok()) s = proc.value()->Finish();
+      Status s = proc.value()->Consume({doc, false});
+      if (s.ok()) s = proc.value()->Consume({std::string_view(), true});
       out.seconds = sw.ElapsedSeconds();
       out.status = s;
       out.results = proc.value()->stats().results;

@@ -38,8 +38,8 @@ int main() {
                   processor.status().ToString().c_str());
       continue;
     }
-    twigm::Status s = processor.value()->Feed(doc.value());
-    if (s.ok()) s = processor.value()->Finish();
+    twigm::Status s = processor.value()->Consume({doc.value(), false});
+    if (s.ok()) s = processor.value()->Consume({std::string_view(), true});
     if (!s.ok()) {
       std::printf("%-5s %-50s %s\n", spec.name.c_str(), spec.text.c_str(),
                   s.ToString().c_str());

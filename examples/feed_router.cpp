@@ -88,11 +88,11 @@ int main() {
   std::printf("\nrouting (first deliveries shown):\n");
   const std::string feed = MakeFeed(5000, 1234);
   for (size_t pos = 0; pos < feed.size(); pos += 2048) {
-    if (!proc.value()->Feed(std::string_view(feed).substr(pos, 2048)).ok()) {
+    if (!proc.value()->Consume({std::string_view(feed).substr(pos, 2048), false}).ok()) {
       return 1;
     }
   }
-  if (!proc.value()->Finish().ok()) return 1;
+  if (!proc.value()->Consume({std::string_view(), true}).ok()) return 1;
 
   std::printf("\ndeliveries per subscriber (one parse of %zu KB):\n",
               feed.size() / 1024);

@@ -61,13 +61,13 @@ int main() {
   // Feed the document in small chunks, as a network stream would arrive.
   const std::string_view doc(kCatalog);
   for (size_t pos = 0; pos < doc.size(); pos += 16) {
-    twigm::Status s = processor.value()->Feed(doc.substr(pos, 16));
+    twigm::Status s = processor.value()->Consume({doc.substr(pos, 16), false});
     if (!s.ok()) {
       std::fprintf(stderr, "parse error: %s\n", s.ToString().c_str());
       return 1;
     }
   }
-  twigm::Status s = processor.value()->Finish();
+  twigm::Status s = processor.value()->Consume({std::string_view(), true});
   if (!s.ok()) {
     std::fprintf(stderr, "parse error: %s\n", s.ToString().c_str());
     return 1;

@@ -74,13 +74,13 @@ int main() {
   constexpr size_t kMtu = 1400;
   for (size_t pos = 0; pos < feed.size(); pos += kMtu) {
     twigm::Status s =
-        processor.value()->Feed(std::string_view(feed).substr(pos, kMtu));
+        processor.value()->Consume({std::string_view(feed).substr(pos, kMtu), false});
     if (!s.ok()) {
       std::fprintf(stderr, "stream error: %s\n", s.ToString().c_str());
       return 1;
     }
   }
-  if (!processor.value()->Finish().ok()) return 1;
+  if (!processor.value()->Consume({std::string_view(), true}).ok()) return 1;
 
   const twigm::core::EngineStats& stats = processor.value()->stats();
   std::printf("trades scanned: ~%llu, alerts raised: %llu\n",

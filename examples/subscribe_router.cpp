@@ -128,12 +128,12 @@ int RunSingleThread(const Config& cfg) {
     bytes += feed.size();
     for (size_t pos = 0; pos < feed.size(); pos += 4096) {
       if (!engine.value()
-               ->Feed(std::string_view(feed).substr(pos, 4096))
+               ->Consume({std::string_view(feed).substr(pos, 4096), false})
                .ok()) {
         return 1;
       }
     }
-    if (!engine.value()->Finish().ok()) return 1;
+    if (!engine.value()->Consume({std::string_view(), true}).ok()) return 1;
     engine.value()->Reset();
   }
   std::printf("routed %llu KB over %d documents: %llu deliveries\n",

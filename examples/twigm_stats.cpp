@@ -6,18 +6,28 @@
 // more of the stream had to be read between an element becoming a
 // *candidate* and being proven a *result*.
 //
-//   usage: twigm_stats ['<xpath>' [min_bytes]]
+// With an early-decision mode (observe/on), decision tables compiled from
+// the Book DTD are installed and the report adds the earliest-answering
+// section: the emission gap (bytes between a match becoming statically
+// provable and its actual emission) and the early-emit/drop/skip counters.
+//
+//   usage: twigm_stats ['<xpath>' [min_bytes [off|observe|on]]]
 //   default query: //section[title]//figure
 
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/decision_analysis.h"
+#include "analysis/dtd_structure.h"
 #include "common/string_util.h"
 #include "core/evaluator.h"
 #include "data/book.h"
+#include "dtd/dtd_parser.h"
 #include "obs/instrumentation.h"
 
 namespace {
@@ -70,6 +80,18 @@ int main(int argc, char** argv) {
   const char* query = argc > 1 ? argv[1] : "//section[title]//figure";
   const size_t min_bytes =
       argc > 2 ? static_cast<size_t>(std::atoll(argv[2])) : 512 * 1024;
+  const char* mode_name = argc > 3 ? argv[3] : "observe";
+  twigm::core::EarlyDecisionMode mode;
+  if (std::strcmp(mode_name, "off") == 0) {
+    mode = twigm::core::EarlyDecisionMode::kOff;
+  } else if (std::strcmp(mode_name, "observe") == 0) {
+    mode = twigm::core::EarlyDecisionMode::kObserve;
+  } else if (std::strcmp(mode_name, "on") == 0) {
+    mode = twigm::core::EarlyDecisionMode::kOn;
+  } else {
+    std::fprintf(stderr, "unknown mode '%s' (off|observe|on)\n", mode_name);
+    return 1;
+  }
 
   twigm::data::BookOptions book;
   book.seed = 11;
@@ -88,6 +110,7 @@ int main(int argc, char** argv) {
   twigm::core::CountingResultSink results;
   twigm::core::EvaluatorOptions options;
   options.instrumentation = &instr;
+  options.enable_early_decisions = mode;
   auto proc = twigm::core::XPathStreamProcessor::Create(query, &results,
                                                         options);
   if (!proc.ok()) {
@@ -96,9 +119,26 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // The size-targeted generator wraps the books under <collection>.
+  twigm::Result<twigm::dtd::Dtd> dtd = twigm::dtd::ParseDtd(
+      std::string("<!ELEMENT collection (book*)>\n") +
+      twigm::data::kBookDtd);
+  twigm::Result<twigm::analysis::DtdStructure> dtds =
+      dtd.ok() ? twigm::analysis::DtdStructure::Build(dtd.value())
+               : twigm::Result<twigm::analysis::DtdStructure>(dtd.status());
+  if (mode != twigm::core::EarlyDecisionMode::kOff) {
+    if (!dtds.ok()) {
+      std::fprintf(stderr, "DTD summary failed: %s\n",
+                   dtds.status().ToString().c_str());
+      return 1;
+    }
+    twigm::analysis::EnableEarlyDecisions(proc.value().get(), dtds.value());
+  }
+
   std::printf("query:   %s\n", query);
   std::printf("engine:  %s\n",
               twigm::core::EngineKindToString(proc.value()->engine_kind()));
+  std::printf("mode:    early decisions %s\n", mode_name);
   std::printf("dataset: Book, %s\n\n",
               twigm::HumanBytes(doc.value().size()).c_str());
 
@@ -109,7 +149,7 @@ int main(int argc, char** argv) {
   size_t next_report = data.size() / 4;
   std::printf("live per-stage wall time (cumulative, exclusive):\n");
   for (size_t pos = 0; pos < data.size(); pos += chunk) {
-    twigm::Status s = proc.value()->Feed(data.substr(pos, chunk));
+    twigm::Status s = proc.value()->Consume({data.substr(pos, chunk), false});
     if (!s.ok()) {
       std::fprintf(stderr, "parse error: %s\n", s.ToString().c_str());
       return 1;
@@ -122,7 +162,7 @@ int main(int argc, char** argv) {
       next_report += data.size() / 4;
     }
   }
-  twigm::Status s = proc.value()->Finish();
+  twigm::Status s = proc.value()->Consume({std::string_view(), true});
   if (!s.ok()) {
     std::fprintf(stderr, "parse error: %s\n", s.ToString().c_str());
     return 1;
@@ -157,6 +197,21 @@ int main(int argc, char** argv) {
   if (h.counts().back() != 0) {
     std::printf("  >  %8" PRIu64 " B: %" PRIu64 "\n", h.bounds().back(),
                 h.counts().back());
+  }
+
+  if (mode != twigm::core::EarlyDecisionMode::kOff) {
+    const twigm::core::EngineStats& es = proc.value()->stats();
+    std::printf("\nearliest answering (%s):\n", mode_name);
+    std::printf("  emission gap: %" PRIu64 " gaps, mean %.0f B, max %" PRIu64
+                " B\n",
+                es.gap_count,
+                es.gap_count > 0 ? static_cast<double>(es.gap_sum_bytes) /
+                                       static_cast<double>(es.gap_count)
+                                 : 0.0,
+                es.gap_max_bytes);
+    std::printf("  early emitted %" PRIu64 ", early dropped %" PRIu64
+                ", states skipped %" PRIu64 "\n",
+                es.early_emitted, es.early_dropped, es.states_skipped);
   }
 
   // Engine accounting through the same registry surface the benches use.

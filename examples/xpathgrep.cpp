@@ -107,12 +107,12 @@ int main(int argc, char** argv) {
     union_processor = std::move(created).value();
   }
   auto feed = [&](std::string_view chunk) {
-    return processor != nullptr ? processor->Feed(chunk)
-                                : union_processor->Feed(chunk);
+    return processor != nullptr ? processor->Consume({chunk, false})
+                                : union_processor->Consume({chunk, false});
   };
   auto finish = [&] {
-    return processor != nullptr ? processor->Finish()
-                                : union_processor->Finish();
+    return processor != nullptr ? processor->Consume({std::string_view(), true})
+                                : union_processor->Consume({std::string_view(), true});
   };
 
   char buffer[1 << 16];

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Gate earliest query answering: emission gap and live candidates.
+
+Reads a BENCH_hotpath.json produced by `bench_hotpath --json <path>` and
+inspects the `early` group (predicate-heavy Book workloads, each run in
+off / observe / on early-decision modes). Fails when
+
+  * an observe-mode cell's gap_mean_bytes drifts more than --tolerance
+    (default 2%) from the committed baseline cell — the dataset and the
+    gap measurement are deterministic, so drift means the measurement or
+    the certainty cascade changed;
+  * the median per-workload ratio on/observe of gap_mean_bytes exceeds
+    --max-gap-ratio (default 0.7): the DTD proofs must cut the median
+    emission gap by at least 30%;
+  * any on-mode cell holds more peak live candidates than its observe
+    twin — static decisions must never *grow* the candidate set;
+  * any on-mode cell reports nonzero steady-state allocations, or no
+    on-mode cell early-emits at all (the tables silently stopped firing).
+
+Workloads present on only one side are reported but never gate, so adding
+or retiring a query does not require touching this script. Refresh the
+baseline by copying the `early` group records from a fresh scale-1
+`bench_hotpath --json` run (scripts in CI run it without
+TWIGM_BENCH_SCALE, so the committed baseline must be scale 1 too).
+
+Usage: check_emission_gap.py BENCH_hotpath.json [--baseline path]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_cells(path):
+    with open(path) as f:
+        records = json.load(f)
+    cells = {}
+    for r in records:
+        p = r.get("params", {})
+        if r.get("bench") != "hotpath" or p.get("group") != "early":
+            continue
+        query, _, mode = p.get("workload", "").partition("/")
+        cells[(p.get("dataset"), query, mode)] = r
+    return cells
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_path", help="BenchJson output of bench_hotpath")
+    parser.add_argument(
+        "--baseline",
+        default="bench/BENCH_emission_gap_baseline.json",
+        help="committed baseline (default bench/BENCH_emission_gap_baseline.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.02,
+        help="max relative drift of observe gap_mean_bytes vs baseline",
+    )
+    parser.add_argument(
+        "--max-gap-ratio",
+        type=float,
+        default=0.7,
+        help="max allowed median on/observe gap_mean_bytes ratio",
+    )
+    args = parser.parse_args()
+
+    current = load_cells(args.json_path)
+    baseline = load_cells(args.baseline)
+    if not current:
+        print(f"error: no early-group records in {args.json_path}", file=sys.stderr)
+        return 2
+    if not baseline:
+        print(f"error: no early-group records in {args.baseline}", file=sys.stderr)
+        return 2
+
+    failures = []
+    ratios = []
+    any_early_emitted = False
+    queries = sorted({q for (_, q, _) in current})
+    for (dataset, query, mode), cell in sorted(current.items()):
+        name = f"{dataset}/{query}/{mode}"
+        if mode == "on" and cell["steady_allocs"] > 0:
+            failures.append(
+                f"{name}: {cell['steady_allocs']:.0f} steady-state allocations"
+                " (early decisions must stay allocation-free)"
+            )
+        if mode == "on":
+            any_early_emitted |= cell["early_emitted"] > 0
+
+    for query in queries:
+        observe = current.get(("Book", query, "observe"))
+        on = current.get(("Book", query, "on"))
+        if observe is None or on is None:
+            print(f"note: {query} missing a mode cell (not gated)")
+            continue
+
+        base = baseline.get(("Book", query, "observe"))
+        if base is None:
+            print(f"note: Book/{query}/observe has no baseline cell (not gated)")
+        elif base["gap_mean_bytes"] > 0:
+            drift = (
+                abs(observe["gap_mean_bytes"] - base["gap_mean_bytes"])
+                / base["gap_mean_bytes"]
+            )
+            status = "ok" if drift <= args.tolerance else "DRIFT"
+            print(
+                f"Book/{query}/observe  gap mean {observe['gap_mean_bytes']:.0f} B"
+                f" (baseline {base['gap_mean_bytes']:.0f} B, {drift:+.2%})  {status}"
+            )
+            if drift > args.tolerance:
+                failures.append(
+                    f"Book/{query}/observe: gap_mean_bytes drifted {drift:.2%}"
+                    f" from baseline (> {args.tolerance:.0%})"
+                )
+
+        if observe["gap_mean_bytes"] > 0:
+            ratio = on["gap_mean_bytes"] / observe["gap_mean_bytes"]
+            ratios.append(ratio)
+            print(
+                f"Book/{query}  gap {observe['gap_mean_bytes']:.0f} -> "
+                f"{on['gap_mean_bytes']:.0f} B (x{ratio:.3f}), peak candidates "
+                f"{observe['peak_candidates']:.0f} -> {on['peak_candidates']:.0f}"
+            )
+        if on["peak_candidates"] > observe["peak_candidates"]:
+            failures.append(
+                f"Book/{query}: on-mode peak candidates "
+                f"{on['peak_candidates']:.0f} exceed observe "
+                f"{observe['peak_candidates']:.0f}"
+            )
+
+    if not ratios:
+        failures.append("no workload with a nonzero observe gap (gate is vacuous)")
+    else:
+        ratios.sort()
+        median = ratios[len(ratios) // 2]
+        print(f"median on/observe gap ratio: {median:.3f} (limit {args.max_gap_ratio})")
+        if median > args.max_gap_ratio:
+            failures.append(
+                f"median gap ratio {median:.3f} exceeds {args.max_gap_ratio}"
+                " (static proofs no longer cut the emission gap >= 30%)"
+            )
+    if not any_early_emitted:
+        failures.append("no on-mode cell early-emitted a single result")
+
+    if failures:
+        print()
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("\nOK: emission gap and candidate gates hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

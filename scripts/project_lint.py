@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Project-specific lint: hot-path allocation bans and guarded instrumentation.
+
+Two checks over src/ (headers and sources):
+
+1. hotpath-alloc — a function definition annotated with a `// hotpath`
+   comment on the line directly above its signature must not contain
+   heap-allocating constructs anywhere in its body:
+
+       new / new[]           make_unique / make_shared
+       malloc / calloc       std::to_string
+       std::string(...)      construction of a temporary string
+
+   The zero-steady-allocation contract (bench_hotpath gates it at runtime)
+   is this check's static twin: it catches the allocation at review time,
+   on every code path rather than the ones the benchmark happens to drive.
+   A line ending in `// lint: allow-alloc(<why>)` is exempt (e.g. a cold
+   error branch).
+
+2. instr-guard — every dereference of an instrumentation pointer
+   (`instr->`, `instr_->`, `instrumentation_->`) must be visibly
+   null-guarded: the same line tests `!= nullptr`, or a preceding line in
+   the same function tests the pointer (`if (x != nullptr)`,
+   `if (x == nullptr) return`, or a `x != nullptr ?` ternary).
+   Instrumentation is optional everywhere on the hot path; an unguarded
+   deref is a latent crash on exactly the configurations the benches run.
+
+Exit status 1 on any finding; findings print as file:line: message.
+
+Usage: project_lint.py [paths...]   (default: src)
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+HOTPATH_ANNOTATION = re.compile(r"^\s*//\s*hotpath\b")
+ALLOW_ALLOC = re.compile(r"//\s*lint:\s*allow-alloc")
+ALLOC_PATTERNS = [
+    (re.compile(r"\bnew\b(?!\s*\()"), "operator new"),
+    (re.compile(r"\bnew\s*\("), "placement/operator new"),
+    (re.compile(r"\bstd::make_unique\b|\bmake_unique<"), "make_unique"),
+    (re.compile(r"\bstd::make_shared\b|\bmake_shared<"), "make_shared"),
+    (re.compile(r"\bmalloc\s*\(|\bcalloc\s*\("), "malloc/calloc"),
+    (re.compile(r"\bstd::to_string\s*\("), "std::to_string"),
+    (re.compile(r"\bstd::string\s*[({]"), "std::string construction"),
+    (re.compile(r"\bstd::string\s+\w+\s*[({=]"), "std::string construction"),
+]
+
+INSTR_DEREF = re.compile(r"\b(instr|instr_|instrumentation_)->")
+COMMENT_LINE = re.compile(r"^\s*//")
+
+
+def strip_strings(line):
+    """Blank out string/char literals so patterns inside them don't match."""
+    out = []
+    quote = None
+    prev = ""
+    for ch in line:
+        if quote:
+            out.append("_")
+            if ch == quote and prev != "\\":
+                quote = None
+            prev = "" if prev == "\\" else ch
+        elif ch in "\"'":
+            quote = ch
+            out.append(ch)
+            prev = ch
+        else:
+            out.append(ch)
+            prev = ch
+    return "".join(out)
+
+
+def function_body_end(lines, start):
+    """Index one past the closing brace of the body opened at/after start."""
+    depth = 0
+    opened = False
+    for i in range(start, len(lines)):
+        code = strip_strings(lines[i])
+        if COMMENT_LINE.match(code):
+            continue
+        code = code.split("//")[0]
+        depth += code.count("{") - code.count("}")
+        if code.count("{"):
+            opened = True
+        if opened and depth <= 0:
+            return i + 1
+        # Annotation on a declaration (no body): stop at the semicolon.
+        if not opened and ";" in code:
+            return i + 1
+    return len(lines)
+
+
+def check_hotpath_allocs(path, lines, findings):
+    i = 0
+    while i < len(lines):
+        if not HOTPATH_ANNOTATION.match(lines[i]):
+            i += 1
+            continue
+        end = function_body_end(lines, i + 1)
+        for j in range(i + 1, end):
+            line = lines[j]
+            if COMMENT_LINE.match(line) or ALLOW_ALLOC.search(line):
+                continue
+            code = strip_strings(line).split("//")[0]
+            for pattern, what in ALLOC_PATTERNS:
+                if pattern.search(code):
+                    findings.append(
+                        f"{path}:{j + 1}: [hotpath-alloc] {what} inside a"
+                        " `// hotpath` function"
+                    )
+        i = end
+
+
+def guard_patterns(ident):
+    return [
+        re.compile(rf"\b{ident}\s*!=\s*nullptr"),
+        # Early-out style: `if (x == nullptr ...) return;` — a nullness test
+        # in any form counts as the author having thought about it.
+        re.compile(rf"\b{ident}\s*==\s*nullptr"),
+    ]
+
+
+def check_instr_guards(path, lines, findings, window=40):
+    for i, line in enumerate(lines):
+        if COMMENT_LINE.match(line):
+            continue
+        code = strip_strings(line).split("//")[0]
+        m = INSTR_DEREF.search(code)
+        if not m:
+            continue
+        ident = re.escape(m.group(1))
+        guards = guard_patterns(ident)
+        if any(g.search(code) for g in guards):
+            continue
+        lo = max(0, i - window)
+        context = "\n".join(lines[lo:i])
+        if any(g.search(context) for g in guards):
+            continue
+        findings.append(
+            f"{path}:{i + 1}: [instr-guard] `{m.group(1)}->` dereference with"
+            f" no `{m.group(1)} != nullptr` check on this line or the"
+            f" preceding {window}"
+        )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="*", default=["src"])
+    args = parser.parse_args()
+
+    files = []
+    for root in args.paths:
+        p = Path(root)
+        if p.is_file():
+            files.append(p)
+        else:
+            files.extend(sorted(p.rglob("*.h")))
+            files.extend(sorted(p.rglob("*.cc")))
+
+    findings = []
+    annotated = 0
+    for path in files:
+        lines = path.read_text().splitlines()
+        annotated += sum(1 for l in lines if HOTPATH_ANNOTATION.match(l))
+        check_hotpath_allocs(path, lines, findings)
+        check_instr_guards(path, lines, findings)
+
+    for f in findings:
+        print(f, file=sys.stderr)
+    print(
+        f"project_lint: {len(files)} files, {annotated} `// hotpath`"
+        f" annotations, {len(findings)} finding(s)"
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

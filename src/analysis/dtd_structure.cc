@@ -33,6 +33,53 @@ void CollectContent(const dtd::ContentExpr& expr,
   }
 }
 
+// Element names guaranteed to occur as direct children in every valid
+// instance of `expr`: kOne/kPlus element particles, unioned across sequence
+// members, intersected across choice alternatives. Optional/starred
+// particles (and anything below them) guarantee nothing.
+std::vector<std::string> RequiredNames(const dtd::ContentExpr& expr) {
+  std::vector<std::string> out;
+  if (expr.repeat == dtd::Repeat::kOptional ||
+      expr.repeat == dtd::Repeat::kStar) {
+    return out;
+  }
+  switch (expr.kind) {
+    case dtd::ContentExpr::Kind::kElement:
+      out.push_back(expr.name);
+      break;
+    case dtd::ContentExpr::Kind::kSequence:
+      for (const dtd::ContentExpr& child : expr.children) {
+        std::vector<std::string> sub = RequiredNames(child);
+        out.insert(out.end(), sub.begin(), sub.end());
+      }
+      break;
+    case dtd::ContentExpr::Kind::kChoice: {
+      bool first = true;
+      for (const dtd::ContentExpr& child : expr.children) {
+        std::vector<std::string> sub = RequiredNames(child);
+        std::sort(sub.begin(), sub.end());
+        if (first) {
+          out = std::move(sub);
+          first = false;
+        } else {
+          std::vector<std::string> kept;
+          for (const std::string& name : out) {
+            if (std::binary_search(sub.begin(), sub.end(), name)) {
+              kept.push_back(name);
+            }
+          }
+          out = std::move(kept);
+        }
+        if (out.empty()) break;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return out;
+}
+
 bool ContainsAny(const dtd::ContentExpr& expr) {
   if (expr.kind == dtd::ContentExpr::Kind::kAny) return true;
   for (const dtd::ContentExpr& child : expr.children) {
@@ -46,7 +93,7 @@ bool ContainsAny(const dtd::ContentExpr& expr) {
 Result<DtdStructure> DtdStructure::Build(const dtd::Dtd& dtd,
                                          std::string_view root_element) {
   DtdStructure s;
-  s.dtd_ = &dtd;
+  s.dtd_ = std::make_shared<const dtd::Dtd>(dtd);
 
   // Assign dense ids: declared elements first, then elements that are only
   // referenced inside content models (treated as EMPTY leaves).
@@ -93,6 +140,19 @@ Result<DtdStructure> DtdStructure::Build(const dtd::Dtd& dtd,
     child_ids.erase(std::unique(child_ids.begin(), child_ids.end()),
                     child_ids.end());
     info.children = std::move(child_ids);
+
+    // Required children: guaranteed by every valid instance. Mixed content
+    // ((#PCDATA | a)*) guarantees nothing — the star makes all optional.
+    if (!decl.mixed) {
+      std::vector<int> req_ids;
+      for (const std::string& ref : RequiredNames(decl.content)) {
+        req_ids.push_back(intern(ref));
+      }
+      std::sort(req_ids.begin(), req_ids.end());
+      req_ids.erase(std::unique(req_ids.begin(), req_ids.end()),
+                    req_ids.end());
+      info.required_children = std::move(req_ids);
+    }
   }
 
   // Root.
@@ -250,6 +310,56 @@ std::vector<bool> DtdStructure::ReachableAtLeast(int from, int k) const {
     if (!mid[v]) continue;
     for (size_t u = 0; u < n; ++u) {
       if (descendants_[v][u]) out[u] = true;
+    }
+  }
+  return out;
+}
+
+std::vector<bool> DtdStructure::RequiredExact(int from, int k) const {
+  // k-fold composition of required_children: if t is required under e and u
+  // required under t, then u is guaranteed two levels below e, and so on.
+  const size_t n = elements_.size();
+  std::vector<bool> frontier(n, false);
+  frontier[static_cast<size_t>(from)] = true;
+  for (int step = 0; step < k; ++step) {
+    std::vector<bool> next(n, false);
+    for (size_t v = 0; v < n; ++v) {
+      if (!frontier[v]) continue;
+      for (int c : elements_[v].required_children) {
+        next[static_cast<size_t>(c)] = true;
+      }
+    }
+    frontier = std::move(next);
+  }
+  return frontier;
+}
+
+std::vector<bool> DtdStructure::RequiredAtLeast(int from, int k) const {
+  // Union of exact depths k..k+n. A required-children cycle would force
+  // infinite documents (the DTD admits no valid instance), so chains longer
+  // than the element count only repeat elements already collected; the cap
+  // keeps the walk finite and stays conservative either way.
+  const size_t n = elements_.size();
+  std::vector<bool> out(n, false);
+  std::vector<bool> frontier(n, false);
+  frontier[static_cast<size_t>(from)] = true;
+  const int limit = k + static_cast<int>(n);
+  for (int depth = 1; depth <= limit; ++depth) {
+    std::vector<bool> next(n, false);
+    bool any = false;
+    for (size_t v = 0; v < n; ++v) {
+      if (!frontier[v]) continue;
+      for (int c : elements_[v].required_children) {
+        next[static_cast<size_t>(c)] = true;
+        any = true;
+      }
+    }
+    frontier = std::move(next);
+    if (!any) break;
+    if (depth >= k) {
+      for (size_t v = 0; v < n; ++v) {
+        if (frontier[v]) out[v] = true;
+      }
     }
   }
   return out;

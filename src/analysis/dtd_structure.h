@@ -20,6 +20,7 @@
 #ifndef TWIGM_ANALYSIS_DTD_STRUCTURE_H_
 #define TWIGM_ANALYSIS_DTD_STRUCTURE_H_
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -39,6 +40,10 @@ struct ElementInfo {
   /// Direct-child element ids (deduplicated, ascending). ANY expands to
   /// every declared element.
   std::vector<int> children;
+  /// Direct-child element ids that occur in *every* valid instance of this
+  /// element (deduplicated, ascending): particles with repetition kOne/kPlus,
+  /// intersected across choice alternatives. Empty for mixed/ANY content.
+  std::vector<int> required_children;
   /// True if the element can carry direct character data (#PCDATA, mixed,
   /// or ANY content).
   bool has_pcdata = false;
@@ -97,6 +102,22 @@ class DtdStructure {
   /// ... in at least `k` child steps (k >= 1).
   std::vector<bool> ReachableAtLeast(int from, int k) const;
 
+  /// Elements *guaranteed* to occur exactly `k` child steps below every
+  /// valid instance of `from` (k >= 1): the k-fold composition of
+  /// required_children. The dual of ReachableExact — "must" instead of
+  /// "may" — so answers are conservative the other way: true only if every
+  /// valid document contains the occurrence.
+  std::vector<bool> RequiredExact(int from, int k) const;
+  /// ... at least `k` child steps below (k >= 1). Required chains are
+  /// acyclic in any DTD admitting finite documents, so the union over
+  /// depths k..k+element_count() is exhaustive.
+  std::vector<bool> RequiredAtLeast(int from, int k) const;
+
+  /// The underlying DTD (attribute defaults, content models). Owned: Build
+  /// copies it, so the structure never dangles when the parsed Dtd dies
+  /// first (decision tables are compiled long after parse scopes close).
+  const dtd::Dtd& dtd() const { return *dtd_; }
+
   /// Elements that can occur at document depth exactly `k` (k >= 1).
   std::vector<bool> AtDepthExact(int k) const;
   /// ... at document depth >= `k` (k >= 1).
@@ -108,7 +129,7 @@ class DtdStructure {
   std::vector<std::vector<bool>> descendants_;
   int root_ = -1;
   int max_document_depth_ = kUnboundedDepth;
-  const dtd::Dtd* dtd_ = nullptr;  // for attlist lookups; must outlive us
+  std::shared_ptr<const dtd::Dtd> dtd_;  // owned copy, for attlist lookups
 };
 
 }  // namespace twigm::analysis

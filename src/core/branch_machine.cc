@@ -1,5 +1,7 @@
 #include "core/branch_machine.h"
 
+#include <algorithm>
+
 #include "core/invariants.h"
 #include "core/twig_machine.h"  // UnionSortedIds
 #include "core/value_test.h"
@@ -36,6 +38,132 @@ void BranchMachine::BindInterner(xml::TagInterner* interner) {
     postings_[node->symbol].push_back(node->id);
   }
   bound_ = true;
+  interner_ = interner;
+  RebuildSymToElem();
+}
+
+void BranchMachine::set_decisions(std::shared_ptr<const DecisionTable> table,
+                                  EarlyDecisionMode mode) {
+  decisions_ = std::move(table);
+  decision_mode_ = mode;
+  RebuildSymToElem();
+  RegisterGapHistogram();
+}
+
+void BranchMachine::RebuildSymToElem() {
+  sym_to_elem_.clear();
+  if (decisions_ == nullptr || interner_ == nullptr) return;
+  const std::vector<std::string>& names = decisions_->element_names();
+  for (size_t e = 0; e < names.size(); ++e) {
+    const xml::SymbolId s = interner_->Intern(names[e]);
+    if (sym_to_elem_.size() <= s) sym_to_elem_.resize(s + 1, -1);
+    sym_to_elem_[s] = static_cast<int32_t>(e);
+  }
+}
+
+void BranchMachine::RegisterGapHistogram() {
+  if (instr_ == nullptr || gap_hist_ != nullptr) return;
+  if (decision_mode_ == EarlyDecisionMode::kOff) return;
+  gap_hist_ = instr_->registry().RegisterHistogram(
+      "engine.emission_gap_bytes", obs::ExponentialBuckets(1, 4, 16));
+}
+
+const NodeDecision* BranchMachine::DecisionFor(int node_id) const {
+  if (cur_elem_ < 0 || decisions_ == nullptr) return nullptr;
+  return &decisions_->at(static_cast<size_t>(node_id),
+                         static_cast<size_t>(cur_elem_));
+}
+
+bool BranchMachine::StateSatisfiedNow(const MachineNode* v,
+                                      const NodeState& s) const {
+  if (((s.branch | s.implied) & v->required_mask) != v->required_mask) {
+    return false;
+  }
+  return (s.dflags & kValueSure) != 0;
+}
+
+// hotpath
+void BranchMachine::FlushCertainCandidates(NodeState& s) {
+  if (s.candidates.empty()) return;
+  if (decision_mode_ == EarlyDecisionMode::kOn) {
+    for (xml::NodeId id : s.candidates) EmitEarly(id);
+    live_candidates_ -= s.candidates.size();
+    s.candidates.clear();
+  } else {
+    for (xml::NodeId id : s.candidates) MarkProved(id);
+  }
+}
+
+// hotpath
+void BranchMachine::EmitEarly(xml::NodeId id) {
+  obs::TimerScope emit_timer(
+      instr_ != nullptr ? instr_->stage_slot(obs::Stage::kEmit) : nullptr);
+  const int return_node =
+      graph_.return_node() != nullptr ? graph_.return_node()->id : -1;
+  sink_->OnResult(MatchInfo{id, offset(), return_node});
+  ++stats_.results;
+  ++stats_.early_emitted;
+  stats_.NoteGap(0);
+  if (gap_hist_ != nullptr) gap_hist_->Observe(0);
+  if (instr_ != nullptr) {
+    instr_->Trace(obs::TraceEvent::Kind::kEmit, return_node, -1, id, 0);
+  }
+}
+
+// hotpath
+void BranchMachine::MarkProved(xml::NodeId id) {
+  if (id >= proved_stamp_.size()) {
+    size_t grown = std::max<size_t>(proved_stamp_.size() * 2, 256);
+    if (grown <= id) grown = static_cast<size_t>(id) + 1;
+    proved_stamp_.resize(grown, 0);
+    proved_offset_.resize(grown, 0);
+  }
+  if (proved_stamp_[id] == proved_epoch_) return;
+  proved_stamp_[id] = proved_epoch_;
+  proved_offset_[id] = offset();
+}
+
+// hotpath
+void BranchMachine::RecordGap(xml::NodeId id) {
+  uint64_t gap = 0;
+  if (id < proved_stamp_.size() && proved_stamp_[id] == proved_epoch_) {
+    const uint64_t now = offset();
+    gap = now > proved_offset_[id] ? now - proved_offset_[id] : 0;
+  }
+  stats_.NoteGap(gap);
+  if (gap_hist_ != nullptr) gap_hist_->Observe(gap);
+}
+
+void BranchMachine::BumpProvedEpoch() {
+  if (++proved_epoch_ == 0) {
+    std::fill(proved_stamp_.begin(), proved_stamp_.end(), 0);
+    proved_epoch_ = 1;
+  }
+}
+
+void BranchMachine::ResolveCertain(const MachineNode* v, NodeState& s) {
+  if ((s.dflags & kResolved) != 0) return;
+  s.dflags |= kResolved;
+  if (v->parent == nullptr) {
+    s.dflags |= kCertainOutput;
+    FlushCertainCandidates(s);
+    return;
+  }
+  // The parent element is an open ancestor, so its state is occupied and
+  // is exactly the one CloseNode would propagate into.
+  const MachineNode* parent = v->parent;
+  NodeState& p = states_[parent->id];
+  const uint64_t bit = uint64_t{1} << v->branch_slot;
+  if ((p.branch & bit) == 0) {
+    p.branch |= bit;
+    if ((p.dflags & kResolved) == 0 && StateSatisfiedNow(parent, p)) {
+      ResolveCertain(parent, p);
+    }
+  }
+  if ((p.dflags & kCertainOutput) != 0) {
+    s.dflags |= kCertainOutput;
+    FlushCertainCandidates(s);
+  }
 }
 
 void BranchMachine::Reset() {
@@ -43,14 +171,19 @@ void BranchMachine::Reset() {
   for (NodeState& s : states_) {
     s.level = -1;
     s.branch = 0;
+    s.implied = 0;
+    s.dflags = 0;
     s.candidates.clear();
     s.text.clear();
   }
   stats_ = EngineStats();
   live_entries_ = 0;
   live_candidates_ = 0;
+  cur_elem_ = -1;
+  BumpProvedEpoch();
 }
 
+// hotpath
 void BranchMachine::TryStartNode(int node_id, int level, xml::NodeId id,
                                  const std::vector<xml::Attribute>& attrs) {
   const MachineNode* v = graph_.nodes()[node_id].get();
@@ -74,6 +207,21 @@ void BranchMachine::TryStartNode(int node_id, int level, xml::NodeId id,
   }
   if (!qualified) return;
 
+  // Earliest-decision skips (see TwigMachine::TryStartNode).
+  const NodeDecision* dec =
+      decision_mode_ != EarlyDecisionMode::kOff ? DecisionFor(node_id)
+                                                : nullptr;
+  if (dec != nullptr && decision_mode_ == EarlyDecisionMode::kOn) {
+    if (dec->refuted()) {
+      ++stats_.early_dropped;
+      return;
+    }
+    if (dec->useless()) {
+      ++stats_.states_skipped;
+      return;
+    }
+  }
+
   NodeState& state = states_[v->id];
   // Single-state invariant (section 3.2): with child-only axes at most
   // one element per machine node is ever active, so a fresh activation
@@ -84,8 +232,17 @@ void BranchMachine::TryStartNode(int node_id, int level, xml::NodeId id,
                   offset());
   state.level = level;
   state.branch = 0;
+  state.implied = 0;
+  state.dflags = 0;
   state.candidates.clear();
   state.text.clear();
+  if (decision_mode_ != EarlyDecisionMode::kOff) {
+    if (dec != nullptr) {
+      state.implied = dec->implied_mask & v->required_mask;
+      if (dec->value_implied()) state.dflags |= kValueSure;
+    }
+    if (!v->has_value_test) state.dflags |= kValueSure;
+  }
   for (const AttributeTest& test : v->attr_tests) {
     ++stats_.predicate_checks;
     bool found = false;
@@ -119,12 +276,22 @@ void BranchMachine::TryStartNode(int node_id, int level, xml::NodeId id,
     instr_->NoteNodeDepth(v->id, 1);
     instr_->Trace(obs::TraceEvent::Kind::kStackPush, v->id, level, id, 1);
   }
+  if (decision_mode_ != EarlyDecisionMode::kOff &&
+      StateSatisfiedNow(v, state)) {
+    ResolveCertain(v, state);
+  }
 }
 
+// hotpath
 void BranchMachine::StartElement(const xml::TagToken& tag, int level,
                                  xml::NodeId id,
                                  const std::vector<xml::Attribute>& attrs) {
   ++stats_.start_events;
+  cur_elem_ = -1;
+  if (decisions_ != nullptr && decision_mode_ != EarlyDecisionMode::kOff &&
+      tag.symbol != xml::kNoSymbol && tag.symbol < sym_to_elem_.size()) {
+    cur_elem_ = sym_to_elem_[tag.symbol];
+  }
   // Same-event activations cannot enable each other (edge distances are
   // ≥ 1), so postings order within the event does not matter.
   if (bound_ && tag.symbol != xml::kNoSymbol) {
@@ -145,6 +312,7 @@ void BranchMachine::StartElement(const xml::TagToken& tag, int level,
                    live_candidates_ * sizeof(xml::NodeId));
 }
 
+// hotpath
 void BranchMachine::Text(std::string_view text, int level) {
   for (const auto& node : graph_.nodes()) {
     if (!node->has_value_test) continue;
@@ -174,6 +342,7 @@ void BranchMachine::CloseNode(int node_id, int level) {
       for (xml::NodeId id : state.candidates) {
         sink_->OnResult(MatchInfo{id, offset(), return_node});
         ++stats_.results;
+        if (decision_mode_ != EarlyDecisionMode::kOff) RecordGap(id);
         if (instr_ != nullptr) {
           instr_->Trace(obs::TraceEvent::Kind::kEmit, return_node, level, id,
                         0);
@@ -185,9 +354,24 @@ void BranchMachine::CloseNode(int node_id, int level) {
       // active and its state is occupied.
       parent.branch |= uint64_t{1} << v->branch_slot;
       if (!state.candidates.empty()) {
-        ++stats_.candidate_unions;
-        live_candidates_ +=
-            UnionSortedIds(state.candidates, &parent.candidates);
+        if (decision_mode_ == EarlyDecisionMode::kOn &&
+            (parent.dflags & kCertainOutput) != 0) {
+          // Certain results: emit instead of buffering (see TwigMachine).
+          for (xml::NodeId id : state.candidates) EmitEarly(id);
+        } else {
+          ++stats_.candidate_unions;
+          live_candidates_ +=
+              UnionSortedIds(state.candidates, &parent.candidates);
+          if (decision_mode_ == EarlyDecisionMode::kObserve &&
+              (parent.dflags & kCertainOutput) != 0) {
+            for (xml::NodeId id : state.candidates) MarkProved(id);
+          }
+        }
+      }
+      if (decision_mode_ != EarlyDecisionMode::kOff &&
+          (parent.dflags & kResolved) == 0 &&
+          StateSatisfiedNow(v->parent, parent)) {
+        ResolveCertain(v->parent, parent);
       }
     }
   }
@@ -203,12 +387,18 @@ void BranchMachine::CloseNode(int node_id, int level) {
   }
   state.level = -1;
   state.branch = 0;
+  state.implied = 0;
+  state.dflags = 0;
   state.candidates.clear();
   state.text.clear();
   ++stats_.pops;
   --live_entries_;
+  // Root closed: document node ids will be reused by the next document /
+  // root activation, so retire this epoch's proof stamps.
+  if (v->parent == nullptr) BumpProvedEpoch();
 }
 
+// hotpath
 void BranchMachine::EndElement(const xml::TagToken& tag, int level) {
   ++stats_.end_events;
   // Children before parents (reverse pre-order): a child's propagation must

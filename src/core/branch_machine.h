@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/decision_table.h"
 #include "core/level_bounds.h"
 #include "core/machine_builder.h"
 #include "core/machine_stats.h"
@@ -59,8 +60,12 @@ class BranchMachine : public xml::StreamEventSink {
 
   /// Optional: attaches observability (see TwigMachine). Not owned.
   void set_instrumentation(obs::Instrumentation* instr) {
+    if (instr != instr_) gap_hist_ = nullptr;
     instr_ = instr;
-    if (instr_ != nullptr) instr_->EnsureNodeSlots(graph_.node_count());
+    if (instr_ != nullptr) {
+      instr_->EnsureNodeSlots(graph_.node_count());
+      RegisterGapHistogram();
+    }
   }
 
   /// Optional: source of the current stream byte offset (see TwigMachine).
@@ -79,18 +84,31 @@ class BranchMachine : public xml::StreamEventSink {
   /// pruning.
   void set_level_bounds(LevelBounds bounds) { level_bounds_ = std::move(bounds); }
 
+  /// Optional: earliest-query-answering (see TwigMachine::set_decisions).
+  void set_decisions(std::shared_ptr<const DecisionTable> table,
+                     EarlyDecisionMode mode);
+
+  EarlyDecisionMode decision_mode() const { return decision_mode_; }
+
   const EngineStats& stats() const { return stats_; }
   const MachineGraph& graph() const { return graph_; }
 
  private:
   // Per-node state (L, B, C): section 3.2's triple, plus the text buffer
-  // for value tests.
+  // for value tests and the certainty state (see TwigMachine::Entry).
   struct NodeState {
     int level = -1;  // -1 == no active match
     uint64_t branch = 0;
+    uint64_t implied = 0;
+    uint8_t dflags = 0;
     std::vector<xml::NodeId> candidates;
     std::string text;
   };
+
+  // NodeState::dflags bits (same lattice as TwigMachine).
+  static constexpr uint8_t kValueSure = 1;
+  static constexpr uint8_t kResolved = 2;
+  static constexpr uint8_t kCertainOutput = 4;
 
   BranchMachine(MachineGraph graph, MatchObserver* observer);
 
@@ -98,6 +116,20 @@ class BranchMachine : public xml::StreamEventSink {
   void TryStartNode(int node_id, int level, xml::NodeId id,
                     const std::vector<xml::Attribute>& attrs);
   void CloseNode(int node_id, int level);
+
+  // Earliest-decision machinery; the BranchM variants act on the single
+  // parent state instead of a stack prefix (the parent element is an open
+  // ancestor, so its state is exactly the δe propagation target).
+  const NodeDecision* DecisionFor(int node_id) const;
+  bool StateSatisfiedNow(const MachineNode* v, const NodeState& s) const;
+  void ResolveCertain(const MachineNode* v, NodeState& s);
+  void FlushCertainCandidates(NodeState& s);
+  void EmitEarly(xml::NodeId id);
+  void MarkProved(xml::NodeId id);
+  void RecordGap(xml::NodeId id);
+  void BumpProvedEpoch();
+  void RegisterGapHistogram();
+  void RebuildSymToElem();
 
   uint64_t offset() const {
     return stream_offset_ != nullptr ? *stream_offset_ : 0;
@@ -116,6 +148,19 @@ class BranchMachine : public xml::StreamEventSink {
   // pre-order (δe walks them reversed). Built by BindInterner.
   bool bound_ = false;
   std::vector<std::vector<int>> postings_;
+
+  // Earliest-decision state (see TwigMachine). BranchM has no emission
+  // dedup (single states cannot duplicate), so the proof stamps carry
+  // their own epoch, bumped at each root close.
+  std::shared_ptr<const DecisionTable> decisions_;
+  EarlyDecisionMode decision_mode_ = EarlyDecisionMode::kOff;
+  xml::TagInterner* interner_ = nullptr;
+  std::vector<int32_t> sym_to_elem_;
+  int32_t cur_elem_ = -1;
+  obs::Histogram* gap_hist_ = nullptr;
+  std::vector<uint32_t> proved_stamp_;
+  std::vector<uint64_t> proved_offset_;
+  uint32_t proved_epoch_ = 1;
 
   uint64_t live_entries_ = 0;
   uint64_t live_candidates_ = 0;

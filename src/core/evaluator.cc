@@ -40,6 +40,12 @@ struct XPathStreamProcessor::ExportHandles {
   obs::Counter* live_candidates = nullptr;
   obs::Counter* peak_candidates = nullptr;
   obs::Counter* peak_state_bytes = nullptr;
+  obs::Counter* early_emitted = nullptr;
+  obs::Counter* early_dropped = nullptr;
+  obs::Counter* states_skipped = nullptr;
+  obs::Counter* gap_sum_bytes = nullptr;
+  obs::Counter* gap_count = nullptr;
+  obs::Counter* gap_max_bytes = nullptr;
   obs::Counter* fragment_peak_buffered_bytes = nullptr;
   obs::Counter* hotpath_interner_symbols = nullptr;
   obs::Counter* hotpath_pool_entries = nullptr;
@@ -166,6 +172,25 @@ void XPathStreamProcessor::Reset() {
   driver_->Reset();
 }
 
+const MachineGraph& XPathStreamProcessor::machine_graph() const {
+  switch (engine_kind_) {
+    case EngineKind::kPathM:
+      return path_->graph();
+    case EngineKind::kBranchM:
+      return branch_->graph();
+    default:
+      return twig_->graph();
+  }
+}
+
+void XPathStreamProcessor::InstallDecisionTable(
+    std::shared_ptr<const DecisionTable> table) {
+  const EarlyDecisionMode mode = options_.enable_early_decisions;
+  if (twig_ != nullptr) twig_->set_decisions(std::move(table), mode);
+  else if (path_ != nullptr) path_->set_decisions(std::move(table), mode);
+  else if (branch_ != nullptr) branch_->set_decisions(std::move(table), mode);
+}
+
 const EngineStats& XPathStreamProcessor::stats() const {
   switch (engine_kind_) {
     case EngineKind::kPathM:
@@ -204,6 +229,15 @@ void XPathStreamProcessor::ExportMetrics(obs::MetricsRegistry* registry) const {
         registry->RegisterCounter("engine.peak_candidates");
     export_->peak_state_bytes =
         registry->RegisterCounter("engine.peak_state_bytes");
+    export_->early_emitted = registry->RegisterCounter("engine.early_emitted");
+    export_->early_dropped = registry->RegisterCounter("engine.early_dropped");
+    export_->states_skipped =
+        registry->RegisterCounter("engine.states_skipped");
+    export_->gap_sum_bytes =
+        registry->RegisterCounter("engine.gap_sum_bytes");
+    export_->gap_count = registry->RegisterCounter("engine.gap_count");
+    export_->gap_max_bytes =
+        registry->RegisterCounter("engine.gap_max_bytes");
     export_->fragment_peak_buffered_bytes =
         registry->RegisterCounter("fragment.peak_buffered_bytes");
     export_->hotpath_interner_symbols =
@@ -225,6 +259,12 @@ void XPathStreamProcessor::ExportMetrics(obs::MetricsRegistry* registry) const {
   export_->live_candidates->Set(s.live_candidates);
   export_->peak_candidates->Set(s.peak_candidates);
   export_->peak_state_bytes->Set(s.peak_state_bytes);
+  export_->early_emitted->Set(s.early_emitted);
+  export_->early_dropped->Set(s.early_dropped);
+  export_->states_skipped->Set(s.states_skipped);
+  export_->gap_sum_bytes->Set(s.gap_sum_bytes);
+  export_->gap_count->Set(s.gap_count);
+  export_->gap_max_bytes->Set(s.gap_max_bytes);
   export_->fragment_peak_buffered_bytes->Set(fragment_peak_buffered_bytes());
   export_->hotpath_interner_symbols->Set(
       parser_ != nullptr ? parser_->interner()->size() : 0);

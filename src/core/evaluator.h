@@ -7,9 +7,8 @@
 //   proc.value()->Consume({{}, /*last=*/true});
 //   // sink.ids() holds the pre-order ids of all result elements.
 //
-// Bytes enter through the unified xml::ByteSource API (push one InputChunk
-// at a time with Consume, or pull a whole source with Pump); Feed/Finish
-// remain as thin wrappers for one release.
+// Bytes enter through the unified xml::ByteSource API: push one InputChunk
+// at a time with Consume, or pull a whole source with Pump.
 //
 // Everything optional hangs off EvaluatorOptions: engine selection
 // (EngineKind::kAuto follows the paper's structure — linear queries on
@@ -31,6 +30,7 @@
 
 #include "common/status.h"
 #include "core/branch_machine.h"
+#include "core/decision_table.h"
 #include "core/fragment.h"
 #include "core/machine_stats.h"
 #include "core/path_machine.h"
@@ -65,6 +65,12 @@ struct EvaluatorOptions {
   /// Observability hook; may be null (near-zero overhead). Not owned; must
   /// outlive the processor.
   obs::Instrumentation* instrumentation = nullptr;
+  /// Earliest-query-answering mode the machine runs in once a decision
+  /// table is installed (InstallDecisionTable or
+  /// analysis::EnableEarlyDecisions). kOff ignores installed tables;
+  /// kObserve measures emission gaps without changing behavior; kOn emits
+  /// and drops candidates at the first certain event (DESIGN.md §13).
+  EarlyDecisionMode enable_early_decisions = EarlyDecisionMode::kOff;
 };
 
 /// A compiled query bound to a match observer, consuming raw XML bytes.
@@ -88,12 +94,6 @@ class XPathStreamProcessor {
   /// Pulls chunks from `source` until it is exhausted or a chunk fails.
   Status Pump(xml::ByteSource* source);
 
-  /// Compatibility wrapper: Consume({chunk, last=false}).
-  Status Feed(std::string_view chunk) { return Consume({chunk, false}); }
-
-  /// Compatibility wrapper: Consume({empty, last=true}).
-  Status Finish() { return Consume({std::string_view(), true}); }
-
   /// Resets parser and machine state so another document can be processed
   /// with the same compiled query. Attached instrumentation keeps
   /// accumulating (call Instrumentation::ResetValues() for per-document
@@ -103,6 +103,15 @@ class XPathStreamProcessor {
   const EngineStats& stats() const;
   EngineKind engine_kind() const { return engine_kind_; }
   const xpath::QueryTree& query() const { return query_; }
+
+  /// The compiled machine graph (input to static analysis passes such as
+  /// level bounds and decision-table compilation).
+  const MachineGraph& machine_graph() const;
+
+  /// Installs an earliest-decision table on the machine; it runs in the
+  /// mode chosen by EvaluatorOptions::enable_early_decisions (a table
+  /// installed under kOff is retained but ignored). Null uninstalls.
+  void InstallDecisionTable(std::shared_ptr<const DecisionTable> table);
   /// Peak bytes buffered by fragment capture (0 when capture is off).
   uint64_t fragment_peak_buffered_bytes() const {
     return recorder_ != nullptr ? recorder_->peak_buffered_bytes() : 0;

@@ -19,6 +19,17 @@ struct EngineStats {
   uint64_t predicate_checks = 0;   // branch-match / value-test evaluations
   uint64_t candidate_unions = 0;   // candidate-set merge operations
 
+  // Early-decision accounting (core/decision_table.h, DESIGN.md §13).
+  uint64_t early_emitted = 0;      // results emitted before their proof pop
+  uint64_t early_dropped = 0;      // pushes skipped: obligations refuted
+  uint64_t states_skipped = 0;     // pushes skipped: subtree decision-free
+  // Earliest-vs-actual emission gap, in stream bytes, over every result.
+  // kObserve mode measures the real gap; kOn emits at the earliest point,
+  // so its gaps are 0 by construction.
+  uint64_t gap_sum_bytes = 0;
+  uint64_t gap_count = 0;
+  uint64_t gap_max_bytes = 0;
+
   // High-water marks.
   uint64_t peak_stack_entries = 0; // live entries across all stacks
   uint64_t peak_candidates = 0;    // buffered candidate ids across entries
@@ -43,6 +54,13 @@ struct EngineStats {
   /// Records an approximate byte footprint, updating the peak.
   void NoteBytes(uint64_t bytes) {
     if (bytes > peak_state_bytes) peak_state_bytes = bytes;
+  }
+
+  /// Records one earliest-vs-actual emission gap.
+  void NoteGap(uint64_t gap_bytes) {
+    gap_sum_bytes += gap_bytes;
+    ++gap_count;
+    if (gap_bytes > gap_max_bytes) gap_max_bytes = gap_bytes;
   }
 };
 

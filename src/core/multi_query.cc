@@ -102,20 +102,20 @@ Result<std::unique_ptr<MultiQueryProcessor>> MultiQueryProcessor::Create(
   return proc;
 }
 
-Status MultiQueryProcessor::Feed(std::string_view chunk) {
+Status MultiQueryProcessor::Consume(const xml::InputChunk& chunk) {
   obs::TimerScope parse(
       options_.instrumentation != nullptr
           ? options_.instrumentation->stage_slot(obs::Stage::kParse)
           : nullptr);
-  return parser_->Feed(chunk);
+  return parser_->Consume(chunk);
 }
 
-Status MultiQueryProcessor::Finish() {
-  obs::TimerScope parse(
-      options_.instrumentation != nullptr
-          ? options_.instrumentation->stage_slot(obs::Stage::kParse)
-          : nullptr);
-  return parser_->Finish();
+Status MultiQueryProcessor::Pump(xml::ByteSource* source) {
+  xml::InputChunk chunk;
+  while (source->Next(&chunk)) {
+    TWIGM_RETURN_IF_ERROR(Consume(chunk));
+  }
+  return Status::Ok();
 }
 
 void MultiQueryProcessor::Reset() {
@@ -156,6 +156,23 @@ void MultiQueryProcessor::set_level_bounds(size_t query_index,
       break;
     default:
       e.twig->set_level_bounds(std::move(bounds));
+      break;
+  }
+}
+
+void MultiQueryProcessor::set_decision_table(
+    size_t query_index, std::shared_ptr<const DecisionTable> table) {
+  Entry& e = entries_[query_index];
+  const EarlyDecisionMode mode = options_.enable_early_decisions;
+  switch (e.kind) {
+    case EngineKind::kPathM:
+      e.path->set_decisions(std::move(table), mode);
+      break;
+    case EngineKind::kBranchM:
+      e.branch->set_decisions(std::move(table), mode);
+      break;
+    default:
+      e.twig->set_decisions(std::move(table), mode);
       break;
   }
 }

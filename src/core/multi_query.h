@@ -23,10 +23,12 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/decision_table.h"
 #include "core/evaluator.h"
 #include "core/level_bounds.h"
 #include "core/machine_stats.h"
 #include "core/result_sink.h"
+#include "xml/byte_source.h"
 #include "xml/sax_event.h"
 #include "xml/sax_parser.h"
 
@@ -71,10 +73,13 @@ class MultiQueryProcessor {
   MultiQueryProcessor(const MultiQueryProcessor&) = delete;
   MultiQueryProcessor& operator=(const MultiQueryProcessor&) = delete;
 
-  /// Feeds a chunk of the document; results fan out to the sink tagged by
-  /// query index, as soon as each machine proves them.
-  Status Feed(std::string_view chunk);
-  Status Finish();
+  /// Consumes one chunk of the document (chunk.last declares end of
+  /// input); results fan out to the sink tagged by query index, as soon as
+  /// each machine proves them.
+  Status Consume(const xml::InputChunk& chunk);
+
+  /// Pulls chunks from `source` until it is exhausted or a chunk fails.
+  Status Pump(xml::ByteSource* source);
 
   /// Clears all machines and the parser for a new document.
   void Reset();
@@ -93,6 +98,12 @@ class MultiQueryProcessor {
   /// graph(query_index)) to that query's machine; see
   /// TwigMachine::set_level_bounds for the conservativeness contract.
   void set_level_bounds(size_t query_index, LevelBounds bounds);
+
+  /// Installs an earliest-decision table on `query_index`'s machine; it
+  /// runs in EvaluatorOptions::enable_early_decisions mode (see
+  /// XPathStreamProcessor::InstallDecisionTable).
+  void set_decision_table(size_t query_index,
+                          std::shared_ptr<const DecisionTable> table);
 
   /// Sum of results across queries so far.
   uint64_t total_results() const { return total_results_; }

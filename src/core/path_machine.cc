@@ -46,14 +46,50 @@ void PathMachine::BindInterner(xml::TagInterner* interner) {
     }
   }
   bound_ = true;
+  interner_ = interner;
+  RebuildSymToElem();
+}
+
+void PathMachine::set_decisions(std::shared_ptr<const DecisionTable> table,
+                                EarlyDecisionMode mode) {
+  decisions_ = std::move(table);
+  decision_mode_ = mode;
+  RebuildSymToElem();
+  RegisterGapHistogram();
+}
+
+void PathMachine::RebuildSymToElem() {
+  sym_to_elem_.clear();
+  if (decisions_ == nullptr || interner_ == nullptr) return;
+  const std::vector<std::string>& names = decisions_->element_names();
+  for (size_t e = 0; e < names.size(); ++e) {
+    const xml::SymbolId s = interner_->Intern(names[e]);
+    if (sym_to_elem_.size() <= s) sym_to_elem_.resize(s + 1, -1);
+    sym_to_elem_[s] = static_cast<int32_t>(e);
+  }
+}
+
+void PathMachine::RegisterGapHistogram() {
+  if (instr_ == nullptr || gap_hist_ != nullptr) return;
+  if (decision_mode_ == EarlyDecisionMode::kOff) return;
+  gap_hist_ = instr_->registry().RegisterHistogram(
+      "engine.emission_gap_bytes", obs::ExponentialBuckets(1, 4, 16));
+}
+
+const NodeDecision* PathMachine::DecisionFor(int node_id) const {
+  if (cur_elem_ < 0 || decisions_ == nullptr) return nullptr;
+  return &decisions_->at(static_cast<size_t>(node_id),
+                         static_cast<size_t>(cur_elem_));
 }
 
 void PathMachine::Reset() {
   for (auto& stack : stacks_) stack.clear();
   stats_ = EngineStats();
   live_entries_ = 0;
+  cur_elem_ = -1;
 }
 
+// hotpath
 void PathMachine::TryStartPosition(size_t i, int level, xml::NodeId id) {
   const MachineNode* v = chain_[i];
   if (!level_bounds_.empty() &&
@@ -72,6 +108,15 @@ void PathMachine::TryStartPosition(size_t i, int level, xml::NodeId id) {
     }
   }
   if (!qualified) return;
+  // Earliest-decision skip: no output chain can complete below this
+  // element, so the entry could never contribute to a result.
+  if (decision_mode_ == EarlyDecisionMode::kOn) {
+    const NodeDecision* dec = DecisionFor(v->id);
+    if (dec != nullptr && (dec->useless() || dec->refuted())) {
+      ++stats_.states_skipped;
+      return;
+    }
+  }
   // Ancestor-ordering lemma: each stack holds levels of open ancestors,
   // strictly increasing bottom to top.
   TWIGM_INVARIANT(stacks_[i].empty() || stacks_[i].back() < level,
@@ -93,6 +138,11 @@ void PathMachine::TryStartPosition(size_t i, int level, xml::NodeId id) {
         instr_ != nullptr ? instr_->stage_slot(obs::Stage::kEmit) : nullptr);
     sink_->OnResult(MatchInfo{id, offset(), v->id});
     ++stats_.results;
+    if (decision_mode_ != EarlyDecisionMode::kOff) {
+      // Start-event emission is the earliest possible point: gap 0.
+      stats_.NoteGap(0);
+      if (gap_hist_ != nullptr) gap_hist_->Observe(0);
+    }
     if (instr_ != nullptr) {
       instr_->Trace(obs::TraceEvent::Kind::kCandidate, v->id, level, id, 1);
       instr_->Trace(obs::TraceEvent::Kind::kEmit, v->id, level, id, 0);
@@ -100,11 +150,17 @@ void PathMachine::TryStartPosition(size_t i, int level, xml::NodeId id) {
   }
 }
 
+// hotpath
 void PathMachine::StartElement(const xml::TagToken& tag, int level,
                                xml::NodeId id,
                                const std::vector<xml::Attribute>& attrs) {
   (void)attrs;
   ++stats_.start_events;
+  cur_elem_ = -1;
+  if (decisions_ != nullptr && decision_mode_ != EarlyDecisionMode::kOff &&
+      tag.symbol != xml::kNoSymbol && tag.symbol < sym_to_elem_.size()) {
+    cur_elem_ = sym_to_elem_[tag.symbol];
+  }
   if (bound_ && tag.symbol != xml::kNoSymbol) {
     if (tag.symbol < postings_.size()) {
       for (size_t i : postings_[tag.symbol]) TryStartPosition(i, level, id);
@@ -119,6 +175,7 @@ void PathMachine::StartElement(const xml::TagToken& tag, int level,
   stats_.NoteBytes(live_entries_ * sizeof(int));
 }
 
+// hotpath
 void PathMachine::PopPosition(size_t i, int level) {
   std::vector<int>& stack = stacks_[i];
   if (!stack.empty() && stack.back() == level) {
@@ -132,6 +189,7 @@ void PathMachine::PopPosition(size_t i, int level) {
   }
 }
 
+// hotpath
 void PathMachine::EndElement(const xml::TagToken& tag, int level) {
   ++stats_.end_events;
   // Pops at different positions are independent (no propagation in PathM),

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/decision_table.h"
 #include "core/level_bounds.h"
 #include "core/machine_builder.h"
 #include "core/machine_stats.h"
@@ -59,8 +60,12 @@ class PathMachine : public xml::StreamEventSink {
 
   /// Optional: attaches observability (see TwigMachine). Not owned.
   void set_instrumentation(obs::Instrumentation* instr) {
+    if (instr != instr_) gap_hist_ = nullptr;
     instr_ = instr;
-    if (instr_ != nullptr) instr_->EnsureNodeSlots(graph_.node_count());
+    if (instr_ != nullptr) {
+      instr_->EnsureNodeSlots(graph_.node_count());
+      RegisterGapHistogram();
+    }
   }
 
   /// Optional: source of the current stream byte offset (see TwigMachine).
@@ -71,11 +76,24 @@ class PathMachine : public xml::StreamEventSink {
   /// pruning.
   void set_level_bounds(LevelBounds bounds) { level_bounds_ = std::move(bounds); }
 
+  /// Optional: earliest-query-answering (see TwigMachine::set_decisions).
+  /// PathM is already fully incremental — results emit at startElement, so
+  /// every gap is 0 — but kOn still uses the table's kUseless facts to
+  /// skip stack state for subtrees that cannot reach the return node.
+  void set_decisions(std::shared_ptr<const DecisionTable> table,
+                     EarlyDecisionMode mode);
+
+  EarlyDecisionMode decision_mode() const { return decision_mode_; }
+
   const EngineStats& stats() const { return stats_; }
   const MachineGraph& graph() const { return graph_; }
 
  private:
   PathMachine(MachineGraph graph, MatchObserver* observer);
+
+  const NodeDecision* DecisionFor(int node_id) const;
+  void RegisterGapHistogram();
+  void RebuildSymToElem();
 
   // δs / δe for the node at chain position i.
   void TryStartPosition(size_t i, int level, xml::NodeId id);
@@ -102,6 +120,14 @@ class PathMachine : public xml::StreamEventSink {
   bool bound_ = false;
   std::vector<std::vector<size_t>> postings_;
   std::vector<size_t> wildcard_positions_;
+
+  // Earliest-decision state (see TwigMachine).
+  std::shared_ptr<const DecisionTable> decisions_;
+  EarlyDecisionMode decision_mode_ = EarlyDecisionMode::kOff;
+  xml::TagInterner* interner_ = nullptr;
+  std::vector<int32_t> sym_to_elem_;
+  int32_t cur_elem_ = -1;
+  obs::Histogram* gap_hist_ = nullptr;
 
   uint64_t live_entries_ = 0;
 };

@@ -84,6 +84,7 @@ TwigMachine::TwigMachine(MachineGraph graph, MatchObserver* observer,
 }
 
 void TwigMachine::BindInterner(xml::TagInterner* interner) {
+  interner_ = interner;
   for (const auto& node : graph_.nodes()) {
     if (!node->is_wildcard) node->symbol = interner->Intern(node->label);
   }
@@ -103,8 +104,40 @@ void TwigMachine::BindInterner(xml::TagInterner* interner) {
                std::back_inserter(end_postings_[s]));
   }
   bound_ = true;
+  RebuildSymToElem();
 }
 
+void TwigMachine::set_decisions(std::shared_ptr<const DecisionTable> table,
+                                EarlyDecisionMode mode) {
+  decisions_ = std::move(table);
+  decision_mode_ = mode;
+  RebuildSymToElem();
+  RegisterGapHistogram();
+}
+
+void TwigMachine::RebuildSymToElem() {
+  sym_to_elem_.clear();
+  if (decisions_ == nullptr || interner_ == nullptr) return;
+  // Intern every DTD element name so document tags that are no query label
+  // still map to their fact row. Names interned after BindInterner fall
+  // outside the postings vectors, which already means wildcard-only
+  // dispatch — exactly the pre-existing behaviour for non-label tags.
+  const std::vector<std::string>& names = decisions_->element_names();
+  for (size_t e = 0; e < names.size(); ++e) {
+    const xml::SymbolId s = interner_->Intern(names[e]);
+    if (sym_to_elem_.size() <= s) sym_to_elem_.resize(s + 1, -1);
+    sym_to_elem_[s] = static_cast<int32_t>(e);
+  }
+}
+
+void TwigMachine::RegisterGapHistogram() {
+  if (instr_ == nullptr || gap_hist_ != nullptr) return;
+  if (decision_mode_ == EarlyDecisionMode::kOff) return;
+  gap_hist_ = instr_->registry().RegisterHistogram(
+      "engine.emission_gap_bytes", obs::ExponentialBuckets(1, 4, 16));
+}
+
+// hotpath
 bool TwigMachine::MarkEmitted(xml::NodeId id) {
   if (id >= emitted_stamp_.size()) {
     // Doubling keeps growth amortized; ids are dense pre-order, so the
@@ -123,8 +156,34 @@ void TwigMachine::ClearEmitted() {
   if (++emitted_epoch_ == 0) {
     // Epoch wrapped: stale stamps could collide, so wipe once and restart.
     std::fill(emitted_stamp_.begin(), emitted_stamp_.end(), 0);
+    std::fill(proved_stamp_.begin(), proved_stamp_.end(), 0);
     emitted_epoch_ = 1;
   }
+}
+
+// hotpath
+void TwigMachine::MarkProved(xml::NodeId id) {
+  if (id >= proved_stamp_.size()) {
+    size_t grown = std::max<size_t>(proved_stamp_.size() * 2, 256);
+    if (grown <= id) grown = static_cast<size_t>(id) + 1;
+    proved_stamp_.resize(grown, 0);
+    proved_offset_.resize(grown, 0);
+  }
+  // Keep the *earliest* proof offset: later re-proofs are no-ops.
+  if (proved_stamp_[id] == emitted_epoch_) return;
+  proved_stamp_[id] = emitted_epoch_;
+  proved_offset_[id] = offset();
+}
+
+// hotpath
+void TwigMachine::RecordGap(xml::NodeId id) {
+  uint64_t gap = 0;
+  if (id < proved_stamp_.size() && proved_stamp_[id] == emitted_epoch_) {
+    const uint64_t now = offset();
+    gap = now > proved_offset_[id] ? now - proved_offset_[id] : 0;
+  }
+  stats_.NoteGap(gap);
+  if (gap_hist_ != nullptr) gap_hist_->Observe(gap);
 }
 
 void TwigMachine::Reset() {
@@ -134,6 +193,7 @@ void TwigMachine::Reset() {
   live_entries_ = 0;
   live_candidates_ = 0;
   live_text_bytes_ = 0;
+  cur_elem_ = -1;
 }
 
 uint64_t TwigMachine::pool_entries() const {
@@ -149,6 +209,104 @@ void TwigMachine::UpdateMemoryStats() {
                    live_candidates_ * sizeof(xml::NodeId) + live_text_bytes_);
 }
 
+template <typename Fn>
+// hotpath
+void TwigMachine::ForEachQualifyingParent(const MachineNode* v, int top_level,
+                                          Fn&& fn) {
+  PooledStack<Entry>& pstack = stacks_[v->parent->id];
+  const int max_level = top_level - v->edge.distance;
+  if (!v->edge.exact) {
+    for (Entry& e : pstack) {
+      if (e.level > max_level) break;
+      fn(e);
+    }
+  } else {
+    auto it = std::lower_bound(pstack.begin(), pstack.end(), max_level,
+                               [](const Entry& e, int l) { return e.level < l; });
+    if (it != pstack.end() && it->level == max_level) fn(*it);
+  }
+}
+
+const NodeDecision* TwigMachine::DecisionFor(int node_id) const {
+  if (cur_elem_ < 0 || decisions_ == nullptr) return nullptr;
+  return &decisions_->at(static_cast<size_t>(node_id),
+                         static_cast<size_t>(cur_elem_));
+}
+
+// hotpath
+bool TwigMachine::EntrySatisfiedNow(const MachineNode* v,
+                                    const Entry& e) const {
+  if (((e.branch | e.implied) & v->required_mask) != v->required_mask) {
+    return false;
+  }
+  return (e.dflags & kValueSure) != 0;
+}
+
+// hotpath
+void TwigMachine::FlushCertainCandidates(Entry& e) {
+  if (e.candidates.empty()) return;
+  if (decision_mode_ == EarlyDecisionMode::kOn) {
+    for (xml::NodeId id : e.candidates) EmitEarly(id);
+    live_candidates_ -= e.candidates.size();
+    e.candidates.clear();
+  } else {
+    for (xml::NodeId id : e.candidates) MarkProved(id);
+  }
+}
+
+// hotpath
+void TwigMachine::EmitEarly(xml::NodeId id) {
+  if (!MarkEmitted(id)) return;
+  obs::TimerScope emit_timer(
+      instr_ != nullptr ? instr_->stage_slot(obs::Stage::kEmit) : nullptr);
+  const int return_node =
+      graph_.return_node() != nullptr ? graph_.return_node()->id : -1;
+  sink_->OnResult(MatchInfo{id, offset(), return_node});
+  ++stats_.results;
+  ++stats_.early_emitted;
+  stats_.NoteGap(0);
+  if (gap_hist_ != nullptr) gap_hist_->Observe(0);
+  if (instr_ != nullptr) {
+    instr_->Trace(obs::TraceEvent::Kind::kEmit, return_node, -1, id, 0);
+  }
+}
+
+// hotpath
+void TwigMachine::ResolveCertain(const MachineNode* v, Entry& e) {
+  if ((e.dflags & kResolved) != 0) return;
+  e.dflags |= kResolved;
+  if (v->parent == nullptr) {
+    // A certain root entry: everything uploaded here is a certain result.
+    // (For anchored tails the trunk above is a predicate-free trie path
+    // that has already matched, so root certainty is query certainty.)
+    e.dflags |= kCertainOutput;
+    FlushCertainCandidates(e);
+    return;
+  }
+  // Set the child's branch bit in every qualifying parent entry now. This
+  // is exactly the δe propagation target set — stack levels are strictly
+  // increasing while an entry is open, so no qualifying parent entry can
+  // appear or disappear between now and e's pop, and the pop would set the
+  // same bits (e's obligations are certain to hold by then).
+  const MachineNode* parent = v->parent;
+  const uint64_t bit = uint64_t{1} << v->branch_slot;
+  bool certain_parent = false;
+  ForEachQualifyingParent(v, e.level, [&](Entry& p) {
+    if ((p.branch & bit) == 0) {
+      p.branch |= bit;
+      if ((p.dflags & kResolved) == 0 && EntrySatisfiedNow(parent, p)) {
+        ResolveCertain(parent, p);
+      }
+    }
+    if ((p.dflags & kCertainOutput) != 0) certain_parent = true;
+  });
+  if (certain_parent) {
+    e.dflags |= kCertainOutput;
+    FlushCertainCandidates(e);
+  }
+}
+
+// hotpath
 void TwigMachine::TryStartNode(int node_id, int level, xml::NodeId id,
                                const std::vector<xml::Attribute>& attrs) {
   const MachineNode* v = graph_.nodes()[node_id].get();
@@ -196,6 +354,24 @@ void TwigMachine::TryStartNode(int node_id, int level, xml::NodeId id,
   }
   if (!qualified) return;
 
+  // Earliest-decision skips: the DTD proves this subtree can never meet
+  // v's obligations (refuted) or can never decide any output (useless), so
+  // the entry would be dead weight. kObserve must not act — it exists to
+  // measure what kOn would have done while staying byte-identical.
+  const NodeDecision* dec =
+      decision_mode_ != EarlyDecisionMode::kOff ? DecisionFor(node_id)
+                                                : nullptr;
+  if (dec != nullptr && decision_mode_ == EarlyDecisionMode::kOn) {
+    if (dec->refuted()) {
+      ++stats_.early_dropped;
+      return;
+    }
+    if (dec->useless()) {
+      ++stats_.states_skipped;
+      return;
+    }
+  }
+
   // Resolve attribute tests now: attributes are fully known at
   // startElement (footnote 2 of the paper).
   uint64_t branch = 0;
@@ -237,8 +413,17 @@ void TwigMachine::TryStartNode(int node_id, int level, xml::NodeId id,
   Entry& entry = stacks_[node_id].push();
   entry.level = level;
   entry.branch = branch;
+  entry.implied = 0;
+  entry.dflags = 0;
   entry.candidates.clear();
   entry.text.clear();
+  if (decision_mode_ != EarlyDecisionMode::kOff) {
+    if (dec != nullptr) {
+      entry.implied = dec->implied_mask & v->required_mask;
+      if (dec->value_implied()) entry.dflags |= kValueSure;
+    }
+    if (!v->has_value_test) entry.dflags |= kValueSure;
+  }
   if (v->is_return) {
     entry.candidates.push_back(id);
     ++live_candidates_;
@@ -255,12 +440,28 @@ void TwigMachine::TryStartNode(int node_id, int level, xml::NodeId id,
     instr_->Trace(obs::TraceEvent::Kind::kStackPush, node_id, level, id,
                   depth);
   }
+  // Certain already at push (no open obligations, or all implied by the
+  // DTD): cascade now — this is what turns an opening tag into an
+  // earliest emission.
+  if (decision_mode_ != EarlyDecisionMode::kOff &&
+      EntrySatisfiedNow(v, entry)) {
+    ResolveCertain(v, entry);
+  }
 }
 
+// hotpath
 void TwigMachine::StartElement(const xml::TagToken& tag, int level,
                                xml::NodeId id,
                                const std::vector<xml::Attribute>& attrs) {
   ++stats_.start_events;
+  // Map the tag onto the decision table's element ids once per event.
+  // kNoSymbol events (interning off) carry no static facts — the dynamic
+  // cascade still runs, which is the sound degrade.
+  cur_elem_ = -1;
+  if (decisions_ != nullptr && decision_mode_ != EarlyDecisionMode::kOff &&
+      tag.symbol != xml::kNoSymbol && tag.symbol < sym_to_elem_.size()) {
+    cur_elem_ = sym_to_elem_[tag.symbol];
+  }
   // δs: try every machine node whose label matches the tag, parents first
   // (pre-order). Wildcard nodes match every tag. Same-event pushes cannot
   // enable each other (ζ distances are ≥ 1, so a just-pushed entry at
@@ -284,6 +485,7 @@ void TwigMachine::StartElement(const xml::TagToken& tag, int level,
   UpdateMemoryStats();
 }
 
+// hotpath
 void TwigMachine::Text(std::string_view text, int level) {
   // Only nodes with value tests accumulate text, and only for the element
   // currently on top of their stack (direct character data).
@@ -296,6 +498,7 @@ void TwigMachine::Text(std::string_view text, int level) {
   }
 }
 
+// hotpath
 void TwigMachine::PopNode(int node_id, int level) {
   const MachineNode* v = graph_.nodes()[node_id].get();
   PooledStack<Entry>& stack = stacks_[node_id];
@@ -353,6 +556,7 @@ void TwigMachine::PopNode(int node_id, int level) {
       if (!MarkEmitted(id)) continue;
       sink_->OnResult(MatchInfo{id, offset(), return_node});
       ++stats_.results;
+      if (decision_mode_ != EarlyDecisionMode::kOff) RecordGap(id);
       if (instr_ != nullptr) {
         instr_->Trace(obs::TraceEvent::Kind::kEmit, return_node, level, id,
                       0);
@@ -366,8 +570,7 @@ void TwigMachine::PopNode(int node_id, int level) {
   // increasing, so '≥' edges match a prefix of the stack and '=' edges
   // match at most one entry.
   const uint64_t bit = uint64_t{1} << v->branch_slot;
-  PooledStack<Entry>& pstack = stacks_[v->parent->id];
-  auto propagate = [&](Entry& e) {
+  ForEachQualifyingParent(v, top.level, [&](Entry& e) {
     // Branch-boolean monotonicity (δe correctness): propagation only
     // sets bits, and only the child's own slot.
     TWIGM_INVARIANT(v->parent->num_slots >= 64 ||
@@ -376,29 +579,37 @@ void TwigMachine::PopNode(int node_id, int level) {
                     offset());
     e.branch |= bit;
     if (!top.candidates.empty()) {
-      ++stats_.candidate_unions;
-      live_candidates_ += UnionSortedIds(top.candidates, &e.candidates);
-      TWIGM_INVARIANT(
-          std::adjacent_find(e.candidates.begin(), e.candidates.end(),
-                             std::greater_equal<xml::NodeId>()) ==
-              e.candidates.end(),
-          "candidate union broke strict ordering", offset());
+      if (decision_mode_ == EarlyDecisionMode::kOn &&
+          (e.dflags & kCertainOutput) != 0) {
+        // The target entry already reaches a certain root: these uploads
+        // are certain results — emit instead of buffering. The eventual
+        // root pop finds nothing left to deliver (MarkEmitted dedups any
+        // copies arriving through other entries).
+        for (xml::NodeId id : top.candidates) EmitEarly(id);
+      } else {
+        ++stats_.candidate_unions;
+        live_candidates_ += UnionSortedIds(top.candidates, &e.candidates);
+        if (decision_mode_ == EarlyDecisionMode::kObserve &&
+            (e.dflags & kCertainOutput) != 0) {
+          for (xml::NodeId id : top.candidates) MarkProved(id);
+        }
+        TWIGM_INVARIANT(
+            std::adjacent_find(e.candidates.begin(), e.candidates.end(),
+                               std::greater_equal<xml::NodeId>()) ==
+                e.candidates.end(),
+            "candidate union broke strict ordering", offset());
+      }
     }
-  };
-  const int max_level = top.level - v->edge.distance;
-  if (!v->edge.exact) {
-    for (Entry& e : pstack) {
-      if (e.level > max_level) break;
-      propagate(e);
+    // The real bit may complete the parent's obligations (e.g. a
+    // value-test child that only resolves at its pop): cascade now.
+    if (decision_mode_ != EarlyDecisionMode::kOff &&
+        (e.dflags & kResolved) == 0 && EntrySatisfiedNow(v->parent, e)) {
+      ResolveCertain(v->parent, e);
     }
-  } else {
-    auto it = std::lower_bound(
-        pstack.begin(), pstack.end(), max_level,
-        [](const Entry& e, int l) { return e.level < l; });
-    if (it != pstack.end() && it->level == max_level) propagate(*it);
-  }
+  });
 }
 
+// hotpath
 void TwigMachine::EndElement(const xml::TagToken& tag, int level) {
   ++stats_.end_events;
   // δe: pop every machine node whose top entry has this level. Processed in

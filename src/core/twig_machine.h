@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/decision_table.h"
 #include "core/level_bounds.h"
 #include "core/machine_builder.h"
 #include "core/machine_stats.h"
@@ -99,8 +100,12 @@ class TwigMachine : public xml::StreamEventSink {
   /// Optional: attaches observability (metrics, per-node stack depth,
   /// trace events, emit-stage timing). Null detaches; not owned.
   void set_instrumentation(obs::Instrumentation* instr) {
+    if (instr != instr_) gap_hist_ = nullptr;
     instr_ = instr;
-    if (instr_ != nullptr) instr_->EnsureNodeSlots(graph_.node_count());
+    if (instr_ != nullptr) {
+      instr_->EnsureNodeSlots(graph_.node_count());
+      RegisterGapHistogram();
+    }
   }
 
   /// Optional: source of the current stream byte offset (owned by the
@@ -126,6 +131,17 @@ class TwigMachine : public xml::StreamEventSink {
   /// documents valid w.r.t. the analyzed DTD). Empty = no pruning.
   void set_level_bounds(LevelBounds bounds) { level_bounds_ = std::move(bounds); }
 
+  /// Optional: earliest-query-answering. `table` carries the static DTD
+  /// facts (analysis::CompileDecisionTable; may be null — the dynamic
+  /// certainty cascade alone still applies) and `mode` selects how the
+  /// machine acts on certainty (see EarlyDecisionMode). Call any time
+  /// before streaming; interacts with BindInterner in either order.
+  void set_decisions(std::shared_ptr<const DecisionTable> table,
+                     EarlyDecisionMode mode);
+
+  EarlyDecisionMode decision_mode() const { return decision_mode_; }
+  const DecisionTable* decisions() const { return decisions_.get(); }
+
   const EngineStats& stats() const { return stats_; }
   const MachineGraph& graph() const { return graph_; }
 
@@ -135,13 +151,23 @@ class TwigMachine : public xml::StreamEventSink {
 
  private:
   // One stack entry: <level, branch match, candidates> (+ text buffer for
-  // value-test nodes).
+  // value-test nodes). `implied`/`dflags` carry the entry's certainty state
+  // when early decisions are enabled (zeroed otherwise).
   struct Entry {
     int level = 0;
     uint64_t branch = 0;
+    uint64_t implied = 0;  // statically implied branch bits (DTD facts)
+    uint8_t dflags = 0;    // kValueSure | kResolved | kCertainOutput
     std::vector<xml::NodeId> candidates;  // sorted ascending
     std::string text;
   };
+
+  // Entry::dflags bits.
+  static constexpr uint8_t kValueSure = 1;      // value test certain to pass
+  static constexpr uint8_t kResolved = 2;       // certainty already cascaded
+  static constexpr uint8_t kCertainOutput = 4;  // a certain root entry is
+                                                // reachable: candidates here
+                                                // are certain results
 
   TwigMachine(MachineGraph graph, MatchObserver* observer,
               TwigMachineOptions options);
@@ -153,6 +179,44 @@ class TwigMachine : public xml::StreamEventSink {
                     const std::vector<xml::Attribute>& attrs);
   // δe for one machine node (pop / verify / propagate).
   void PopNode(int node_id, int level);
+
+  // --- Earliest-decision machinery (DESIGN.md §13) ---------------------
+  /// Applies `fn(Entry&)` to every parent-stack entry an entry of `v` at
+  /// `top_level` qualifies against — the exact propagation target set of δe
+  /// (a prefix for '≥' edges, at most one entry for '=' edges). Shared by
+  /// the pop propagation and the early certainty cascade, which is sound
+  /// precisely because this set is identical at push time and pop time.
+  template <typename Fn>
+  void ForEachQualifyingParent(const MachineNode* v, int top_level, Fn&& fn);
+
+  /// Static facts for (node, current start tag); null when unknown.
+  const NodeDecision* DecisionFor(int node_id) const;
+
+  /// True when every obligation of `e` is certain *now*: all required
+  /// branch bits real or implied, and the value test certain.
+  bool EntrySatisfiedNow(const MachineNode* v, const Entry& e) const;
+
+  /// Cascades "e is certainly satisfied" upward: sets the child bit in
+  /// every qualifying parent entry (the bits δe would set), recursing when
+  /// a parent becomes certain, and marks e kCertainOutput (flushing its
+  /// candidates) when a certain root entry is reachable.
+  void ResolveCertain(const MachineNode* v, Entry& e);
+
+  /// Candidates of a kCertainOutput entry are certain results: kOn emits
+  /// and drops them; kObserve stamps their earliest-proof offset.
+  void FlushCertainCandidates(Entry& e);
+
+  /// kOn: emits `id` immediately (MarkEmitted-deduplicated, gap 0).
+  void EmitEarly(xml::NodeId id);
+
+  /// kObserve: records the earliest offset at which `id` became certain.
+  void MarkProved(xml::NodeId id);
+
+  /// Records the earliest-vs-actual gap for an emission happening now.
+  void RecordGap(xml::NodeId id);
+
+  void RegisterGapHistogram();
+  void RebuildSymToElem();
 
   /// Current stream offset, 0 without a source.
   uint64_t offset() const {
@@ -167,6 +231,16 @@ class TwigMachine : public xml::StreamEventSink {
   LevelBounds level_bounds_;
   TwigMachineOptions options_;
   EngineStats stats_;
+
+  // Earliest-decision state. sym_to_elem_ maps event SymbolIds to the
+  // table's dense DTD element ids (-1 = no facts); cur_elem_ caches the
+  // mapping for the start tag being dispatched.
+  std::shared_ptr<const DecisionTable> decisions_;
+  EarlyDecisionMode decision_mode_ = EarlyDecisionMode::kOff;
+  xml::TagInterner* interner_ = nullptr;
+  std::vector<int32_t> sym_to_elem_;
+  int32_t cur_elem_ = -1;
+  obs::Histogram* gap_hist_ = nullptr;
 
   // stacks_[node->id] is ξ(v).
   std::vector<PooledStack<Entry>> stacks_;
@@ -210,6 +284,11 @@ class TwigMachine : public xml::StreamEventSink {
   // steady-state passes never allocate here.
   std::vector<uint32_t> emitted_stamp_;
   uint32_t emitted_epoch_ = 1;
+
+  // Earliest-proof offsets (kObserve), epoch-stamped like emitted_stamp_
+  // and sharing its epoch: proved iff proved_stamp_[id] == emitted_epoch_.
+  std::vector<uint32_t> proved_stamp_;
+  std::vector<uint64_t> proved_offset_;
 
   /// Stamps `id` emitted; returns false when it already was this epoch.
   bool MarkEmitted(xml::NodeId id);

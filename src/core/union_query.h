@@ -36,8 +36,13 @@ class UnionQueryProcessor {
   UnionQueryProcessor(const UnionQueryProcessor&) = delete;
   UnionQueryProcessor& operator=(const UnionQueryProcessor&) = delete;
 
-  Status Feed(std::string_view chunk) { return multi_->Feed(chunk); }
-  Status Finish() { return multi_->Finish(); }
+  /// Consumes one chunk (chunk.last declares end of input).
+  Status Consume(const xml::InputChunk& chunk) {
+    return multi_->Consume(chunk);
+  }
+
+  /// Pulls chunks from `source` until it is exhausted or a chunk fails.
+  Status Pump(xml::ByteSource* source) { return multi_->Pump(source); }
 
   void Reset() {
     multi_->Reset();

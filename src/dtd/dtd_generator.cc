@@ -1,5 +1,8 @@
 #include "dtd/dtd_generator.h"
 
+#include <algorithm>
+#include <map>
+
 #include "xml/xml_writer.h"
 
 namespace twigm::dtd {
@@ -18,7 +21,9 @@ constexpr size_t kWordCount = sizeof(kWords) / sizeof(kWords[0]);
 class Generator {
  public:
   Generator(const Dtd& dtd, const GeneratorOptions& options)
-      : dtd_(dtd), options_(options), rng_(options.seed) {}
+      : dtd_(dtd), options_(options), rng_(options.seed) {
+    ComputeMinDepths();
+  }
 
   Status Emit(const std::string& element, int depth, xml::XmlWriter* w) {
     const ElementDecl* decl = dtd_.FindElement(element);
@@ -29,10 +34,20 @@ class Generator {
     w->Open(element);
     EmitAttributes(element, w);
     if (depth < options_.number_levels) {
-      TWIGM_RETURN_IF_ERROR(EmitContent(decl->content, decl->mixed, depth, w));
+      TWIGM_RETURN_IF_ERROR(
+          EmitContent(decl->content, decl->mixed, depth, w, false));
+    } else if (ElementMinDepth(element) < kInfiniteDepth) {
+      // Past the depth cap, close the document *validly*: emit the smallest
+      // completion the content model admits (required particles only, the
+      // shallowest choice alternative) instead of suppressing children —
+      // suppression would violate required particles and break every
+      // consumer that trusts DTD validity (the static decision analysis in
+      // particular).
+      TWIGM_RETURN_IF_ERROR(
+          EmitContent(decl->content, decl->mixed, depth, w, true));
     } else if (HasPcdata(decl->content)) {
-      // At the depth limit children are suppressed; keep text so leaves are
-      // not all empty.
+      // A required cycle: no finite valid subtree exists, so truncation is
+      // forced; keep text so these leaves are not all empty.
       w->Text(RandomText());
     }
     w->Close();
@@ -92,25 +107,29 @@ class Generator {
     }
   }
 
-  int RepeatCount(Repeat repeat) {
+  int RepeatCount(Repeat repeat, bool minimal) {
     switch (repeat) {
       case Repeat::kOne:
         return 1;
       case Repeat::kOptional:
-        return rng_.Chance(options_.optional_probability) ? 1 : 0;
+        return !minimal && rng_.Chance(options_.optional_probability) ? 1 : 0;
       case Repeat::kStar:
-        return static_cast<int>(
-            rng_.Below(static_cast<uint64_t>(options_.max_repeats) + 1));
+        return minimal ? 0
+                       : static_cast<int>(rng_.Below(
+                             static_cast<uint64_t>(options_.max_repeats) + 1));
       case Repeat::kPlus:
-        return 1 + static_cast<int>(rng_.Below(
-                       static_cast<uint64_t>(options_.max_repeats)));
+        return minimal ? 1
+                       : 1 + static_cast<int>(rng_.Below(
+                                 static_cast<uint64_t>(options_.max_repeats)));
     }
     return 1;
   }
 
+  // `minimal` = past the depth cap: required particles only, shallowest
+  // choice alternative — the smallest valid completion of the content model.
   Status EmitContent(const ContentExpr& expr, bool mixed, int depth,
-                     xml::XmlWriter* w) {
-    const int count = RepeatCount(expr.repeat);
+                     xml::XmlWriter* w, bool minimal) {
+    const int count = RepeatCount(expr.repeat, minimal);
     for (int rep = 0; rep < count; ++rep) {
       switch (expr.kind) {
         case ContentExpr::Kind::kEmpty:
@@ -127,13 +146,14 @@ class Generator {
           break;
         case ContentExpr::Kind::kSequence:
           for (const ContentExpr& child : expr.children) {
-            TWIGM_RETURN_IF_ERROR(EmitContent(child, mixed, depth, w));
+            TWIGM_RETURN_IF_ERROR(EmitContent(child, mixed, depth, w, minimal));
           }
           break;
         case ContentExpr::Kind::kChoice: {
           const ContentExpr& pick =
-              expr.children[rng_.Below(expr.children.size())];
-          TWIGM_RETURN_IF_ERROR(EmitContent(pick, mixed, depth, w));
+              minimal ? MinimalAlternative(expr)
+                      : expr.children[rng_.Below(expr.children.size())];
+          TWIGM_RETURN_IF_ERROR(EmitContent(pick, mixed, depth, w, minimal));
           break;
         }
       }
@@ -141,10 +161,89 @@ class Generator {
     return Status::Ok();
   }
 
+  // --- Minimal completion depth -------------------------------------------
+  // min_depth_[e] = depth of the shallowest element chain an instance of e
+  // must still contain when every omissible particle is omitted;
+  // kInfiniteDepth when required particles cycle (no finite valid subtree).
+  // Drives the past-the-cap completion: expanding along minimal choices
+  // strictly decreases the remaining completion depth, so it terminates.
+
+  static constexpr int kInfiniteDepth = 1 << 20;
+
+  int ExprMinDepth(const ContentExpr& expr) const {
+    if (expr.repeat == Repeat::kOptional || expr.repeat == Repeat::kStar) {
+      return 0;
+    }
+    switch (expr.kind) {
+      case ContentExpr::Kind::kEmpty:
+      case ContentExpr::Kind::kAny:
+      case ContentExpr::Kind::kPcdata:
+        return 0;
+      case ContentExpr::Kind::kElement:
+        return ElementMinDepth(expr.name);
+      case ContentExpr::Kind::kSequence: {
+        int depth = 0;
+        for (const ContentExpr& child : expr.children) {
+          depth = std::max(depth, ExprMinDepth(child));
+        }
+        return depth;
+      }
+      case ContentExpr::Kind::kChoice: {
+        int depth = kInfiniteDepth;
+        for (const ContentExpr& child : expr.children) {
+          depth = std::min(depth, ExprMinDepth(child));
+        }
+        return depth;
+      }
+    }
+    return 0;
+  }
+
+  int ElementMinDepth(const std::string& element) const {
+    auto it = min_depth_.find(element);
+    return it != min_depth_.end() ? it->second : kInfiniteDepth;
+  }
+
+  const ContentExpr& MinimalAlternative(const ContentExpr& choice) const {
+    const ContentExpr* best = &choice.children.front();
+    int best_depth = kInfiniteDepth + 1;
+    for (const ContentExpr& child : choice.children) {
+      const int depth = ExprMinDepth(child);
+      if (depth < best_depth) {
+        best = &child;
+        best_depth = depth;
+      }
+    }
+    return *best;
+  }
+
+  void ComputeMinDepths() {
+    for (const auto& [name, decl] : dtd_.elements) {
+      min_depth_[name] = kInfiniteDepth;
+    }
+    // Fixpoint from above: each round can only lower depths, and each
+    // element's depth is bounded below by 1, so it converges.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& [name, decl] : dtd_.elements) {
+        const int depth =
+            decl.mixed ? 1
+                       : std::min(kInfiniteDepth,
+                                  1 + ExprMinDepth(decl.content));
+        if (depth < min_depth_[name]) {
+          min_depth_[name] = depth;
+          changed = true;
+        }
+      }
+    }
+  }
+
   const Dtd& dtd_;
   const GeneratorOptions& options_;
   Rng rng_;
   uint64_t id_counter_ = 0;
+  std::map<std::string, int> min_depth_;
 };
 
 }  // namespace

@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "analysis/decision_analysis.h"
+#include "filter/early_decisions.h"
+
 namespace twigm::filter {
 
 struct AnalyzedEngine::ExportHandles {
@@ -14,6 +17,7 @@ struct AnalyzedEngine::ExportHandles {
   obs::Counter* branches_minimized = nullptr;
   obs::Counter* bounded_trie_nodes = nullptr;
   obs::Counter* bounded_machine_nodes = nullptr;
+  obs::Counter* decision_facts = nullptr;
 };
 
 AnalyzedEngine::~AnalyzedEngine() = default;
@@ -80,6 +84,12 @@ Result<std::unique_ptr<AnalyzedEngine>> AnalyzedEngine::Create(
     if (options.dtd != nullptr && options.level_bounds) {
       engine->InstallFilterBounds(*options.dtd);
     }
+    if (options.dtd != nullptr &&
+        options.evaluator.enable_early_decisions !=
+            core::EarlyDecisionMode::kOff) {
+      engine->stats_.decision_facts =
+          InstallEarlyDecisions(engine->filter_.get(), *options.dtd);
+    }
   } else {
     Result<std::unique_ptr<core::MultiQueryProcessor>> inner =
         core::MultiQueryProcessor::Create(run_texts, engine->remap_.get(),
@@ -88,6 +98,17 @@ Result<std::unique_ptr<AnalyzedEngine>> AnalyzedEngine::Create(
     engine->product_ = std::move(inner).value();
     if (options.dtd != nullptr && options.level_bounds) {
       engine->InstallProductBounds(*options.dtd);
+    }
+    if (options.dtd != nullptr &&
+        options.evaluator.enable_early_decisions !=
+            core::EarlyDecisionMode::kOff) {
+      for (size_t q = 0; q < engine->product_->query_count(); ++q) {
+        auto table = std::make_shared<core::DecisionTable>(
+            analysis::CompileDecisionTable(engine->product_->graph(q),
+                                           *options.dtd));
+        engine->stats_.decision_facts += table->facts();
+        engine->product_->set_decision_table(q, std::move(table));
+      }
     }
   }
   return engine;
@@ -156,15 +177,17 @@ void AnalyzedEngine::InstallProductBounds(const analysis::DtdStructure& dtd) {
   }
 }
 
-Status AnalyzedEngine::Feed(std::string_view chunk) {
-  if (filter_ != nullptr) return filter_->Feed(chunk);
-  if (product_ != nullptr) return product_->Feed(chunk);
+Status AnalyzedEngine::Consume(const xml::InputChunk& chunk) {
+  if (filter_ != nullptr) return filter_->Consume(chunk);
+  if (product_ != nullptr) return product_->Consume(chunk);
   return Status::Ok();
 }
 
-Status AnalyzedEngine::Finish() {
-  if (filter_ != nullptr) return filter_->Finish();
-  if (product_ != nullptr) return product_->Finish();
+Status AnalyzedEngine::Pump(xml::ByteSource* source) {
+  xml::InputChunk chunk;
+  while (source->Next(&chunk)) {
+    TWIGM_RETURN_IF_ERROR(Consume(chunk));
+  }
   return Status::Ok();
 }
 
@@ -193,6 +216,8 @@ void AnalyzedEngine::ExportMetrics(obs::MetricsRegistry* registry) const {
         registry->RegisterCounter("analysis.bounded_trie_nodes");
     export_->bounded_machine_nodes =
         registry->RegisterCounter("analysis.bounded_machine_nodes");
+    export_->decision_facts =
+        registry->RegisterCounter("analysis.decision_facts");
     export_->registered_count = registry->instrument_count();
   }
   export_->queries_total->Set(stats_.queries_total);
@@ -202,6 +227,7 @@ void AnalyzedEngine::ExportMetrics(obs::MetricsRegistry* registry) const {
   export_->branches_minimized->Set(stats_.branches_minimized);
   export_->bounded_trie_nodes->Set(stats_.bounded_trie_nodes);
   export_->bounded_machine_nodes->Set(stats_.bounded_machine_nodes);
+  export_->decision_facts->Set(stats_.decision_facts);
   if (filter_ != nullptr) filter_->ExportMetrics(registry);
 }
 

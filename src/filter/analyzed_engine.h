@@ -22,7 +22,7 @@
 // order and MatchInfo byte offsets may differ). Without a DTD, the
 // minimization and equivalence passes alone preserve that contract on
 // every well-formed document. When the analyzer prunes *every* query, the
-// stream is not parsed at all — Feed/Finish become no-ops (and parse
+// stream is not parsed at all — Consume/Pump become no-ops (and parse
 // errors are then not reported).
 
 #ifndef TWIGM_FILTER_ANALYZED_ENGINE_H_
@@ -75,6 +75,10 @@ class AnalyzedEngine {
     /// proofs can skip.
     size_t bounded_trie_nodes = 0;
     size_t bounded_machine_nodes = 0;
+    /// Non-default earliest-decision facts installed into the runtime
+    /// (trie kUseless cells + tail-machine table cells); 0 when
+    /// enable_early_decisions is kOff or no DTD was given.
+    size_t decision_facts = 0;
 
     size_t queries_pruned() const {
       return queries_unsatisfiable + queries_forwarded;
@@ -96,8 +100,11 @@ class AnalyzedEngine {
   AnalyzedEngine& operator=(const AnalyzedEngine&) = delete;
   ~AnalyzedEngine();  // out-of-line: ExportHandles is incomplete here
 
-  Status Feed(std::string_view chunk);
-  Status Finish();
+  /// Consumes one chunk (chunk.last declares end of input).
+  Status Consume(const xml::InputChunk& chunk);
+
+  /// Pulls chunks from `source` until it is exhausted or a chunk fails.
+  Status Pump(xml::ByteSource* source);
 
   /// Clears runtime state for a new document (the analysis is reused).
   void Reset();

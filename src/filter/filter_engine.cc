@@ -19,6 +19,7 @@ struct FilterEngine::ExportHandles {
   obs::Counter* peak_active_nodes = nullptr;
   obs::Counter* peak_trie_entries = nullptr;
   obs::Counter* peak_engaged_tails = nullptr;
+  obs::Counter* trie_pushes_skipped = nullptr;
   obs::Counter* hotpath_interner_symbols = nullptr;
   obs::Counter* hotpath_pool_entries = nullptr;
 };
@@ -127,6 +128,7 @@ Result<std::unique_ptr<FilterEngine>> FilterEngine::Build(
   // candidate first steps by one indexed lookup instead of scanning (and
   // byte-comparing) the whole root fan-out.
   engine->index_.BindInterner(interner);
+  engine->interner_ = interner;
   for (Tail& tail : engine->tails_) {
     if (tail.twig != nullptr) tail.twig->BindInterner(interner);
     if (tail.branch != nullptr) tail.branch->BindInterner(interner);
@@ -180,6 +182,7 @@ void FilterEngine::Reset() {
   total_results_ = 0;
   rstats_ = FilterRuntimeStats();
   stream_offset_ = 0;
+  cur_elem_ = -1;
   // Rewind the parser and driver in place: the parser's interner carries
   // the trie's and tail machines' symbol bindings, and its buffers (plus
   // every trie stack's capacity) stay warm across documents. Event-fed
@@ -188,11 +191,13 @@ void FilterEngine::Reset() {
   if (driver_ != nullptr) driver_->Reset();
 }
 
+// hotpath
 void FilterEngine::Activate(int node) {
   active_pos_[node] = static_cast<int>(active_.size());
   active_.push_back(node);
 }
 
+// hotpath
 void FilterEngine::Deactivate(int node) {
   const int pos = active_pos_[node];
   const int last = active_.back();
@@ -202,6 +207,7 @@ void FilterEngine::Deactivate(int node) {
   active_pos_[node] = -1;
 }
 
+// hotpath
 void FilterEngine::Engage(int tail) {
   Tail& t = tails_[tail];
   if (t.engaged) return;
@@ -209,6 +215,7 @@ void FilterEngine::Engage(int tail) {
   engaged_.push_back(tail);
 }
 
+// hotpath
 void FilterEngine::ConsiderChild(int child, const std::vector<int>* stack,
                                  int level) {
   const StepTrieNode& c = index_.nodes()[child];
@@ -227,13 +234,30 @@ void FilterEngine::ConsiderChild(int child, const std::vector<int>* stack,
     qualified = std::binary_search(stack->begin(), stack->end(),
                                    level - c.edge.distance);
   }
-  if (qualified) scratch_.push_back(child);
+  if (!qualified) return;
+  // Earliest-decision skip: the DTD proves no accept or tail anchor can
+  // complete below this element, so the entry would only ever be popped.
+  if (cur_elem_ >= 0 &&
+      options_.enable_early_decisions == core::EarlyDecisionMode::kOn &&
+      trie_decisions_->at(static_cast<size_t>(child),
+                          static_cast<size_t>(cur_elem_))
+          .useless()) {
+    ++rstats_.trie_pushes_skipped;
+    return;
+  }
+  scratch_.push_back(child);
 }
 
+// hotpath
 void FilterEngine::OnStartElement(const xml::TagToken& tag, int level,
                                   xml::NodeId id,
                                   const std::vector<xml::Attribute>& attrs) {
   ++rstats_.start_events;
+  cur_elem_ = -1;
+  if (trie_decisions_ != nullptr && tag.symbol != xml::kNoSymbol &&
+      tag.symbol < sym_to_elem_.size()) {
+    cur_elem_ = sym_to_elem_[tag.symbol];
+  }
   const std::vector<StepTrieNode>& nodes = index_.nodes();
 
   // Collect the qualifying pushes first: an entry pushed by this event can
@@ -310,6 +334,7 @@ void FilterEngine::OnStartElement(const xml::TagToken& tag, int level,
       rstats_.peak_engaged_tails, engaged_.size() + always_on_.size());
 }
 
+// hotpath
 void FilterEngine::OnEndElement(const xml::TagToken& tag, int level) {
   ++rstats_.end_events;
 
@@ -348,6 +373,7 @@ void FilterEngine::OnEndElement(const xml::TagToken& tag, int level) {
   }
 }
 
+// hotpath
 void FilterEngine::OnText(std::string_view text, int level) {
   for (int t : always_on_) tails_[t].machine->Text(text, level);
   for (int t : engaged_) tails_[t].machine->Text(text, level);
@@ -378,6 +404,38 @@ void FilterEngine::set_tail_level_bounds(size_t query_index,
   }
 }
 
+void FilterEngine::set_trie_decisions(
+    std::shared_ptr<const core::DecisionTable> table) {
+  trie_decisions_ = std::move(table);
+  RebuildSymToElem();
+}
+
+void FilterEngine::set_tail_decisions(
+    size_t query_index, std::shared_ptr<const core::DecisionTable> table) {
+  for (Tail& tail : tails_) {
+    if (tail.query_index != query_index) continue;
+    if (tail.twig != nullptr) {
+      tail.twig->set_decisions(std::move(table),
+                               options_.enable_early_decisions);
+    } else {
+      tail.branch->set_decisions(std::move(table),
+                                 options_.enable_early_decisions);
+    }
+    return;
+  }
+}
+
+void FilterEngine::RebuildSymToElem() {
+  sym_to_elem_.clear();
+  if (trie_decisions_ == nullptr || interner_ == nullptr) return;
+  const std::vector<std::string>& names = trie_decisions_->element_names();
+  for (size_t e = 0; e < names.size(); ++e) {
+    const xml::SymbolId s = interner_->Intern(names[e]);
+    if (sym_to_elem_.size() <= s) sym_to_elem_.resize(s + 1, -1);
+    sym_to_elem_[s] = static_cast<int32_t>(e);
+  }
+}
+
 void FilterEngine::ExportMetrics(obs::MetricsRegistry* registry) const {
   // See XPathStreamProcessor::ExportMetrics for the re-registration guard.
   if (export_ == nullptr || export_->registry != registry ||
@@ -397,6 +455,8 @@ void FilterEngine::ExportMetrics(obs::MetricsRegistry* registry) const {
         registry->RegisterCounter("filter.peak_trie_entries");
     export_->peak_engaged_tails =
         registry->RegisterCounter("filter.peak_engaged_tails");
+    export_->trie_pushes_skipped =
+        registry->RegisterCounter("filter.trie_pushes_skipped");
     export_->hotpath_interner_symbols =
         registry->RegisterCounter("hotpath.interner_symbols");
     export_->hotpath_pool_entries =
@@ -412,6 +472,7 @@ void FilterEngine::ExportMetrics(obs::MetricsRegistry* registry) const {
   export_->peak_active_nodes->Set(rstats_.peak_active_nodes);
   export_->peak_trie_entries->Set(rstats_.peak_trie_entries);
   export_->peak_engaged_tails->Set(rstats_.peak_engaged_tails);
+  export_->trie_pushes_skipped->Set(rstats_.trie_pushes_skipped);
   export_->hotpath_interner_symbols->Set(
       parser_ != nullptr ? parser_->interner()->size() : 0);
   uint64_t pool = 0;

@@ -84,12 +84,6 @@ class FilterEngine {
   /// Pulls chunks from `source` until it is exhausted or a chunk fails.
   Status Pump(xml::ByteSource* source);
 
-  /// Compatibility wrapper: Consume({chunk, last=false}).
-  Status Feed(std::string_view chunk) { return Consume({chunk, false}); }
-
-  /// Compatibility wrapper: Consume({empty, last=true}).
-  Status Finish() { return Consume({std::string_view(), true}); }
-
   /// Clears all runtime state (and the parser, when the engine owns one)
   /// for a new document.
   void Reset();
@@ -135,6 +129,19 @@ class FilterEngine {
   /// tail_graph(query_index)) to that query's tail machine. No-op for
   /// linear queries.
   void set_tail_level_bounds(size_t query_index, core::LevelBounds bounds);
+
+  /// Optional: per-(trie-node, element) decision table (see
+  /// filter/early_decisions.h). In kOn mode
+  /// (EvaluatorOptions::enable_early_decisions), qualifying pushes the
+  /// table marks kUseless are skipped — sound on documents valid w.r.t.
+  /// the compiled DTD.
+  void set_trie_decisions(std::shared_ptr<const core::DecisionTable> table);
+
+  /// Installs an earliest-decision table on `query_index`'s tail machine
+  /// (mode from EvaluatorOptions::enable_early_decisions). No-op for
+  /// linear queries.
+  void set_tail_decisions(size_t query_index,
+                          std::shared_ptr<const core::DecisionTable> table);
 
  private:
   // Routes modified-SAX events into the engine.
@@ -216,6 +223,8 @@ class FilterEngine {
   /// parent's stack (null for the virtual root).
   void ConsiderChild(int child, const std::vector<int>* stack, int level);
 
+  void RebuildSymToElem();
+
   FilterIndex index_;
   core::MultiQueryResultSink* sink_ = nullptr;
   core::EvaluatorOptions options_;
@@ -245,6 +254,14 @@ class FilterEngine {
   std::vector<int> engaged_;    // anchored tails currently receiving events
 
   std::vector<int> scratch_;  // per-event push/pop worklist
+
+  // Trie decision table (see set_trie_decisions): sym_to_elem_ maps tag
+  // symbols onto the table's dense element ids; cur_elem_ is resolved once
+  // per start event (-1 = unknown element, no facts).
+  std::shared_ptr<const core::DecisionTable> trie_decisions_;
+  std::vector<int32_t> sym_to_elem_;
+  int32_t cur_elem_ = -1;
+  xml::TagInterner* interner_ = nullptr;
 
   std::unique_ptr<EventSink> event_sink_;
   std::unique_ptr<xml::EventDriver> driver_;

@@ -46,6 +46,10 @@ struct FilterRuntimeStats {
   uint64_t peak_trie_entries = 0;
   /// Predicate tails currently receiving events, sampled per start event.
   uint64_t peak_engaged_tails = 0;
+
+  /// Qualifying trie pushes skipped because the decision table proved no
+  /// accept or anchor can complete below the opening element (kOn mode).
+  uint64_t trie_pushes_skipped = 0;
 };
 
 }  // namespace twigm::filter

@@ -71,7 +71,7 @@ Status ServerStream::FinishDocument() {
   if (!doc_open_) {
     return Status::InvalidArgument("no document in progress on this stream");
   }
-  Status finish = parser_.Finish();  // fires EndDocument through the driver
+  Status finish = parser_.Consume({std::string_view(), true});  // fires EndDocument through the driver
   if (!finish.ok()) {
     // Poisoned document: shards never see an end marker for it, so close
     // the window explicitly to keep the barrier accounting in step.
@@ -204,8 +204,8 @@ SubscriptionServer::SubscriptionServer(Options options)
       hub_(options_.notify_batch) {
   hub_.on_batch = options_.on_batch;
   for (int i = 0; i < options_.num_shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(i, &registry_, &hub_,
-                                              options_.engine_options));
+    shards_.push_back(std::make_unique<Shard>(
+        i, &registry_, &hub_, options_.engine_options, options_.dtd));
   }
   for (std::unique_ptr<Shard>& shard : shards_) shard->Start();
 }

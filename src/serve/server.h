@@ -66,9 +66,6 @@ class ServerStream : private xml::StreamEventSink {
   /// Pulls chunks from `source` until it is exhausted or a chunk fails.
   Status Pump(xml::ByteSource* source);
 
-  /// Compatibility wrapper: Consume({chunk, last=false}).
-  Status Feed(std::string_view chunk) { return Consume({chunk, false}); }
-
   /// Ends the current document and blocks until every shard has processed
   /// it — afterwards all its matches are Poll()-visible and the stream is
   /// ready for the next document.
@@ -140,6 +137,11 @@ class SubscriptionServer {
     /// Tail-machine options for the shard engines (sax/instrumentation
     /// fields are ignored — shards never parse).
     core::EvaluatorOptions engine_options;
+    /// Optional DTD summary: when engine_options.enable_early_decisions is
+    /// not kOff, every folded shard engine gets earliest-decision tables
+    /// compiled against it (sound on documents valid w.r.t. the DTD). Not
+    /// owned; must outlive the server.
+    const analysis::DtdStructure* dtd = nullptr;
     /// Optional push delivery: batches are handed to this callback on the
     /// shard worker thread instead of queueing for Poll(). Must be
     /// thread-safe.

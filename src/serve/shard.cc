@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <string>
 
+#include "filter/early_decisions.h"
 #include "obs/metrics.h"
 
 namespace twigm::serve {
@@ -40,11 +41,13 @@ void DeliveryHub::WaitBarrier(const std::function<bool()>& pred) {
 }
 
 Shard::Shard(int index, SubscriptionRegistry* registry, DeliveryHub* hub,
-             core::EvaluatorOptions engine_options)
+             core::EvaluatorOptions engine_options,
+             const analysis::DtdStructure* dtd)
     : index_(index),
       registry_(registry),
       hub_(hub),
-      engine_options_(engine_options) {
+      engine_options_(engine_options),
+      dtd_(dtd) {
   // Shard engines never parse; drop any caller instrumentation hook (it is
   // single-threaded plumbing and must not be shared across workers).
   engine_options_.instrumentation = nullptr;
@@ -92,6 +95,12 @@ void Shard::Run() {
       if (sessions_[i]->closed) {
         sessions_.erase(sessions_.begin() + static_cast<ptrdiff_t>(i));
       }
+    }
+    if (progress) {
+      // Earliest answering extends to delivery: matches proved mid-document
+      // leave for the subscriber at the end of the drain pass instead of
+      // aging until the batch fills or the document closes.
+      FlushBatch();
     }
     if (!progress) {
       // Nothing in flight: deliver any partially filled batch rather than
@@ -226,6 +235,12 @@ void Shard::FoldSubscriptions(SessionState& state, uint64_t route_epoch) {
                                              &state.interner, engine_options_);
     if (engine.ok()) {
       state.engine = std::move(engine).value();
+      if (dtd_ != nullptr && engine_options_.enable_early_decisions !=
+                                 core::EarlyDecisionMode::kOff) {
+        // Compiled off the per-event path, once per fold; interning the
+        // table's element names is safe here — the worker owns interner.
+        filter::InstallEarlyDecisions(state.engine.get(), *dtd_);
+      }
       counters_.engine_rebuilds.fetch_add(1, std::memory_order_relaxed);
     } else {
       // Queries were validated at Subscribe; a failure here is a bug, but

@@ -14,8 +14,8 @@
 // names, and no duplicate attributes. Errors carry line/column positions.
 //
 // Input front door (DESIGN.md §12): bytes enter through the unified
-// ByteSource API — Consume(InputChunk) or Pump(ByteSource*); Feed/Finish/
-// ParseAll survive as thin wrappers. The front end makes the stream
+// ByteSource API — Consume(InputChunk) or Pump(ByteSource*); ParseAll is a
+// one-shot convenience over Consume. The front end makes the stream
 // *canonical* before the tokenizer sees it: UTF-8 and UTF-16 (LE/BE) byte
 // order marks are detected, UTF-16 input is transcoded to UTF-8, NUL bytes
 // and character references to non-XML characters are rejected, and an XML
@@ -111,13 +111,7 @@ class SaxParser {
   /// Pulls chunks from `source` until it is exhausted or a chunk fails.
   Status Pump(ByteSource* source);
 
-  /// Compatibility wrapper: Consume({chunk, last=false}).
-  Status Feed(std::string_view chunk) { return Consume({chunk, false}); }
-
-  /// Compatibility wrapper: Consume({empty, last=true}).
-  Status Finish() { return Consume({std::string_view(), true}); }
-
-  /// Compatibility wrapper: Consume({doc, last=true}) on a fresh document.
+  /// Convenience: Consume({doc, last=true}) on a fresh document.
   Status ParseAll(std::string_view doc) { return Consume({doc, true}); }
 
   /// Rewinds the parser for a new document: clears parse state (position,

@@ -67,8 +67,8 @@ std::vector<std::vector<xml::NodeId>> RunBaseline(
   Result<std::unique_ptr<MultiQueryProcessor>> proc =
       MultiQueryProcessor::Create(queries, &sink);
   EXPECT_TRUE(proc.ok()) << proc.status().ToString();
-  EXPECT_TRUE(proc.value()->Feed(doc).ok());
-  EXPECT_TRUE(proc.value()->Finish().ok());
+  EXPECT_TRUE(proc.value()->Consume({doc, false}).ok());
+  EXPECT_TRUE(proc.value()->Consume({std::string_view(), true}).ok());
   return Collect(sink, queries.size());
 }
 
@@ -80,8 +80,8 @@ std::vector<std::vector<xml::NodeId>> RunAnalyzed(
   Result<std::unique_ptr<AnalyzedEngine>> engine =
       AnalyzedEngine::Create(queries, &sink, options);
   EXPECT_TRUE(engine.ok()) << engine.status().ToString();
-  EXPECT_TRUE(engine.value()->Feed(doc).ok());
-  EXPECT_TRUE(engine.value()->Finish().ok());
+  EXPECT_TRUE(engine.value()->Consume({doc, false}).ok());
+  EXPECT_TRUE(engine.value()->Consume({std::string_view(), true}).ok());
   if (stats_out != nullptr) *stats_out = engine.value()->analysis_stats();
   return Collect(sink, queries.size());
 }
@@ -200,8 +200,8 @@ TEST(AnalyzedEngineTest, AllQueriesPrunedStreamsNothing) {
       {"//section/book", "//title/author"}, &sink, options);
   ASSERT_TRUE(engine.ok()) << engine.status().ToString();
   EXPECT_EQ(engine.value()->filter_engine(), nullptr);
-  EXPECT_TRUE(engine.value()->Feed("<collection></collection>").ok());
-  EXPECT_TRUE(engine.value()->Finish().ok());
+  EXPECT_TRUE(engine.value()->Consume({"<collection></collection>", false}).ok());
+  EXPECT_TRUE(engine.value()->Consume({std::string_view(), true}).ok());
   EXPECT_TRUE(sink.items().empty());
   EXPECT_EQ(engine.value()->analysis_stats().queries_pruned(), 2u);
 }
@@ -215,14 +215,14 @@ TEST(AnalyzedEngineTest, ResetSupportsReplay) {
   Result<std::unique_ptr<AnalyzedEngine>> engine =
       AnalyzedEngine::Create(queries, &sink);
   ASSERT_TRUE(engine.ok());
-  ASSERT_TRUE(engine.value()->Feed(doc).ok());
-  ASSERT_TRUE(engine.value()->Finish().ok());
+  ASSERT_TRUE(engine.value()->Consume({doc, false}).ok());
+  ASSERT_TRUE(engine.value()->Consume({std::string_view(), true}).ok());
   const size_t first_run = sink.items().size();
   EXPECT_GT(first_run, 0u);
 
   engine.value()->Reset();
-  ASSERT_TRUE(engine.value()->Feed(doc).ok());
-  ASSERT_TRUE(engine.value()->Finish().ok());
+  ASSERT_TRUE(engine.value()->Consume({doc, false}).ok());
+  ASSERT_TRUE(engine.value()->Consume({std::string_view(), true}).ok());
   EXPECT_EQ(sink.items().size(), 2 * first_run);
 }
 

@@ -363,7 +363,7 @@ TEST(ConformanceBuffer, MaxBufferBindsOnCanonicalBytes) {
   options.max_buffer_bytes = 1500;
   OffsetTraceHandler handler;
   SaxParser parser(&handler, options);
-  const Status s = parser.Feed(doc);  // no last chunk: text stays buffered
+  const Status s = parser.Consume({doc, false});  // no last chunk: text stays buffered
   ASSERT_FALSE(s.ok());
   EXPECT_NE(s.message().find("max_buffer_bytes"), std::string::npos)
       << s.message();
@@ -434,7 +434,7 @@ ParseOutcome ParseRandomChunks(std::string_view doc, bool scalar,
     if (!out.status.ok()) break;
     offset += n;
   }
-  if (out.status.ok()) out.status = parser.Finish();
+  if (out.status.ok()) out.status = parser.Consume({std::string_view(), true});
   out.trace = handler.trace();
   return out;
 }
@@ -498,7 +498,7 @@ TEST(ConformanceApi, ConsumeAfterLastChunkIsRejected) {
   OffsetTraceHandler handler;
   SaxParser parser(&handler);
   ASSERT_TRUE(parser.Consume({"<a/>", true}).ok());
-  EXPECT_TRUE(parser.Finish().ok());  // idempotent end-of-input marker
+  EXPECT_TRUE(parser.Consume({std::string_view(), true}).ok());  // idempotent end-of-input marker
   EXPECT_FALSE(parser.Consume({"<b/>", false}).ok());
 }
 

@@ -57,10 +57,10 @@ TEST(EosEngineTest, EmitsNothingBeforeEndOfStream) {
   ASSERT_TRUE(engine.ok());
   xml::EventDriver driver(engine.value().get());
   xml::SaxParser parser(&driver);
-  ASSERT_TRUE(parser.Feed("<a><b/><b/><b/>").ok());
+  ASSERT_TRUE(parser.Consume({"<a><b/><b/><b/>", false}).ok());
   EXPECT_TRUE(sink.ids().empty());  // blocking output
-  ASSERT_TRUE(parser.Feed("</a>").ok());
-  ASSERT_TRUE(parser.Finish().ok());
+  ASSERT_TRUE(parser.Consume({"</a>", false}).ok());
+  ASSERT_TRUE(parser.Consume({std::string_view(), true}).ok());
   EXPECT_EQ(sink.ids().size(), 3u);
 }
 

@@ -72,7 +72,7 @@ TEST(EvaluatorTest, MalformedXmlFailsAtFeed) {
   VectorResultSink sink;
   auto proc = XPathStreamProcessor::Create("//a", &sink);
   ASSERT_TRUE(proc.ok());
-  EXPECT_FALSE(proc.value()->Feed("<a><b></a>").ok());
+  EXPECT_FALSE(proc.value()->Consume({"<a><b></a>", false}).ok());
 }
 
 TEST(EvaluatorTest, ChunkedFeedingMatchesWholeDocument) {
@@ -101,10 +101,10 @@ TEST(EvaluatorTest, ChunkedFeedingMatchesWholeDocument) {
     while (pos < doc.size()) {
       const size_t len = std::min(chunk, doc.size() - pos);
       ASSERT_TRUE(
-          proc.value()->Feed(std::string_view(doc).substr(pos, len)).ok());
+          proc.value()->Consume({std::string_view(doc).substr(pos, len), false}).ok());
       pos += len;
     }
-    ASSERT_TRUE(proc.value()->Finish().ok());
+    ASSERT_TRUE(proc.value()->Consume({std::string_view(), true}).ok());
     std::vector<xml::NodeId> got = sink.TakeIds();
     std::sort(got.begin(), got.end());
     EXPECT_EQ(got, expected) << "chunk=" << chunk;
@@ -115,11 +115,11 @@ TEST(EvaluatorTest, ResetAllowsSecondDocument) {
   VectorResultSink sink;
   auto proc = XPathStreamProcessor::Create("//a/b", &sink);
   ASSERT_TRUE(proc.ok());
-  ASSERT_TRUE(proc.value()->Feed("<a><b/></a>").ok());
-  ASSERT_TRUE(proc.value()->Finish().ok());
+  ASSERT_TRUE(proc.value()->Consume({"<a><b/></a>", false}).ok());
+  ASSERT_TRUE(proc.value()->Consume({std::string_view(), true}).ok());
   proc.value()->Reset();
-  ASSERT_TRUE(proc.value()->Feed("<a><b/><b/></a>").ok());
-  ASSERT_TRUE(proc.value()->Finish().ok());
+  ASSERT_TRUE(proc.value()->Consume({"<a><b/><b/></a>", false}).ok());
+  ASSERT_TRUE(proc.value()->Consume({std::string_view(), true}).ok());
   EXPECT_EQ(sink.ids().size(), 3u);
 }
 
@@ -149,8 +149,8 @@ TEST(EvaluatorTest, StatsAccessibleAfterRun) {
   VectorResultSink sink;
   auto proc = XPathStreamProcessor::Create("//a//b", &sink);
   ASSERT_TRUE(proc.ok());
-  ASSERT_TRUE(proc.value()->Feed("<a><b/><b/></a>").ok());
-  ASSERT_TRUE(proc.value()->Finish().ok());
+  ASSERT_TRUE(proc.value()->Consume({"<a><b/><b/></a>", false}).ok());
+  ASSERT_TRUE(proc.value()->Consume({std::string_view(), true}).ok());
   EXPECT_EQ(proc.value()->stats().results, 2u);
   EXPECT_EQ(proc.value()->stats().start_events, 3u);
 }

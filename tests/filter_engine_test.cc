@@ -36,8 +36,8 @@ std::vector<std::vector<xml::NodeId>> RunFilter(
   EXPECT_TRUE(engine.ok()) << engine.status().ToString();
   std::vector<std::vector<xml::NodeId>> out(queries.size());
   if (!engine.ok()) return out;
-  EXPECT_TRUE(engine.value()->Feed(doc).ok());
-  EXPECT_TRUE(engine.value()->Finish().ok());
+  EXPECT_TRUE(engine.value()->Consume({doc, false}).ok());
+  EXPECT_TRUE(engine.value()->Consume({std::string_view(), true}).ok());
   for (const auto& item : sink.items()) {
     out[item.query_index].push_back(item.id);
   }
@@ -170,14 +170,14 @@ TEST(FilterEngineTest, ChunkedFeedingAndReset) {
   auto engine = FilterEngine::Create({"//b", "//c[d]"}, &sink);
   ASSERT_TRUE(engine.ok());
   for (char ch : doc) {
-    ASSERT_TRUE(engine.value()->Feed(std::string_view(&ch, 1)).ok());
+    ASSERT_TRUE(engine.value()->Consume({std::string_view(&ch, 1), false}).ok());
   }
-  ASSERT_TRUE(engine.value()->Finish().ok());
+  ASSERT_TRUE(engine.value()->Consume({std::string_view(), true}).ok());
   EXPECT_EQ(engine.value()->total_results(), 2u);
   engine.value()->Reset();
   EXPECT_EQ(engine.value()->total_results(), 0u);
-  ASSERT_TRUE(engine.value()->Feed(doc).ok());
-  ASSERT_TRUE(engine.value()->Finish().ok());
+  ASSERT_TRUE(engine.value()->Consume({doc, false}).ok());
+  ASSERT_TRUE(engine.value()->Consume({std::string_view(), true}).ok());
   EXPECT_EQ(engine.value()->total_results(), 2u);
   EXPECT_EQ(sink.items().size(), 4u);
 }
@@ -297,8 +297,8 @@ TEST(FilterEngineDifferentialTest, MatchesIndependentProcessorsAndProduct) {
     VectorMultiQuerySink product_sink;
     auto product = core::MultiQueryProcessor::Create(queries, &product_sink);
     ASSERT_TRUE(product.ok()) << product.status().ToString();
-    ASSERT_TRUE(product.value()->Feed(doc).ok());
-    ASSERT_TRUE(product.value()->Finish().ok());
+    ASSERT_TRUE(product.value()->Consume({doc, false}).ok());
+    ASSERT_TRUE(product.value()->Consume({std::string_view(), true}).ok());
     std::vector<std::vector<xml::NodeId>> expected(queries.size());
     for (const auto& item : product_sink.items()) {
       expected[item.query_index].push_back(item.id);
@@ -323,8 +323,8 @@ TEST(FilterEngineTest, ResetAndFeedFromDifferentThreads) {
 
   auto run_on_thread = [&engine, &doc] {
     std::thread t([&engine, &doc] {
-      ASSERT_TRUE(engine.value()->Feed(doc).ok());
-      ASSERT_TRUE(engine.value()->Finish().ok());
+      ASSERT_TRUE(engine.value()->Consume({doc, false}).ok());
+      ASSERT_TRUE(engine.value()->Consume({std::string_view(), true}).ok());
       engine.value()->Reset();
     });
     t.join();
@@ -351,8 +351,8 @@ TEST(FilterEngineDifferentialTest, NoDuplicateEmissions) {
     VectorMultiQuerySink sink;
     auto engine = FilterEngine::Create(queries, &sink);
     ASSERT_TRUE(engine.ok());
-    ASSERT_TRUE(engine.value()->Feed(doc).ok());
-    ASSERT_TRUE(engine.value()->Finish().ok());
+    ASSERT_TRUE(engine.value()->Consume({doc, false}).ok());
+    ASSERT_TRUE(engine.value()->Consume({std::string_view(), true}).ok());
     std::vector<std::pair<size_t, xml::NodeId>> pairs;
     for (const auto& item : sink.items()) {
       pairs.emplace_back(item.query_index, item.id);

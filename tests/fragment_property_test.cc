@@ -73,8 +73,8 @@ TEST(FragmentPropertyTest, FragmentsMatchIdResults) {
     core::VectorFragmentSink fragments;
     auto proc = core::XPathStreamProcessor::Create(query, &fragments);
     ASSERT_TRUE(proc.ok()) << query;
-    ASSERT_TRUE(proc.value()->Feed(doc).ok());
-    ASSERT_TRUE(proc.value()->Finish().ok());
+    ASSERT_TRUE(proc.value()->Consume({doc, false}).ok());
+    ASSERT_TRUE(proc.value()->Consume({std::string_view(), true}).ok());
 
     // One fragment per id result, same multiset of ids.
     ASSERT_EQ(fragments.items().size(), fragments.ids().size()) << query;
@@ -115,8 +115,8 @@ TEST(FragmentPropertyTest, UnionAgreesWithBranchUnion) {
     core::VectorResultSink sink;
     auto proc = core::UnionQueryProcessor::Create(q1 + " | " + q2, &sink);
     ASSERT_TRUE(proc.ok()) << q1 << " | " << q2;
-    ASSERT_TRUE(proc.value()->Feed(doc).ok());
-    ASSERT_TRUE(proc.value()->Finish().ok());
+    ASSERT_TRUE(proc.value()->Consume({doc, false}).ok());
+    ASSERT_TRUE(proc.value()->Consume({std::string_view(), true}).ok());
     std::vector<xml::NodeId> got = sink.TakeIds();
     std::sort(got.begin(), got.end());
 
@@ -152,8 +152,8 @@ TEST(QueryFuzzTest, RandomQueryStringsNeverCrash) {
       core::VectorResultSink sink;
       auto proc = core::XPathStreamProcessor::Create(query, &sink);
       if (proc.ok()) {
-        EXPECT_TRUE(proc.value()->Feed("<a><b x=\"1\">t</b></a>").ok());
-        EXPECT_TRUE(proc.value()->Finish().ok());
+        EXPECT_TRUE(proc.value()->Consume({"<a><b x=\"1\">t</b></a>", false}).ok());
+        EXPECT_TRUE(proc.value()->Consume({std::string_view(), true}).ok());
       }
     } else {
       EXPECT_FALSE(tree.status().message().empty());

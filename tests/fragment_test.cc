@@ -36,13 +36,13 @@ FragmentRun RunFragments(std::string_view query, std::string_view doc,
   FragmentRun run;
   if (!proc.ok()) return run;
   if (chunk == 0) {
-    EXPECT_TRUE(proc.value()->Feed(doc).ok());
+    EXPECT_TRUE(proc.value()->Consume({doc, false}).ok());
   } else {
     for (size_t pos = 0; pos < doc.size(); pos += chunk) {
-      EXPECT_TRUE(proc.value()->Feed(doc.substr(pos, chunk)).ok());
+      EXPECT_TRUE(proc.value()->Consume({doc.substr(pos, chunk), false}).ok());
     }
   }
-  EXPECT_TRUE(proc.value()->Finish().ok());
+  EXPECT_TRUE(proc.value()->Consume({std::string_view(), true}).ok());
   run.fragments = sink.items();
   run.ids = sink.ids();
   return run;
@@ -155,11 +155,11 @@ TEST(FragmentTest, ResetAllowsReuse) {
   VectorFragmentSink fragments;
   auto proc = XPathStreamProcessor::Create("//b", &fragments);
   ASSERT_TRUE(proc.ok());
-  ASSERT_TRUE(proc.value()->Feed("<a><b>1</b></a>").ok());
-  ASSERT_TRUE(proc.value()->Finish().ok());
+  ASSERT_TRUE(proc.value()->Consume({"<a><b>1</b></a>", false}).ok());
+  ASSERT_TRUE(proc.value()->Consume({std::string_view(), true}).ok());
   proc.value()->Reset();
-  ASSERT_TRUE(proc.value()->Feed("<a><b>2</b></a>").ok());
-  ASSERT_TRUE(proc.value()->Finish().ok());
+  ASSERT_TRUE(proc.value()->Consume({"<a><b>2</b></a>", false}).ok());
+  ASSERT_TRUE(proc.value()->Consume({std::string_view(), true}).ok());
   ASSERT_EQ(fragments.items().size(), 2u);
   EXPECT_EQ(fragments.items()[1].xml, "<b>2</b>");
 }
@@ -186,8 +186,8 @@ TEST(FragmentTest, CaptureForcedByOption) {
   options.capture_fragments = true;
   auto proc = XPathStreamProcessor::Create("//b", &capture, options);
   ASSERT_TRUE(proc.ok());
-  ASSERT_TRUE(proc.value()->Feed("<a><b>x</b></a>").ok());
-  ASSERT_TRUE(proc.value()->Finish().ok());
+  ASSERT_TRUE(proc.value()->Consume({"<a><b>x</b></a>", false}).ok());
+  ASSERT_TRUE(proc.value()->Consume({std::string_view(), true}).ok());
   ASSERT_EQ(capture.fragments.size(), 1u);
   EXPECT_EQ(capture.fragments[0], "<b>x</b>");
 }

@@ -58,8 +58,8 @@ TEST(HotpathAllocTest, TwigMachineSteadyStateAllocatesNothing) {
   core::XPathStreamProcessor& p = *proc.value();
 
   auto stream_once = [&]() {
-    Status s = p.Feed(doc);
-    if (s.ok()) s = p.Finish();
+    Status s = p.Consume({doc, false});
+    if (s.ok()) s = p.Consume({std::string_view(), true});
     ASSERT_TRUE(s.ok()) << s.ToString();
   };
 
@@ -91,8 +91,8 @@ TEST(HotpathAllocTest, MultiQuerySteadyStateAllocatesNothing) {
   core::MultiQueryProcessor& p = *proc.value();
 
   auto stream_once = [&]() {
-    Status s = p.Feed(doc);
-    if (s.ok()) s = p.Finish();
+    Status s = p.Consume({doc, false});
+    if (s.ok()) s = p.Consume({std::string_view(), true});
     ASSERT_TRUE(s.ok()) << s.ToString();
   };
 
@@ -122,8 +122,8 @@ TEST(HotpathAllocTest, FilterEngineSteadyStateAllocatesNothing) {
   filter::FilterEngine& e = *engine.value();
 
   auto stream_once = [&]() {
-    Status s = e.Feed(doc);
-    if (s.ok()) s = e.Finish();
+    Status s = e.Consume({doc, false});
+    if (s.ok()) s = e.Consume({std::string_view(), true});
     ASSERT_TRUE(s.ok()) << s.ToString();
   };
 
@@ -153,8 +153,8 @@ TEST(HotpathAllocTest, ResetRetainsCapacityAcrossDocuments) {
   core::XPathStreamProcessor& p = *proc.value();
 
   auto stream = [&](const std::string& doc) {
-    Status s = p.Feed(doc);
-    if (s.ok()) s = p.Finish();
+    Status s = p.Consume({doc, false});
+    if (s.ok()) s = p.Consume({std::string_view(), true});
     ASSERT_TRUE(s.ok()) << s.ToString();
   };
 

@@ -104,8 +104,8 @@ std::vector<Hit> RunSingleQuery(const std::string& query,
   Result<std::unique_ptr<core::XPathStreamProcessor>> proc =
       core::XPathStreamProcessor::Create(query, &observer, options);
   EXPECT_TRUE(proc.ok()) << query << ": " << proc.status().ToString();
-  Status s = proc.value()->Feed(doc);
-  if (s.ok()) s = proc.value()->Finish();
+  Status s = proc.value()->Consume({doc, false});
+  if (s.ok()) s = proc.value()->Consume({std::string_view(), true});
   EXPECT_TRUE(s.ok()) << s.ToString();
   return Sorted(std::move(observer.hits));
 }
@@ -130,8 +130,8 @@ std::vector<Hit> RunMultiQuery(const std::vector<std::string>& queries,
   Result<std::unique_ptr<core::MultiQueryProcessor>> proc =
       core::MultiQueryProcessor::Create(queries, &sink, options);
   EXPECT_TRUE(proc.ok()) << proc.status().ToString();
-  Status s = proc.value()->Feed(doc);
-  if (s.ok()) s = proc.value()->Finish();
+  Status s = proc.value()->Consume({doc, false});
+  if (s.ok()) s = proc.value()->Consume({std::string_view(), true});
   EXPECT_TRUE(s.ok()) << s.ToString();
   return Sorted(std::move(sink.hits));
 }
@@ -155,8 +155,8 @@ std::vector<Hit> RunFilter(const std::vector<std::string>& queries,
   Result<std::unique_ptr<filter::FilterEngine>> engine =
       filter::FilterEngine::Create(queries, &sink, options);
   EXPECT_TRUE(engine.ok()) << engine.status().ToString();
-  Status s = engine.value()->Feed(doc);
-  if (s.ok()) s = engine.value()->Finish();
+  Status s = engine.value()->Consume({doc, false});
+  if (s.ok()) s = engine.value()->Consume({std::string_view(), true});
   EXPECT_TRUE(s.ok()) << s.ToString();
   return Sorted(std::move(sink.hits));
 }
@@ -194,8 +194,8 @@ TEST(HotpathDifferentialTest, ResetReuseMatchesLegacyDispatch) {
   for (size_t d = 0; d < 20 && d < docs.size(); ++d) {
     sink.hits.clear();
     proc.value()->Reset();
-    Status s = proc.value()->Feed(docs[d]);
-    if (s.ok()) s = proc.value()->Finish();
+    Status s = proc.value()->Consume({docs[d], false});
+    if (s.ok()) s = proc.value()->Consume({std::string_view(), true});
     ASSERT_TRUE(s.ok()) << s.ToString();
     const std::vector<Hit> reused = Sorted(sink.hits);
     const std::vector<Hit> fresh = RunMultiQuery(TwigQueries(), docs[d],

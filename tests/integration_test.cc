@@ -155,8 +155,8 @@ TEST(IntegrationTest, StreamingMemoryIndependentOfDataSize) {
     auto proc = core::XPathStreamProcessor::Create(
         "//section[title]//figure", &sink, options);
     EXPECT_TRUE(proc.ok());
-    EXPECT_TRUE(proc.value()->Feed(doc).ok());
-    EXPECT_TRUE(proc.value()->Finish().ok());
+    EXPECT_TRUE(proc.value()->Consume({doc, false}).ok());
+    EXPECT_TRUE(proc.value()->Consume({std::string_view(), true}).ok());
     return proc.value()->stats().peak_state_bytes;
   };
   const uint64_t peak1 = peak_for(doc1.value());

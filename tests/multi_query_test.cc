@@ -24,8 +24,8 @@ std::vector<PerQuery> RunMulti(const std::vector<std::string>& queries,
   EXPECT_TRUE(proc.ok()) << proc.status().ToString();
   std::vector<PerQuery> out(queries.size());
   if (!proc.ok()) return out;
-  EXPECT_TRUE(proc.value()->Feed(doc).ok());
-  EXPECT_TRUE(proc.value()->Finish().ok());
+  EXPECT_TRUE(proc.value()->Consume({doc, false}).ok());
+  EXPECT_TRUE(proc.value()->Consume({std::string_view(), true}).ok());
   for (const auto& item : sink.items()) {
     out[item.query_index].ids.push_back(item.id);
   }
@@ -94,9 +94,9 @@ TEST(MultiQueryTest, ChunkedFeeding) {
   auto proc = MultiQueryProcessor::Create({"//b", "//c"}, &sink);
   ASSERT_TRUE(proc.ok());
   for (char ch : doc) {
-    ASSERT_TRUE(proc.value()->Feed(std::string_view(&ch, 1)).ok());
+    ASSERT_TRUE(proc.value()->Consume({std::string_view(&ch, 1), false}).ok());
   }
-  ASSERT_TRUE(proc.value()->Finish().ok());
+  ASSERT_TRUE(proc.value()->Consume({std::string_view(), true}).ok());
   EXPECT_EQ(proc.value()->total_results(), 3u);
 }
 
@@ -105,8 +105,8 @@ TEST(MultiQueryTest, StatsPerQuery) {
   VectorMultiQuerySink sink;
   auto proc = MultiQueryProcessor::Create({"//b", "//nope"}, &sink);
   ASSERT_TRUE(proc.ok());
-  ASSERT_TRUE(proc.value()->Feed(doc).ok());
-  ASSERT_TRUE(proc.value()->Finish().ok());
+  ASSERT_TRUE(proc.value()->Consume({doc, false}).ok());
+  ASSERT_TRUE(proc.value()->Consume({std::string_view(), true}).ok());
   EXPECT_EQ(proc.value()->stats(0).results, 2u);
   EXPECT_EQ(proc.value()->stats(1).results, 0u);
   EXPECT_EQ(proc.value()->stats(1).start_events, 3u);
@@ -116,12 +116,12 @@ TEST(MultiQueryTest, ResetAllowsNewDocument) {
   VectorMultiQuerySink sink;
   auto proc = MultiQueryProcessor::Create({"//b"}, &sink);
   ASSERT_TRUE(proc.ok());
-  ASSERT_TRUE(proc.value()->Feed("<a><b/></a>").ok());
-  ASSERT_TRUE(proc.value()->Finish().ok());
+  ASSERT_TRUE(proc.value()->Consume({"<a><b/></a>", false}).ok());
+  ASSERT_TRUE(proc.value()->Consume({std::string_view(), true}).ok());
   proc.value()->Reset();
   EXPECT_EQ(proc.value()->total_results(), 0u);
-  ASSERT_TRUE(proc.value()->Feed("<a><b/><b/></a>").ok());
-  ASSERT_TRUE(proc.value()->Finish().ok());
+  ASSERT_TRUE(proc.value()->Consume({"<a><b/><b/></a>", false}).ok());
+  ASSERT_TRUE(proc.value()->Consume({std::string_view(), true}).ok());
   EXPECT_EQ(proc.value()->total_results(), 2u);
   EXPECT_EQ(sink.items().size(), 3u);
 }

@@ -113,8 +113,8 @@ uint64_t RunCount(std::string_view query, std::string_view doc,
   VectorResultSink sink;
   auto proc = XPathStreamProcessor::Create(query, &sink, options);
   EXPECT_TRUE(proc.ok()) << proc.status().ToString();
-  EXPECT_TRUE(proc.value()->Feed(doc).ok());
-  EXPECT_TRUE(proc.value()->Finish().ok());
+  EXPECT_TRUE(proc.value()->Consume({doc, false}).ok());
+  EXPECT_TRUE(proc.value()->Consume({std::string_view(), true}).ok());
   return sink.ids().size();
 }
 
@@ -238,8 +238,8 @@ TEST(ResetReuseTest, SameEmissionsAndMetricsAsFreshProcessor) {
     MetricsRegistry reused_reg;
     const MetricsSnapshot before =
         EngineSnapshot(reused.value().get(), &reused_reg);
-    ASSERT_TRUE(reused.value()->Feed(doc).ok());
-    ASSERT_TRUE(reused.value()->Finish().ok());
+    ASSERT_TRUE(reused.value()->Consume({doc, false}).ok());
+    ASSERT_TRUE(reused.value()->Consume({std::string_view(), true}).ok());
     const MetricsSnapshot after =
         EngineSnapshot(reused.value().get(), &reused_reg);
     const std::vector<xml::NodeId> reused_ids = reused_sink.TakeIds();
@@ -249,8 +249,8 @@ TEST(ResetReuseTest, SameEmissionsAndMetricsAsFreshProcessor) {
     VectorResultSink fresh_sink;
     auto fresh = XPathStreamProcessor::Create(query, &fresh_sink);
     ASSERT_TRUE(fresh.ok());
-    ASSERT_TRUE(fresh.value()->Feed(doc).ok());
-    ASSERT_TRUE(fresh.value()->Finish().ok());
+    ASSERT_TRUE(fresh.value()->Consume({doc, false}).ok());
+    ASSERT_TRUE(fresh.value()->Consume({std::string_view(), true}).ok());
     MetricsRegistry fresh_reg;
     const MetricsSnapshot fresh_snap =
         EngineSnapshot(fresh.value().get(), &fresh_reg);
@@ -290,16 +290,16 @@ TEST(ResetReuseTest, MatchInfoOffsetsIdenticalAcrossReset) {
   OffsetSink sink;
   auto proc = XPathStreamProcessor::Create("//b[c]", &sink);
   ASSERT_TRUE(proc.ok());
-  ASSERT_TRUE(proc.value()->Feed(kDoc).ok());
-  ASSERT_TRUE(proc.value()->Finish().ok());
+  ASSERT_TRUE(proc.value()->Consume({kDoc, false}).ok());
+  ASSERT_TRUE(proc.value()->Consume({std::string_view(), true}).ok());
   const std::vector<uint64_t> first_run = sink.offsets;
   sink.offsets.clear();
 
   // Same processor after Reset(): offsets restart at zero and the second
   // pass over the same bytes reports identical positions.
   proc.value()->Reset();
-  ASSERT_TRUE(proc.value()->Feed(kDoc).ok());
-  ASSERT_TRUE(proc.value()->Finish().ok());
+  ASSERT_TRUE(proc.value()->Consume({kDoc, false}).ok());
+  ASSERT_TRUE(proc.value()->Consume({std::string_view(), true}).ok());
   EXPECT_EQ(sink.offsets, first_run);
   ASSERT_FALSE(first_run.empty());
   for (uint64_t off : first_run) EXPECT_GT(off, 0u);

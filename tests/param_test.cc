@@ -130,9 +130,9 @@ TEST_P(ChunkSizeTest, ResultsIndependentOfChunking) {
   ASSERT_TRUE(proc.ok());
   for (size_t pos = 0; pos < doc.size(); pos += chunk) {
     ASSERT_TRUE(
-        proc.value()->Feed(std::string_view(doc).substr(pos, chunk)).ok());
+        proc.value()->Consume({std::string_view(doc).substr(pos, chunk), false}).ok());
   }
-  ASSERT_TRUE(proc.value()->Finish().ok());
+  ASSERT_TRUE(proc.value()->Consume({std::string_view(), true}).ok());
   std::vector<xml::NodeId> got = sink.TakeIds();
   std::sort(got.begin(), got.end());
   EXPECT_EQ(got, expected);

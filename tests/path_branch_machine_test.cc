@@ -61,10 +61,10 @@ TEST(PathMachineTest, EmitsAtStartElement) {
   ASSERT_TRUE(machine.ok());
   xml::EventDriver driver(machine.value().get());
   xml::SaxParser parser(&driver);
-  ASSERT_TRUE(parser.Feed("<a><b>").ok());
+  ASSERT_TRUE(parser.Consume({"<a><b>", false}).ok());
   EXPECT_EQ(sink.ids().size(), 1u);  // already emitted, stream still open
-  ASSERT_TRUE(parser.Feed("</b></a>").ok());
-  ASSERT_TRUE(parser.Finish().ok());
+  ASSERT_TRUE(parser.Consume({"</b></a>", false}).ok());
+  ASSERT_TRUE(parser.Consume({std::string_view(), true}).ok());
   EXPECT_EQ(sink.ids().size(), 1u);
 }
 

@@ -40,8 +40,8 @@ TEST(RobustnessTest, RandomByteMutationsNeverCrash) {
     core::VectorResultSink sink;
     auto proc = core::XPathStreamProcessor::Create("//b[x]//c", &sink);
     ASSERT_TRUE(proc.ok());
-    Status s = proc.value()->Feed(doc);
-    if (s.ok()) s = proc.value()->Finish();
+    Status s = proc.value()->Consume({doc, false});
+    if (s.ok()) s = proc.value()->Consume({std::string_view(), true});
     if (!s.ok()) ++errors;
     // Either way: no crash, and the status is well-formed.
     EXPECT_TRUE(s.ok() || !s.message().empty());
@@ -55,8 +55,8 @@ TEST(RobustnessTest, TruncationAtEveryPrefixFailsCleanly) {
   for (size_t len = 0; len < doc.size(); ++len) {
     xml::SaxHandler handler;
     xml::SaxParser parser(&handler);
-    Status s = parser.Feed(std::string_view(doc).substr(0, len));
-    if (s.ok()) s = parser.Finish();
+    Status s = parser.Consume({std::string_view(doc).substr(0, len), false});
+    if (s.ok()) s = parser.Consume({std::string_view(), true});
     EXPECT_FALSE(s.ok()) << "prefix length " << len;
   }
 }
@@ -67,10 +67,10 @@ TEST(RobustnessTest, ErrorsAfterPartialResultsLeaveEmittedResultsValid) {
   core::VectorResultSink sink;
   auto proc = core::XPathStreamProcessor::Create("//b", &sink);
   ASSERT_TRUE(proc.ok());
-  ASSERT_TRUE(proc.value()->Feed("<a><b/><b/>").ok());
+  ASSERT_TRUE(proc.value()->Consume({"<a><b/><b/>", false}).ok());
   EXPECT_EQ(sink.ids().size(), 2u);  // PathM emits eagerly
-  EXPECT_FALSE(proc.value()->Feed("</c>").ok());
-  EXPECT_FALSE(proc.value()->Feed("<b/>").ok());  // poisoned
+  EXPECT_FALSE(proc.value()->Consume({"</c>", false}).ok());
+  EXPECT_FALSE(proc.value()->Consume({"<b/>", false}).ok());  // poisoned
   EXPECT_EQ(sink.ids().size(), 2u);
 }
 
@@ -81,12 +81,12 @@ TEST(RobustnessTest, HugeFlatDocumentStaysBoundedMemory) {
   options.engine = core::EngineKind::kTwigM;
   auto proc = core::XPathStreamProcessor::Create("//row[v]", &sink, options);
   ASSERT_TRUE(proc.ok());
-  ASSERT_TRUE(proc.value()->Feed("<table>").ok());
+  ASSERT_TRUE(proc.value()->Consume({"<table>", false}).ok());
   for (int i = 0; i < 200000; ++i) {
-    ASSERT_TRUE(proc.value()->Feed("<row><v/></row>").ok());
+    ASSERT_TRUE(proc.value()->Consume({"<row><v/></row>", false}).ok());
   }
-  ASSERT_TRUE(proc.value()->Feed("</table>").ok());
-  ASSERT_TRUE(proc.value()->Finish().ok());
+  ASSERT_TRUE(proc.value()->Consume({"</table>", false}).ok());
+  ASSERT_TRUE(proc.value()->Consume({std::string_view(), true}).ok());
   EXPECT_EQ(sink.ids().size(), 200000u);
   EXPECT_LE(proc.value()->stats().peak_stack_entries, 4u);
 }
@@ -99,7 +99,7 @@ TEST(RobustnessTest, PathologicalDeepNestingHitsDepthLimit) {
   ASSERT_TRUE(proc.ok());
   Status s;
   for (int i = 0; i < 2000; ++i) {
-    s = proc.value()->Feed("<a>");
+    s = proc.value()->Consume({"<a>", false});
     if (!s.ok()) break;
   }
   EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);

@@ -224,14 +224,14 @@ TEST(SaxParserErrorTest, FeedAfterFinishFails) {
   TraceHandler handler;
   SaxParser parser(&handler);
   ASSERT_TRUE(parser.ParseAll("<a/>").ok());
-  EXPECT_FALSE(parser.Feed("<b/>").ok());
+  EXPECT_FALSE(parser.Consume({"<b/>", false}).ok());
 }
 
 TEST(SaxParserErrorTest, ErrorIsSticky) {
   TraceHandler handler;
   SaxParser parser(&handler);
-  ASSERT_FALSE(parser.Feed("<a><b></a>").ok());
-  EXPECT_FALSE(parser.Feed("</b></a>").ok());
+  ASSERT_FALSE(parser.Consume({"<a><b></a>", false}).ok());
+  EXPECT_FALSE(parser.Consume({"</b></a>", false}).ok());
 }
 
 TEST(SaxParserErrorTest, MaxDepthEnforced) {
@@ -263,9 +263,9 @@ TEST(SaxParserChunkTest, ByteAtATimeMatchesWholeParse) {
   {
     SaxParser parser(&chunked);
     for (char c : doc) {
-      ASSERT_TRUE(parser.Feed(std::string_view(&c, 1)).ok());
+      ASSERT_TRUE(parser.Consume({std::string_view(&c, 1), false}).ok());
     }
-    ASSERT_TRUE(parser.Finish().ok());
+    ASSERT_TRUE(parser.Consume({std::string_view(), true}).ok());
   }
   EXPECT_EQ(whole.trace(), chunked.trace());
 }
@@ -287,10 +287,10 @@ TEST(SaxParserChunkTest, RandomChunkBoundaries) {
     while (pos < doc.size()) {
       const size_t len =
           std::min<size_t>(1 + rng.Below(7), doc.size() - pos);
-      ASSERT_TRUE(parser.Feed(std::string_view(doc).substr(pos, len)).ok());
+      ASSERT_TRUE(parser.Consume({std::string_view(doc).substr(pos, len), false}).ok());
       pos += len;
     }
-    ASSERT_TRUE(parser.Finish().ok());
+    ASSERT_TRUE(parser.Consume({std::string_view(), true}).ok());
     EXPECT_EQ(whole.trace(), chunked.trace()) << "trial " << trial;
   }
 }
@@ -298,8 +298,8 @@ TEST(SaxParserChunkTest, RandomChunkBoundaries) {
 TEST(SaxParserChunkTest, TruncatedDocumentFailsAtFinish) {
   TraceHandler handler;
   SaxParser parser(&handler);
-  ASSERT_TRUE(parser.Feed("<a><b>unfinished").ok());
-  EXPECT_FALSE(parser.Finish().ok());
+  ASSERT_TRUE(parser.Consume({"<a><b>unfinished", false}).ok());
+  EXPECT_FALSE(parser.Consume({std::string_view(), true}).ok());
 }
 
 TEST(SaxParserTest, IsValidXmlName) {
@@ -333,10 +333,10 @@ TEST(SaxParserTest, LargeDocumentBufferCompaction) {
   size_t pos = 0;
   while (pos < doc.size()) {
     const size_t len = std::min<size_t>(4096, doc.size() - pos);
-    ASSERT_TRUE(parser.Feed(std::string_view(doc).substr(pos, len)).ok());
+    ASSERT_TRUE(parser.Consume({std::string_view(doc).substr(pos, len), false}).ok());
     pos += len;
   }
-  ASSERT_TRUE(parser.Finish().ok());
+  ASSERT_TRUE(parser.Consume({std::string_view(), true}).ok());
   EXPECT_EQ(parser.bytes_consumed(), doc.size());
 }
 
@@ -346,17 +346,17 @@ TEST(SaxParserTest, MaxBufferBytesStopsUnterminatedConstruct) {
   options.max_buffer_bytes = 1024;
   TraceHandler handler;
   SaxParser parser(&handler, options);
-  ASSERT_TRUE(parser.Feed("<r><![CDATA[").ok());
+  ASSERT_TRUE(parser.Consume({"<r><![CDATA[", false}).ok());
   Status error;
   for (int i = 0; i < 64 && error.ok(); ++i) {
-    error = parser.Feed(std::string(128, 'x'));
+    error = parser.Consume({std::string(128, 'x'), false});
   }
   ASSERT_FALSE(error.ok());
   EXPECT_EQ(error.code(), StatusCode::kResourceExhausted);
   // Error carries a position like the other well-formedness failures.
   EXPECT_NE(error.ToString().find("line"), std::string::npos);
   // The error is sticky.
-  EXPECT_FALSE(parser.Feed("]]></r>").ok());
+  EXPECT_FALSE(parser.Consume({"]]></r>", false}).ok());
 }
 
 TEST(SaxParserTest, MaxBufferBytesAllowsCompletedConstructs) {
@@ -366,12 +366,12 @@ TEST(SaxParserTest, MaxBufferBytesAllowsCompletedConstructs) {
   options.max_buffer_bytes = 256;
   TraceHandler handler;
   SaxParser parser(&handler, options);
-  ASSERT_TRUE(parser.Feed("<r>").ok());
+  ASSERT_TRUE(parser.Consume({"<r>", false}).ok());
   for (int i = 0; i < 100; ++i) {
-    ASSERT_TRUE(parser.Feed("<item>abcdefgh</item>").ok()) << i;
+    ASSERT_TRUE(parser.Consume({"<item>abcdefgh</item>", false}).ok()) << i;
   }
-  ASSERT_TRUE(parser.Feed("</r>").ok());
-  ASSERT_TRUE(parser.Finish().ok());
+  ASSERT_TRUE(parser.Consume({"</r>", false}).ok());
+  ASSERT_TRUE(parser.Consume({std::string_view(), true}).ok());
 }
 
 TEST(SaxParserTest, MaxBufferBytesZeroDisablesLimit) {
@@ -379,10 +379,10 @@ TEST(SaxParserTest, MaxBufferBytesZeroDisablesLimit) {
   options.max_buffer_bytes = 0;
   TraceHandler handler;
   SaxParser parser(&handler, options);
-  ASSERT_TRUE(parser.Feed("<r><![CDATA[").ok());
-  ASSERT_TRUE(parser.Feed(std::string(1 << 20, 'x')).ok());
-  ASSERT_TRUE(parser.Feed("]]></r>").ok());
-  EXPECT_TRUE(parser.Finish().ok());
+  ASSERT_TRUE(parser.Consume({"<r><![CDATA[", false}).ok());
+  ASSERT_TRUE(parser.Consume({std::string(1 << 20, 'x'), false}).ok());
+  ASSERT_TRUE(parser.Consume({"]]></r>", false}).ok());
+  EXPECT_TRUE(parser.Consume({std::string_view(), true}).ok());
 }
 
 }  // namespace

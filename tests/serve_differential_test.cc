@@ -89,8 +89,8 @@ std::vector<Delivery> Oracle(
     auto engine = filter::FilterEngine::Create(queries, &sink);
     EXPECT_TRUE(engine.ok()) << engine.status().ToString();
     if (engine.ok()) {
-      EXPECT_TRUE(engine.value()->Feed(doc).ok());
-      EXPECT_TRUE(engine.value()->Finish().ok());
+      EXPECT_TRUE(engine.value()->Consume({doc, false}).ok());
+      EXPECT_TRUE(engine.value()->Consume({std::string_view(), true}).ok());
     }
   }
   std::sort(sink.items.begin(), sink.items.end());

@@ -211,8 +211,8 @@ std::vector<std::tuple<size_t, xml::NodeId, uint64_t>> Oracle(
   auto engine = filter::FilterEngine::Create(queries, &sink);
   EXPECT_TRUE(engine.ok()) << engine.status().ToString();
   if (engine.ok()) {
-    EXPECT_TRUE(engine.value()->Feed(doc).ok());
-    EXPECT_TRUE(engine.value()->Finish().ok());
+    EXPECT_TRUE(engine.value()->Consume({doc, false}).ok());
+    EXPECT_TRUE(engine.value()->Consume({std::string_view(), true}).ok());
   }
   std::sort(sink.items.begin(), sink.items.end());
   return sink.items;
@@ -269,7 +269,7 @@ TEST(SubscriptionServerTest, ChunkedFeedMatchesWholeDocument) {
   auto stream = server.value()->OpenStream();
   const std::string doc = kDoc;
   for (size_t i = 0; i < doc.size(); i += 7) {
-    ASSERT_TRUE(stream->Feed(doc.substr(i, 7)).ok());
+    ASSERT_TRUE(stream->Consume({doc.substr(i, 7), false}).ok());
   }
   ASSERT_TRUE(stream->FinishDocument().ok());
   std::vector<Notification> got;

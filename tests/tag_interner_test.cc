@@ -116,9 +116,9 @@ std::string ParseInChunks(std::string_view doc, size_t chunk) {
   SaxParser parser(&recorder);
   for (size_t pos = 0; pos < doc.size(); pos += chunk) {
     const size_t len = std::min(chunk, doc.size() - pos);
-    EXPECT_TRUE(parser.Feed(doc.substr(pos, len)).ok());
+    EXPECT_TRUE(parser.Consume({doc.substr(pos, len), false}).ok());
   }
-  EXPECT_TRUE(parser.Finish().ok());
+  EXPECT_TRUE(parser.Consume({std::string_view(), true}).ok());
   return recorder.log();
 }
 
@@ -142,9 +142,9 @@ TEST(TagInternerChunkFuzzTest, SplitAtEveryPosition) {
   for (size_t split = 1; split < doc.size(); ++split) {
     SymbolRecorder recorder;
     SaxParser parser(&recorder);
-    ASSERT_TRUE(parser.Feed(std::string_view(doc).substr(0, split)).ok());
-    ASSERT_TRUE(parser.Feed(std::string_view(doc).substr(split)).ok());
-    ASSERT_TRUE(parser.Finish().ok());
+    ASSERT_TRUE(parser.Consume({std::string_view(doc).substr(0, split), false}).ok());
+    ASSERT_TRUE(parser.Consume({std::string_view(doc).substr(split), false}).ok());
+    ASSERT_TRUE(parser.Consume({std::string_view(), true}).ok());
     EXPECT_EQ(recorder.log(), whole) << "split=" << split;
   }
 }

@@ -19,8 +19,8 @@ std::vector<xml::NodeId> RunUnion(std::string_view query,
   auto proc = UnionQueryProcessor::Create(query, &sink);
   EXPECT_TRUE(proc.ok()) << proc.status().ToString();
   if (!proc.ok()) return {};
-  EXPECT_TRUE(proc.value()->Feed(doc).ok());
-  EXPECT_TRUE(proc.value()->Finish().ok());
+  EXPECT_TRUE(proc.value()->Consume({doc, false}).ok());
+  EXPECT_TRUE(proc.value()->Consume({std::string_view(), true}).ok());
   std::vector<xml::NodeId> ids = sink.TakeIds();
   std::sort(ids.begin(), ids.end());
   return ids;
@@ -93,8 +93,8 @@ TEST(UnionQueryTest, BranchCountAndStats) {
   auto proc = UnionQueryProcessor::Create("//a | //b", &sink);
   ASSERT_TRUE(proc.ok());
   EXPECT_EQ(proc.value()->branch_count(), 2u);
-  ASSERT_TRUE(proc.value()->Feed("<r><a/><b/><b/></r>").ok());
-  ASSERT_TRUE(proc.value()->Finish().ok());
+  ASSERT_TRUE(proc.value()->Consume({"<r><a/><b/><b/></r>", false}).ok());
+  ASSERT_TRUE(proc.value()->Consume({std::string_view(), true}).ok());
   EXPECT_EQ(proc.value()->results(), 3u);
   EXPECT_EQ(proc.value()->branch_stats(0).results, 1u);
   EXPECT_EQ(proc.value()->branch_stats(1).results, 2u);
@@ -104,11 +104,11 @@ TEST(UnionQueryTest, ResetClearsDedup) {
   VectorResultSink sink;
   auto proc = UnionQueryProcessor::Create("//a | //*", &sink);
   ASSERT_TRUE(proc.ok());
-  ASSERT_TRUE(proc.value()->Feed("<a/>").ok());
-  ASSERT_TRUE(proc.value()->Finish().ok());
+  ASSERT_TRUE(proc.value()->Consume({"<a/>", false}).ok());
+  ASSERT_TRUE(proc.value()->Consume({std::string_view(), true}).ok());
   proc.value()->Reset();
-  ASSERT_TRUE(proc.value()->Feed("<a/>").ok());
-  ASSERT_TRUE(proc.value()->Finish().ok());
+  ASSERT_TRUE(proc.value()->Consume({"<a/>", false}).ok());
+  ASSERT_TRUE(proc.value()->Consume({std::string_view(), true}).ok());
   // One result per document: the same id (1) both times.
   EXPECT_EQ(sink.ids().size(), 2u);
 }
@@ -119,9 +119,9 @@ TEST(UnionQueryTest, ChunkedFeeding) {
   auto proc = UnionQueryProcessor::Create("//a | //b", &sink);
   ASSERT_TRUE(proc.ok());
   for (char c : doc) {
-    ASSERT_TRUE(proc.value()->Feed(std::string_view(&c, 1)).ok());
+    ASSERT_TRUE(proc.value()->Consume({std::string_view(&c, 1), false}).ok());
   }
-  ASSERT_TRUE(proc.value()->Finish().ok());
+  ASSERT_TRUE(proc.value()->Consume({std::string_view(), true}).ok());
   EXPECT_EQ(sink.ids().size(), 3u);
 }
 
@@ -136,10 +136,10 @@ TEST(BomTest, BomSplitAcrossChunks) {
   core::VectorResultSink sink;
   auto proc = core::XPathStreamProcessor::Create("//b", &sink);
   ASSERT_TRUE(proc.ok());
-  ASSERT_TRUE(proc.value()->Feed("\xEF").ok());
-  ASSERT_TRUE(proc.value()->Feed("\xBB").ok());
-  ASSERT_TRUE(proc.value()->Feed("\xBF<a><b/></a>").ok());
-  ASSERT_TRUE(proc.value()->Finish().ok());
+  ASSERT_TRUE(proc.value()->Consume({"\xEF", false}).ok());
+  ASSERT_TRUE(proc.value()->Consume({"\xBB", false}).ok());
+  ASSERT_TRUE(proc.value()->Consume({"\xBF<a><b/></a>", false}).ok());
+  ASSERT_TRUE(proc.value()->Consume({std::string_view(), true}).ok());
   EXPECT_EQ(sink.ids().size(), 1u);
 }
 
