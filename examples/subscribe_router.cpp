@@ -122,10 +122,10 @@ int RunSingleThread(const Config& cfg) {
               static_cast<unsigned long long>(istats.trie_node_count),
               istats.linear_query_count, istats.tail_query_count);
 
-  uint64_t bytes = 0;
+  uint64_t fed_bytes = 0;
   for (int round = 0; round < cfg.rounds; ++round) {
     const std::string feed = MakeFeed(2000, 1234 + round);
-    bytes += feed.size();
+    fed_bytes += feed.size();
     for (size_t pos = 0; pos < feed.size(); pos += 4096) {
       if (!engine.value()
                ->Consume({std::string_view(feed).substr(pos, 4096), false})
@@ -137,7 +137,7 @@ int RunSingleThread(const Config& cfg) {
     engine.value()->Reset();
   }
   std::printf("routed %llu KB over %d documents: %llu deliveries\n",
-              static_cast<unsigned long long>(bytes / 1024), cfg.rounds,
+              static_cast<unsigned long long>(fed_bytes / 1024), cfg.rounds,
               static_cast<unsigned long long>(router.total()));
   return 0;
 }
@@ -177,9 +177,9 @@ int RunServer(const Config& cfg) {
       for (int round = 0; round < cfg.rounds; ++round) {
         const std::string feed =
             MakeFeed(2000, 1234 + static_cast<uint64_t>(i * 1000 + round));
-        bytes += feed.size();
+        bytes.fetch_add(feed.size(), std::memory_order_relaxed);
         if (!streams[static_cast<size_t>(i)]->FeedDocument(feed).ok()) {
-          feed_failed = true;
+          feed_failed.store(true, std::memory_order_relaxed);
           return;
         }
       }
@@ -211,14 +211,14 @@ int RunServer(const Config& cfg) {
   streams.clear();  // close the sessions before the server goes down
   drain();          // matches flushed by the close handshake
 
-  if (feed_failed.load()) {
+  if (feed_failed.load(std::memory_order_relaxed)) {
     std::fprintf(stderr, "error: a feeder stream failed\n");
     return 1;
   }
 
   std::printf("routed %llu KB over %d documents x %d streams "
               "(%llu churn ops): %llu deliveries\n",
-              static_cast<unsigned long long>(bytes.load() / 1024),
+              static_cast<unsigned long long>(bytes.load(std::memory_order_relaxed) / 1024),
               cfg.rounds, cfg.streams,
               static_cast<unsigned long long>(churned),
               static_cast<unsigned long long>(delivered));
@@ -229,19 +229,19 @@ int RunServer(const Config& cfg) {
   uint64_t total_events = 0;
   for (int s = 0; s < cfg.shards; ++s) {
     const twigm::serve::ShardCounters& c = server.value()->shard(s).counters();
-    total_events += c.events.load();
+    total_events += c.events.load(std::memory_order_relaxed);
   }
   for (int s = 0; s < cfg.shards; ++s) {
     const twigm::serve::ShardCounters& c = server.value()->shard(s).counters();
     std::printf("  shard %d: %8llu events (%4.1f%%), %7llu matches, "
                 "%3llu rebuilds, ring depth peak %llu\n",
-                s, static_cast<unsigned long long>(c.events.load()),
-                total_events ? 100.0 * static_cast<double>(c.events.load()) /
+                s, static_cast<unsigned long long>(c.events.load(std::memory_order_relaxed)),
+                total_events ? 100.0 * static_cast<double>(c.events.load(std::memory_order_relaxed)) /
                                    static_cast<double>(total_events)
                              : 0.0,
-                static_cast<unsigned long long>(c.matches.load()),
-                static_cast<unsigned long long>(c.engine_rebuilds.load()),
-                static_cast<unsigned long long>(c.ring_depth_peak.load()));
+                static_cast<unsigned long long>(c.matches.load(std::memory_order_relaxed)),
+                static_cast<unsigned long long>(c.engine_rebuilds.load(std::memory_order_relaxed)),
+                static_cast<unsigned long long>(c.ring_depth_peak.load(std::memory_order_relaxed)));
   }
   for (const twigm::obs::MetricValue& mv : registry.Snapshot()) {
     if (mv.name == "serve.batch_size.count" ||

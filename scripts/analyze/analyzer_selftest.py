@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Self-test for project_analyzer.py against tests/analyzer_fixtures/.
+
+The fixture corpus marks every seeded violation with `// expect: <check>`
+(comma-separated for multiple checks on one line). This test runs the
+analyzer over the corpus and asserts the finding set equals the marker set
+exactly, in both directions:
+
+  * a marker with no finding  -> the check went blind (regression);
+  * a finding with no marker  -> a false positive crept in.
+
+It also asserts every registered check fires at least once, so deleting a
+check's fixtures (or breaking its trigger) cannot pass silently.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import project_analyzer as pa  # noqa: E402
+
+EXPECT_RE = re.compile(r"//.*\bexpect:\s*([\w,\s-]+?)\s*(?:$|\*/)")
+
+
+def expected_findings(fixture_dir, root):
+    expected = set()
+    for path in sorted(fixture_dir.glob("*.cc")) + sorted(
+            fixture_dir.glob("*.h")):
+        rel = path.relative_to(root).as_posix()
+        for lineno, line in enumerate(
+                path.read_text().splitlines(), start=1):
+            m = EXPECT_RE.search(line)
+            if not m:
+                continue
+            for check in (c.strip() for c in m.group(1).split(",")):
+                if check not in pa.ALL_CHECKS:
+                    sys.exit(f"{rel}:{lineno}: marker names unknown "
+                             f"check '{check}'")
+                expected.add((rel, lineno, check))
+    return expected
+
+
+def main():
+    root = Path(__file__).resolve().parents[2]
+    fixture_dir = root / "tests" / "analyzer_fixtures"
+    files = sorted(fixture_dir.glob("*.cc")) + sorted(
+        fixture_dir.glob("*.h"))
+    if not files:
+        sys.exit(f"error: no fixtures under {fixture_dir}")
+
+    pairs = [(p, p.relative_to(root).as_posix()) for p in files]
+    analyzer = pa.Analyzer(pairs)
+    actual = {(f.file, f.line, f.check) for f in analyzer.run()}
+    expected = expected_findings(fixture_dir, root)
+
+    failures = []
+    for miss in sorted(expected - actual):
+        failures.append(
+            f"MISSED: {miss[0]}:{miss[1]} expected [{miss[2]}] "
+            "but the analyzer reported nothing")
+    for extra in sorted(actual - expected):
+        msg = next(str(f) for f in analyzer.findings
+                   if (f.file, f.line, f.check) == extra)
+        failures.append(f"FALSE POSITIVE: {msg}")
+
+    fired = {c for _, _, c in actual}
+    for check in pa.ALL_CHECKS:
+        if check not in fired:
+            failures.append(
+                f"DEAD CHECK: [{check}] produced no finding on the corpus; "
+                "add or fix its fixtures")
+
+    for f in failures:
+        print(f, file=sys.stderr)
+    print(f"analyzer_selftest: {len(files)} fixtures, "
+          f"{len(expected)} expected findings, "
+          f"{len(actual)} reported, {len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

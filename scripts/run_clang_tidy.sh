@@ -18,6 +18,22 @@ if [[ ! -f "${ROOT}/${BUILD_DIR}/compile_commands.json" ]]; then
   exit 2
 fi
 
+# A suppression without a named check and a reason is a silent hole in the
+# lint wall: reject bare `// NOLINT`, empty check lists, and missing ': why'
+# text before even invoking clang-tidy. (NOLINTEND only closes a region and
+# needs no reason of its own.)
+cd "${ROOT}"
+BAD_NOLINT=$(grep -rnE 'NOLINT' src examples tests --include='*.cc' --include='*.h' \
+  | grep -vE 'NOLINTEND\(' \
+  | grep -vE 'NOLINT(NEXTLINE|BEGIN)?\([a-z][a-z0-9,* -]*\).*: ' \
+  || true)
+if [[ -n "${BAD_NOLINT}" ]]; then
+  echo "error: NOLINT suppressions must name their check and give a reason," >&2
+  echo "e.g. // NOLINT(concurrency-mt-unsafe): single-threaded init path" >&2
+  echo "${BAD_NOLINT}" >&2
+  exit 1
+fi
+
 TIDY="$(command -v clang-tidy || true)"
 if [[ -z "${TIDY}" ]]; then
   echo "error: clang-tidy not installed" >&2

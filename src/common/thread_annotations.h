@@ -1,0 +1,158 @@
+// Clang Thread Safety Analysis annotations and the capability-annotated
+// synchronization wrappers the rest of the codebase uses (DESIGN.md §14).
+//
+// The TWIGM_* macros expand to clang's thread-safety attributes when the
+// compiler supports them and to nothing otherwise, so GCC builds are
+// unaffected while the clang `-Wthread-safety -Werror=thread-safety` CI leg
+// turns every unguarded access to a TWIGM_GUARDED_BY member into a build
+// break. The wrappers below are the only way first-party code should take a
+// lock: `scripts/analyze/project_analyzer.py` (check `mutex-wrapper`)
+// refuses raw std::mutex / std::condition_variable members in src/serve/,
+// because a raw mutex is invisible to the analysis.
+//
+// Usage:
+//
+//   class Registry {
+//    public:
+//     void Add(Item item) {
+//       common::MutexLock lock(&mu_);
+//       items_.push_back(std::move(item));   // clang proves mu_ is held
+//     }
+//    private:
+//     mutable common::Mutex mu_;
+//     std::vector<Item> items_ TWIGM_GUARDED_BY(mu_);
+//   };
+//
+// Private helpers that assume the caller holds the lock are annotated
+// TWIGM_REQUIRES(mu_); clang then checks every call site instead of trusting
+// a "lock must be held" comment.
+
+#ifndef TWIGM_COMMON_THREAD_ANNOTATIONS_H_
+#define TWIGM_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define TWIGM_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef TWIGM_THREAD_ANNOTATION
+#define TWIGM_THREAD_ANNOTATION(x)  // not supported by this compiler
+#endif
+
+/// Declares a type to be a capability ("mutex" in diagnostics).
+#define TWIGM_CAPABILITY(x) TWIGM_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type whose lifetime holds a capability.
+#define TWIGM_SCOPED_CAPABILITY TWIGM_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member may only be accessed while `x` is held.
+#define TWIGM_GUARDED_BY(x) TWIGM_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member: the *pointee* may only be accessed while `x` is held.
+#define TWIGM_PT_GUARDED_BY(x) TWIGM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the listed capabilities to be held on entry (and does
+/// not release them).
+#define TWIGM_REQUIRES(...) \
+  TWIGM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on return).
+#define TWIGM_ACQUIRE(...) \
+  TWIGM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities.
+#define TWIGM_RELEASE(...) \
+  TWIGM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the listed capabilities held (deadlock
+/// protection for public entry points of self-locking classes).
+#define TWIGM_EXCLUDES(...) \
+  TWIGM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime no-op that tells the analysis the capability is held here.
+#define TWIGM_ASSERT_CAPABILITY(x) \
+  TWIGM_THREAD_ANNOTATION(assert_capability(x))
+
+/// Returns a reference to the capability guarding the returned value.
+#define TWIGM_RETURN_CAPABILITY(x) TWIGM_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment explaining why the analysis cannot see the invariant.
+#define TWIGM_NO_THREAD_SAFETY_ANALYSIS \
+  TWIGM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace twigm::common {
+
+class CondVar;
+
+/// std::mutex with the capability attribute, so TWIGM_GUARDED_BY members
+/// and TWIGM_REQUIRES functions can name it. Prefer MutexLock over manual
+/// Lock/Unlock pairs.
+class TWIGM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() TWIGM_ACQUIRE() { mu_.lock(); }
+  void Unlock() TWIGM_RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// RAII lock; a scoped capability, so clang tracks the held region exactly.
+class TWIGM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) TWIGM_ACQUIRE(mu) : lock_(mu->mu_) {}
+  // Out-of-line-empty rather than `= default`: clang's analysis wants the
+  // release attribute on a user-provided destructor.
+  ~MutexLock() TWIGM_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable working over MutexLock. Wait atomically releases and
+/// reacquires the lock, so from the analysis' point of view the capability
+/// is held across the call — which is exactly the caller-visible contract.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <typename Pred>
+  void Wait(MutexLock& lock, Pred pred) {
+    cv_.wait(lock.lock_, std::move(pred));
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(MutexLock& lock,
+                         const std::chrono::duration<Rep, Period>& timeout) {
+    return cv_.wait_for(lock.lock_, timeout);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace twigm::common
+
+#endif  // TWIGM_COMMON_THREAD_ANNOTATIONS_H_

@@ -32,6 +32,7 @@ class FeatureHandler : public xml::SaxHandler {
     out_->attributes += attrs.size();
     ++depth_;
     if (depth_ > out_->max_depth) out_->max_depth = depth_;
+    // lint: allow-string-copy(offline dataset feature pass, not a stream path)
     auto [it, inserted] = open_counts_.try_emplace(std::string(tag.text), 0);
     if (++it->second > 1) out_->recursive = true;
     (void)inserted;

@@ -3,6 +3,14 @@
 // reads them at any time through SubscriptionServer::ExportMetrics, which
 // copies the values into an obs::MetricsRegistry (the registry itself is
 // single-threaded, so it never sees the worker threads directly).
+//
+// Atomics audit (DESIGN.md §14): every operation in this header is
+// deliberately memory_order_relaxed, so none needs a `pairs-with`
+// annotation. These are monitoring counters — each is written by one
+// thread and read for display; no reader infers anything about *other*
+// memory from a counter value, so there is no acquire/release edge to
+// document. Synchronization between shards and readers rides on the
+// barrier/close handshakes in shard.cc / server.cc instead.
 
 #ifndef TWIGM_SERVE_SERVE_STATS_H_
 #define TWIGM_SERVE_SERVE_STATS_H_

@@ -39,6 +39,8 @@ ServerStream::~ServerStream() {
   }
   server_->hub_.WaitBarrier([this] {
     for (const std::shared_ptr<SessionChannel>& chan : channels_) {
+      // Acquire-consume the shard's teardown of this session's state.
+      // pairs-with: shard.cc:Shard::Dispatch
       if (!chan->closed.load(std::memory_order_acquire)) return false;
     }
     return true;
@@ -81,6 +83,8 @@ Status ServerStream::FinishDocument() {
   ++docs_;
   server_->hub_.WaitBarrier([this] {
     for (const std::shared_ptr<SessionChannel>& chan : channels_) {
+      // Acquire-consume the shard's flushed matches for this document.
+      // pairs-with: shard.cc:Shard::Dispatch
       if (chan->docs_finished.load(std::memory_order_acquire) < docs_) {
         return false;
       }
@@ -241,7 +245,7 @@ std::unique_ptr<ServerStream> SubscriptionServer::OpenStream() {
 }
 
 size_t SubscriptionServer::Poll(std::vector<Notification>* out) {
-  std::lock_guard<std::mutex> lock(hub_.mu);
+  common::MutexLock lock(&hub_.mu);
   const size_t n = hub_.pending.size();
   if (n == 0) return 0;
   if (out->empty()) {

@@ -31,13 +31,13 @@ DeliveryHub::DeliveryHub(size_t batch_capacity_in)
       notify_latency_us(obs::ExponentialBuckets(1, 4, 12)) {}
 
 void DeliveryHub::NotifyBarrier() {
-  std::lock_guard<std::mutex> lock(barrier_mu);
-  barrier_cv.notify_all();
+  common::MutexLock lock(&barrier_mu);
+  barrier_cv.NotifyAll();
 }
 
 void DeliveryHub::WaitBarrier(const std::function<bool()>& pred) {
-  std::unique_lock<std::mutex> lock(barrier_mu);
-  barrier_cv.wait(lock, pred);
+  common::MutexLock lock(&barrier_mu);
+  barrier_cv.Wait(lock, pred);
 }
 
 Shard::Shard(int index, SubscriptionRegistry* registry, DeliveryHub* hub,
@@ -63,16 +63,16 @@ void Shard::Start() {
 void Shard::Stop() {
   if (!thread_.joinable()) return;
   {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    common::MutexLock lock(&wake_mu_);
     stop_.store(true, std::memory_order_relaxed);
   }
-  wake_cv_.notify_one();
+  wake_cv_.NotifyOne();
   thread_.join();
 }
 
 void Shard::Attach(std::shared_ptr<SessionChannel> channel) {
   {
-    std::lock_guard<std::mutex> lock(attach_mu_);
+    common::MutexLock lock(&attach_mu_);
     pending_attach_.push_back(std::move(channel));
   }
   Wake();
@@ -80,8 +80,8 @@ void Shard::Attach(std::shared_ptr<SessionChannel> channel) {
 
 void Shard::Wake() {
   if (!parked_.load(std::memory_order_relaxed)) return;
-  std::lock_guard<std::mutex> lock(wake_mu_);
-  wake_cv_.notify_one();
+  common::MutexLock lock(&wake_mu_);
+  wake_cv_.NotifyOne();
 }
 
 void Shard::Run() {
@@ -115,7 +115,7 @@ void Shard::Run() {
 void Shard::AdoptPending() {
   std::vector<std::shared_ptr<SessionChannel>> incoming;
   {
-    std::lock_guard<std::mutex> lock(attach_mu_);
+    common::MutexLock lock(&attach_mu_);
     incoming.swap(pending_attach_);
   }
   for (std::shared_ptr<SessionChannel>& chan : incoming) {
@@ -202,12 +202,17 @@ void Shard::Dispatch(SessionState& state, EventRecord& rec) {
       // match of the document must be visible to Poll().
       FlushBatch();
       counters_.documents.fetch_add(1, std::memory_order_relaxed);
+      // Release-publish the document's effects (flushed notifications,
+      // counters) to the stream thread blocked on the barrier.
+      // pairs-with: server.cc:ServerStream::FinishDocument
       state.chan->docs_finished.fetch_add(1, std::memory_order_release);
       hub_->NotifyBarrier();
       break;
     case EventRecord::Kind::kCloseSession:
       FlushBatch();
       state.closed = true;
+      // Release-publish the session teardown to the destructor handshake.
+      // pairs-with: server.cc:ServerStream::~ServerStream
       state.chan->closed.store(true, std::memory_order_release);
       hub_->NotifyBarrier();
       break;
@@ -279,7 +284,7 @@ void Shard::FlushBatch() {
     for (const PendingNotification& p : batch_) out.push_back(p.notification);
     hub_->on_batch(std::move(out));
   } else {
-    std::lock_guard<std::mutex> lock(hub_->mu);
+    common::MutexLock lock(&hub_->mu);
     for (const PendingNotification& p : batch_) {
       hub_->pending.push_back(p.notification);
     }
@@ -288,12 +293,12 @@ void Shard::FlushBatch() {
 }
 
 void Shard::Park() {
-  std::unique_lock<std::mutex> lock(wake_mu_);
+  common::MutexLock lock(&wake_mu_);
   if (stop_.load(std::memory_order_relaxed)) return;
   parked_.store(true, std::memory_order_relaxed);
   // Producers that pushed just before seeing parked_ may skip the doorbell;
   // the bounded wait keeps that race harmless (one extra millisecond).
-  wake_cv_.wait_for(lock, std::chrono::milliseconds(1));
+  wake_cv_.WaitFor(lock, std::chrono::milliseconds(1));
   parked_.store(false, std::memory_order_relaxed);
 }
 

@@ -13,14 +13,13 @@
 #define TWIGM_SERVE_SHARD_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/evaluator.h"
 #include "filter/filter_engine.h"
 #include "serve/event_record.h"
@@ -61,23 +60,26 @@ struct DeliveryHub {
 
   const size_t batch_capacity;
   /// When set, batches are handed to this callback *on the shard thread*
-  /// instead of being queued for Poll().
+  /// instead of being queued for Poll(). Written once, before the shard
+  /// workers start; never mutated afterwards (so reads need no lock).
   std::function<void(std::vector<Notification>&&)> on_batch;
 
-  std::mutex mu;
-  std::vector<Notification> pending;  // drained by Poll()
+  common::Mutex mu;
+  /// Flushed notifications awaiting Poll().
+  std::vector<Notification> pending TWIGM_GUARDED_BY(mu);
 
   AtomicHistogram batch_size;
   AtomicHistogram notify_latency_us;
 
-  std::mutex barrier_mu;
-  std::condition_variable barrier_cv;
+  common::Mutex barrier_mu;
+  common::CondVar barrier_cv;
 
   /// Wakes every thread blocked in WaitBarrier (shards call this after
   /// bumping a channel's docs_finished / closed ack).
-  void NotifyBarrier();
+  void NotifyBarrier() TWIGM_EXCLUDES(barrier_mu);
   /// Blocks until `pred()` (which must read only atomics) holds.
-  void WaitBarrier(const std::function<bool()>& pred);
+  void WaitBarrier(const std::function<bool()>& pred)
+      TWIGM_EXCLUDES(barrier_mu);
 };
 
 class Shard {
@@ -165,11 +167,15 @@ class Shard {
   std::thread thread_;
   std::atomic<bool> stop_{false};
   std::atomic<bool> parked_{false};
-  std::mutex wake_mu_;
-  std::condition_variable wake_cv_;
+  /// Serializes the park/wake handshake: Park re-checks stop_ and sets
+  /// parked_ under this lock so a Stop or Wake between the check and the
+  /// wait cannot be lost.
+  common::Mutex wake_mu_;
+  common::CondVar wake_cv_;
 
-  std::mutex attach_mu_;
-  std::vector<std::shared_ptr<SessionChannel>> pending_attach_;
+  common::Mutex attach_mu_;
+  std::vector<std::shared_ptr<SessionChannel>> pending_attach_
+      TWIGM_GUARDED_BY(attach_mu_);
 
   // Worker-thread-only state.
   std::vector<std::unique_ptr<SessionState>> sessions_;

@@ -46,6 +46,12 @@ class SpscRing {
   T* BeginPush() {
     const uint64_t tail = tail_.load(std::memory_order_relaxed);
     if (tail - head_cache_ > mask_) {
+      // Acquire-consume the consumer's slot releases: once head_ covers a
+      // slot, the consumer is done reading it and the producer may reuse
+      // its buffers (the cached view makes re-reading head_ the slow path,
+      // which is legal — a stale head_cache_ only under-reports free
+      // slots, never hands out an unreleased one).
+      // pairs-with: spsc_ring.h:SpscRing::Pop
       head_cache_ = head_.load(std::memory_order_acquire);
       if (tail - head_cache_ > mask_) return nullptr;
     }
@@ -54,6 +60,9 @@ class SpscRing {
 
   /// Publishes the slot handed out by the latest BeginPush.
   void CommitPush() {
+    // Release-publish the slot contents written since BeginPush; the
+    // consumer's acquire load of tail_ makes them visible.
+    // pairs-with: spsc_ring.h:SpscRing::Front
     tail_.store(tail_.load(std::memory_order_relaxed) + 1,
                 std::memory_order_release);
   }
@@ -65,6 +74,11 @@ class SpscRing {
   T* Front() {
     const uint64_t head = head_.load(std::memory_order_relaxed);
     if (head == tail_cache_) {
+      // Acquire-consume the producer's publish: everything written into a
+      // slot before its CommitPush is visible once tail_ covers it (the
+      // cached view is legal for the same reason as head_cache_ — it only
+      // under-reports available records).
+      // pairs-with: spsc_ring.h:SpscRing::CommitPush
       tail_cache_ = tail_.load(std::memory_order_acquire);
       if (head == tail_cache_) return nullptr;
     }
@@ -73,6 +87,9 @@ class SpscRing {
 
   /// Releases the slot returned by Front back to the producer.
   void Pop() {
+    // Release the slot: the consumer's reads of it happen-before the
+    // producer's acquire load of head_ and the subsequent buffer reuse.
+    // pairs-with: spsc_ring.h:SpscRing::BeginPush
     head_.store(head_.load(std::memory_order_relaxed) + 1,
                 std::memory_order_release);
   }
@@ -82,7 +99,11 @@ class SpscRing {
   /// Approximate occupancy (exact when called by either endpoint's thread
   /// between its own operations).
   size_t SizeApprox() const {
+    // Monitoring reads; acquire keeps the depth a consistent snapshot of
+    // both endpoints' latest publishes.
+    // pairs-with: spsc_ring.h:SpscRing::CommitPush
     const uint64_t tail = tail_.load(std::memory_order_acquire);
+    // pairs-with: spsc_ring.h:SpscRing::Pop
     const uint64_t head = head_.load(std::memory_order_acquire);
     return static_cast<size_t>(tail - head);
   }

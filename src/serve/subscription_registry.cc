@@ -22,36 +22,40 @@ Result<SubscriptionId> SubscriptionRegistry::Subscribe(
   const bool wildcard_first = first->is_wildcard;
   const std::string first_name = first->name;
 
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   const uint64_t epoch = ++epoch_;
-  int shard;
-  if (wildcard_first) {
-    shard = round_robin_;
-    round_robin_ = (round_robin_ + 1) % num_shards_;
-    if (take_all_first_epoch_[shard] == 0) {
-      take_all_first_epoch_[shard] = epoch;
-    }
-  } else {
-    auto it = name_shards_.find(first_name);
-    if (it == name_shards_.end()) {
-      // Fresh first-step name: least-loaded shard keeps the partition
-      // balanced while same-name queries still share one trie trunk.
-      shard = static_cast<int>(std::min_element(shard_query_counts_.begin(),
-                                                shard_query_counts_.end()) -
-                               shard_query_counts_.begin());
-      name_shards_.emplace(first_name, NameEntry{shard, epoch});
-    } else {
-      shard = it->second.shard;
-    }
-  }
+  const int shard = AssignShard(wildcard_first, first_name, epoch);
   ++shard_query_counts_[shard];
   shard_changes_[shard].push_back(epoch);
   subs_.push_back(Sub{query, shard, epoch, kNeverEpoch});
   return static_cast<SubscriptionId>(subs_.size());
 }
 
+int SubscriptionRegistry::AssignShard(bool wildcard_first,
+                                      const std::string& first_name,
+                                      uint64_t epoch) {
+  if (wildcard_first) {
+    const int shard = round_robin_;
+    round_robin_ = (round_robin_ + 1) % num_shards_;
+    if (take_all_first_epoch_[shard] == 0) {
+      take_all_first_epoch_[shard] = epoch;
+    }
+    return shard;
+  }
+  auto it = name_shards_.find(first_name);
+  if (it != name_shards_.end()) return it->second.shard;
+  // Fresh first-step name: least-loaded shard keeps the partition
+  // balanced while same-name queries still share one trie trunk.
+  const int shard =
+      static_cast<int>(std::min_element(shard_query_counts_.begin(),
+                                        shard_query_counts_.end()) -
+                       shard_query_counts_.begin());
+  name_shards_.emplace(first_name, NameEntry{shard, epoch});
+  return shard;
+}
+
 Status SubscriptionRegistry::Unsubscribe(SubscriptionId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (id == 0 || id > subs_.size()) {
     return Status::InvalidArgument("unknown subscription id");
   }
@@ -66,12 +70,12 @@ Status SubscriptionRegistry::Unsubscribe(SubscriptionId id) {
 }
 
 uint64_t SubscriptionRegistry::CurrentEpoch() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return epoch_;
 }
 
 uint64_t SubscriptionRegistry::TakeAllMask(uint64_t epoch) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   uint64_t mask = 0;
   for (int s = 0; s < num_shards_; ++s) {
     const uint64_t first = take_all_first_epoch_[s];
@@ -82,7 +86,7 @@ uint64_t SubscriptionRegistry::TakeAllMask(uint64_t epoch) const {
 
 uint64_t SubscriptionRegistry::MaskForTag(std::string_view tag,
                                           uint64_t epoch) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = name_shards_.find(std::string(tag));
   if (it == name_shards_.end() || it->second.first_epoch > epoch) return 0;
   return uint64_t{1} << it->second.shard;
@@ -90,7 +94,7 @@ uint64_t SubscriptionRegistry::MaskForTag(std::string_view tag,
 
 std::vector<SubscriptionRegistry::ShardQuery> SubscriptionRegistry::ShardSet(
     int shard, uint64_t epoch) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   std::vector<ShardQuery> out;
   for (size_t i = 0; i < subs_.size(); ++i) {
     const Sub& sub = subs_[i];
@@ -103,26 +107,26 @@ std::vector<SubscriptionRegistry::ShardQuery> SubscriptionRegistry::ShardSet(
 
 uint64_t SubscriptionRegistry::ShardLastChange(int shard,
                                                uint64_t epoch) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   const std::vector<uint64_t>& changes = shard_changes_[shard];
   auto it = std::upper_bound(changes.begin(), changes.end(), epoch);
   return it == changes.begin() ? 0 : *(it - 1);
 }
 
 size_t SubscriptionRegistry::active_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   size_t n = 0;
   for (const Sub& sub : subs_) n += sub.unsub_epoch == kNeverEpoch ? 1 : 0;
   return n;
 }
 
 uint64_t SubscriptionRegistry::subscribe_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return subs_.size();
 }
 
 uint64_t SubscriptionRegistry::unsubscribe_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return unsubs_;
 }
 

@@ -25,13 +25,13 @@
 #define TWIGM_SERVE_SUBSCRIPTION_REGISTRY_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace twigm::serve {
 
@@ -48,11 +48,12 @@ class SubscriptionRegistry {
 
   /// Validates the query (it must parse into the supported fragment),
   /// assigns its shard, and stamps its subscribe epoch.
-  Result<SubscriptionId> Subscribe(const std::string& query);
+  Result<SubscriptionId> Subscribe(const std::string& query)
+      TWIGM_EXCLUDES(mu_);
 
   /// Stamps the unsubscribe epoch; the subscription stays active through
   /// the end of any document already routing under an older epoch.
-  Status Unsubscribe(SubscriptionId id);
+  Status Unsubscribe(SubscriptionId id) TWIGM_EXCLUDES(mu_);
 
   /// Samples the current epoch — called by a session at document start; the
   /// returned value becomes the document's route epoch.
@@ -96,24 +97,34 @@ class SubscriptionRegistry {
     uint64_t unsub_epoch = kNeverEpoch;
   };
 
+  /// Picks the shard for a subscription being registered at `epoch` and
+  /// updates the assignment tables (name map / take-all set / load counts).
+  int AssignShard(bool wildcard_first, const std::string& first_name,
+                  uint64_t epoch) TWIGM_REQUIRES(mu_);
+
   const int num_shards_;
 
-  mutable std::mutex mu_;
-  uint64_t epoch_ = 0;       // bumped per subscribe/unsubscribe
-  uint64_t unsubs_ = 0;
-  std::vector<Sub> subs_;    // SubscriptionId = index + 1
+  mutable common::Mutex mu_;
+  // Bumped per subscribe/unsubscribe.
+  uint64_t epoch_ TWIGM_GUARDED_BY(mu_) = 0;
+  uint64_t unsubs_ TWIGM_GUARDED_BY(mu_) = 0;
+  // SubscriptionId = index + 1.
+  std::vector<Sub> subs_ TWIGM_GUARDED_BY(mu_);
   // First-step name -> (shard, epoch of first subscription with that name).
   struct NameEntry {
     int shard = 0;
     uint64_t first_epoch = 0;
   };
-  std::unordered_map<std::string, NameEntry> name_shards_;
-  // Shards holding wildcard-first-step queries, with first such epoch.
-  std::vector<uint64_t> take_all_first_epoch_;  // 0 = none; per shard
-  std::vector<uint64_t> shard_query_counts_;    // load, for assignment
+  std::unordered_map<std::string, NameEntry> name_shards_
+      TWIGM_GUARDED_BY(mu_);
+  // Shards holding wildcard-first-step queries, with first such epoch
+  // (0 = none; per shard).
+  std::vector<uint64_t> take_all_first_epoch_ TWIGM_GUARDED_BY(mu_);
+  // Per-shard load, for least-loaded assignment.
+  std::vector<uint64_t> shard_query_counts_ TWIGM_GUARDED_BY(mu_);
   // Change epochs per shard, ascending (push order).
-  std::vector<std::vector<uint64_t>> shard_changes_;
-  int round_robin_ = 0;
+  std::vector<std::vector<uint64_t>> shard_changes_ TWIGM_GUARDED_BY(mu_);
+  int round_robin_ TWIGM_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace twigm::serve

@@ -44,9 +44,12 @@ struct TagToken {
   SymbolId symbol = kNoSymbol;
 
   constexpr TagToken() = default;
-  constexpr TagToken(std::string_view t) : text(t) {}                // NOLINT
-  constexpr TagToken(const char* t) : text(t) {}                     // NOLINT
-  TagToken(const std::string& t) : text(t) {}                        // NOLINT
+  // NOLINTBEGIN(google-explicit-constructor): implicit conversion from the
+  // string types is the API — byte-only call sites produce kNoSymbol tokens.
+  constexpr TagToken(std::string_view t) : text(t) {}
+  constexpr TagToken(const char* t) : text(t) {}
+  TagToken(const std::string& t) : text(t) {}
+  // NOLINTEND(google-explicit-constructor)
   constexpr TagToken(std::string_view t, SymbolId s) : text(t), symbol(s) {}
 };
 

@@ -169,6 +169,8 @@ bool ScanHasAvx2() {
   // TWIGM_SCAN_KIND=sse2 pins the baseline kernel; used by CI to exercise
   // the SSE2 path on AVX2 hosts (checked once, first call wins).
   static const bool has = [] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once under the magic-static
+    // guard, before any worker threads exist; nothing in the process setenvs.
     const char* env = std::getenv("TWIGM_SCAN_KIND");
     if (env != nullptr && std::string_view(env) == std::string_view("sse2")) {
       return false;

@@ -1,0 +1,27 @@
+// Fixture: defaulted-seq_cst atomic operations — method calls without an
+// explicit memory_order, and implicit operator forms.
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+struct Counters {
+  std::atomic<uint64_t> events{0};
+  std::atomic<bool> running{false};
+};
+
+inline void Touch(Counters& c) {
+  c.events.fetch_add(1);  // expect: atomic-order
+  c.running.store(true);  // expect: atomic-order
+  (void)c.events.load();  // expect: atomic-order
+}
+
+std::atomic<int> g_mode{0};
+
+inline void SetMode(int m) {
+  g_mode = m;  // expect: atomic-order
+  ++g_mode;  // expect: atomic-order
+  g_mode += 2;  // expect: atomic-order
+}
+
+}  // namespace fixture

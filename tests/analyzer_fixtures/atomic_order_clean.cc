@@ -1,0 +1,36 @@
+// Fixture: explicit-order atomic operations and same-named non-atomic
+// locals/members must not be flagged.
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+struct CleanCounters {
+  std::atomic<uint64_t> events{0};
+  std::atomic<bool> running{false};
+};
+
+struct PlainState {
+  uint64_t events = 0;  // non-atomic member sharing the name: no finding
+};
+
+inline void Touch(CleanCounters& c, PlainState& p) {
+  c.events.fetch_add(1, std::memory_order_relaxed);
+  c.running.store(true, std::memory_order_relaxed);
+  (void)c.events.load(std::memory_order_relaxed);
+  p.events += 1;  // member access through a non-atomic object
+  uint64_t events = 7;  // shadowing local declaration: no finding
+  (void)events;
+}
+
+std::atomic<int> g_clean_mode{0};
+
+inline bool TryClaim(CleanCounters& c) {
+  bool expected = false;
+  g_clean_mode.store(1, std::memory_order_relaxed);
+  return c.running.compare_exchange_strong(expected, true,
+                                           std::memory_order_relaxed,
+                                           std::memory_order_relaxed);
+}
+
+}  // namespace fixture

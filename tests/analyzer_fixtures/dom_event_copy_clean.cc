@@ -1,0 +1,17 @@
+// Fixture: files with `dom` in the name are the sanctioned materialization
+// point — event-scope string construction is exempt from sv-string-copy.
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fixture {
+
+struct DomBuilder {
+  std::vector<std::string> nodes_;
+
+  void StartElement(std::string_view tag) {
+    nodes_.push_back(std::string(tag));  // DOM owns its text: exempt
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: std::string constructed from view data inside an event-scope
+// function — the per-event allocation the streaming path must not make.
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fixture {
+
+struct Collector {
+  std::vector<std::string> names_;
+  size_t total_ = 0;
+
+  void StartElement(std::string_view tag) {
+    names_.push_back(std::string(tag));  // expect: sv-string-copy
+  }
+
+  void Text(std::string_view text) {
+    std::string owned{text};  // expect: sv-string-copy
+    total_ += owned.size();
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Fixture: the legal event-scope string idioms — pooled-buffer assign,
+// default construction (no copy), the allow-string-copy escape, and
+// string construction in non-event functions.
+#include <string>
+#include <string_view>
+
+namespace fixture {
+
+struct PooledCollector {
+  std::string scratch_;
+  size_t total_ = 0;
+
+  void StartElement(std::string_view tag) {
+    scratch_.assign(tag);  // capacity-retaining reuse, no construction
+    total_ += scratch_.size();
+  }
+
+  void Text(std::string_view text) {
+    std::string empty;  // default construction allocates nothing
+    // lint: allow-string-copy(diagnostic path, compiled out in release)
+    std::string diag(text);
+    total_ += diag.size() + empty.size();
+  }
+
+  void Finish(std::string_view tail) {
+    std::string copied(tail);  // not an event-scope function
+    total_ += copied.size();
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Fixture: allocations inside a `// hotpath` function must be flagged,
+// including local owning containers (their growth allocates per event).
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct Sink {
+  void Consume(size_t);
+};
+
+// hotpath
+void ProcessEvent(Sink& sink, int n) {
+  int* boxed = new int(n);  // expect: hotpath-alloc
+  sink.Consume(static_cast<size_t>(*boxed));
+  delete boxed;
+  std::vector<int> scratch;  // expect: hotpath-alloc
+  scratch.push_back(n);
+  sink.Consume(std::to_string(n).size());  // expect: hotpath-alloc
+  sink.Consume(std::string("tmp").size());  // expect: hotpath-alloc
+}
+
+// hotpath
+void ProcessNested(Sink& sink, int n) {
+  if (n > 0) {
+    auto owned = std::make_unique<int>(n);  // expect: hotpath-alloc
+    sink.Consume(static_cast<size_t>(*owned));
+  }
+}
+
+}  // namespace fixture

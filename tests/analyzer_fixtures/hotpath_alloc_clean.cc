@@ -1,0 +1,33 @@
+// Fixture: the sanctioned hot-path idioms must not be flagged — member
+// (pooled) container growth, references to containers, the allow-alloc
+// escape, and unannotated functions.
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct Pool {
+  std::vector<int> scratch_;
+  std::string text_buf_;
+  void Note(size_t);
+};
+
+// hotpath
+void ProcessEventPooled(Pool& pool, int n) {
+  pool.scratch_.push_back(n);  // member growth: amortized, gated by bench
+  pool.text_buf_.assign("x");  // capacity-retaining reuse
+  std::vector<int>& view = pool.scratch_;  // reference, no ownership
+  pool.Note(view.size());
+  // lint: allow-alloc(cold slow path, runs at most once per document)
+  auto lazily = std::make_unique<std::vector<int>>(1);
+  pool.Note(lazily->size());
+}
+
+// Not annotated `// hotpath`: allocations are unrestricted here.
+void ColdSetup(Pool& pool) {
+  std::vector<int> tmp(16, 0);
+  pool.Note(tmp.size());
+}
+
+}  // namespace fixture

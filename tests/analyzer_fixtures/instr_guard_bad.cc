@@ -1,0 +1,37 @@
+// Fixture: instrumentation derefs without a dominating null test, and the
+// guard shapes that look safe but are not (disjunctive conditions, the
+// wrong branch of an early-out).
+namespace fixture {
+
+struct Instr {
+  void OnEvent(int);
+  bool enabled();
+};
+
+struct Machine {
+  Instr* instr_ = nullptr;
+
+  void StepBare(int ev) {
+    instr_->OnEvent(ev);  // expect: instr-guard
+  }
+
+  void StepDisjunct(int ev, bool force) {
+    if (instr_ != nullptr || force) {
+      instr_->OnEvent(ev);  // expect: instr-guard
+    }
+  }
+
+  void StepWrongBranch(int ev) {
+    if (instr_ == nullptr) {
+      instr_->OnEvent(ev);  // expect: instr-guard
+    }
+  }
+
+  void StepAfterOtherGuard(Instr* other, int ev) {
+    if (other != nullptr) {
+      instr_->OnEvent(ev);  // expect: instr-guard
+    }
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,47 @@
+// Fixture: every guard shape the codebase actually uses must be accepted —
+// enclosing if, same-statement ternary, &&-conjunction, early-out return
+// (including a disjunctive early-out, whose negation implies non-null).
+namespace fixture {
+
+struct Instr {
+  void OnEvent(int);
+  bool enabled();
+};
+
+struct GuardedMachine {
+  Instr* instr_ = nullptr;
+
+  void StepIf(int ev) {
+    if (instr_ != nullptr) {
+      instr_->OnEvent(ev);
+    }
+  }
+
+  bool StepTernary() {
+    return instr_ != nullptr ? instr_->enabled() : false;
+  }
+
+  void StepConjunction(int ev, bool on) {
+    if (on && instr_ != nullptr) instr_->OnEvent(ev);
+  }
+
+  void StepEarlyOut(int ev) {
+    if (instr_ == nullptr) return;
+    instr_->OnEvent(ev);
+  }
+
+  void StepEarlyOutDisjunct(int ev, bool off) {
+    if (instr_ == nullptr || off) return;
+    instr_->OnEvent(ev);
+  }
+
+  void StepNested(int ev) {
+    if (instr_ != nullptr) {
+      if (ev > 0) {
+        instr_->OnEvent(ev);
+      }
+    }
+  }
+};
+
+}  // namespace fixture

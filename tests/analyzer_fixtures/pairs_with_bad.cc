@@ -1,0 +1,29 @@
+// Fixture: acquire/release sites with a missing, dangling, or
+// role-mismatched pairs-with annotation.
+#include <atomic>
+
+namespace fixture {
+
+struct BadFlag {
+  std::atomic<bool> ready{false};
+  int payload = 0;
+
+  void Publish(int v) {
+    payload = v;
+    ready.store(true, std::memory_order_release);  // expect: pairs-with
+  }
+
+  bool Consume(int* out) {
+    // pairs-with: no_such_file.cc:BadFlag::Publish
+    if (!ready.load(std::memory_order_acquire)) return false;  // expect: pairs-with
+    *out = payload;
+    return true;
+  }
+
+  bool Peek() {
+    // pairs-with: pairs_with_bad.cc:BadFlag::Consume
+    return ready.load(std::memory_order_acquire);  // expect: pairs-with
+  }
+};
+
+}  // namespace fixture

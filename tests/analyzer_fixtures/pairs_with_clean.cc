@@ -1,0 +1,29 @@
+// Fixture: a correctly annotated release/acquire pair, plus relaxed ops
+// (which need no annotation — they order nothing).
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+struct GoodFlag {
+  std::atomic<bool> ready{false};
+  std::atomic<uint64_t> hits{0};
+  int payload = 0;
+
+  void Publish(int v) {
+    payload = v;
+    // Release-publish payload to the consumer's acquire load.
+    // pairs-with: pairs_with_clean.cc:GoodFlag::Consume
+    ready.store(true, std::memory_order_release);
+  }
+
+  bool Consume(int* out) {
+    hits.fetch_add(1, std::memory_order_relaxed);  // stat: no pairing
+    // pairs-with: pairs_with_clean.cc:GoodFlag::Publish
+    if (!ready.load(std::memory_order_acquire)) return false;
+    *out = payload;
+    return true;
+  }
+};
+
+}  // namespace fixture

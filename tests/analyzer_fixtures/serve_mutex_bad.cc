@@ -1,0 +1,19 @@
+// Fixture: raw standard-library synchronization primitives in a
+// serve-scoped file must be rejected in favor of the annotated wrappers.
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+struct ServeState {
+  std::mutex mu_;  // expect: mutex-wrapper
+  std::condition_variable cv_;  // expect: mutex-wrapper
+  int guarded_value_ = 0;
+
+  void Bump() {
+    std::lock_guard<std::mutex> lock(mu_);  // expect: mutex-wrapper
+    ++guarded_value_;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: the capability-annotated wrappers are the accepted way to lock
+// in serve-scoped code; -Wthread-safety can see these critical sections.
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+struct ServeStateClean {
+  twigm::common::Mutex mu_;
+  twigm::common::CondVar cv_;
+  int guarded_value_ TWIGM_GUARDED_BY(mu_) = 0;
+
+  void Bump() {
+    twigm::common::MutexLock lock(&mu_);
+    ++guarded_value_;
+    cv_.NotifyOne();
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Fixture: string equality on tag text in a transition function with no
+// symbol-availability test anywhere on the path.
+#include <string>
+#include <string_view>
+
+namespace fixture {
+
+struct TagTok {
+  std::string_view text;
+  unsigned id_field;
+};
+
+struct NodeMachine {
+  std::string label_;
+
+  bool StartElement(const TagTok& tag) {
+    return tag.text == label_;  // expect: symbol-compare
+  }
+
+  bool ConsiderChild(const TagTok& tag, bool wildcard) {
+    if (wildcard) return true;
+    if (tag.text != label_) {  // expect: symbol-compare
+      return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace fixture

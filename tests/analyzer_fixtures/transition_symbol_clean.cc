@@ -1,0 +1,38 @@
+// Fixture: the legal byte-compare fallbacks — paths that already tested
+// symbol availability (kNoSymbol test, have_symbol ternary), and
+// comparisons outside transition functions.
+#include <string>
+#include <string_view>
+
+namespace fixture {
+
+inline constexpr unsigned kNoSym = ~0u;
+
+struct SymTagTok {
+  std::string_view text;
+  unsigned symbol = kNoSym;
+};
+
+struct SymNodeMachine {
+  std::string label_;
+  unsigned symbol_ = kNoSym;
+  bool bound_ = false;
+
+  bool StartElement(const SymTagTok& tag) {
+    if (bound_ && tag.symbol != kNoSym) {
+      return tag.symbol == symbol_;
+    }
+    return tag.text == label_;  // fallback: symbol availability was tested
+  }
+
+  bool ConsiderChild(const SymTagTok& tag) {
+    const bool have_symbol = tag.symbol != kNoSym;
+    return have_symbol ? tag.symbol == symbol_ : tag.text == label_;
+  }
+
+  bool DescribeMatches(const SymTagTok& tag) const {
+    return tag.text == label_;  // not a transition function
+  }
+};
+
+}  // namespace fixture
