@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Gate the persistent structural index: warm re-query speedup vs baseline.
+
+Reads a BENCH_indexed.json produced by `bench_indexed_vs_stream --json
+<path>` and compares it against the committed baseline
+(bench/BENCH_indexed_baseline.json by default). Fails when
+
+  * any indexed run's match count differs from the streaming run's on the
+    same (dataset, query) cell (the bench itself also aborts on this), or
+  * a Book predicate-query cell (Q5-Q10) has warm indexed re-query less
+    than --floor (default 10x) faster than re-streaming, or
+  * any cell's speedup drops more than --threshold (default 40%) below the
+    baseline cell's speedup.
+
+Speedup ratios of two measured times jitter more than either time alone,
+hence the wide default threshold; the hard Book floor is the real
+acceptance bar. Cells present on only one side are reported but never
+gate. Refresh the baseline by taking the cell-wise *minimum* speedup over
+>= 3 fresh runs on a quiet machine.
+
+Usage: check_indexed.py BENCH_indexed.json [--baseline path]
+                        [--threshold 0.40] [--floor 10.0]
+"""
+
+import argparse
+import json
+import sys
+
+# The gated Book predicate queries (the paper's Figure 7 Q5-Q10 set).
+BOOK_FLOOR_QUERIES = {"Q5", "Q6", "Q7", "Q8", "Q9", "Q10"}
+
+
+def load_cells(path):
+    with open(path) as f:
+        records = json.load(f)
+    cells = {}
+    for r in records:
+        if r.get("bench") != "indexed_vs_stream":
+            continue
+        p = r.get("params", {})
+        cells[(p.get("dataset"), p.get("query"))] = {
+            "speedup": r["speedup"],
+            "results_indexed": r["results_indexed"],
+            "results_stream": r["results_stream"],
+        }
+    return cells
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_path", help="BenchJson output of bench_indexed_vs_stream")
+    parser.add_argument(
+        "--baseline",
+        default="bench/BENCH_indexed_baseline.json",
+        help="committed baseline (default bench/BENCH_indexed_baseline.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.40,
+        help="max allowed relative speedup regression vs baseline (default 0.40)",
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=10.0,
+        help="hard minimum speedup for Book Q5-Q10 (default 10.0)",
+    )
+    args = parser.parse_args()
+
+    current = load_cells(args.json_path)
+    baseline = load_cells(args.baseline)
+    if not current:
+        print(f"error: no indexed_vs_stream records in {args.json_path}", file=sys.stderr)
+        return 2
+    if not baseline:
+        print(f"error: no indexed_vs_stream records in {args.baseline}", file=sys.stderr)
+        return 2
+
+    failures = []
+    for key in sorted(current, key=str):
+        dataset, query = key
+        name = f"{dataset}/{query}"
+        cell = current[key]
+        status = "ok"
+        if cell["results_indexed"] != cell["results_stream"]:
+            failures.append(
+                f"{name}: indexed found {cell['results_indexed']:.0f} matches, "
+                f"streaming found {cell['results_stream']:.0f}"
+            )
+            status = "FAIL"
+        if dataset == "Book" and query in BOOK_FLOOR_QUERIES:
+            if cell["speedup"] < args.floor:
+                failures.append(
+                    f"{name}: speedup {cell['speedup']:.1f}x below the "
+                    f"{args.floor:.0f}x Book floor"
+                )
+                status = "FAIL"
+        base = baseline.get(key)
+        if base is None:
+            print(f"note: {name} has no baseline cell (floor-gated only)")
+        else:
+            ratio = cell["speedup"] / base["speedup"]
+            if ratio < 1.0 - args.threshold:
+                failures.append(
+                    f"{name}: speedup {cell['speedup']:.1f}x is "
+                    f"{1.0 - ratio:.0%} below baseline {base['speedup']:.1f}x"
+                )
+                status = "FAIL"
+        print(
+            f"{name:20s} speedup {cell['speedup']:8.1f}x  "
+            f"results {cell['results_indexed']:10.0f}  {status}"
+        )
+    for key in sorted(set(baseline) - set(current), key=str):
+        print(f"note: baseline cell {key[0]}/{key[1]} missing from run")
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(
+        f"\nOK: match counts equal streaming; Book Q5-Q10 >= {args.floor:.0f}x; "
+        f"all cells within {args.threshold:.0%} of baseline speedup"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,134 @@
+// On-disk layout of the persistent structural index (DESIGN.md §15).
+//
+// A single file holds everything needed to re-answer XP{/,//,*,[]} queries
+// over an ingested document without re-parsing it:
+//
+//   FileHeader | SectionEntry[section_count] | section payloads...
+//
+// Every element gets a (pre, post, level, symbol) label — XISS/R-style
+// region encoding: `a` is an ancestor of `d` iff pre(a) < pre(d) and
+// post(a) > post(d); `a` is the parent iff additionally
+// level(a) + 1 == level(d). `pre` doubles as the element's streaming
+// NodeId (pre-order, first element = 1), so indexed results are directly
+// comparable with the streaming machines' match sets.
+//
+// Payloads are column-ordered arrays (one section per column) so an
+// IndexReader can expose zero-copy views straight into the mapping. All
+// section offsets are 8-byte aligned (mmap'd columns are dereferenced in
+// place; unaligned loads would be UB). Integers are host-endian: the index
+// is a same-machine cache, not an interchange format, and the header magic
+// + version gate refuse anything else.
+//
+// Validation contract: IndexReader::Open checks magic, version, the CRC of
+// the section table, each section's payload CRC, and the structural sanity
+// of every cross-reference (postings ranges, blob offsets, label ranges)
+// before returning — a corrupt or truncated file fails closed with a
+// Status, never a crash (tests/index_reader_corruption_test.cc).
+
+#ifndef TWIGM_INDEX_INDEX_FORMAT_H_
+#define TWIGM_INDEX_INDEX_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace twigm::index {
+
+/// First bytes of every index file. The trailing '1' is the major layout
+/// generation; incompatible layouts bump the magic, compatible additions
+/// bump kFormatVersion.
+inline constexpr char kMagic[8] = {'T', 'W', 'G', 'M', 'I', 'D', 'X', '1'};
+
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// Section payload alignment within the file.
+inline constexpr size_t kSectionAlignment = 8;
+
+/// Hard cap on the section table (fail-closed bound for corrupt counts).
+inline constexpr uint32_t kMaxSections = 64;
+
+enum class SectionId : uint32_t {
+  /// xml::TagInterner::Serialize bytes: the dense SymbolId dictionary
+  /// shared by element tags and attribute names.
+  kDictionary = 1,
+  /// uint32_t[element_count]: post-order label, indexed by pre - 1.
+  kPost = 2,
+  /// uint32_t[element_count]: depth (root = 1), indexed by pre - 1.
+  kLevel = 3,
+  /// uint32_t[element_count]: tag SymbolId, indexed by pre - 1.
+  kSymbol = 4,
+  /// uint64_t[element_count]: byte offset of the element's '<' in the
+  /// canonical (UTF-8) stream, indexed by pre - 1.
+  kByteOffset = 5,
+  /// PostingsRange[symbol_count]: per-symbol slice of kPostingsData.
+  kPostingsIndex = 6,
+  /// uint32_t[]: pre ids, ascending within each symbol's slice.
+  kPostingsData = 7,
+  /// TextEntry[]: direct-text facts, strictly ascending by pre. Elements
+  /// without an entry have empty direct text.
+  kTextIndex = 8,
+  /// Concatenated direct-text bytes referenced by kTextIndex.
+  kTextBlob = 9,
+  /// AttrEntry[]: attribute facts, non-decreasing by pre (one entry per
+  /// attribute, in document order).
+  kAttrIndex = 10,
+  /// Concatenated attribute-value bytes referenced by kAttrIndex.
+  kAttrBlob = 11,
+};
+
+/// Number of distinct sections a version-1 file carries.
+inline constexpr uint32_t kSectionCount = 11;
+
+struct FileHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t section_count;
+  uint64_t element_count;
+  uint64_t symbol_count;
+  /// Canonical bytes ingested to build the index (for build-GB/s stats and
+  /// size ratios; not needed for evaluation).
+  uint64_t document_bytes;
+  /// CRC-32 of the SectionEntry table that follows the header.
+  uint32_t table_crc32;
+  uint32_t reserved;
+};
+static_assert(sizeof(FileHeader) == 48, "FileHeader layout is part of the format");
+
+struct SectionEntry {
+  uint32_t id;       // SectionId
+  uint32_t crc32;    // CRC-32 of the payload bytes
+  uint64_t offset;   // from file start; multiple of kSectionAlignment
+  uint64_t size;     // payload bytes (excluding padding)
+};
+static_assert(sizeof(SectionEntry) == 24,
+              "SectionEntry layout is part of the format");
+
+/// Slice of kPostingsData owned by one symbol, in elements (not bytes).
+struct PostingsRange {
+  uint64_t begin;
+  uint64_t count;
+};
+static_assert(sizeof(PostingsRange) == 16);
+
+struct TextEntry {
+  uint32_t pre;
+  uint32_t length;
+  uint64_t offset;  // into kTextBlob
+};
+static_assert(sizeof(TextEntry) == 16);
+
+struct AttrEntry {
+  uint32_t pre;
+  uint32_t name_symbol;
+  uint64_t offset;  // into kAttrBlob
+  uint32_t length;
+  uint32_t reserved;
+};
+static_assert(sizeof(AttrEntry) == 24);
+
+/// CRC-32 (IEEE, reflected) over `size` bytes. `seed` chains partial
+/// computations: pass the previous return value to continue.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace twigm::index
+
+#endif  // TWIGM_INDEX_INDEX_FORMAT_H_

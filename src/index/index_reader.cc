@@ -1,0 +1,321 @@
+#include "index/index_reader.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace twigm::index {
+
+namespace {
+
+Status Corrupt(const std::string& what) {
+  return Status::ParseError("index file rejected: " + what);
+}
+
+}  // namespace
+
+IndexReader::~IndexReader() {
+  if (mapping_ != nullptr) {
+    ::munmap(mapping_, static_cast<size_t>(size_));
+  }
+}
+
+Result<std::unique_ptr<IndexReader>> IndexReader::Open(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::InvalidArgument("cannot open index file: " + path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return Status::InvalidArgument("cannot stat index file: " + path);
+  }
+  const uint64_t size = static_cast<uint64_t>(st.st_size);
+  std::unique_ptr<IndexReader> reader(new IndexReader());
+  if (size > 0) {
+    void* map = ::mmap(nullptr, static_cast<size_t>(size), PROT_READ,
+                       MAP_PRIVATE, fd, 0);
+    if (map == MAP_FAILED) {
+      // Fall back to a heap copy (e.g. filesystems without mmap support).
+      reader->owned_.resize(static_cast<size_t>(size));
+      ssize_t got = ::pread(fd, reader->owned_.data(),
+                            static_cast<size_t>(size), 0);
+      if (got < 0 || static_cast<uint64_t>(got) != size) {
+        ::close(fd);
+        return Status::InvalidArgument("cannot read index file: " + path);
+      }
+      reader->data_ = reader->owned_.data();
+    } else {
+      reader->mapping_ = map;
+      reader->data_ = static_cast<const char*>(map);
+    }
+  }
+  ::close(fd);
+  reader->size_ = size;
+  Status s = reader->Attach();
+  if (!s.ok()) return s;
+  return reader;
+}
+
+Result<std::unique_ptr<IndexReader>> IndexReader::OpenBytes(
+    std::string bytes) {
+  std::unique_ptr<IndexReader> reader(new IndexReader());
+  reader->owned_ = std::move(bytes);
+  reader->data_ = reader->owned_.data();
+  reader->size_ = reader->owned_.size();
+  Status s = reader->Attach();
+  if (!s.ok()) return s;
+  return reader;
+}
+
+Status IndexReader::Attach() {
+  // ---- header ---------------------------------------------------------
+  if (size_ < sizeof(FileHeader)) {
+    return Corrupt("truncated before the header");
+  }
+  FileHeader header;
+  std::memcpy(&header, data_, sizeof(header));
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Corrupt("bad magic (not a twigm structural index)");
+  }
+  if (header.version != kFormatVersion) {
+    return Corrupt("unsupported format version " +
+                   std::to_string(header.version) + " (this build reads " +
+                   std::to_string(kFormatVersion) + ")");
+  }
+  if (header.section_count != kSectionCount ||
+      header.section_count > kMaxSections) {
+    return Corrupt("unexpected section count " +
+                   std::to_string(header.section_count));
+  }
+  elements_ = header.element_count;
+  symbols_ = header.symbol_count;
+  document_bytes_ = header.document_bytes;
+  // A real file stores several bytes per element/symbol, so counts beyond
+  // the file size are corrupt — and rejecting them here keeps the
+  // column-size arithmetic below safely away from uint64 overflow.
+  if (elements_ > size_ || symbols_ > size_) {
+    return Corrupt("element/symbol count exceeds file size");
+  }
+
+  // ---- section table --------------------------------------------------
+  const uint64_t table_bytes =
+      uint64_t{header.section_count} * sizeof(SectionEntry);
+  if (size_ < sizeof(FileHeader) + table_bytes) {
+    return Corrupt("truncated inside the section table");
+  }
+  const char* table_start = data_ + sizeof(FileHeader);
+  if (Crc32(table_start, table_bytes) != header.table_crc32) {
+    return Corrupt("section table checksum mismatch");
+  }
+
+  // ---- sections: bounds, alignment, payload CRCs ----------------------
+  const char* sections[kMaxSections] = {};
+  uint64_t sizes[kMaxSections] = {};
+  bool seen[kMaxSections] = {};
+  for (uint32_t i = 0; i < header.section_count; ++i) {
+    SectionEntry entry;
+    std::memcpy(&entry, table_start + i * sizeof(SectionEntry),
+                sizeof(entry));
+    if (entry.id == 0 || entry.id > kSectionCount) {
+      return Corrupt("unknown section id " + std::to_string(entry.id));
+    }
+    if (seen[entry.id]) {
+      return Corrupt("duplicate section id " + std::to_string(entry.id));
+    }
+    seen[entry.id] = true;
+    if (entry.offset % kSectionAlignment != 0) {
+      return Corrupt("section " + std::to_string(entry.id) +
+                     " is misaligned");
+    }
+    if (entry.offset > size_ || entry.size > size_ - entry.offset) {
+      return Corrupt("section " + std::to_string(entry.id) +
+                     " extends past end of file");
+    }
+    if (Crc32(data_ + entry.offset, entry.size) != entry.crc32) {
+      return Corrupt("section " + std::to_string(entry.id) +
+                     " payload checksum mismatch");
+    }
+    sections[entry.id] = data_ + entry.offset;
+    sizes[entry.id] = entry.size;
+  }
+  for (uint32_t id = 1; id <= kSectionCount; ++id) {
+    if (!seen[id]) return Corrupt("missing section id " + std::to_string(id));
+  }
+
+  auto section = [&](SectionId id) {
+    return sections[static_cast<uint32_t>(id)];
+  };
+  auto section_size = [&](SectionId id) {
+    return sizes[static_cast<uint32_t>(id)];
+  };
+
+  // ---- column shapes --------------------------------------------------
+  auto expect_size = [&](SectionId id, uint64_t want, const char* what) {
+    if (section_size(id) != want) {
+      return Corrupt(std::string(what) + " column size " +
+                     std::to_string(section_size(id)) +
+                     " does not match header (want " + std::to_string(want) +
+                     ")");
+    }
+    return Status::Ok();
+  };
+  TWIGM_RETURN_IF_ERROR(
+      expect_size(SectionId::kPost, elements_ * sizeof(uint32_t), "post"));
+  TWIGM_RETURN_IF_ERROR(
+      expect_size(SectionId::kLevel, elements_ * sizeof(uint32_t), "level"));
+  TWIGM_RETURN_IF_ERROR(
+      expect_size(SectionId::kSymbol, elements_ * sizeof(uint32_t), "symbol"));
+  TWIGM_RETURN_IF_ERROR(expect_size(SectionId::kByteOffset,
+                                    elements_ * sizeof(uint64_t),
+                                    "byte-offset"));
+  TWIGM_RETURN_IF_ERROR(expect_size(SectionId::kPostingsIndex,
+                                    symbols_ * sizeof(PostingsRange),
+                                    "postings-index"));
+  if (section_size(SectionId::kPostingsData) % sizeof(uint32_t) != 0 ||
+      section_size(SectionId::kTextIndex) % sizeof(TextEntry) != 0 ||
+      section_size(SectionId::kAttrIndex) % sizeof(AttrEntry) != 0) {
+    return Corrupt("section size not a multiple of its entry size");
+  }
+
+  post_ = reinterpret_cast<const uint32_t*>(section(SectionId::kPost));
+  level_ = reinterpret_cast<const uint32_t*>(section(SectionId::kLevel));
+  symbol_ = reinterpret_cast<const uint32_t*>(section(SectionId::kSymbol));
+  offset_ =
+      reinterpret_cast<const uint64_t*>(section(SectionId::kByteOffset));
+  postings_index_ = reinterpret_cast<const PostingsRange*>(
+      section(SectionId::kPostingsIndex));
+  postings_data_ =
+      reinterpret_cast<const uint32_t*>(section(SectionId::kPostingsData));
+  const uint64_t postings_total =
+      section_size(SectionId::kPostingsData) / sizeof(uint32_t);
+  text_index_ =
+      reinterpret_cast<const TextEntry*>(section(SectionId::kTextIndex));
+  text_entries_ = section_size(SectionId::kTextIndex) / sizeof(TextEntry);
+  text_blob_ = section(SectionId::kTextBlob);
+  const uint64_t text_blob_size = section_size(SectionId::kTextBlob);
+  attr_index_ =
+      reinterpret_cast<const AttrEntry*>(section(SectionId::kAttrIndex));
+  attr_entries_ = section_size(SectionId::kAttrIndex) / sizeof(AttrEntry);
+  attr_blob_ = section(SectionId::kAttrBlob);
+  const uint64_t attr_blob_size = section_size(SectionId::kAttrBlob);
+
+  // ---- label sanity ---------------------------------------------------
+  for (uint64_t i = 0; i < elements_; ++i) {
+    if (post_[i] == 0 || post_[i] > elements_) {
+      return Corrupt("post label out of range at pre " + std::to_string(i + 1));
+    }
+    if (level_[i] == 0) {
+      return Corrupt("zero level at pre " + std::to_string(i + 1));
+    }
+    if (symbol_[i] >= symbols_) {
+      return Corrupt("tag symbol out of range at pre " +
+                     std::to_string(i + 1));
+    }
+  }
+
+  // ---- postings sanity ------------------------------------------------
+  if (postings_total != elements_) {
+    return Corrupt("postings data holds " + std::to_string(postings_total) +
+                   " ids for " + std::to_string(elements_) + " elements");
+  }
+  for (uint64_t s = 0; s < symbols_; ++s) {
+    const PostingsRange& range = postings_index_[s];
+    if (range.begin > postings_total ||
+        range.count > postings_total - range.begin) {
+      return Corrupt("postings range out of bounds for symbol " +
+                     std::to_string(s));
+    }
+    uint32_t prev = 0;
+    for (uint64_t k = range.begin; k < range.begin + range.count; ++k) {
+      const uint32_t pre = postings_data_[k];
+      if (pre == 0 || pre > elements_) {
+        return Corrupt("postings pre id out of range for symbol " +
+                       std::to_string(s));
+      }
+      if (pre <= prev) {
+        return Corrupt("postings not strictly ascending for symbol " +
+                       std::to_string(s));
+      }
+      if (symbol_[pre - 1] != s) {
+        return Corrupt("postings entry disagrees with the symbol column");
+      }
+      prev = pre;
+    }
+  }
+
+  // ---- fact sanity ----------------------------------------------------
+  uint32_t prev_pre = 0;
+  for (size_t i = 0; i < text_entries_; ++i) {
+    const TextEntry& e = text_index_[i];
+    if (e.pre == 0 || e.pre > elements_) {
+      return Corrupt("text entry pre id out of range");
+    }
+    if (e.pre <= prev_pre) {
+      return Corrupt("text entries not strictly ascending by pre");
+    }
+    if (e.offset > text_blob_size || e.length > text_blob_size - e.offset) {
+      return Corrupt("text entry extends past the text blob");
+    }
+    prev_pre = e.pre;
+  }
+  prev_pre = 0;
+  for (size_t i = 0; i < attr_entries_; ++i) {
+    const AttrEntry& e = attr_index_[i];
+    if (e.pre == 0 || e.pre > elements_) {
+      return Corrupt("attribute entry pre id out of range");
+    }
+    if (e.pre < prev_pre) {
+      return Corrupt("attribute entries not sorted by pre");
+    }
+    if (e.name_symbol >= symbols_) {
+      return Corrupt("attribute name symbol out of range");
+    }
+    if (e.offset > attr_blob_size || e.length > attr_blob_size - e.offset) {
+      return Corrupt("attribute entry extends past the attribute blob");
+    }
+    prev_pre = e.pre;
+  }
+
+  // ---- dictionary -----------------------------------------------------
+  Status dict = dictionary_.Load(std::string_view(
+      section(SectionId::kDictionary), section_size(SectionId::kDictionary)));
+  if (!dict.ok()) {
+    return Corrupt("dictionary: " + dict.ToString());
+  }
+  if (dictionary_.size() != symbols_) {
+    return Corrupt("dictionary holds " + std::to_string(dictionary_.size()) +
+                   " names but header claims " + std::to_string(symbols_));
+  }
+  return Status::Ok();
+}
+
+std::string_view IndexReader::DirectText(uint32_t pre) const {
+  const TextEntry* begin = text_index_;
+  const TextEntry* end = text_index_ + text_entries_;
+  const TextEntry* it = std::lower_bound(
+      begin, end, pre,
+      [](const TextEntry& e, uint32_t p) { return e.pre < p; });
+  if (it == end || it->pre != pre) return std::string_view();
+  return std::string_view(text_blob_ + it->offset, it->length);
+}
+
+void IndexReader::AttrRange(uint32_t pre, size_t* begin, size_t* end) const {
+  const AttrEntry* first = attr_index_;
+  const AttrEntry* last = attr_index_ + attr_entries_;
+  const AttrEntry* lo = std::lower_bound(
+      first, last, pre,
+      [](const AttrEntry& e, uint32_t p) { return e.pre < p; });
+  const AttrEntry* hi = lo;
+  while (hi != last && hi->pre == pre) ++hi;
+  *begin = static_cast<size_t>(lo - first);
+  *end = static_cast<size_t>(hi - first);
+}
+
+}  // namespace twigm::index

@@ -1,0 +1,359 @@
+#include "index/indexed_evaluator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/value_test.h"
+
+namespace twigm::index {
+
+using xpath::Axis;
+using xpath::QueryNode;
+
+Result<std::unique_ptr<IndexedEvaluator>> IndexedEvaluator::Create(
+    std::string_view query, const IndexReader* reader) {
+  Result<xpath::QueryTree> tree = xpath::QueryTree::Parse(query);
+  if (!tree.ok()) return tree.status();
+
+  std::unique_ptr<IndexedEvaluator> eval(new IndexedEvaluator());
+  eval->reader_ = reader;
+  eval->query_ = std::move(tree).value();
+  if (eval->query_.sol()->is_attribute) {
+    return Status::NotSupported(
+        "an attribute cannot be the return node of a query");
+  }
+
+  const std::vector<const QueryNode*> nodes = eval->query_.NodesPreOrder();
+  eval->plans_.resize(nodes.size());
+  eval->sat_.resize(nodes.size());
+  for (const QueryNode* node : nodes) {
+    NodePlan& plan = eval->plans_[static_cast<size_t>(node->index)];
+    plan.node = node;
+    plan.wildcard = node->is_wildcard;
+    if (!node->is_wildcard && !node->is_attribute) {
+      plan.symbol = reader->FindSymbol(node->name);
+    }
+    for (const auto& child : node->children) {
+      if (child->is_attribute) {
+        AttrTest test;
+        test.name_symbol = reader->FindSymbol(child->name);
+        test.node = child.get();
+        plan.attr_tests.push_back(test);
+      } else {
+        plan.element_children.push_back(child->index);
+        if (child->on_output_path) plan.spine_child = child->index;
+      }
+    }
+    plan.has_local_tests = node->has_value_test || !plan.attr_tests.empty();
+  }
+  eval->sol_index_ = eval->query_.sol()->index;
+  return eval;
+}
+
+// The per-candidate filter: the node's own value test plus its attribute
+// predicates, evaluated against the stored text/attribute facts — the same
+// semantics core::EvalValueTest gives the streaming machines and the DOM
+// oracle. Candidates arrive in ascending pre order, so `text_cursor` and
+// `attr_cursor` sweep the (pre-sorted) fact arrays monotonically: one
+// sequential pass over the facts per candidate list instead of a random
+// binary search per candidate.
+// hotpath
+bool IndexedEvaluator::PassesLocalTests(const NodePlan& plan, uint32_t pre,
+                                        size_t* text_cursor,
+                                        size_t* attr_cursor) const {
+  const QueryNode* node = plan.node;
+  if (node->has_value_test) {
+    const TextEntry* text_index = reader_->text_index();
+    const size_t text_count = reader_->text_entry_count();
+    size_t c = *text_cursor;
+    while (c < text_count && text_index[c].pre < pre) ++c;
+    *text_cursor = c;
+    std::string_view text;  // elements without a stored entry have ""
+    if (c < text_count && text_index[c].pre == pre) {
+      text = reader_->text_at(text_index[c]);
+    }
+    if (!core::EvalValueTest(text, node->op, node->literal,
+                             node->literal_is_number)) {
+      return false;
+    }
+  }
+  if (plan.attr_tests.empty()) return true;
+  const AttrEntry* attr_index = reader_->attr_index();
+  const size_t attr_count = reader_->attr_entry_count();
+  size_t begin = *attr_cursor;
+  while (begin < attr_count && attr_index[begin].pre < pre) ++begin;
+  *attr_cursor = begin;
+  size_t end = begin;
+  while (end < attr_count && attr_index[end].pre == pre) ++end;
+  for (const AttrTest& test : plan.attr_tests) {
+    if (test.name_symbol == xml::kNoSymbol) return false;
+    bool found = false;
+    for (size_t i = begin; i < end; ++i) {
+      const IndexReader::AttrFact fact = reader_->attr_at(i);
+      if (fact.name_symbol != test.name_symbol) continue;
+      if (!test.node->has_value_test ||
+          core::EvalValueTest(fact.value, test.node->op, test.node->literal,
+                              test.node->literal_is_number)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+// Seeds a query node's candidate list from the postings (all elements for
+// '*'), keeping pre order and applying the local value/attribute tests.
+// Nodes without tests take the bulk path: a straight copy of the postings
+// slice (or a 1..N fill for '*') instead of a per-element filter loop.
+// hotpath
+void IndexedEvaluator::BuildCandidates(const NodePlan& plan,
+                                       std::vector<uint32_t>* out) {
+  out->clear();
+  size_t text_cursor = 0;
+  size_t attr_cursor = 0;
+  if (plan.wildcard) {
+    const uint32_t n = static_cast<uint32_t>(reader_->element_count());
+    stats_.postings_touched += n;
+    if (!plan.has_local_tests) {
+      out->resize(n);
+      uint32_t* fill = out->data();
+      for (uint32_t pre = 1; pre <= n; ++pre) fill[pre - 1] = pre;
+      return;
+    }
+    for (uint32_t pre = 1; pre <= n; ++pre) {
+      if (PassesLocalTests(plan, pre, &text_cursor, &attr_cursor)) {
+        out->push_back(pre);
+      }
+    }
+    return;
+  }
+  if (plan.symbol == xml::kNoSymbol) return;  // tag never seen: no matches
+  const IndexReader::U32Span postings = reader_->postings(plan.symbol);
+  stats_.postings_touched += postings.size;
+  if (!plan.has_local_tests) {
+    out->assign(postings.begin(), postings.end());
+    return;
+  }
+  for (const uint32_t pre : postings) {
+    if (PassesLocalTests(plan, pre, &text_cursor, &attr_cursor)) {
+      out->push_back(pre);
+    }
+  }
+}
+
+// Ancestor-side structural semi-join: keeps the elements of `anc` that
+// contain at least one element of `desc` (child_axis: that are the parent
+// of one). One merge over the two pre-sorted lists; the stack holds the
+// open ancestors (nested (pre, post) intervals) at the current document
+// position. A descendant marks the innermost open ancestor; because every
+// outer entry contains the inner one, the mark propagates outward as
+// entries pop. Output stays pre-sorted (subset of `anc` in order).
+// hotpath
+void IndexedEvaluator::SemiJoinAncestors(const std::vector<uint32_t>& anc,
+                                         const std::vector<uint32_t>& desc,
+                                         bool child_axis,
+                                         std::vector<uint32_t>* out) {
+  out->clear();
+  if (anc.empty() || desc.empty()) return;
+  const uint32_t* post = reader_->post();
+  const uint32_t* level = reader_->level();
+  matched_.assign(anc.size(), 0);
+  stack_.clear();
+  uint64_t steps = 0;
+  // Pops every stacked ancestor whose subtree closed before document
+  // position `post_x`, propagating its mark to the enclosing entry.
+  auto pop_closed = [&](uint32_t post_x) {
+    while (!stack_.empty()) {
+      const uint32_t top = stack_.back();
+      if (post[anc[top] - 1] >= post_x) break;  // still contains x
+      stack_.pop_back();
+      if (!child_axis && matched_[top] != 0 && !stack_.empty()) {
+        matched_[stack_.back()] = 1;
+      }
+    }
+  };
+  size_t i = 0;
+  size_t j = 0;
+  while (j < desc.size()) {
+    if (stack_.empty()) {
+      // No open ancestor: once a stacked entry pops, its subtree lies
+      // entirely before the current position, so descendants before the
+      // next unseen ancestor cannot mark anything. Gallop over them.
+      if (i >= anc.size()) break;
+      if (desc[j] < anc[i]) {
+        j = static_cast<size_t>(
+                std::lower_bound(desc.data() + j, desc.data() + desc.size(),
+                                 anc[i]) -
+                desc.data());
+        if (j >= desc.size()) break;
+      }
+    }
+    const uint32_t d = desc[j];
+    ++j;
+    // Open all ancestors that start before d (strictly: an element that
+    // appears in both lists is not its own ancestor). An ancestor whose
+    // whole subtree ends before d (pre_end = post + level - 1, from the
+    // counter identity desc_count = level - 1 - pre + post) can never
+    // contain d or any later descendant: skip it without a push/pop.
+    while (i < anc.size() && anc[i] < d) {
+      ++steps;
+      const uint32_t a = anc[i];
+      ++i;
+      if (post[a - 1] + level[a - 1] - 1 < d) continue;  // dead subtree
+      pop_closed(post[a - 1]);
+      stack_.push_back(static_cast<uint32_t>(i - 1));
+    }
+    ++steps;
+    pop_closed(post[d - 1]);
+    if (stack_.empty()) continue;
+    const uint32_t top = stack_.back();
+    if (child_axis) {
+      // Nested stack entries have strictly increasing levels, so only the
+      // innermost open ancestor can be the parent.
+      if (level[anc[top] - 1] + 1 == level[d - 1]) matched_[top] = 1;
+    } else {
+      matched_[top] = 1;
+    }
+  }
+  stats_.join_steps += steps;
+  // Drain the stack so inner marks reach the outermost entries.
+  if (!child_axis) {
+    while (!stack_.empty()) {
+      const uint32_t top = stack_.back();
+      stack_.pop_back();
+      if (matched_[top] != 0 && !stack_.empty()) matched_[stack_.back()] = 1;
+    }
+  }
+  for (size_t k = 0; k < anc.size(); ++k) {
+    if (matched_[k] != 0) out->push_back(anc[k]);
+  }
+}
+
+// Descendant-side structural semi-join: keeps the elements of `desc` that
+// have at least one ancestor (child_axis: their parent) in `anc`. Same
+// merge skeleton as SemiJoinAncestors, but the decision is per descendant,
+// so no marks are needed and the output is emitted directly in pre order.
+// hotpath
+void IndexedEvaluator::SemiJoinDescendants(const std::vector<uint32_t>& anc,
+                                           const std::vector<uint32_t>& desc,
+                                           bool child_axis,
+                                           std::vector<uint32_t>* out) {
+  out->clear();
+  if (anc.empty() || desc.empty()) return;
+  const uint32_t* post = reader_->post();
+  const uint32_t* level = reader_->level();
+  stack_.clear();  // holds pre ids of open ancestors
+  uint64_t steps = 0;
+  auto pop_closed = [&](uint32_t post_x) {
+    while (!stack_.empty() && post[stack_.back() - 1] < post_x) {
+      stack_.pop_back();
+    }
+  };
+  size_t i = 0;
+  size_t j = 0;
+  while (j < desc.size()) {
+    if (stack_.empty()) {
+      // No open ancestor: descendants before the next ancestor's subtree
+      // cannot match. Gallop over the dead stretch (decisive when a few
+      // surviving ancestors face a large descendant list).
+      if (i >= anc.size()) break;
+      if (desc[j] < anc[i]) {
+        j = static_cast<size_t>(
+                std::lower_bound(desc.data() + j, desc.data() + desc.size(),
+                                 anc[i]) -
+                desc.data());
+        if (j >= desc.size()) break;
+      }
+    }
+    const uint32_t d = desc[j];
+    // Same dead-subtree skip as SemiJoinAncestors: pre_end = post+level-1.
+    while (i < anc.size() && anc[i] < d) {
+      ++steps;
+      const uint32_t a = anc[i];
+      ++i;
+      if (post[a - 1] + level[a - 1] - 1 < d) continue;
+      pop_closed(post[a - 1]);
+      stack_.push_back(a);
+    }
+    ++steps;
+    pop_closed(post[d - 1]);
+    ++j;
+    if (stack_.empty()) continue;
+    if (!child_axis) {
+      out->push_back(d);
+    } else if (level[stack_.back() - 1] + 1 == level[d - 1]) {
+      out->push_back(d);
+    }
+  }
+  stats_.join_steps += steps;
+}
+
+Status IndexedEvaluator::Evaluate(core::MatchObserver* observer) {
+  stats_ = Stats();
+
+  // Bottom-up: children precede parents in reverse pre-order, so each
+  // node's predicate lists are final before its own semi-joins run. The
+  // spine child is skipped here: the top-down pass walks exactly that edge
+  // and discards any anchor without a surviving spine descendant, so the
+  // ancestor-side join would duplicate work without changing the result.
+  for (size_t idx = plans_.size(); idx-- > 0;) {
+    const NodePlan& plan = plans_[idx];
+    if (plan.node->is_attribute) continue;  // folded into the parent's filter
+    BuildCandidates(plan, &sat_[idx]);
+    // Most selective predicate first: each join's cost is O(|anc| + |desc|)
+    // and its output is a subset of anc, so shrinking anc early makes every
+    // later merge cheaper (the predicates commute — it's a conjunction).
+    child_order_.clear();
+    for (const int child : plan.element_children) {
+      if (child == plan.spine_child) continue;  // re-checked top-down
+      child_order_.push_back(child);
+    }
+    std::sort(child_order_.begin(), child_order_.end(),
+              [this](int a, int b) {
+                return sat_[static_cast<size_t>(a)].size() <
+                       sat_[static_cast<size_t>(b)].size();
+              });
+    for (const int child : child_order_) {
+      if (sat_[idx].empty()) break;
+      const bool child_axis =
+          plans_[static_cast<size_t>(child)].node->axis == Axis::kChild;
+      SemiJoinAncestors(sat_[idx], sat_[static_cast<size_t>(child)],
+                        child_axis, &join_out_);
+      sat_[idx].swap(join_out_);
+    }
+  }
+
+  // Top-down along the output path. A leading '/' anchors the first step
+  // to the document root (level 1); '//' admits any depth.
+  cur_.clear();
+  const NodePlan& root_plan = plans_[0];
+  const uint32_t* level = reader_->level();
+  for (const uint32_t pre : sat_[0]) {
+    if (root_plan.node->axis != Axis::kChild || level[pre - 1] == 1) {
+      cur_.push_back(pre);
+    }
+  }
+  for (int spine = root_plan.spine_child; spine != -1;
+       spine = plans_[static_cast<size_t>(spine)].spine_child) {
+    if (cur_.empty()) break;
+    const NodePlan& plan = plans_[static_cast<size_t>(spine)];
+    SemiJoinDescendants(cur_, sat_[static_cast<size_t>(spine)],
+                        plan.node->axis == Axis::kChild, &join_out_);
+    cur_.swap(join_out_);
+  }
+
+  const uint64_t* offsets = reader_->byte_offset();
+  for (const uint32_t pre : cur_) {
+    core::MatchInfo match;
+    match.id = pre;
+    match.byte_offset = offsets[pre - 1];
+    match.query_node = sol_index_;
+    observer->OnResult(match);
+  }
+  stats_.results = cur_.size();
+  return Status::Ok();
+}
+
+}  // namespace twigm::index

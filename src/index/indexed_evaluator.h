@@ -1,0 +1,124 @@
+// IndexedEvaluator — answers XP{/,//,*,[]} queries over a persistent
+// structural index (IndexReader) by stack-based structural joins over the
+// per-symbol postings lists, without touching the original document.
+//
+// Evaluation plan (DESIGN.md §15):
+//   1. Bottom-up over the query tree: each node's candidate list starts as
+//      its tag's postings (pre-sorted; all elements for '*'), filtered by
+//      the node's value test and attribute predicates — the same
+//      value/attribute facts the streaming machines test, read back from
+//      the index. Each element-child predicate then shrinks the list by an
+//      ancestor-side structural semi-join: a single merge over the two
+//      pre-sorted lists with a stack of open (pre, post) intervals,
+//      ancestor/descendant decided by interval containment and child by a
+//      level delta of one.
+//   2. Top-down along the output path: the root list is anchored (a
+//      leading '/' pins level 1), then each spine step keeps the
+//      descendant-side elements that have a surviving spine ancestor —
+//      the same merge with the roles flipped.
+//   3. The final list is the match set in document order. Results are
+//      emitted through the standard core::MatchObserver with
+//      MatchInfo{id = pre (the streaming NodeId), byte_offset = the
+//      element's start-tag offset}, so indexed, streaming, and DOM runs
+//      are directly comparable.
+//
+// Cost is O(postings touched), not O(document bytes): warm re-query never
+// re-parses. Evaluate() is repeatable and reuses all scratch storage, so
+// the steady state allocates nothing (the join loops are `// hotpath`,
+// enforced by scripts/analyze/project_analyzer.py).
+
+#ifndef TWIGM_INDEX_INDEXED_EVALUATOR_H_
+#define TWIGM_INDEX_INDEXED_EVALUATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/result_sink.h"
+#include "index/index_reader.h"
+#include "xml/sax_event.h"
+#include "xpath/query_tree.h"
+
+namespace twigm::index {
+
+class IndexedEvaluator {
+ public:
+  /// Join accounting for one Evaluate() call.
+  struct Stats {
+    uint64_t postings_touched = 0;  // candidate entries read from postings
+    uint64_t join_steps = 0;        // merge steps across all semi-joins
+    uint64_t results = 0;           // matches emitted
+  };
+
+  /// Compiles `query` against `reader`'s dictionary. `reader` is not owned
+  /// and must outlive the evaluator. Labels the corpus never saw resolve
+  /// to empty postings (not an error — the query simply has no matches).
+  static Result<std::unique_ptr<IndexedEvaluator>> Create(
+      std::string_view query, const IndexReader* reader);
+
+  IndexedEvaluator(const IndexedEvaluator&) = delete;
+  IndexedEvaluator& operator=(const IndexedEvaluator&) = delete;
+
+  /// Runs the structural joins and emits every match, in document order,
+  /// through `observer` (OnResult only; there is no candidate phase —
+  /// membership is decided by the joins). Repeatable: scratch state is
+  /// reused across calls and the steady state is allocation-free.
+  Status Evaluate(core::MatchObserver* observer);
+
+  /// Accounting for the most recent Evaluate() call.
+  const Stats& stats() const { return stats_; }
+
+  const xpath::QueryTree& query() const { return query_; }
+
+ private:
+  IndexedEvaluator() = default;
+
+  /// Per-query-node plan, indexed by QueryNode::index (pre-order).
+  struct AttrTest {
+    xml::SymbolId name_symbol = xml::kNoSymbol;  // kNoSymbol: never present
+    const xpath::QueryNode* node = nullptr;
+  };
+  struct NodePlan {
+    const xpath::QueryNode* node = nullptr;
+    bool wildcard = false;
+    /// False when the node has neither a value test nor attribute
+    /// predicates: candidates are then a straight copy of the postings.
+    bool has_local_tests = false;
+    /// Resolved tag symbol; kNoSymbol with !wildcard means the corpus never
+    /// saw the tag (empty candidates).
+    xml::SymbolId symbol = xml::kNoSymbol;
+    std::vector<AttrTest> attr_tests;
+    std::vector<int> element_children;  // plan indices, in query order
+    int spine_child = -1;               // plan index, -1 at the sol
+  };
+
+  void BuildCandidates(const NodePlan& plan, std::vector<uint32_t>* out);
+  bool PassesLocalTests(const NodePlan& plan, uint32_t pre,
+                        size_t* text_cursor, size_t* attr_cursor) const;
+  void SemiJoinAncestors(const std::vector<uint32_t>& anc,
+                         const std::vector<uint32_t>& desc, bool child_axis,
+                         std::vector<uint32_t>* out);
+  void SemiJoinDescendants(const std::vector<uint32_t>& anc,
+                           const std::vector<uint32_t>& desc, bool child_axis,
+                           std::vector<uint32_t>* out);
+
+  const IndexReader* reader_ = nullptr;
+  xpath::QueryTree query_;
+  std::vector<NodePlan> plans_;
+  int sol_index_ = -1;
+  Stats stats_;
+
+  // Scratch, reused across Evaluate() calls (steady state: no growth).
+  std::vector<std::vector<uint32_t>> sat_;  // per plan index
+  std::vector<uint32_t> cur_;               // spine working set
+  std::vector<uint32_t> join_out_;          // semi-join output buffer
+  std::vector<uint32_t> stack_;             // open-interval stack
+  std::vector<uint8_t> matched_;            // per-ancestor match flags
+  std::vector<int> child_order_;            // predicate join order scratch
+};
+
+}  // namespace twigm::index
+
+#endif  // TWIGM_INDEX_INDEXED_EVALUATOR_H_

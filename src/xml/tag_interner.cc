@@ -68,6 +68,57 @@ SymbolId TagInterner::Intern(std::string_view name) {
   return sym;
 }
 
+void TagInterner::Serialize(std::string* out) const {
+  const uint32_t count = static_cast<uint32_t>(names_.size());
+  out->append(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (std::string_view name : names_) {
+    const uint32_t len = static_cast<uint32_t>(name.size());
+    out->append(reinterpret_cast<const char*>(&len), sizeof(len));
+    out->append(name.data(), name.size());
+  }
+}
+
+Status TagInterner::Load(std::string_view bytes) {
+  if (!names_.empty()) {
+    return Status::InvalidArgument(
+        "TagInterner::Load requires an empty interner (symbols are dense "
+        "from 0; loading would renumber existing symbols)");
+  }
+  uint32_t count = 0;
+  if (bytes.size() < sizeof(count)) {
+    return Status::ParseError("tag dictionary truncated: missing count");
+  }
+  std::memcpy(&count, bytes.data(), sizeof(count));
+  bytes.remove_prefix(sizeof(count));
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t len = 0;
+    if (bytes.size() < sizeof(len)) {
+      return Status::ParseError("tag dictionary truncated: missing length");
+    }
+    std::memcpy(&len, bytes.data(), sizeof(len));
+    bytes.remove_prefix(sizeof(len));
+    if (bytes.size() < len) {
+      return Status::ParseError("tag dictionary truncated: missing name bytes");
+    }
+    if (len == 0) {
+      return Status::ParseError("tag dictionary entry has an empty name");
+    }
+    const std::string_view name = bytes.substr(0, len);
+    if (Find(name) != kNoSymbol) {
+      return Status::ParseError("tag dictionary contains a duplicate name");
+    }
+    const SymbolId sym = Intern(name);
+    if (sym != i) {
+      return Status::Internal("tag dictionary symbols not dense");
+    }
+    bytes.remove_prefix(len);
+  }
+  if (!bytes.empty()) {
+    return Status::ParseError("tag dictionary has trailing bytes");
+  }
+  return Status::Ok();
+}
+
 SymbolId TagInterner::Find(std::string_view name) const {
   const uint64_t hash = HashName(name);
   const size_t mask = table_.size() - 1;

@@ -19,9 +19,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/status.h"
 #include "xml/sax_event.h"
 
 namespace twigm::xml {
@@ -49,6 +51,21 @@ class TagInterner {
   // There is deliberately no Clear(): symbols must stay stable across
   // documents because machines bind their query labels once at Create and
   // Reset() paths retain the binding.
+
+  /// Appends the dictionary to `out` in symbol order: u32 count, then per
+  /// symbol u32 length + raw bytes (host endianness). This is the on-disk
+  /// tag dictionary of the persistent structural index (src/index/): a
+  /// dictionary written after ingesting a document and loaded back yields
+  /// the *same* SymbolId for every name, so on-disk label columns and
+  /// postings keyed by symbol stay valid across processes.
+  void Serialize(std::string* out) const;
+
+  /// Rebuilds a dictionary previously produced by Serialize. Requires an
+  /// empty interner (symbols are dense from 0, so loading into a non-empty
+  /// one would renumber). Fails closed on truncated or malformed input and
+  /// on duplicate or invalid (empty) names; on failure the interner may
+  /// hold a prefix of the dictionary and must be discarded.
+  Status Load(std::string_view bytes);
 
  private:
   void Grow();

@@ -1,0 +1,251 @@
+// IndexReader must fail closed on any damaged index image: truncation at
+// every length, bad magic, wrong version, flipped payload bytes, and
+// structurally inconsistent (but correctly checksummed) content such as
+// out-of-range postings. Every case must return a descriptive Status —
+// never crash, never return a reader that could read out of bounds. The
+// suite runs under the ASan/UBSan CI legs, so an out-of-bounds read in
+// validation itself would also fail loudly.
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "index/index_builder.h"
+#include "index/index_format.h"
+#include "index/index_reader.h"
+
+namespace twigm::index {
+namespace {
+
+std::string ValidImage() {
+  IndexBuilder builder;
+  const std::string doc =
+      "<lib><book year=\"2001\"><title>tea</title><b/></book>"
+      "<book><title>x</title></book><misc note=\"n\">tail</misc></lib>";
+  EXPECT_TRUE(builder.Consume({doc, true}).ok());
+  std::string image;
+  EXPECT_TRUE(builder.Serialize(&image).ok());
+  return image;
+}
+
+Status OpenStatus(std::string image) {
+  Result<std::unique_ptr<IndexReader>> reader =
+      IndexReader::OpenBytes(std::move(image));
+  return reader.ok() ? Status::Ok() : reader.status();
+}
+
+// --- helpers to re-checksum a deliberately inconsistent image ------------
+
+FileHeader* HeaderOf(std::string* image) {
+  return reinterpret_cast<FileHeader*>(image->data());
+}
+
+SectionEntry* TableOf(std::string* image) {
+  return reinterpret_cast<SectionEntry*>(image->data() + sizeof(FileHeader));
+}
+
+SectionEntry* FindSection(std::string* image, SectionId id) {
+  SectionEntry* table = TableOf(image);
+  for (uint32_t i = 0; i < HeaderOf(image)->section_count; ++i) {
+    if (table[i].id == static_cast<uint32_t>(id)) return &table[i];
+  }
+  return nullptr;
+}
+
+// Recomputes `section`'s payload CRC and the header's table CRC so the
+// image passes the checksum gates and exercises the *structural* checks.
+void Reseal(std::string* image, SectionEntry* section) {
+  section->crc32 = Crc32(image->data() + section->offset, section->size);
+  FileHeader* header = HeaderOf(image);
+  header->table_crc32 =
+      Crc32(TableOf(image), header->section_count * sizeof(SectionEntry));
+}
+
+// -------------------------------------------------------------------------
+
+TEST(IndexReaderCorruptionTest, ValidImageOpens) {
+  EXPECT_TRUE(OpenStatus(ValidImage()).ok());
+}
+
+TEST(IndexReaderCorruptionTest, EveryTruncationFailsClosed) {
+  const std::string image = ValidImage();
+  for (size_t len = 0; len < image.size(); ++len) {
+    const Status s = OpenStatus(image.substr(0, len));
+    ASSERT_FALSE(s.ok()) << "truncated to " << len << " of " << image.size();
+    ASSERT_FALSE(s.message().empty());
+  }
+}
+
+TEST(IndexReaderCorruptionTest, BadMagicFails) {
+  std::string image = ValidImage();
+  image[0] = 'X';
+  const Status s = OpenStatus(std::move(image));
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("magic"), std::string::npos) << s.ToString();
+}
+
+TEST(IndexReaderCorruptionTest, VersionMismatchFails) {
+  std::string image = ValidImage();
+  HeaderOf(&image)->version = kFormatVersion + 1;
+  const Status s = OpenStatus(std::move(image));
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("version"), std::string::npos) << s.ToString();
+}
+
+TEST(IndexReaderCorruptionTest, AbsurdSectionCountFails) {
+  std::string image = ValidImage();
+  HeaderOf(&image)->section_count = kMaxSections + 1;
+  EXPECT_FALSE(OpenStatus(std::move(image)).ok());
+}
+
+TEST(IndexReaderCorruptionTest, AbsurdElementCountFails) {
+  std::string image = ValidImage();
+  HeaderOf(&image)->element_count = ~0ULL;  // would overflow size math
+  EXPECT_FALSE(OpenStatus(std::move(image)).ok());
+}
+
+TEST(IndexReaderCorruptionTest, FlippedTableByteFails) {
+  std::string image = ValidImage();
+  image[sizeof(FileHeader) + 3] ^= 0x40;
+  const Status s = OpenStatus(std::move(image));
+  ASSERT_FALSE(s.ok());
+}
+
+TEST(IndexReaderCorruptionTest, FlippedPayloadByteFailsCrc) {
+  std::string image = ValidImage();
+  const SectionEntry* post = FindSection(&image, SectionId::kPost);
+  ASSERT_NE(post, nullptr);
+  image[post->offset] ^= 0x01;
+  const Status s = OpenStatus(std::move(image));
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("checksum"), std::string::npos) << s.ToString();
+}
+
+TEST(IndexReaderCorruptionTest, EveryFlippedByteFailsClosedOrIsBenign) {
+  // Padding bytes between sections are the only bytes no checksum covers;
+  // a flip there must leave the image fully readable. Everything else must
+  // be rejected. Either way: no crash (ASan/UBSan legs verify).
+  const std::string image = ValidImage();
+  for (size_t pos = 0; pos < image.size(); ++pos) {
+    std::string copy = image;
+    copy[pos] ^= 0xFF;
+    Result<std::unique_ptr<IndexReader>> reader =
+        IndexReader::OpenBytes(std::move(copy));
+    if (reader.ok()) {
+      EXPECT_EQ(reader.value()->element_count(), 7u) << "pos=" << pos;
+    }
+  }
+}
+
+TEST(IndexReaderCorruptionTest, OutOfRangePostingsPreFails) {
+  std::string image = ValidImage();
+  SectionEntry* data = FindSection(&image, SectionId::kPostingsData);
+  ASSERT_NE(data, nullptr);
+  uint32_t huge = 1u << 30;
+  std::memcpy(image.data() + data->offset, &huge, sizeof(huge));
+  Reseal(&image, data);
+  const Status s = OpenStatus(std::move(image));
+  ASSERT_FALSE(s.ok());  // pre id exceeds element_count
+}
+
+TEST(IndexReaderCorruptionTest, UnsortedPostingsFail) {
+  std::string image = ValidImage();
+  SectionEntry* index = FindSection(&image, SectionId::kPostingsIndex);
+  SectionEntry* data = FindSection(&image, SectionId::kPostingsData);
+  ASSERT_NE(index, nullptr);
+  ASSERT_NE(data, nullptr);
+  // Find a symbol with >= 2 postings and swap its first two pre ids.
+  PostingsRange* ranges =
+      reinterpret_cast<PostingsRange*>(image.data() + index->offset);
+  uint32_t* pres = reinterpret_cast<uint32_t*>(image.data() + data->offset);
+  const size_t symbols = index->size / sizeof(PostingsRange);
+  bool swapped = false;
+  for (size_t i = 0; i < symbols && !swapped; ++i) {
+    if (ranges[i].count >= 2) {
+      std::swap(pres[ranges[i].begin], pres[ranges[i].begin + 1]);
+      swapped = true;
+    }
+  }
+  ASSERT_TRUE(swapped) << "fixture needs a tag with two occurrences";
+  Reseal(&image, data);
+  EXPECT_FALSE(OpenStatus(std::move(image)).ok());
+}
+
+TEST(IndexReaderCorruptionTest, PostingsRangeBeyondDataFails) {
+  std::string image = ValidImage();
+  SectionEntry* index = FindSection(&image, SectionId::kPostingsIndex);
+  ASSERT_NE(index, nullptr);
+  PostingsRange* ranges =
+      reinterpret_cast<PostingsRange*>(image.data() + index->offset);
+  ranges[0].begin = ~0ULL / 2;  // also exercises overflow-safe bounds math
+  Reseal(&image, index);
+  EXPECT_FALSE(OpenStatus(std::move(image)).ok());
+}
+
+TEST(IndexReaderCorruptionTest, TextBlobOverrunFails) {
+  std::string image = ValidImage();
+  SectionEntry* index = FindSection(&image, SectionId::kTextIndex);
+  ASSERT_NE(index, nullptr);
+  ASSERT_GE(index->size, sizeof(TextEntry));
+  TextEntry* entries =
+      reinterpret_cast<TextEntry*>(image.data() + index->offset);
+  entries[0].length = 0x7FFFFFFF;
+  Reseal(&image, index);
+  EXPECT_FALSE(OpenStatus(std::move(image)).ok());
+}
+
+TEST(IndexReaderCorruptionTest, AttrEntryBeyondBlobFails) {
+  std::string image = ValidImage();
+  SectionEntry* index = FindSection(&image, SectionId::kAttrIndex);
+  ASSERT_NE(index, nullptr);
+  ASSERT_GE(index->size, sizeof(AttrEntry));
+  AttrEntry* entries =
+      reinterpret_cast<AttrEntry*>(image.data() + index->offset);
+  entries[0].offset = ~0ULL / 2;
+  Reseal(&image, index);
+  EXPECT_FALSE(OpenStatus(std::move(image)).ok());
+}
+
+TEST(IndexReaderCorruptionTest, MisalignedSectionOffsetFails) {
+  std::string image = ValidImage();
+  image.push_back('\0');  // room to shift the last section by one byte
+  FileHeader* header = HeaderOf(&image);
+  SectionEntry* table = TableOf(&image);
+  SectionEntry* last = &table[header->section_count - 1];
+  std::memmove(image.data() + last->offset + 1, image.data() + last->offset,
+               last->size);
+  last->offset += 1;
+  Reseal(&image, last);
+  const Status s = OpenStatus(std::move(image));
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("align"), std::string::npos) << s.ToString();
+}
+
+TEST(IndexReaderCorruptionTest, MissingSectionFails) {
+  std::string image = ValidImage();
+  // Retag the text-blob section as a duplicate of the attr blob: the set of
+  // required sections is then incomplete.
+  SectionEntry* text = FindSection(&image, SectionId::kTextBlob);
+  ASSERT_NE(text, nullptr);
+  text->id = static_cast<uint32_t>(SectionId::kAttrBlob);
+  FileHeader* header = HeaderOf(&image);
+  header->table_crc32 =
+      Crc32(TableOf(&image), header->section_count * sizeof(SectionEntry));
+  EXPECT_FALSE(OpenStatus(std::move(image)).ok());
+}
+
+TEST(IndexReaderCorruptionTest, OpenOnMissingFileFails) {
+  Result<std::unique_ptr<IndexReader>> reader =
+      IndexReader::Open("/nonexistent/path/to/index.twgmidx");
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(IndexReaderCorruptionTest, EmptyImageFails) {
+  EXPECT_FALSE(OpenStatus(std::string()).ok());
+}
+
+}  // namespace
+}  // namespace twigm::index

@@ -1,0 +1,423 @@
+// Tests for the persistent structural index (src/index/): builder/reader
+// round-trips, label correctness, and a differential suite pinning the
+// IndexedEvaluator to the DOM oracle and the streaming engines over 100+
+// random documents — indexed, streaming, and DOM runs must produce
+// identical match sets (same pre-order NodeIds), and every indexed match
+// must carry the byte offset of its element's start tag.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "baselines/dom_eval.h"
+#include "common/random.h"
+#include "core/evaluator.h"
+#include "core/result_sink.h"
+#include "gtest/gtest.h"
+#include "index/index_builder.h"
+#include "index/index_reader.h"
+#include "index/indexed_evaluator.h"
+#include "xml/xml_writer.h"
+#include "xpath/query_tree.h"
+
+namespace twigm::index {
+namespace {
+
+// Builds the index image for `doc`, feeding it in `chunk`-byte pieces
+// (0 means one chunk). Fails the test on any builder error.
+std::string MustBuildImage(std::string_view doc, size_t chunk = 0) {
+  IndexBuilder builder;
+  if (chunk == 0) chunk = doc.size();
+  for (size_t pos = 0; pos < doc.size(); pos += chunk) {
+    const size_t len = std::min(chunk, doc.size() - pos);
+    EXPECT_TRUE(builder.Consume({doc.substr(pos, len), false}).ok());
+  }
+  EXPECT_TRUE(builder.Consume({std::string_view(), true}).ok());
+  std::string image;
+  EXPECT_TRUE(builder.Serialize(&image).ok());
+  return image;
+}
+
+std::unique_ptr<IndexReader> MustOpen(std::string_view doc) {
+  Result<std::unique_ptr<IndexReader>> reader =
+      IndexReader::OpenBytes(MustBuildImage(doc));
+  EXPECT_TRUE(reader.ok()) << reader.status().ToString();
+  return reader.ok() ? std::move(reader).value() : nullptr;
+}
+
+// Runs `query` through the IndexedEvaluator; returns matches in emission
+// order (which must already be document order).
+std::vector<core::MatchInfo> IndexedMatches(const IndexReader& reader,
+                                            std::string_view query) {
+  Result<std::unique_ptr<IndexedEvaluator>> eval =
+      IndexedEvaluator::Create(query, &reader);
+  EXPECT_TRUE(eval.ok()) << query << ": " << eval.status().ToString();
+  if (!eval.ok()) return {};
+  core::VectorResultSink sink;
+  EXPECT_TRUE(eval.value()->Evaluate(&sink).ok());
+  return sink.matches();
+}
+
+std::vector<xml::NodeId> IndexedIds(const IndexReader& reader,
+                                    std::string_view query) {
+  std::vector<xml::NodeId> ids;
+  for (const core::MatchInfo& m : IndexedMatches(reader, query)) {
+    ids.push_back(m.id);
+  }
+  return ids;
+}
+
+// ---------------------------------------------------------------------------
+// Labels and stored facts
+
+TEST(IndexBuilderTest, LabelsPrePostLevel) {
+  // <a>          pre=1 post=4 level=1
+  //   <b/>       pre=2 post=1 level=2
+  //   <c>        pre=3 post=3 level=2
+  //     <b/>     pre=4 post=2 level=3
+  //   </c>
+  // </a>
+  const std::string doc = "<a><b/><c><b/></c></a>";
+  std::unique_ptr<IndexReader> reader = MustOpen(doc);
+  ASSERT_NE(reader, nullptr);
+  ASSERT_EQ(reader->element_count(), 4u);
+  const uint32_t* post = reader->post();
+  const uint32_t* level = reader->level();
+  EXPECT_EQ(post[0], 4u);
+  EXPECT_EQ(post[1], 1u);
+  EXPECT_EQ(post[2], 3u);
+  EXPECT_EQ(post[3], 2u);
+  EXPECT_EQ(level[0], 1u);
+  EXPECT_EQ(level[1], 2u);
+  EXPECT_EQ(level[2], 2u);
+  EXPECT_EQ(level[3], 3u);
+  // Containment via the labels.
+  EXPECT_TRUE(reader->IsAncestor(1, 2));
+  EXPECT_TRUE(reader->IsAncestor(1, 4));
+  EXPECT_TRUE(reader->IsAncestor(3, 4));
+  EXPECT_FALSE(reader->IsAncestor(2, 4));
+  EXPECT_FALSE(reader->IsAncestor(2, 3));
+  EXPECT_FALSE(reader->IsAncestor(1, 1));
+}
+
+TEST(IndexBuilderTest, PostingsAreSortedPerSymbol) {
+  std::unique_ptr<IndexReader> reader =
+      MustOpen("<a><b/><c><b/></c><b/></a>");
+  ASSERT_NE(reader, nullptr);
+  const xml::SymbolId b = reader->FindSymbol("b");
+  ASSERT_NE(b, xml::kNoSymbol);
+  const IndexReader::U32Span postings = reader->postings(b);
+  ASSERT_EQ(postings.size, 3u);
+  EXPECT_EQ(postings.data[0], 2u);
+  EXPECT_EQ(postings.data[1], 4u);
+  EXPECT_EQ(postings.data[2], 5u);
+  // A name the corpus never used as a tag has empty postings.
+  EXPECT_EQ(reader->FindSymbol("ghost"), xml::kNoSymbol);
+  EXPECT_EQ(reader->postings(xml::kNoSymbol).size, 0u);
+}
+
+TEST(IndexBuilderTest, DirectTextConcatenatesAroundChildren) {
+  // Direct text of <a> is "xz" (the text inside <b> belongs to b).
+  std::unique_ptr<IndexReader> reader = MustOpen("<a>x<b>y</b>z</a>");
+  ASSERT_NE(reader, nullptr);
+  EXPECT_EQ(reader->DirectText(1), "xz");
+  EXPECT_EQ(reader->DirectText(2), "y");
+}
+
+TEST(IndexBuilderTest, ElementsWithoutTextReadAsEmpty) {
+  std::unique_ptr<IndexReader> reader = MustOpen("<a><b/><c>t</c></a>");
+  ASSERT_NE(reader, nullptr);
+  EXPECT_EQ(reader->DirectText(1), "");
+  EXPECT_EQ(reader->DirectText(2), "");
+  EXPECT_EQ(reader->DirectText(3), "t");
+}
+
+TEST(IndexBuilderTest, AttributesStoredInDocumentOrder) {
+  std::unique_ptr<IndexReader> reader =
+      MustOpen("<a x=\"1\" y=\"two\"><b y=\"3\"/></a>");
+  ASSERT_NE(reader, nullptr);
+  size_t begin = 0;
+  size_t end = 0;
+  reader->AttrRange(1, &begin, &end);
+  ASSERT_EQ(end - begin, 2u);
+  EXPECT_EQ(reader->attr_at(begin).name_symbol, reader->FindSymbol("x"));
+  EXPECT_EQ(reader->attr_at(begin).value, "1");
+  EXPECT_EQ(reader->attr_at(begin + 1).name_symbol, reader->FindSymbol("y"));
+  EXPECT_EQ(reader->attr_at(begin + 1).value, "two");
+  reader->AttrRange(2, &begin, &end);
+  ASSERT_EQ(end - begin, 1u);
+  EXPECT_EQ(reader->attr_at(begin).value, "3");
+  // No attributes: empty range, not an error.
+  reader->AttrRange(3, &begin, &end);  // past the last element
+  EXPECT_EQ(begin, end);
+}
+
+TEST(IndexBuilderTest, ByteOffsetsPointAtStartTags) {
+  const std::string doc =
+      "<root>text<child a=\"v\">more</child><child/><deep><x/></deep></root>";
+  std::unique_ptr<IndexReader> reader = MustOpen(doc);
+  ASSERT_NE(reader, nullptr);
+  const uint64_t* offsets = reader->byte_offset();
+  const uint32_t* symbols = reader->symbol();
+  for (uint64_t pre = 1; pre <= reader->element_count(); ++pre) {
+    const uint64_t off = offsets[pre - 1];
+    ASSERT_LT(off, doc.size());
+    EXPECT_EQ(doc[off], '<') << "pre=" << pre;
+    const std::string_view name = reader->dictionary().name(symbols[pre - 1]);
+    EXPECT_EQ(doc.substr(off + 1, name.size()), name) << "pre=" << pre;
+  }
+}
+
+TEST(IndexBuilderTest, ChunkingDoesNotChangeTheImage) {
+  const std::string doc =
+      "<catalog><book id=\"1\"><title>T&amp;A</title></book>"
+      "<!-- note --><misc/><longtagname attr='v'>text</longtagname>"
+      "</catalog>";
+  const std::string whole = MustBuildImage(doc);
+  for (size_t chunk = 1; chunk <= 17; ++chunk) {
+    EXPECT_EQ(MustBuildImage(doc, chunk), whole) << "chunk=" << chunk;
+  }
+}
+
+TEST(IndexBuilderTest, SerializeBeforeLastChunkFails) {
+  IndexBuilder builder;
+  ASSERT_TRUE(builder.Consume({"<a><b/>", false}).ok());
+  std::string image;
+  EXPECT_FALSE(builder.Serialize(&image).ok());
+}
+
+TEST(IndexBuilderTest, MalformedDocumentIsStickyError) {
+  IndexBuilder builder;
+  EXPECT_FALSE(builder.Consume({"<a></b>", true}).ok());
+  EXPECT_FALSE(builder.Consume({"", true}).ok());  // still the same error
+  std::string image;
+  EXPECT_FALSE(builder.Serialize(&image).ok());
+}
+
+TEST(IndexReaderTest, WriteFileOpenRoundTrip) {
+  const std::string doc = "<a><b>t</b><c><b/></c></a>";
+  IndexBuilder builder;
+  ASSERT_TRUE(builder.Consume({doc, true}).ok());
+  const std::string path = ::testing::TempDir() + "/roundtrip.twgmidx";
+  ASSERT_TRUE(builder.WriteFile(path).ok());
+  Result<std::unique_ptr<IndexReader>> reader = IndexReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader.value()->element_count(), 4u);
+  EXPECT_EQ(reader.value()->document_bytes(), doc.size());
+  EXPECT_EQ(IndexedIds(*reader.value(), "//b"),
+            (std::vector<xml::NodeId>{2, 4}));
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// IndexedEvaluator semantics on hand-checked documents
+
+TEST(IndexedEvaluatorTest, AxesAndAnchoring) {
+  std::unique_ptr<IndexReader> reader =
+      MustOpen("<a><b><a><b/></a></b></a>");
+  ASSERT_NE(reader, nullptr);
+  EXPECT_EQ(IndexedIds(*reader, "//b"), (std::vector<xml::NodeId>{2, 4}));
+  EXPECT_EQ(IndexedIds(*reader, "/a/b"), (std::vector<xml::NodeId>{2}));
+  EXPECT_EQ(IndexedIds(*reader, "/b"), (std::vector<xml::NodeId>{}));
+  EXPECT_EQ(IndexedIds(*reader, "//a//b"), (std::vector<xml::NodeId>{2, 4}));
+  EXPECT_EQ(IndexedIds(*reader, "//a/b/a"), (std::vector<xml::NodeId>{3}));
+  EXPECT_EQ(IndexedIds(*reader, "//*"),
+            (std::vector<xml::NodeId>{1, 2, 3, 4}));
+}
+
+TEST(IndexedEvaluatorTest, PredicatesAndValueTests) {
+  std::unique_ptr<IndexReader> reader = MustOpen(
+      "<lib><book year=\"2001\"><title>x</title></book>"
+      "<book year=\"1999\"><title>y</title></book>"
+      "<book><title>x</title></book></lib>");
+  ASSERT_NE(reader, nullptr);
+  EXPECT_EQ(IndexedIds(*reader, "//book[@year]"),
+            (std::vector<xml::NodeId>{2, 4}));
+  EXPECT_EQ(IndexedIds(*reader, "//book[@year=\"2001\"]"),
+            (std::vector<xml::NodeId>{2}));
+  EXPECT_EQ(IndexedIds(*reader, "//book[@year>2000]"),
+            (std::vector<xml::NodeId>{2}));
+  EXPECT_EQ(IndexedIds(*reader, "//book[title=\"x\"]"),
+            (std::vector<xml::NodeId>{2, 6}));
+  EXPECT_EQ(IndexedIds(*reader, "//book[title=\"x\"]/title"),
+            (std::vector<xml::NodeId>{3, 7}));
+  EXPECT_EQ(IndexedIds(*reader, "//book[@missing]"),
+            (std::vector<xml::NodeId>{}));
+}
+
+TEST(IndexedEvaluatorTest, UnknownTagYieldsNoMatchesNotAnError) {
+  std::unique_ptr<IndexReader> reader = MustOpen("<a><b/></a>");
+  ASSERT_NE(reader, nullptr);
+  EXPECT_EQ(IndexedIds(*reader, "//nosuchtag"), (std::vector<xml::NodeId>{}));
+  EXPECT_EQ(IndexedIds(*reader, "//a[nosuchtag]"),
+            (std::vector<xml::NodeId>{}));
+}
+
+TEST(IndexedEvaluatorTest, AttributeReturnNodeIsRejected) {
+  std::unique_ptr<IndexReader> reader = MustOpen("<a x=\"1\"/>");
+  ASSERT_NE(reader, nullptr);
+  Result<std::unique_ptr<IndexedEvaluator>> eval =
+      IndexedEvaluator::Create("//a/@x", reader.get());
+  EXPECT_FALSE(eval.ok());
+}
+
+TEST(IndexedEvaluatorTest, EvaluateIsRepeatable) {
+  std::unique_ptr<IndexReader> reader =
+      MustOpen("<a><b/><c><b/></c></a>");
+  ASSERT_NE(reader, nullptr);
+  Result<std::unique_ptr<IndexedEvaluator>> eval =
+      IndexedEvaluator::Create("//a//b", reader.get());
+  ASSERT_TRUE(eval.ok());
+  for (int run = 0; run < 3; ++run) {
+    core::VectorResultSink sink;
+    ASSERT_TRUE(eval.value()->Evaluate(&sink).ok());
+    EXPECT_EQ(sink.ids(), (std::vector<xml::NodeId>{2, 4})) << "run " << run;
+    EXPECT_EQ(eval.value()->stats().results, 2u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Differential suite: random documents + random XP{/,//,*,[]} queries; the
+// indexed evaluator must agree with the DOM oracle and the streaming TwigM
+// engine on every one.
+
+struct DocParams {
+  int max_depth = 6;
+  int max_children = 4;
+  double attr_probability = 0.3;
+  double text_probability = 0.3;
+};
+
+void EmitRandomElement(Rng* rng, const DocParams& params, int depth,
+                       xml::XmlWriter* w) {
+  static const char* kTags[] = {"a", "b", "c", "d", "e"};
+  static const char* kAttrs[] = {"x", "y"};
+  static const char* kTexts[] = {"u", "v", "w", "10", "3"};
+  w->Open(depth == 1 ? "a" : kTags[rng->Below(5)]);
+  if (rng->Chance(params.attr_probability)) {
+    w->Attr(kAttrs[rng->Below(2)], kTexts[rng->Below(5)]);
+  }
+  if (rng->Chance(params.text_probability)) {
+    w->Text(kTexts[rng->Below(5)]);
+  }
+  if (depth < params.max_depth) {
+    const int children = static_cast<int>(
+        rng->Below(static_cast<uint64_t>(params.max_children) + 1));
+    for (int i = 0; i < children; ++i) {
+      EmitRandomElement(rng, params, depth + 1, w);
+    }
+  }
+  w->Close();
+}
+
+std::string RandomDocument(Rng* rng) {
+  xml::XmlWriter w(/*with_declaration=*/false);
+  EmitRandomElement(rng, DocParams(), 1, &w);
+  return std::move(w).TakeString();
+}
+
+std::string RandomSteps(Rng* rng, int pred_depth, bool first_is_anchored);
+
+std::string RandomPredicate(Rng* rng, int pred_depth) {
+  if (rng->Chance(0.25)) {
+    std::string out = "[@";
+    out += rng->Chance(0.5) ? "x" : "y";
+    if (rng->Chance(0.4)) {
+      out += "=\"" + std::string(rng->Chance(0.5) ? "u" : "10") + "\"";
+    }
+    out += "]";
+    return out;
+  }
+  std::string out = "[";
+  out += RandomSteps(rng, pred_depth, /*first_is_anchored=*/false);
+  if (rng->Chance(0.3)) {
+    static const char* kOps[] = {"=", "!=", "<", ">="};
+    out += kOps[rng->Below(4)];
+    out += rng->Chance(0.5) ? "\"u\"" : "5";
+  }
+  out += "]";
+  return out;
+}
+
+std::string RandomStep(Rng* rng, int pred_depth) {
+  static const char* kTags[] = {"a", "b", "c", "d", "e"};
+  std::string out = rng->Chance(0.15) ? "*" : kTags[rng->Below(5)];
+  if (pred_depth < 2) {
+    while (rng->Chance(0.3)) {
+      out += RandomPredicate(rng, pred_depth + 1);
+    }
+  }
+  return out;
+}
+
+std::string RandomSteps(Rng* rng, int pred_depth, bool first_is_anchored) {
+  const int steps = 1 + static_cast<int>(rng->Below(3));
+  std::string out;
+  for (int i = 0; i < steps; ++i) {
+    const bool descendant = rng->Chance(0.4);
+    if (i == 0) {
+      if (first_is_anchored) {
+        out += descendant ? "//" : "/";
+      } else if (descendant) {
+        out += "//";
+      }
+    } else {
+      out += descendant ? "//" : "/";
+    }
+    out += RandomStep(rng, pred_depth);
+  }
+  return out;
+}
+
+TEST(IndexedDifferentialTest, MatchesOracleAndStreamingOn100Documents) {
+  Rng rng(0x1DEC5);
+  int nonempty = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    const std::string doc = RandomDocument(&rng);
+    const std::string query = RandomSteps(&rng, 0, /*first_is_anchored=*/true);
+    Result<xpath::QueryTree> tree = xpath::QueryTree::Parse(query);
+    ASSERT_TRUE(tree.ok()) << query << ": " << tree.status().ToString();
+
+    // DOM oracle.
+    Result<std::vector<xml::NodeId>> oracle =
+        baselines::EvaluateOnDom(tree.value(), doc);
+    ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+    std::vector<xml::NodeId> expected = std::move(oracle).value();
+    std::sort(expected.begin(), expected.end());
+
+    // Streaming TwigM.
+    Result<std::vector<xml::NodeId>> stream =
+        core::EvaluateToIds(query, doc, core::EvaluatorOptions());
+    ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+    std::vector<xml::NodeId> stream_ids = std::move(stream).value();
+    std::sort(stream_ids.begin(), stream_ids.end());
+    ASSERT_EQ(stream_ids, expected) << "query " << query << "\ndoc " << doc;
+
+    // Indexed: build, persist, reload, evaluate.
+    Result<std::unique_ptr<IndexReader>> reader =
+        IndexReader::OpenBytes(MustBuildImage(doc));
+    ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+    const std::vector<core::MatchInfo> matches =
+        IndexedMatches(*reader.value(), query);
+    std::vector<xml::NodeId> indexed_ids;
+    for (const core::MatchInfo& m : matches) indexed_ids.push_back(m.id);
+    // Emission order is document order, which for pre ids is sorted order.
+    ASSERT_TRUE(std::is_sorted(indexed_ids.begin(), indexed_ids.end()));
+    ASSERT_EQ(indexed_ids, expected) << "query " << query << "\ndoc " << doc;
+
+    // Every match carries its element's start-tag byte offset.
+    for (const core::MatchInfo& m : matches) {
+      const uint64_t off = reader.value()->byte_offset()[m.id - 1];
+      ASSERT_EQ(m.byte_offset, off);
+      ASSERT_LT(off, doc.size());
+      ASSERT_EQ(doc[off], '<');
+    }
+    if (!expected.empty()) ++nonempty;
+  }
+  EXPECT_GT(nonempty, 20);
+}
+
+}  // namespace
+}  // namespace twigm::index

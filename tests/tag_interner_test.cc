@@ -165,6 +165,129 @@ TEST(TagInternerChunkFuzzTest, ResetKeepsSymbolsStable) {
   EXPECT_NE(parser.interner()->Find("c"), kNoSymbol);
 }
 
+// ---------------------------------------------------------------------------
+// Serialize/Load: the persistence path of the structural index. A loaded
+// dictionary must reproduce the exact SymbolId for every name, no matter
+// how the original document was chunked when the symbols were first
+// interned.
+
+TEST(TagInternerPersistTest, SerializeLoadRoundTrip) {
+  TagInterner original;
+  const SymbolId a = original.Intern("alpha");
+  const SymbolId b = original.Intern("b");
+  const SymbolId c = original.Intern("a-rather-longer-tag-name");
+  std::string bytes;
+  original.Serialize(&bytes);
+
+  TagInterner loaded;
+  ASSERT_TRUE(loaded.Load(bytes).ok());
+  EXPECT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded.Find("alpha"), a);
+  EXPECT_EQ(loaded.Find("b"), b);
+  EXPECT_EQ(loaded.Find("a-rather-longer-tag-name"), c);
+  EXPECT_EQ(loaded.name(a), "alpha");
+  EXPECT_EQ(loaded.name(b), "b");
+  EXPECT_EQ(loaded.Find("never-seen"), kNoSymbol);
+}
+
+TEST(TagInternerPersistTest, EmptyDictionaryRoundTrips) {
+  TagInterner original;
+  std::string bytes;
+  original.Serialize(&bytes);
+  TagInterner loaded;
+  ASSERT_TRUE(loaded.Load(bytes).ok());
+  EXPECT_EQ(loaded.size(), 0u);
+}
+
+TEST(TagInternerPersistTest, RoundTripSurvivesManySymbols) {
+  TagInterner original;
+  std::vector<SymbolId> ids;
+  for (int i = 0; i < 5000; ++i) {
+    ids.push_back(original.Intern("tag_" + std::to_string(i)));
+  }
+  std::string bytes;
+  original.Serialize(&bytes);
+  TagInterner loaded;
+  ASSERT_TRUE(loaded.Load(bytes).ok());
+  ASSERT_EQ(loaded.size(), 5000u);
+  for (int i = 0; i < 5000; ++i) {
+    const std::string name = "tag_" + std::to_string(i);
+    ASSERT_EQ(loaded.Find(name), ids[i]) << name;
+  }
+}
+
+TEST(TagInternerPersistTest, LoadRejectsTruncation) {
+  TagInterner original;
+  original.Intern("alpha");
+  original.Intern("beta");
+  std::string bytes;
+  original.Serialize(&bytes);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    TagInterner loaded;
+    EXPECT_FALSE(loaded.Load(bytes.substr(0, len)).ok()) << "len=" << len;
+  }
+}
+
+TEST(TagInternerPersistTest, LoadRejectsTrailingGarbage) {
+  TagInterner original;
+  original.Intern("alpha");
+  std::string bytes;
+  original.Serialize(&bytes);
+  bytes.push_back('x');
+  TagInterner loaded;
+  EXPECT_FALSE(loaded.Load(bytes).ok());
+}
+
+TEST(TagInternerPersistTest, LoadRequiresEmptyInterner) {
+  TagInterner original;
+  original.Intern("alpha");
+  std::string bytes;
+  original.Serialize(&bytes);
+  TagInterner occupied;
+  occupied.Intern("resident");
+  EXPECT_FALSE(occupied.Load(bytes).ok());
+}
+
+// Fuzz leg: serialize the dictionary a chunk-split parse produced, load it
+// into a fresh parser, re-ingest the same document under a different
+// chunking, and require every event to carry the original symbol.
+TEST(TagInternerPersistTest, ReingestAfterLoadKeepsSymbolsStable) {
+  const std::string doc =
+      "<catalog><book id=\"1\"><title>T&amp;A</title><author>x</author>"
+      "<book id=\"2\"><title><![CDATA[raw <stuff>]]></title></book></book>"
+      "<!-- note --><misc/><longtagname attr='v'>text</longtagname>"
+      "</catalog>";
+  for (size_t first_chunk = 1; first_chunk <= 13; ++first_chunk) {
+    // First ingest, chunked at `first_chunk` bytes.
+    SymbolRecorder recorder;
+    SaxParser parser(&recorder);
+    for (size_t pos = 0; pos < doc.size(); pos += first_chunk) {
+      const size_t len = std::min(first_chunk, doc.size() - pos);
+      ASSERT_TRUE(parser.Consume({std::string_view(doc).substr(pos, len),
+                                  false}).ok());
+    }
+    ASSERT_TRUE(parser.Consume({std::string_view(), true}).ok());
+    std::string bytes;
+    parser.interner()->Serialize(&bytes);
+
+    // Re-ingest under every other chunking with the loaded dictionary: the
+    // event log (tag:symbol pairs) must be identical.
+    for (size_t chunk = 1; chunk <= 13; chunk += 3) {
+      SymbolRecorder recheck;
+      SaxParser reparser(&recheck);
+      ASSERT_TRUE(reparser.interner()->Load(bytes).ok());
+      for (size_t pos = 0; pos < doc.size(); pos += chunk) {
+        const size_t len = std::min(chunk, doc.size() - pos);
+        ASSERT_TRUE(reparser.Consume({std::string_view(doc).substr(pos, len),
+                                      false}).ok());
+      }
+      ASSERT_TRUE(reparser.Consume({std::string_view(), true}).ok());
+      ASSERT_EQ(recheck.log(), recorder.log())
+          << "first_chunk=" << first_chunk << " chunk=" << chunk;
+    }
+  }
+}
+
 TEST(TagInternerChunkFuzzTest, InternTagsOffEmitsNoSymbol) {
   SaxParserOptions options;
   options.intern_tags = false;
